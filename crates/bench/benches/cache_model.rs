@@ -1,0 +1,61 @@
+//! Criterion benchmarks for the simulation substrates: the LLC model's
+//! access throughput (it sits on every baseline memory touch, so its speed
+//! bounds how big an experiment we can run) and the BSP round machinery.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pim_memsim::{CacheConfig, CacheSim};
+use pim_sim::{MachineConfig, PimSystem};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_sim");
+    let n = 100_000u64;
+    g.throughput(Throughput::Elements(n));
+
+    g.bench_function("sequential_hits", |b| {
+        let mut sim = CacheSim::new(CacheConfig::xeon_llc());
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc += sim.access(black_box((i % 1024) * 64), 8, false).hit_lines;
+            }
+            acc
+        })
+    });
+
+    g.bench_function("random_misses", |b| {
+        let mut sim = CacheSim::new(CacheConfig::tiny(64 * 1024));
+        b.iter(|| {
+            let mut acc = 0u64;
+            let mut x = 0x9E3779B97F4A7C15u64;
+            for _ in 0..n {
+                x = x.wrapping_mul(0xD1342543DE82EF95).wrapping_add(1);
+                acc += sim.access(black_box(x % (1 << 30)), 8, false).miss_lines;
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_rounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bsp_rounds");
+    g.sample_size(10);
+    for p in [64usize, 1024] {
+        g.bench_function(format!("empty_round_p{p}"), |b| {
+            let mut sys = PimSystem::new(MachineConfig::with_modules(p), |_| 0u64);
+            let tasks: Vec<Vec<u32>> = (0..p).map(|i| vec![i as u32]).collect();
+            b.iter(|| {
+                let out = sys.execute_round(black_box(tasks.clone()), |_, s, ctx, t| {
+                    ctx.op(t.len() as u64);
+                    *s += 1;
+                    t
+                });
+                out.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_rounds);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion benchmarks for the index structures themselves (real wall
+//! time of the reproduction's code, not simulated time): bulk build, batch
+//! insert, kNN, and box queries of the zd-tree baseline and the fragment
+//! machinery of the PIM index.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pim_geom::Metric;
+use pim_memsim::{CpuConfig, CpuMeter};
+use pim_sim::MachineConfig;
+use pim_workloads::{box_queries, box_side_for_expected, knn_queries, uniform};
+use pim_zd_tree::{PimZdConfig, PimZdTree};
+use pim_zdtree_base::ZdTree;
+
+fn bench_zdtree(c: &mut Criterion) {
+    let pts = uniform::<3>(100_000, 1);
+    let mut g = c.benchmark_group("zdtree");
+    g.sample_size(10);
+
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("build_100k", |b| {
+        b.iter(|| ZdTree::build(black_box(&pts), 16))
+    });
+
+    let tree = ZdTree::build(&pts, 16);
+    let batch = uniform::<3>(10_000, 2);
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("batch_insert_10k", |b| {
+        b.iter_batched(
+            || tree_clone_points(&pts),
+            |mut t| {
+                let mut m = CpuMeter::new(CpuConfig::xeon());
+                t.batch_insert(black_box(&batch), &mut m);
+                t
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    let queries = knn_queries(&pts, 1_000, 3);
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("knn10_1k_queries", |b| {
+        b.iter(|| {
+            let mut m = CpuMeter::new(CpuConfig::xeon());
+            tree.batch_knn(black_box(&queries), 10, Metric::L2, &mut m)
+        })
+    });
+
+    let side = box_side_for_expected::<3>(100_000, 100.0);
+    let boxes = box_queries(&pts, 1_000, side, 4);
+    g.bench_function("box_count_1k_queries", |b| {
+        b.iter(|| {
+            let mut m = CpuMeter::new(CpuConfig::xeon());
+            tree.batch_box_count(black_box(&boxes), &mut m)
+        })
+    });
+    g.finish();
+}
+
+fn tree_clone_points(pts: &[pim_geom::Point<3>]) -> ZdTree<3> {
+    ZdTree::build(pts, 16)
+}
+
+fn bench_pim_index(c: &mut Criterion) {
+    let pts = uniform::<3>(100_000, 5);
+    let cfg = PimZdConfig::throughput_optimized(100_000, 64);
+    let mut g = c.benchmark_group("pim_zd_tree");
+    g.sample_size(10);
+
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("build_100k_64modules", |b| {
+        b.iter(|| PimZdTree::build(black_box(&pts), cfg, MachineConfig::with_modules(64)))
+    });
+
+    let queries = knn_queries(&pts, 1_000, 6);
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("batch_knn10_1k", |b| {
+        b.iter_batched(
+            || PimZdTree::build(&pts, cfg, MachineConfig::with_modules(64)),
+            |mut t| {
+                let out = t.batch_knn(black_box(&queries), 10, Metric::L2);
+                black_box(out.len())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_zdtree, bench_pim_index);
+criterion_main!(benches);

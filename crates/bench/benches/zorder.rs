@@ -1,0 +1,82 @@
+//! Criterion microbenchmarks for Morton-key computation: the §6 "Fast
+//! z-Order Computation" claim in real wall time — the gap-interleave path
+//! vs the naive bit-by-bit path, across dimensions.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pim_geom::Point;
+use pim_workloads::uniform;
+use pim_zorder::ZKey;
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zorder_encode");
+    let pts3: Vec<Point<3>> = uniform::<3>(10_000, 1);
+    let pts2: Vec<Point<2>> = uniform::<2>(10_000, 2);
+    g.throughput(Throughput::Elements(10_000));
+
+    g.bench_function(BenchmarkId::new("fast", "3d"), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in &pts3 {
+                acc ^= ZKey::<3>::encode(black_box(p)).0;
+            }
+            acc
+        })
+    });
+    g.bench_function(BenchmarkId::new("naive", "3d"), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in &pts3 {
+                acc ^= ZKey::<3>::encode_naive(black_box(p)).0;
+            }
+            acc
+        })
+    });
+    g.bench_function(BenchmarkId::new("fast", "2d"), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in &pts2 {
+                acc ^= ZKey::<2>::encode(black_box(p)).0;
+            }
+            acc
+        })
+    });
+    g.bench_function(BenchmarkId::new("naive", "2d"), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in &pts2 {
+                acc ^= ZKey::<2>::encode_naive(black_box(p)).0;
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_decode_and_prefix(c: &mut Criterion) {
+    let keys: Vec<ZKey<3>> =
+        uniform::<3>(10_000, 3).iter().map(ZKey::<3>::encode).collect();
+    let mut g = c.benchmark_group("zorder_algebra");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("decode_3d", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for k in &keys {
+                acc ^= black_box(*k).decode().coords[0];
+            }
+            acc
+        })
+    });
+    g.bench_function("common_prefix_len", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for w in keys.windows(2) {
+                acc += w[0].common_prefix_len(black_box(w[1]));
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode_and_prefix);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Minimal command-line handling shared by every figure binary.
+
+/// Common scale knobs. Defaults keep each binary within a few minutes of
+/// simulation; pass larger values to stress the machine.
+#[derive(Clone, Debug)]
+pub struct BenchArgs {
+    /// Warmup dataset size (the paper: 300 M; default here: 500 k).
+    pub points: usize,
+    /// Point-operation batch size (the paper: 50 M; default here: 50 k).
+    pub batch: usize,
+    /// PIM modules (the paper's server: 2048; default here: 256).
+    pub modules: usize,
+    /// Free-form positional argument (e.g. the fig5 dataset name).
+    pub positional: Option<String>,
+    /// Seed for all generators.
+    pub seed: u64,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        Self { points: 1_000_000, batch: 100_000, modules: 2048, positional: None, seed: 2026 }
+    }
+}
+
+impl BenchArgs {
+    /// Parses `--points N --batch N --modules N --seed N [positional]`.
+    pub fn parse() -> Self {
+        let mut out = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            let mut grab = |out: &mut usize| {
+                if let Some(v) = args.next().and_then(|s| s.parse().ok()) {
+                    *out = v;
+                }
+            };
+            match a.as_str() {
+                "--points" => grab(&mut out.points),
+                "--batch" => grab(&mut out.batch),
+                "--modules" => grab(&mut out.modules),
+                "--seed" => {
+                    if let Some(v) = args.next().and_then(|s| s.parse().ok()) {
+                        out.seed = v;
+                    }
+                }
+                other if !other.starts_with("--") => out.positional = Some(other.to_string()),
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let a = BenchArgs::default();
+        assert!(a.points >= a.batch);
+        assert!(a.modules.is_power_of_two());
+    }
+}

@@ -1,0 +1,51 @@
+//! **Fig. 6 (E4)** — runtime breakdown of PIM-zd-tree operations into CPU
+//! computation, PIM computation, and CPU-PIM communication.
+//!
+//! ```sh
+//! cargo run --release -p pim-bench --bin fig6_breakdown
+//! ```
+
+use pim_bench::harness::{make_queries, run_cell_pim, OpKind, PimRunner};
+use pim_bench::{BenchArgs, Dataset};
+use pim_sim::MachineConfig;
+use pim_zd_tree::PimZdConfig;
+
+fn main() {
+    let args = BenchArgs::parse();
+    println!(
+        "== Fig. 6: runtime breakdown (uniform, {} pts, batch {}, {} modules) ==\n",
+        args.points, args.batch, args.modules
+    );
+    let (warm, test) = Dataset::Uniform.warmup_and_test(args.points, args.seed);
+    let cfg = PimZdConfig::throughput_optimized(args.points as u64, args.modules);
+    let mut pim =
+        PimRunner::new(&warm, cfg, MachineConfig::with_modules(args.modules), "PIM-zd-tree");
+
+    let ops = [
+        OpKind::Insert,
+        OpKind::BoxCount(1.0),
+        OpKind::BoxCount(100.0),
+        OpKind::BoxFetch(100.0),
+        OpKind::Knn(100),
+    ];
+    println!(
+        "{:<10} {:>8} {:>8} {:>8}   {:>10}",
+        "op", "CPU %", "PIM %", "Comm %", "total"
+    );
+    println!("{}", "-".repeat(52));
+    for op in ops {
+        let q = make_queries(op, &test, args.points, args.batch, args.seed ^ 0xF16);
+        let m = run_cell_pim(&mut pim, op, &q);
+        let t = m.total_s;
+        println!(
+            "{:<10} {:>7.1}% {:>7.1}% {:>7.1}%   {:>8.2}ms",
+            m.op,
+            100.0 * m.cpu_s / t,
+            100.0 * m.pim_s / t,
+            100.0 * m.comm_s / t,
+            t * 1e3
+        );
+    }
+    println!("\n(paper: INSERT is CPU-heavy from batch preprocessing; BF-100 is");
+    println!(" communication-heavy from output volume; the rest is PIM-dominated)");
+}

@@ -1,0 +1,86 @@
+//! The three evaluation datasets (§7.1–7.2) with the paper's protocol:
+//! uniform microbenchmark (synthetic queries over a fresh warmup), and the
+//! real-world stand-ins COSMOS/OSM with an 80 %/20 % warmup/test split.
+
+use pim_geom::Point;
+use pim_workloads as wl;
+
+/// Which dataset a figure runs on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Dataset {
+    /// Uniform random 3D points (the §7.2 microbenchmark).
+    Uniform,
+    /// COSMOS-like: moderate skew (Gini ≈ 0.287 over 2048 bins).
+    Cosmos,
+    /// OSM-like: extreme skew (Gini ≈ 0.967).
+    Osm,
+}
+
+impl Dataset {
+    /// Parses a dataset name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "uniform" => Some(Dataset::Uniform),
+            "cosmos" | "cm" => Some(Dataset::Cosmos),
+            "osm" => Some(Dataset::Osm),
+            _ => None,
+        }
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::Uniform => "uniform",
+            Dataset::Cosmos => "COSMOS-like",
+            Dataset::Osm => "OSM-like",
+        }
+    }
+
+    /// Generates `n` points.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<Point<3>> {
+        match self {
+            Dataset::Uniform => wl::uniform::<3>(n, seed),
+            Dataset::Cosmos => wl::cosmos_like::<3>(n, seed),
+            Dataset::Osm => wl::osm_like::<3>(n, seed),
+        }
+    }
+
+    /// Warmup and test point sets following §7.2: uniform warms up on the
+    /// whole set and tests on fresh points; the real-world stand-ins use an
+    /// 80/20 split of one generation.
+    pub fn warmup_and_test(&self, n: usize, seed: u64) -> (Vec<Point<3>>, Vec<Point<3>>) {
+        match self {
+            Dataset::Uniform => {
+                let warm = self.generate(n, seed);
+                let test = self.generate(n / 4, seed ^ 0x7E57);
+                (warm, test)
+            }
+            _ => {
+                let all = self.generate(n + n / 4, seed);
+                let warm = all[..n].to_vec();
+                let test = all[n..].to_vec();
+                (warm, test)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(Dataset::parse("uniform"), Some(Dataset::Uniform));
+        assert_eq!(Dataset::parse("CM"), Some(Dataset::Cosmos));
+        assert_eq!(Dataset::parse("osm"), Some(Dataset::Osm));
+        assert_eq!(Dataset::parse("wat"), None);
+    }
+
+    #[test]
+    fn splits_have_requested_sizes() {
+        let (w, t) = Dataset::Osm.warmup_and_test(1000, 1);
+        assert_eq!(w.len(), 1000);
+        assert_eq!(t.len(), 250);
+    }
+}

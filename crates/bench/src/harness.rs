@@ -1,0 +1,377 @@
+//! Measurement runners: one per index (PIM-zd-tree, zd-tree, Pkd-tree),
+//! sharing query generation so every comparison is apples-to-apples.
+
+use pim_geom::{Aabb, Metric, Point};
+use pim_memsim::{CpuConfig, CpuMeter, CpuModel};
+use pim_pkdtree::PkdTree;
+use pim_sim::MachineConfig;
+use pim_workloads as wl;
+use pim_zd_tree::{PimZdConfig, PimZdTree};
+use pim_zdtree_base::ZdTree;
+use serde::Serialize;
+
+/// Host CPU model with the LLC scaled to the dataset: the paper's server
+/// pairs a 22 MB LLC with 300 M-point datasets (cache ≈ 0.07 bytes/point);
+/// reduced-scale runs keep that ratio (clamped to [512 KB, 22 MB]) so the
+/// baselines stay in the memory-bound regime the paper measures.
+pub fn scaled_cpu(n_points: usize) -> CpuConfig {
+    let target = 22.0 * 1024.0 * 1024.0 * n_points as f64 / 300.0e6;
+    let capacity = target.clamp(512.0 * 1024.0, 22.0 * 1024.0 * 1024.0) as u64;
+    CpuConfig {
+        llc: pim_memsim::CacheConfig { capacity_bytes: capacity, line_bytes: 64, ways: 16 },
+        ..CpuConfig::xeon()
+    }
+}
+
+/// The ten operations of Fig. 5.
+#[derive(Clone, Copy, Debug)]
+pub enum OpKind {
+    /// Batch insertion of fresh points.
+    Insert,
+    /// Orthogonal range count; boxes sized to cover ≈ this many points.
+    BoxCount(f64),
+    /// Orthogonal range fetch.
+    BoxFetch(f64),
+    /// k-nearest-neighbor with this k.
+    Knn(usize),
+}
+
+impl OpKind {
+    /// Figure label (`BC-10`, `100-NN`, …).
+    pub fn label(&self) -> String {
+        match self {
+            OpKind::Insert => "Insert".into(),
+            OpKind::BoxCount(c) => format!("BC-{}", *c as u64),
+            OpKind::BoxFetch(c) => format!("BF-{}", *c as u64),
+            OpKind::Knn(k) => format!("{k}-NN"),
+        }
+    }
+
+    /// The ten-operation battery of Fig. 5.
+    pub fn fig5_battery() -> Vec<OpKind> {
+        vec![
+            OpKind::Insert,
+            OpKind::BoxCount(1.0),
+            OpKind::BoxCount(10.0),
+            OpKind::BoxCount(100.0),
+            OpKind::BoxFetch(1.0),
+            OpKind::BoxFetch(10.0),
+            OpKind::BoxFetch(100.0),
+            OpKind::Knn(1),
+            OpKind::Knn(10),
+            OpKind::Knn(100),
+        ]
+    }
+
+    /// Number of queries issued for a target batch size (range operations
+    /// retrieve ≈ `batch` elements in total, §7.2).
+    pub fn n_queries(&self, batch: usize) -> usize {
+        match self {
+            OpKind::Insert => batch,
+            OpKind::BoxCount(_) => (batch / 10).max(64),
+            OpKind::BoxFetch(c) => ((batch as f64 / c).ceil() as usize).clamp(64, batch),
+            OpKind::Knn(k) => (batch / k).max(64),
+        }
+    }
+}
+
+/// One measured (index, operation) cell.
+#[derive(Clone, Debug, Serialize)]
+pub struct Measurement {
+    /// Index name.
+    pub index: String,
+    /// Operation label.
+    pub op: String,
+    /// Returned elements per simulated second.
+    pub throughput: f64,
+    /// Memory-bus bytes per returned element (CPU-DRAM + CPU-PIM).
+    pub traffic: f64,
+    /// Host CPU seconds.
+    pub cpu_s: f64,
+    /// PIM execution seconds.
+    pub pim_s: f64,
+    /// Communication + overhead seconds.
+    pub comm_s: f64,
+    /// Batch latency in seconds.
+    pub total_s: f64,
+    /// BSP rounds (PIM indexes only).
+    pub rounds: u64,
+    /// Worst per-round load imbalance.
+    pub imbalance: f64,
+    /// Elements returned.
+    pub elements: u64,
+}
+
+/// Pre-generated queries for one operation, shared across indexes.
+pub enum Queries {
+    /// Insert batch.
+    Points(Vec<Point<3>>),
+    /// Box queries.
+    Boxes(Vec<Aabb<3>>),
+    /// kNN queries with k.
+    Knn(Vec<Point<3>>, usize),
+}
+
+/// Generates the query set for `op` against `data` (queries follow the data
+/// distribution, §7.1).
+pub fn make_queries(op: OpKind, data: &[Point<3>], n_total: usize, batch: usize, seed: u64) -> Queries {
+    let n = op.n_queries(batch);
+    match op {
+        // Twice the batch: the first half is an unmeasured pre-batch that
+        // absorbs the structural churn of the first insert after warmup
+        // (the paper measures steady-state batches in sequence).
+        OpKind::Insert => Queries::Points(wl::point_queries(data, 2 * n, 4, seed)),
+        OpKind::BoxCount(c) | OpKind::BoxFetch(c) => {
+            let side = wl::box_side_for_expected::<3>(n_total, c);
+            Queries::Boxes(wl::box_queries(data, n, side, seed))
+        }
+        OpKind::Knn(k) => Queries::Knn(wl::knn_queries(data, n, seed), k),
+    }
+}
+
+// ---------------------------------------------------------------------
+// PIM-zd-tree runner
+// ---------------------------------------------------------------------
+
+/// Owns a built PIM index and measures operations on it.
+pub struct PimRunner {
+    /// The index under test.
+    pub index: PimZdTree<3>,
+    name: String,
+}
+
+impl PimRunner {
+    /// Builds the index over the warmup set (LLC scaled to the dataset).
+    pub fn new(warmup: &[Point<3>], cfg: PimZdConfig, machine: MachineConfig, name: &str) -> Self {
+        Self {
+            index: PimZdTree::build_with_cpu(warmup, cfg, machine, scaled_cpu(warmup.len())),
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs an insert measurement: the first half of `pts` is an unmeasured
+    /// steady-state pre-batch, the second half is measured (the tree grows,
+    /// exactly as in the paper's protocol).
+    pub fn run_insert(&mut self, pts: &[Point<3>]) -> Measurement {
+        let half = pts.len() / 2;
+        self.index.batch_insert(&pts[..half]);
+        self.index.batch_insert(&pts[half..]);
+        self.to_measurement("Insert")
+    }
+
+    /// BoxCount measurement.
+    pub fn run_box_count(&mut self, boxes: &[Aabb<3>]) -> Measurement {
+        let _ = self.index.batch_box_count(boxes);
+        self.to_measurement("BoxCount")
+    }
+
+    /// BoxFetch measurement.
+    pub fn run_box_fetch(&mut self, boxes: &[Aabb<3>]) -> Measurement {
+        let _ = self.index.batch_box_fetch(boxes);
+        self.to_measurement("BoxFetch")
+    }
+
+    /// kNN measurement.
+    pub fn run_knn(&mut self, queries: &[Point<3>], k: usize) -> Measurement {
+        let _ = self.index.batch_knn(queries, k, Metric::L2);
+        self.to_measurement("kNN")
+    }
+
+    /// Dispatches on the query kind.
+    pub fn run_op(&mut self, q: &Queries) -> Measurement {
+        match q {
+            Queries::Points(pts) => self.run_insert(pts),
+            Queries::Boxes(b) => self.run_box_count(b),
+            Queries::Knn(pts, k) => self.run_knn(pts, *k),
+        }
+    }
+
+    fn to_measurement(&self, op: &str) -> Measurement {
+        let s = self.index.last_op_stats();
+        Measurement {
+            index: self.name.clone(),
+            op: op.to_string(),
+            throughput: s.throughput(),
+            traffic: s.traffic_per_element(),
+            cpu_s: s.breakdown.cpu_s,
+            pim_s: s.breakdown.pim_s,
+            comm_s: s.breakdown.comm_s,
+            total_s: s.breakdown.total_s(),
+            rounds: s.rounds,
+            imbalance: s.worst_imbalance,
+            elements: s.elements,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared-memory baselines
+// ---------------------------------------------------------------------
+
+/// The two CPU baselines behind one interface.
+pub enum CpuIndex {
+    /// zd-tree \[12\].
+    Zd(ZdTree<3>),
+    /// Pkd-tree \[63\].
+    Pkd(PkdTree<3>),
+}
+
+/// Runner for a shared-memory baseline: instrumented through `CpuMeter`,
+/// timed by `CpuModel`.
+pub struct CpuRunner {
+    /// The index under test.
+    pub index: CpuIndex,
+    meter: CpuMeter,
+    model: CpuModel,
+    name: String,
+}
+
+impl CpuRunner {
+    /// Builds the zd-tree baseline (LLC scaled to the dataset).
+    pub fn zd(warmup: &[Point<3>]) -> Self {
+        let cpu = scaled_cpu(warmup.len());
+        let mut meter = CpuMeter::new(cpu);
+        meter.enabled = false; // warmup untimed
+        let t = ZdTree::build(warmup, ZdTree::<3>::DEFAULT_LEAF_CAP);
+        Self { index: CpuIndex::Zd(t), meter, model: CpuModel::new(cpu), name: "zd-tree".into() }
+    }
+
+    /// Builds the Pkd-tree baseline (LLC scaled to the dataset).
+    pub fn pkd(warmup: &[Point<3>]) -> Self {
+        let cpu = scaled_cpu(warmup.len());
+        let mut meter = CpuMeter::new(cpu);
+        meter.enabled = false;
+        let t = PkdTree::build(warmup, PkdTree::<3>::DEFAULT_LEAF_CAP);
+        Self { index: CpuIndex::Pkd(t), meter, model: CpuModel::new(cpu), name: "Pkd-tree".into() }
+    }
+
+    /// Runs one operation batch.
+    pub fn run_op(&mut self, q: &Queries) -> Measurement {
+        // Pre-batch for inserts (unmeasured steady-state warmup), mirroring
+        // the PIM runner's protocol.
+        if let Queries::Points(pts) = q {
+            let half = pts.len() / 2;
+            self.meter.enabled = false;
+            match &mut self.index {
+                CpuIndex::Zd(t) => t.batch_insert(&pts[..half], &mut self.meter),
+                CpuIndex::Pkd(t) => t.batch_insert(&pts[..half], &mut self.meter),
+            }
+            self.meter.enabled = true;
+        }
+        self.meter.start_measurement();
+        let (op, elements): (&str, u64) = match q {
+            Queries::Points(pts) => {
+                let half = pts.len() / 2;
+                match &mut self.index {
+                    CpuIndex::Zd(t) => t.batch_insert(&pts[half..], &mut self.meter),
+                    CpuIndex::Pkd(t) => t.batch_insert(&pts[half..], &mut self.meter),
+                }
+                ("Insert", (pts.len() - half) as u64)
+            }
+            Queries::Boxes(boxes) => {
+                let n = match &self.index {
+                    CpuIndex::Zd(t) => t.batch_box_count(boxes, &mut self.meter).len(),
+                    CpuIndex::Pkd(t) => t.batch_box_count(boxes, &mut self.meter).len(),
+                };
+                ("BoxCount", n as u64)
+            }
+            Queries::Knn(pts, k) => {
+                let out = match &self.index {
+                    CpuIndex::Zd(t) => t.batch_knn(pts, *k, Metric::L2, &mut self.meter),
+                    CpuIndex::Pkd(t) => t.batch_knn(pts, *k, Metric::L2, &mut self.meter),
+                };
+                let n: usize = out.iter().map(Vec::len).sum();
+                ("kNN", n as u64)
+            }
+        };
+        self.finish(op, elements)
+    }
+
+    /// BoxFetch needs its own entry (elements = returned points).
+    pub fn run_box_fetch(&mut self, boxes: &[Aabb<3>]) -> Measurement {
+        self.meter.start_measurement();
+        let out = match &self.index {
+            CpuIndex::Zd(t) => t.batch_box_fetch(boxes, &mut self.meter),
+            CpuIndex::Pkd(t) => t.batch_box_fetch(boxes, &mut self.meter),
+        };
+        let n: usize = out.iter().map(Vec::len).sum();
+        self.finish("BoxFetch", n as u64)
+    }
+
+    fn finish(&self, op: &str, elements: u64) -> Measurement {
+        let stats = self.meter.stats();
+        let total = self.model.time_seconds(&stats);
+        Measurement {
+            index: self.name.clone(),
+            op: op.to_string(),
+            throughput: if total > 0.0 { elements as f64 / total } else { 0.0 },
+            traffic: if elements > 0 { stats.dram_bytes as f64 / elements as f64 } else { 0.0 },
+            cpu_s: total,
+            pim_s: 0.0,
+            comm_s: 0.0,
+            total_s: total,
+            rounds: 0,
+            imbalance: 1.0,
+            elements,
+        }
+    }
+}
+
+/// Runs the full (index × op) cell with the right fetch/count dispatch.
+pub fn run_cell_pim(runner: &mut PimRunner, op: OpKind, q: &Queries) -> Measurement {
+    let mut m = match (op, q) {
+        (OpKind::BoxFetch(_), Queries::Boxes(b)) => runner.run_box_fetch(b),
+        _ => runner.run_op(q),
+    };
+    m.op = op.label();
+    m
+}
+
+/// Same for a CPU baseline.
+pub fn run_cell_cpu(runner: &mut CpuRunner, op: OpKind, q: &Queries) -> Measurement {
+    let mut m = match (op, q) {
+        (OpKind::BoxFetch(_), Queries::Boxes(b)) => runner.run_box_fetch(b),
+        _ => runner.run_op(q),
+    };
+    m.op = op.label();
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::Dataset;
+
+    #[test]
+    fn battery_has_ten_ops() {
+        assert_eq!(OpKind::fig5_battery().len(), 10);
+    }
+
+    #[test]
+    fn runners_produce_consistent_measurements() {
+        let (warm, test) = Dataset::Uniform.warmup_and_test(20_000, 1);
+        let cfg = PimZdConfig::throughput_optimized(20_000, 32);
+        let mut pim = PimRunner::new(&warm, cfg, MachineConfig::with_modules(32), "PIM-zd-tree");
+        let mut zd = CpuRunner::zd(&warm);
+
+        let op = OpKind::Knn(10);
+        let q = make_queries(op, &test, 20_000, 2_000, 9);
+        let a = run_cell_pim(&mut pim, op, &q);
+        let b = run_cell_cpu(&mut zd, op, &q);
+        assert_eq!(a.elements, b.elements, "same queries, same output size");
+        assert!(a.throughput > 0.0 && b.throughput > 0.0);
+        assert!(a.traffic > 0.0 && b.traffic > 0.0);
+    }
+
+    #[test]
+    fn insert_measurement_uses_steady_state_prebatch() {
+        let (warm, test) = Dataset::Uniform.warmup_and_test(10_000, 2);
+        let cfg = PimZdConfig::throughput_optimized(10_000, 16);
+        let mut pim = PimRunner::new(&warm, cfg, MachineConfig::with_modules(16), "PIM-zd-tree");
+        let before = pim.index.len();
+        let q = make_queries(OpKind::Insert, &test, 10_000, 1_000, 3);
+        let m = run_cell_pim(&mut pim, OpKind::Insert, &q);
+        assert_eq!(m.elements, 1_000, "only the second half is measured");
+        assert_eq!(pim.index.len(), before + 2_000, "both halves are inserted");
+    }
+}

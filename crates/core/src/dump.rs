@@ -1,0 +1,166 @@
+//! Human-readable dumps of the distributed index — debugging and teaching
+//! aid. Renders the *logical* tree reassembled from L0 and every module's
+//! master fragments, annotating each node with its physical placement
+//! (layer, meta-node, module) and counter state.
+
+use crate::config::Layer;
+use crate::frag::{BKind, ChildRef, Fragment, MetaId};
+use crate::host::PimZdTree;
+use rustc_hash::FxHashMap;
+use std::fmt::Write as _;
+
+/// Limits for a dump so huge indexes stay printable.
+#[derive(Clone, Copy, Debug)]
+pub struct DumpOptions {
+    /// Maximum tree depth rendered (deeper subtrees are summarized).
+    pub max_depth: usize,
+    /// Maximum total lines emitted.
+    pub max_lines: usize,
+}
+
+impl Default for DumpOptions {
+    fn default() -> Self {
+        Self { max_depth: 6, max_lines: 200 }
+    }
+}
+
+impl<const D: usize> PimZdTree<D> {
+    /// Renders the logical tree with physical placement annotations.
+    pub fn dump(&self, opts: DumpOptions) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "PimZdTree: {} points, {} meta-nodes, {} modules, {:.1} KB",
+            self.n_points,
+            self.dir.len(),
+            self.sys.n_modules(),
+            self.space_bytes() as f64 / 1024.0
+        );
+        let Some(l0) = self.l0.as_ref() else {
+            let _ = writeln!(out, "(empty)");
+            return out;
+        };
+        let mut masters: FxHashMap<MetaId, &Fragment<D>> = FxHashMap::default();
+        for i in 0..self.sys.n_modules() {
+            for (id, f) in &self.sys.peek(i).masters {
+                masters.insert(*id, f);
+            }
+        }
+        let mut lines = 0usize;
+        self.dump_node(l0, l0.root, 0, &masters, &opts, &mut lines, &mut out);
+        if lines >= opts.max_lines {
+            let _ = writeln!(out, "… (truncated at {} lines)", opts.max_lines);
+        }
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dump_node(
+        &self,
+        frag: &Fragment<D>,
+        idx: u32,
+        depth: usize,
+        masters: &FxHashMap<MetaId, &Fragment<D>>,
+        opts: &DumpOptions,
+        lines: &mut usize,
+        out: &mut String,
+    ) {
+        if *lines >= opts.max_lines {
+            return;
+        }
+        let node = frag.node(idx);
+        let indent = "  ".repeat(depth);
+        let place = if frag.meta == 0 {
+            "L0/host".to_string()
+        } else {
+            let layer = self
+                .dir
+                .metas
+                .get(&frag.meta)
+                .map(|m| match m.layer {
+                    Layer::L0 => "L0",
+                    Layer::L1 => "L1",
+                    Layer::L2 => "L2",
+                })
+                .unwrap_or("?");
+            format!("{layer}/m{} meta{}", frag.master_module, frag.meta)
+        };
+        match &node.kind {
+            BKind::Leaf { points } => {
+                let _ = writeln!(
+                    out,
+                    "{indent}leaf[{}b] {} pts  ({place})",
+                    node.prefix.len,
+                    points.len()
+                );
+                *lines += 1;
+            }
+            BKind::LeafStub => {
+                let _ = writeln!(out, "{indent}stub[{}b]  ({place})", node.prefix.len);
+                *lines += 1;
+            }
+            BKind::Internal { left, right } => {
+                let _ = writeln!(
+                    out,
+                    "{indent}node[{}b] sc={}  ({place})",
+                    node.prefix.len, node.count
+                );
+                *lines += 1;
+                if depth + 1 > opts.max_depth {
+                    let _ = writeln!(out, "{indent}  … subtree elided (depth limit)");
+                    *lines += 1;
+                    return;
+                }
+                for child in [left, right] {
+                    match child {
+                        ChildRef::Local(c) => {
+                            self.dump_node(frag, *c, depth + 1, masters, opts, lines, out)
+                        }
+                        ChildRef::Remote(r) => {
+                            if let Some(cf) = masters.get(&r.meta) {
+                                self.dump_node(cf, cf.root, depth + 1, masters, opts, lines, out);
+                            } else {
+                                let _ = writeln!(
+                                    out,
+                                    "{}<dangling meta{} on m{}>",
+                                    "  ".repeat(depth + 1),
+                                    r.meta,
+                                    r.module
+                                );
+                                *lines += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PimZdConfig;
+    use pim_sim::MachineConfig;
+    use pim_workloads::uniform;
+
+    #[test]
+    fn dump_renders_placements_and_respects_limits() {
+        let pts = uniform::<3>(5_000, 1);
+        let cfg = PimZdConfig::skew_resistant(16);
+        let t = PimZdTree::build(&pts, cfg, MachineConfig::with_modules(16));
+        let s = t.dump(DumpOptions { max_depth: 4, max_lines: 60 });
+        assert!(s.contains("PimZdTree: 5000 points"));
+        assert!(s.contains("L0/host"), "root region must be host-resident:\n{s}");
+        assert!(s.contains("meta"), "fragments must be annotated");
+        assert!(s.lines().count() <= 63, "line budget respected");
+    }
+
+    #[test]
+    fn empty_dump() {
+        let cfg = PimZdConfig::throughput_optimized(16, 4);
+        let t = PimZdTree::<3>::new(cfg, MachineConfig::with_modules(4));
+        let s = t.dump(DumpOptions::default());
+        assert!(s.contains("(empty)"));
+    }
+}

@@ -1,0 +1,1860 @@
+//! Meta-node fragments: the unit of data placement (§3.2).
+//!
+//! A *fragment* is the physical form of a meta-node — a connected piece of
+//! the binary zd-tree stored contiguously on one PIM module (or, for L0, on
+//! the host). Edges leaving a fragment are [`RemoteRef`]s carrying the
+//! remote root's prefix and a lazy counter snapshot, so a module can route,
+//! detect compressed-edge splits, and prune kNN/box traversals *without*
+//! touching the remote fragment — only an actual crossing costs a round.
+//!
+//! All structural algorithms on fragments (canonical merge, delete with
+//! splice, branch-and-bound kNN, box traversal) live here, parameterized by
+//! a [`CostSink`] so the same code is charged as PIM-core cycles when run on
+//! a module and as host cycles + cache touches when a pulled fragment is
+//! searched on the CPU (push-pull, §3.3).
+
+use pim_geom::{Aabb, Metric, Point};
+use pim_sim::{PimCtx, Wire};
+use pim_zorder::prefix::Prefix;
+use pim_zorder::ZKey;
+
+/// Global identifier of a meta-node.
+pub type MetaId = u64;
+
+/// A point paired with its Morton key.
+pub type Keyed<const D: usize> = (ZKey<D>, Point<D>);
+
+/// Bytes of one binary-node record in PIM local memory / on the wire.
+pub const BNODE_BYTES: u64 = 40;
+/// Bytes of a remote reference.
+pub const REMOTE_REF_BYTES: u64 = 24;
+
+/// Where costs are charged: PIM core, host CPU, or nowhere (bulk build).
+pub trait CostSink {
+    /// `n` single-cycle word operations.
+    fn op(&mut self, n: u64);
+    /// A memory access of `bytes` at fragment-relative offset `off`.
+    fn mem(&mut self, off: u64, bytes: u64);
+    /// One distance evaluation in `d` dimensions under `metric`.
+    fn dist(&mut self, metric: Metric, d: usize);
+}
+
+impl CostSink for PimCtx {
+    fn op(&mut self, n: u64) {
+        PimCtx::op(self, n);
+    }
+    fn mem(&mut self, _off: u64, bytes: u64) {
+        PimCtx::mem(self, bytes);
+    }
+    fn dist(&mut self, metric: Metric, d: usize) {
+        // UPMEM cores: 32-cycle multiplies make ℓ2 expensive (§6).
+        PimCtx::op(self, metric.pim_cycles(d));
+        PimCtx::mem(self, (d * 4) as u64);
+    }
+}
+
+/// Charges a host CPU meter; memory goes through the LLC model at
+/// `base_addr + off` (pulled fragments land at fresh host addresses).
+pub struct HostSink<'a> {
+    /// The host meter.
+    pub meter: &'a mut pim_memsim::CpuMeter,
+    /// Base address of this fragment's host-side staging area.
+    pub base_addr: u64,
+}
+
+impl CostSink for HostSink<'_> {
+    fn op(&mut self, n: u64) {
+        self.meter.work(n);
+    }
+    fn mem(&mut self, off: u64, bytes: u64) {
+        self.meter.touch(self.base_addr + off, bytes, false);
+    }
+    fn dist(&mut self, _metric: Metric, d: usize) {
+        // Multiplication is cheap on the host.
+        self.meter.work(6 * d as u64);
+    }
+}
+
+/// Discards costs (bulk build, tests).
+pub struct NullSink;
+
+impl CostSink for NullSink {
+    fn op(&mut self, _n: u64) {}
+    fn mem(&mut self, _off: u64, _bytes: u64) {}
+    fn dist(&mut self, _metric: Metric, _d: usize) {}
+}
+
+/// A cross-fragment edge: everything a fragment knows about a child
+/// meta-node without touching it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RemoteRef<const D: usize> {
+    /// Target meta-node.
+    pub meta: MetaId,
+    /// Module holding the target's master.
+    pub module: u32,
+    /// Prefix covered by the target's root.
+    pub prefix: Prefix<D>,
+    /// Lazy counter snapshot of the target subtree (Lemma 3.1 band).
+    pub sc: u64,
+}
+
+impl<const D: usize> Wire for RemoteRef<D> {
+    fn wire_bytes(&self) -> u64 {
+        REMOTE_REF_BYTES
+    }
+}
+
+/// A child slot of an internal node.
+#[derive(Clone, Copy, Debug)]
+pub enum ChildRef<const D: usize> {
+    /// Child inside the same fragment.
+    Local(u32),
+    /// Child rooted in another fragment.
+    Remote(RemoteRef<D>),
+}
+
+/// Node payload.
+#[derive(Clone, Debug)]
+pub enum BKind<const D: usize> {
+    /// Binary internal node.
+    Internal {
+        /// 0-side child.
+        left: ChildRef<D>,
+        /// 1-side child.
+        right: ChildRef<D>,
+    },
+    /// Leaf with point payload (master copies only).
+    Leaf {
+        /// Points sorted by (key, coords).
+        points: Vec<Keyed<D>>,
+    },
+    /// Structure-only stand-in for a leaf in a *cached* copy: the payload
+    /// lives at the master (§3.1 shares tree structure, not data).
+    LeafStub,
+}
+
+/// One binary node of a fragment.
+#[derive(Clone, Debug)]
+pub struct BNode<const D: usize> {
+    /// Prefix this node covers (canonical: the LCP of its subtree's keys).
+    pub prefix: Prefix<D>,
+    /// Subtree size: exact for fully-local subtrees, lazy (snapshot-based)
+    /// where the subtree crosses into other fragments.
+    pub count: u64,
+    /// Payload.
+    pub kind: BKind<D>,
+}
+
+impl<const D: usize> BNode<D> {
+    /// Record + payload bytes of this node.
+    pub fn bytes(&self) -> u64 {
+        match &self.kind {
+            BKind::Leaf { points } => {
+                BNODE_BYTES + points.len() as u64 * (8 + Point::<D>::wire_bytes())
+            }
+            _ => BNODE_BYTES,
+        }
+    }
+}
+
+/// Result of routing one key through a fragment.
+#[derive(Clone, Copy, Debug)]
+pub enum SearchEnd<const D: usize> {
+    /// The key's leaf (which may or may not contain the key), local.
+    Leaf(u32),
+    /// The key's position is a stub leaf of a cached copy — continue at the
+    /// master.
+    Stub(u32),
+    /// The key diverges from the `side` child of local node `parent`: its
+    /// insertion point is a compressed-edge split inside this fragment.
+    Diverge {
+        /// Local parent node.
+        parent: u32,
+        /// Side whose child edge splits.
+        side: u8,
+    },
+    /// The key continues in a remote fragment.
+    Remote(RemoteRef<D>),
+}
+
+/// A meta-node's storage.
+#[derive(Clone, Debug)]
+pub struct Fragment<const D: usize> {
+    /// This fragment's meta id.
+    pub meta: MetaId,
+    /// Module holding the master copy (also stored in cached copies so a
+    /// search ending at a stub knows where to continue).
+    pub master_module: u32,
+    /// Node arena (free slots listed in `free`).
+    pub nodes: Vec<BNode<D>>,
+    /// Free arena slots.
+    pub free: Vec<u32>,
+    /// Root node index.
+    pub root: u32,
+    /// Leaf capacity.
+    pub leaf_cap: usize,
+    /// Dense-mode radix jump table over the first `bits` key bits below the
+    /// root ("practical chunking", §6): pattern → deepest safely-jumpable
+    /// node. Empty when the fragment is in sparse mode.
+    pub chunk_dir: ChunkDir,
+    /// Configured table width in bits (0 disables the feature).
+    pub dir_bits: u32,
+    /// Minimum live nodes before dense mode engages (the paper's B/4 rule).
+    pub dense_min: u32,
+}
+
+/// The dense-mode chunk directory of §6: an array of `2^bits` node slots
+/// indexed by the key bits following the fragment root's prefix. A slot
+/// holds the deepest node on that bit path whose own prefix ends within the
+/// indexed region — jumping there is always coverage-safe, and skips up to
+/// `bits` sequential node reads.
+#[derive(Clone, Debug, Default)]
+pub struct ChunkDir {
+    /// Number of key bits indexed (0 = sparse mode, no table).
+    pub bits: u32,
+    /// `2^bits` jump targets.
+    pub slots: Vec<u32>,
+}
+
+impl ChunkDir {
+    /// Bytes the table occupies in local memory (4 bytes per slot).
+    pub fn bytes(&self) -> u64 {
+        self.slots.len() as u64 * 4
+    }
+}
+
+impl<const D: usize> Fragment<D> {
+    /// Creates a fragment holding exactly one node.
+    pub fn singleton(meta: MetaId, master_module: u32, node: BNode<D>, leaf_cap: usize) -> Self {
+        Self {
+            meta,
+            master_module,
+            nodes: vec![node],
+            free: Vec::new(),
+            root: 0,
+            leaf_cap,
+            chunk_dir: ChunkDir::default(),
+            dir_bits: 0,
+            dense_min: 0,
+        }
+    }
+
+    /// Node accessor.
+    #[inline]
+    pub fn node(&self, idx: u32) -> &BNode<D> {
+        &self.nodes[idx as usize]
+    }
+
+    /// Root node accessor.
+    #[inline]
+    pub fn root_node(&self) -> &BNode<D> {
+        self.node(self.root)
+    }
+
+    /// Live node count.
+    pub fn live_nodes(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    /// Total resident/wire bytes (what a pull transfers).
+    pub fn bytes(&self) -> u64 {
+        // Free slots are not serialized.
+        let free: std::collections::HashSet<u32> = self.free.iter().copied().collect();
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !free.contains(&(*i as u32)))
+            .map(|(_, n)| n.bytes())
+            .sum()
+    }
+
+    /// Structure-only bytes (what installing a cache copy transfers).
+    pub fn structure_bytes(&self) -> u64 {
+        self.live_nodes() as u64 * BNODE_BYTES
+    }
+
+    fn alloc(&mut self, node: BNode<D>) -> u32 {
+        if let Some(i) = self.free.pop() {
+            self.nodes[i as usize] = node;
+            i
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    fn release(&mut self, idx: u32) {
+        self.free.push(idx);
+    }
+
+    /// The fragment-relative "address" of a node for cache modeling.
+    #[inline]
+    fn off(idx: u32) -> u64 {
+        idx as u64 * 64
+    }
+
+    /// Rebuilds the dense-mode chunk directory after a structural change.
+    /// Dense mode engages when the feature is configured (`dir_bits > 0`)
+    /// and the fragment holds at least `dense_min` nodes (the §6 B/4 rule);
+    /// otherwise the fragment stays sparse (plain pointer walk).
+    pub fn rebuild_chunk_dir(&mut self) {
+        let bits = self.dir_bits;
+        if bits == 0
+            || (self.live_nodes() as u32) < self.dense_min
+            || self.root_node().prefix.len + bits > ZKey::<D>::BITS
+        {
+            self.chunk_dir = ChunkDir::default();
+            return;
+        }
+        let limit = self.root_node().prefix.len + bits;
+        let mut slots = vec![self.root; 1usize << bits];
+        self.fill_dir(self.root, limit, bits, &mut slots);
+        self.chunk_dir = ChunkDir { bits, slots };
+    }
+
+    /// Fills directory slots: every node whose prefix ends within the
+    /// indexed region claims the pattern range its prefix pins down;
+    /// deeper nodes overwrite shallower ones on their subranges.
+    fn fill_dir(&self, idx: u32, limit: u32, bits: u32, slots: &mut [u32]) {
+        let n = self.node(idx);
+        debug_assert!(n.prefix.len <= limit);
+        let root_len = limit - bits;
+        let fixed_bits = n.prefix.len - root_len;
+        let fixed = if fixed_bits == 0 {
+            0
+        } else {
+            (n.prefix.key.0 >> (ZKey::<D>::BITS - n.prefix.len)) & ((1u64 << fixed_bits) - 1)
+        };
+        let span = 1usize << (bits - fixed_bits);
+        let lo = (fixed as usize) << (bits - fixed_bits);
+        for s in &mut slots[lo..lo + span] {
+            *s = idx;
+        }
+        if let BKind::Internal { left, right } = &n.kind {
+            for c in [left, right] {
+                if let ChildRef::Local(ci) = c {
+                    if self.node(*ci).prefix.len <= limit {
+                        self.fill_dir(*ci, limit, bits, slots);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Makes a structure-only copy for caching on other modules: leaves
+    /// become stubs, everything else is cloned.
+    pub fn structure_clone(&self) -> Fragment<D> {
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| BNode {
+                prefix: n.prefix,
+                count: n.count,
+                kind: match &n.kind {
+                    BKind::Leaf { .. } => BKind::LeafStub,
+                    other => other.clone(),
+                },
+            })
+            .collect();
+        Fragment {
+            meta: self.meta,
+            master_module: self.master_module,
+            nodes,
+            free: self.free.clone(),
+            root: self.root,
+            leaf_cap: self.leaf_cap,
+            chunk_dir: self.chunk_dir.clone(),
+            dir_bits: self.dir_bits,
+            dense_min: self.dense_min,
+        }
+    }
+
+    /// Routes `key` from the root to its local end. The caller guarantees
+    /// the root's prefix covers `key` (cross-fragment routing checks the
+    /// boundary prefix before forwarding).
+    pub fn search(&self, key: ZKey<D>, sink: &mut impl CostSink) -> SearchEnd<D> {
+        debug_assert!(self.root_node().prefix.covers(key), "mis-routed key");
+        let mut cur = self.root;
+        // Dense-mode fast path (§6): one table lookup replaces up to `bits`
+        // sequential node reads. The slot target's prefix consists only of
+        // bits the key shares, so jumping is coverage-safe.
+        if self.chunk_dir.bits > 0 {
+            let bits = self.chunk_dir.bits;
+            let root_len = self.root_node().prefix.len;
+            debug_assert!(root_len + bits <= ZKey::<D>::BITS);
+            let shift = ZKey::<D>::BITS - root_len - bits;
+            let pattern = ((key.0 >> shift) & ((1u64 << bits) - 1)) as usize;
+            sink.op(4);
+            sink.mem(Self::off(self.root) + 40, 4); // table slot read
+            cur = self.chunk_dir.slots[pattern];
+            debug_assert!(self.node(cur).prefix.covers(key));
+        }
+        loop {
+            sink.op(10);
+            sink.mem(Self::off(cur), BNODE_BYTES);
+            let node = self.node(cur);
+            match &node.kind {
+                BKind::Leaf { .. } => return SearchEnd::Leaf(cur),
+                BKind::LeafStub => return SearchEnd::Stub(cur),
+                BKind::Internal { left, right } => {
+                    let side = node.prefix.side_of(key);
+                    let child = if side == 0 { left } else { right };
+                    match child {
+                        ChildRef::Local(c) => {
+                            if self.node(*c).prefix.covers(key) {
+                                cur = *c;
+                            } else {
+                                return SearchEnd::Diverge { parent: cur, side };
+                            }
+                        }
+                        ChildRef::Remote(r) => {
+                            sink.op(4);
+                            if r.prefix.covers(key) {
+                                return SearchEnd::Remote(*r);
+                            } else {
+                                return SearchEnd::Diverge { parent: cur, side };
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Finds, along the root→`key` path, the lowest node (local or remote
+    /// ref) whose counter is at least `min_count` — the kNN anchor search of
+    /// Alg. 3 step 2. Returns the node's prefix and where its subtree lives.
+    pub fn lowest_on_path_with_count(
+        &self,
+        key: ZKey<D>,
+        min_count: u64,
+        sink: &mut impl CostSink,
+    ) -> Option<(Prefix<D>, AnchorLoc<D>)> {
+        let mut best: Option<(Prefix<D>, AnchorLoc<D>)> = None;
+        let mut cur = self.root;
+        loop {
+            sink.op(6);
+            let node = self.node(cur);
+            if !node.prefix.covers(key) {
+                break;
+            }
+            if node.count >= min_count {
+                best = Some((node.prefix, AnchorLoc::Local(cur)));
+            }
+            match &node.kind {
+                BKind::Internal { left, right } => {
+                    let side = node.prefix.side_of(key);
+                    let child = if side == 0 { left } else { right };
+                    match child {
+                        ChildRef::Local(c) => cur = *c,
+                        ChildRef::Remote(r) => {
+                            if r.prefix.covers(key) && r.sc >= min_count {
+                                best = Some((r.prefix, AnchorLoc::Remote(*r)));
+                            }
+                            break;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        best
+    }
+
+    // ------------------------------------------------------------------
+    // Canonical merge (insert)
+    // ------------------------------------------------------------------
+
+    /// Merges sorted `items` into the fragment. Items must be covered by the
+    /// root's prefix or diverge *below* it (cross-fragment routing sends
+    /// escaping keys to the parent). Returns the number of new nodes created
+    /// (the structural-change signal for cache refresh).
+    pub fn merge(&mut self, items: &[Keyed<D>], sink: &mut impl CostSink) -> usize {
+        if items.is_empty() {
+            return 0;
+        }
+        let before = self.live_nodes();
+        let root = self.root;
+        let new_root = match self.merge_child(ChildRef::Local(root), items, sink) {
+            ChildRef::Local(r) => r,
+            ChildRef::Remote(_) => unreachable!("merge never produces a remote root"),
+        };
+        self.root = new_root;
+        self.rebuild_chunk_dir();
+        self.live_nodes().saturating_sub(before)
+    }
+
+    fn child_prefix(&self, c: &ChildRef<D>) -> Prefix<D> {
+        match c {
+            ChildRef::Local(i) => self.node(*i).prefix,
+            ChildRef::Remote(r) => r.prefix,
+        }
+    }
+
+    fn child_count(&self, c: &ChildRef<D>) -> u64 {
+        match c {
+            ChildRef::Local(i) => self.node(*i).count,
+            ChildRef::Remote(r) => r.sc,
+        }
+    }
+
+    fn merge_child(
+        &mut self,
+        child: ChildRef<D>,
+        items: &[Keyed<D>],
+        sink: &mut impl CostSink,
+    ) -> ChildRef<D> {
+        if items.is_empty() {
+            return child;
+        }
+        sink.op(12);
+        let cpre = self.child_prefix(&child);
+        let ccount = self.child_count(&child);
+        let total = ccount + items.len() as u64;
+
+        let first = items.first().unwrap().0;
+        let last = items.last().unwrap().0;
+        let b = first.common_prefix_len(cpre.key).min(last.common_prefix_len(cpre.key));
+
+        if b < cpre.len {
+            // Compressed-edge split above `child` (Alg. 2 step 2c).
+            let new_pre = Prefix::new(cpre.key, b);
+            let side = cpre.key.bit(b);
+            let split = items.partition_point(|(k, _)| k.bit(b) == 0);
+            let (zero, one) = items.split_at(split);
+            let (same, other) = if side == 0 { (zero, one) } else { (one, zero) };
+            debug_assert!(!other.is_empty());
+            let merged_same = self.merge_child(child, same, sink);
+            let built_other = ChildRef::Local(self.build_local(other, sink));
+            let (l, r) =
+                if side == 0 { (merged_same, built_other) } else { (built_other, merged_same) };
+            let idx = self.alloc(BNode {
+                prefix: new_pre,
+                count: total,
+                kind: BKind::Internal { left: l, right: r },
+            });
+            sink.op(10);
+            sink.mem(Self::off(idx), BNODE_BYTES);
+            return ChildRef::Local(idx);
+        }
+
+        // Covered by the child's prefix.
+        match child {
+            ChildRef::Remote(_) => {
+                unreachable!("items covered by a remote child must be routed to its fragment")
+            }
+            ChildRef::Local(idx) => {
+                sink.mem(Self::off(idx), BNODE_BYTES);
+                match &self.node(idx).kind {
+                    BKind::LeafStub => {
+                        unreachable!("merge applies to master fragments only")
+                    }
+                    BKind::Leaf { points } => {
+                        let old = points.clone();
+                        sink.op(4 * total);
+                        sink.mem(Self::off(idx), old.len() as u64 * (8 + Point::<D>::wire_bytes()));
+                        let mut merged = Vec::with_capacity(total as usize);
+                        let (mut i, mut j) = (0, 0);
+                        while i < old.len() && j < items.len() {
+                            if (old[i].0, old[i].1.coords) <= (items[j].0, items[j].1.coords) {
+                                merged.push(old[i]);
+                                i += 1;
+                            } else {
+                                merged.push(items[j]);
+                                j += 1;
+                            }
+                        }
+                        merged.extend_from_slice(&old[i..]);
+                        merged.extend_from_slice(&items[j..]);
+                        if is_leaf_set(&merged, self.leaf_cap) {
+                            let pre = set_prefix(&merged);
+                            let n = &mut self.nodes[idx as usize];
+                            n.prefix = pre;
+                            n.count = merged.len() as u64;
+                            n.kind = BKind::Leaf { points: merged };
+                            ChildRef::Local(idx)
+                        } else {
+                            self.release(idx);
+                            ChildRef::Local(self.build_local(&merged, sink))
+                        }
+                    }
+                    BKind::Internal { left, right } => {
+                        let (left, right) = (*left, *right);
+                        let len = self.node(idx).prefix.len;
+                        let split = items.partition_point(|(k, _)| k.bit(len) == 0);
+                        let (li, ri) = items.split_at(split);
+                        let nl = self.merge_child(left, li, sink);
+                        let nr = self.merge_child(right, ri, sink);
+                        let n = &mut self.nodes[idx as usize];
+                        n.count = total;
+                        n.kind = BKind::Internal { left: nl, right: nr };
+                        ChildRef::Local(idx)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Builds a canonical local subtree over sorted items.
+    fn build_local(&mut self, items: &[Keyed<D>], sink: &mut impl CostSink) -> u32 {
+        debug_assert!(!items.is_empty());
+        sink.op(8 + items.len() as u64);
+        if is_leaf_set(items, self.leaf_cap) {
+            let idx = self.alloc(BNode {
+                prefix: set_prefix(items),
+                count: items.len() as u64,
+                kind: BKind::Leaf { points: items.to_vec() },
+            });
+            sink.mem(Self::off(idx), BNODE_BYTES + items.len() as u64 * 12);
+            return idx;
+        }
+        let pre = set_prefix(items);
+        let split = items.partition_point(|(k, _)| k.bit(pre.len) == 0);
+        let l = self.build_local(&items[..split], sink);
+        let r = self.build_local(&items[split..], sink);
+        let idx = self.alloc(BNode {
+            prefix: pre,
+            count: items.len() as u64,
+            kind: BKind::Internal { left: ChildRef::Local(l), right: ChildRef::Local(r) },
+        });
+        sink.mem(Self::off(idx), BNODE_BYTES);
+        idx
+    }
+
+    // ------------------------------------------------------------------
+    // Delete
+    // ------------------------------------------------------------------
+
+    /// Removes sorted `items`; increments `removed` per removed instance.
+    /// Returns what the fragment root became.
+    pub fn remove(
+        &mut self,
+        items: &[Keyed<D>],
+        removed: &mut usize,
+        sink: &mut impl CostSink,
+    ) -> RootAfterRemove<D> {
+        if items.is_empty() {
+            return RootAfterRemove::Kept;
+        }
+        let root = self.root;
+        match self.remove_child(ChildRef::Local(root), items, removed, sink) {
+            None => RootAfterRemove::Empty,
+            Some(ChildRef::Local(r)) => {
+                self.root = r;
+                self.rebuild_chunk_dir();
+                RootAfterRemove::Kept
+            }
+            Some(ChildRef::Remote(r)) => RootAfterRemove::CollapsedToRemote(r),
+        }
+    }
+
+    fn remove_child(
+        &mut self,
+        child: ChildRef<D>,
+        items: &[Keyed<D>],
+        removed: &mut usize,
+        sink: &mut impl CostSink,
+    ) -> Option<ChildRef<D>> {
+        let idx = match child {
+            ChildRef::Remote(_) => return Some(child), // handled by its own fragment
+            ChildRef::Local(i) => i,
+        };
+        // Restrict to keys this subtree can contain.
+        let (lo, hi) = self.node(idx).prefix.key_range();
+        let start = items.partition_point(|(k, _)| k.0 < lo);
+        let end = items.partition_point(|(k, _)| k.0 <= hi);
+        let items = &items[start..end];
+        if items.is_empty() {
+            return Some(child);
+        }
+        sink.op(12);
+        sink.mem(Self::off(idx), BNODE_BYTES);
+        match &self.node(idx).kind {
+            BKind::LeafStub => unreachable!("delete applies to master fragments only"),
+            BKind::Leaf { points } => {
+                let old = points.clone();
+                sink.op(4 * (old.len() + items.len()) as u64);
+                let mut kept: Vec<Keyed<D>> = Vec::with_capacity(old.len());
+                let mut consumed = vec![false; items.len()];
+                for entry in &old {
+                    let mut matched = false;
+                    for (j, it) in items.iter().enumerate() {
+                        if !consumed[j] && it.0 == entry.0 && it.1 == entry.1 {
+                            consumed[j] = true;
+                            matched = true;
+                            break;
+                        }
+                    }
+                    if matched {
+                        *removed += 1;
+                    } else {
+                        kept.push(*entry);
+                    }
+                }
+                if kept.is_empty() {
+                    self.release(idx);
+                    None
+                } else {
+                    let pre = set_prefix(&kept);
+                    let n = &mut self.nodes[idx as usize];
+                    n.prefix = pre;
+                    n.count = kept.len() as u64;
+                    n.kind = BKind::Leaf { points: kept };
+                    Some(ChildRef::Local(idx))
+                }
+            }
+            BKind::Internal { left, right } => {
+                let (left, right) = (*left, *right);
+                let len = self.node(idx).prefix.len;
+                let split = items.partition_point(|(k, _)| k.bit(len) == 0);
+                let (li, ri) = items.split_at(split);
+                let nl = self.remove_child(left, li, removed, sink);
+                let nr = self.remove_child(right, ri, removed, sink);
+                match (nl, nr) {
+                    (None, None) => {
+                        self.release(idx);
+                        None
+                    }
+                    (Some(c), None) | (None, Some(c)) => {
+                        self.release(idx);
+                        Some(c)
+                    }
+                    (Some(l), Some(r)) => {
+                        let count = self.child_count(&l) + self.child_count(&r);
+                        // Collapse small fully-local subtrees back into a leaf.
+                        if count <= self.leaf_cap as u64 {
+                            if let (Some(mut a), Some(b)) =
+                                (self.try_collect_local(&l), self.try_collect_local(&r))
+                            {
+                                a.extend(b);
+                                a.sort_unstable_by_key(|(k, p)| (*k, p.coords));
+                                self.release_child(&l);
+                                self.release_child(&r);
+                                let pre = set_prefix(&a);
+                                let n = &mut self.nodes[idx as usize];
+                                n.prefix = pre;
+                                n.count = a.len() as u64;
+                                n.kind = BKind::Leaf { points: a };
+                                return Some(ChildRef::Local(idx));
+                            }
+                        }
+                        let n = &mut self.nodes[idx as usize];
+                        n.count = count;
+                        n.kind = BKind::Internal { left: l, right: r };
+                        Some(ChildRef::Local(idx))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collects a child's points if the subtree is entirely local (no
+    /// remote refs, no stubs); otherwise `None`.
+    fn try_collect_local(&self, c: &ChildRef<D>) -> Option<Vec<Keyed<D>>> {
+        match c {
+            ChildRef::Remote(_) => None,
+            ChildRef::Local(i) => match &self.node(*i).kind {
+                BKind::LeafStub => None,
+                BKind::Leaf { points } => Some(points.clone()),
+                BKind::Internal { left, right } => {
+                    let (left, right) = (*left, *right);
+                    let mut a = self.try_collect_local(&left)?;
+                    let b = self.try_collect_local(&right)?;
+                    a.extend(b);
+                    Some(a)
+                }
+            },
+        }
+    }
+
+    fn release_child(&mut self, c: &ChildRef<D>) {
+        if let ChildRef::Local(i) = c {
+            if let BKind::Internal { left, right } = self.node(*i).kind {
+                self.release_child(&left);
+                self.release_child(&right);
+            }
+            self.release(*i);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // kNN and box traversal
+    // ------------------------------------------------------------------
+
+    /// Branch-and-bound within the fragment from `start`. Improves the
+    /// candidate list `cands` (kept as the k best `(dist, point)` pairs,
+    /// sorted) and appends remote children that might still matter to
+    /// `frontier` with their box lower bounds.
+    #[allow(clippy::too_many_arguments)]
+    pub fn local_knn(
+        &self,
+        start: u32,
+        q: &Point<D>,
+        k: usize,
+        metric: Metric,
+        cands: &mut Vec<(u64, Point<D>)>,
+        frontier: &mut Vec<(RemoteRef<D>, u64)>,
+        sink: &mut impl CostSink,
+    ) {
+        sink.op(10);
+        sink.mem(Self::off(start), BNODE_BYTES);
+        let node = self.node(start);
+        match &node.kind {
+            BKind::LeafStub => {
+                // Candidate data lives at the master: surface it as frontier.
+                let d = node.prefix.to_box().min_dist(q, metric);
+                frontier.push((
+                    RemoteRef {
+                        meta: self.meta,
+                        module: self.master_module,
+                        prefix: node.prefix,
+                        sc: node.count,
+                    },
+                    d,
+                ));
+            }
+            BKind::Leaf { points } => {
+                sink.mem(Self::off(start), points.len() as u64 * 12);
+                for (_, p) in points {
+                    sink.dist(metric, D);
+                    let dist = metric.cmp_dist(q, p);
+                    push_candidate(cands, k, (dist, *p), sink);
+                }
+            }
+            BKind::Internal { left, right } => {
+                sink.op(8 * D as u64);
+                let lp = self.child_prefix(left);
+                let rp = self.child_prefix(right);
+                let ld = lp.to_box().min_dist(q, metric);
+                let rd = rp.to_box().min_dist(q, metric);
+                let order = if ld <= rd {
+                    [(ld, left), (rd, right)]
+                } else {
+                    [(rd, right), (ld, left)]
+                };
+                for (d, child) in order {
+                    let bound = knn_bound(cands, k);
+                    if d > bound {
+                        continue;
+                    }
+                    match child {
+                        ChildRef::Local(c) => {
+                            self.local_knn(*c, q, k, metric, cands, frontier, sink)
+                        }
+                        ChildRef::Remote(r) => frontier.push((*r, d)),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collects *all* points within comparable distance `radius` of `q`
+    /// below `start` (Alg. 3 step 4's sphere collection); remote children
+    /// whose boxes intersect the ball go to `frontier`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn local_ball(
+        &self,
+        start: u32,
+        q: &Point<D>,
+        radius: u64,
+        metric: Metric,
+        out: &mut Vec<(u64, Point<D>)>,
+        frontier: &mut Vec<(RemoteRef<D>, u64)>,
+        sink: &mut impl CostSink,
+    ) {
+        sink.op(10);
+        sink.mem(Self::off(start), BNODE_BYTES);
+        let node = self.node(start);
+        match &node.kind {
+            BKind::LeafStub => {
+                let d = node.prefix.to_box().min_dist(q, metric);
+                if d <= radius {
+                    frontier.push((
+                        RemoteRef {
+                            meta: self.meta,
+                            module: self.master_module,
+                            prefix: node.prefix,
+                            sc: node.count,
+                        },
+                        d,
+                    ));
+                }
+            }
+            BKind::Leaf { points } => {
+                sink.mem(Self::off(start), points.len() as u64 * 12);
+                for (_, p) in points {
+                    sink.dist(metric, D);
+                    let dist = metric.cmp_dist(q, p);
+                    if dist <= radius {
+                        sink.op(4);
+                        out.push((dist, *p));
+                    }
+                }
+            }
+            BKind::Internal { left, right } => {
+                sink.op(8 * D as u64);
+                for child in [left, right] {
+                    let pre = self.child_prefix(child);
+                    let d = pre.to_box().min_dist(q, metric);
+                    if d > radius {
+                        continue;
+                    }
+                    match child {
+                        ChildRef::Local(c) => {
+                            self.local_ball(*c, q, radius, metric, out, frontier, sink)
+                        }
+                        ChildRef::Remote(r) => frontier.push((*r, d)),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Counts points inside `query` below `start`. Fully-local subtrees
+    /// that are fully covered contribute their exact counts without
+    /// descent; remote children that intersect go to `frontier`.
+    pub fn local_box_count(
+        &self,
+        start: u32,
+        query: &Aabb<D>,
+        frontier: &mut Vec<RemoteRef<D>>,
+        sink: &mut impl CostSink,
+    ) -> u64 {
+        sink.op(8 * D as u64 + 6);
+        sink.mem(Self::off(start), BNODE_BYTES);
+        let node = self.node(start);
+        let nb = node.prefix.to_box();
+        if !query.intersects(&nb) {
+            return 0;
+        }
+        let fully = query.contains_box(&nb);
+        match &node.kind {
+            BKind::LeafStub => {
+                frontier.push(RemoteRef {
+                    meta: self.meta,
+                    module: self.master_module,
+                    prefix: node.prefix,
+                    sc: node.count,
+                });
+                0
+            }
+            BKind::Leaf { points } => {
+                if fully {
+                    return points.len() as u64;
+                }
+                sink.mem(Self::off(start), points.len() as u64 * 12);
+                sink.op(points.len() as u64 * 8 * D as u64);
+                points.iter().filter(|(_, p)| query.contains(p)).count() as u64
+            }
+            BKind::Internal { left, right } => {
+                if fully {
+                    // Exact only if the subtree is entirely local; otherwise
+                    // descend so remote parts report exactly.
+                    if let Some(c) = self.exact_local_count(start) {
+                        return c;
+                    }
+                }
+                let mut total = 0;
+                for child in [left, right] {
+                    match child {
+                        ChildRef::Local(c) => {
+                            total += self.local_box_count(*c, query, frontier, sink)
+                        }
+                        ChildRef::Remote(r) => {
+                            sink.op(8 * D as u64);
+                            if query.intersects(&r.prefix.to_box()) {
+                                frontier.push(*r);
+                            }
+                        }
+                    }
+                }
+                total
+            }
+        }
+    }
+
+    /// Exact point count below `start` if the subtree is fully local.
+    fn exact_local_count(&self, start: u32) -> Option<u64> {
+        match &self.node(start).kind {
+            BKind::Leaf { points } => Some(points.len() as u64),
+            BKind::LeafStub => None,
+            BKind::Internal { left, right } => {
+                let l = match left {
+                    ChildRef::Local(c) => self.exact_local_count(*c)?,
+                    ChildRef::Remote(_) => return None,
+                };
+                let r = match right {
+                    ChildRef::Local(c) => self.exact_local_count(*c)?,
+                    ChildRef::Remote(_) => return None,
+                };
+                Some(l + r)
+            }
+        }
+    }
+
+    /// Fetches points inside `query` below `start`; remote children that
+    /// intersect go to `frontier`.
+    pub fn local_box_fetch(
+        &self,
+        start: u32,
+        query: &Aabb<D>,
+        out: &mut Vec<Point<D>>,
+        frontier: &mut Vec<RemoteRef<D>>,
+        sink: &mut impl CostSink,
+    ) {
+        sink.op(8 * D as u64 + 6);
+        sink.mem(Self::off(start), BNODE_BYTES);
+        let node = self.node(start);
+        let nb = node.prefix.to_box();
+        if !query.intersects(&nb) {
+            return;
+        }
+        match &node.kind {
+            BKind::LeafStub => frontier.push(RemoteRef {
+                meta: self.meta,
+                module: self.master_module,
+                prefix: node.prefix,
+                sc: node.count,
+            }),
+            BKind::Leaf { points } => {
+                sink.mem(Self::off(start), points.len() as u64 * 12);
+                let fully = query.contains_box(&nb);
+                for (_, p) in points {
+                    if fully || {
+                        sink.op(8 * D as u64);
+                        query.contains(p)
+                    } {
+                        sink.op(4);
+                        out.push(*p);
+                    }
+                }
+            }
+            BKind::Internal { left, right } => {
+                for child in [left, right] {
+                    match child {
+                        ChildRef::Local(c) => {
+                            self.local_box_fetch(*c, query, out, frontier, sink)
+                        }
+                        ChildRef::Remote(r) => {
+                            sink.op(8 * D as u64);
+                            if query.intersects(&r.prefix.to_box()) {
+                                frontier.push(*r);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Splitting (promotion / re-chunking)
+    // ------------------------------------------------------------------
+
+    /// Detaches the root node, turning each of its local children into an
+    /// independent fragment. `new_ids` supplies (meta id, module) for local
+    /// children in child order (left first); remote children keep their
+    /// existing refs. Returns the detached root (its children rewritten as
+    /// remote refs) and the extracted child fragments.
+    pub fn split_root(
+        &mut self,
+        mut new_ids: impl Iterator<Item = (MetaId, u32)>,
+    ) -> (BNode<D>, Vec<Fragment<D>>) {
+        let root_idx = self.root;
+        let root = self.nodes[root_idx as usize].clone();
+        let (left, right) = match &root.kind {
+            BKind::Internal { left, right } => (*left, *right),
+            _ => {
+                // A one-leaf fragment: the root is the whole content.
+                let (id, module) = new_ids.next().expect("id for leaf fragment");
+                let frag = Fragment::singleton(id, module, root.clone(), self.leaf_cap);
+                return (root, vec![frag]);
+            }
+        };
+        let mut frags = Vec::new();
+        let mut refs = Vec::new();
+        for child in [left, right] {
+            match child {
+                ChildRef::Remote(r) => refs.push(ChildRef::Remote(r)),
+                ChildRef::Local(c) => {
+                    let (id, module) = new_ids.next().expect("id for child fragment");
+                    let frag = self.extract_subtree(c, id, module);
+                    refs.push(ChildRef::Remote(RemoteRef {
+                        meta: id,
+                        module,
+                        prefix: frag.root_node().prefix,
+                        sc: frag.root_node().count,
+                    }));
+                    frags.push(frag);
+                }
+            }
+        }
+        let detached = BNode {
+            prefix: root.prefix,
+            count: root.count,
+            kind: BKind::Internal { left: refs[0], right: refs[1] },
+        };
+        (detached, frags)
+    }
+
+    /// Extracts the subtree at `idx` into a fresh fragment, releasing the
+    /// source slots.
+    pub(crate) fn extract_subtree(&mut self, idx: u32, meta: MetaId, module: u32) -> Fragment<D> {
+        let mut out = Fragment {
+            meta,
+            master_module: module,
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: 0,
+            leaf_cap: self.leaf_cap,
+            chunk_dir: ChunkDir::default(),
+            dir_bits: self.dir_bits,
+            dense_min: self.dense_min,
+        };
+        let root = self.copy_into(idx, &mut out);
+        out.root = root;
+        out.rebuild_chunk_dir();
+        out
+    }
+
+    fn copy_into(&mut self, idx: u32, out: &mut Fragment<D>) -> u32 {
+        let node = self.nodes[idx as usize].clone();
+        self.release(idx);
+        let kind = match node.kind {
+            BKind::Internal { left, right } => {
+                let l = match left {
+                    ChildRef::Local(c) => ChildRef::Local(self.copy_into(c, out)),
+                    r => r,
+                };
+                let r = match right {
+                    ChildRef::Local(c) => ChildRef::Local(self.copy_into(c, out)),
+                    r => r,
+                };
+                BKind::Internal { left: l, right: r }
+            }
+            other => other,
+        };
+        out.alloc(BNode { prefix: node.prefix, count: node.count, kind })
+    }
+
+    /// All (key, point) pairs stored in *this* fragment (not descendants).
+    pub fn local_points(&self) -> Vec<Keyed<D>> {
+        let mut out = Vec::new();
+        self.collect_local(self.root, &mut out);
+        out
+    }
+
+    fn collect_local(&self, idx: u32, out: &mut Vec<Keyed<D>>) {
+        match &self.node(idx).kind {
+            BKind::Leaf { points } => out.extend_from_slice(points),
+            BKind::LeafStub => {}
+            BKind::Internal { left, right } => {
+                if let ChildRef::Local(c) = left {
+                    self.collect_local(*c, out);
+                }
+                if let ChildRef::Local(c) = right {
+                    self.collect_local(*c, out);
+                }
+            }
+        }
+    }
+
+    /// All remote references leaving this fragment.
+    pub fn remote_children(&self) -> Vec<RemoteRef<D>> {
+        let mut out = Vec::new();
+        self.walk_refs(self.root, &mut out);
+        out
+    }
+
+    fn walk_refs(&self, idx: u32, out: &mut Vec<RemoteRef<D>>) {
+        if let BKind::Internal { left, right } = &self.node(idx).kind {
+            for c in [left, right] {
+                match c {
+                    ChildRef::Local(i) => self.walk_refs(*i, out),
+                    ChildRef::Remote(r) => out.push(*r),
+                }
+            }
+        }
+    }
+
+    /// Updates the stored snapshot of a remote child (lazy counter sync) and
+    /// refreshes ancestor counts along the path from the root.
+    pub fn sync_remote_child(&mut self, meta: MetaId, new_sc: u64, new_prefix: Option<Prefix<D>>) {
+        self.sync_rec(self.root, meta, new_sc, new_prefix);
+    }
+
+    fn sync_rec(
+        &mut self,
+        idx: u32,
+        meta: MetaId,
+        new_sc: u64,
+        new_prefix: Option<Prefix<D>>,
+    ) -> Option<i64> {
+        let kind = match &self.nodes[idx as usize].kind {
+            BKind::Internal { left, right } => (*left, *right),
+            _ => return None,
+        };
+        let (left, right) = kind;
+        let mut delta: Option<i64> = None;
+        let mut new_left = left;
+        let mut new_right = right;
+        for (slot, new_slot) in [(left, &mut new_left), (right, &mut new_right)] {
+            match slot {
+                ChildRef::Remote(mut r) if r.meta == meta => {
+                    delta = Some(new_sc as i64 - r.sc as i64);
+                    r.sc = new_sc;
+                    if let Some(p) = new_prefix {
+                        r.prefix = p;
+                    }
+                    *new_slot = ChildRef::Remote(r);
+                }
+                ChildRef::Local(c)
+                    if delta.is_none() => {
+                        if let Some(d) = self.sync_rec(c, meta, new_sc, new_prefix) {
+                            delta = Some(d);
+                        }
+                    }
+                _ => {}
+            }
+        }
+        if let Some(d) = delta {
+            let n = &mut self.nodes[idx as usize];
+            n.kind = BKind::Internal { left: new_left, right: new_right };
+            n.count = (n.count as i64 + d).max(0) as u64;
+        }
+        delta
+    }
+
+    /// Replaces the remote child pointing at `meta` with `replacement`
+    /// (splice after a child fragment emptied or collapsed). When
+    /// `replacement` is `None` the child's parent node is spliced out of
+    /// this fragment; if the spliced parent was the root and its sibling is
+    /// itself remote, the whole fragment collapses to that remote ref — the
+    /// caller (host) must dissolve the fragment and repoint *its* parent.
+    pub fn replace_remote_child(
+        &mut self,
+        meta: MetaId,
+        replacement: Option<RemoteRef<D>>,
+    ) -> ReplaceOutcome<D> {
+        let root = self.root;
+        let out = match self.replace_rec(root, meta, replacement) {
+            ReplaceResult::NotFound => ReplaceOutcome::NotFound,
+            ReplaceResult::Done => ReplaceOutcome::Done,
+            ReplaceResult::ReplaceMe(c) => match c {
+                Some(ChildRef::Local(i)) => {
+                    self.root = i;
+                    ReplaceOutcome::Done
+                }
+                Some(ChildRef::Remote(r)) => ReplaceOutcome::RootCollapsed(r),
+                None => unreachable!("splice always keeps the sibling"),
+            },
+        };
+        if matches!(out, ReplaceOutcome::Done) {
+            self.rebuild_chunk_dir();
+        }
+        out
+    }
+
+    fn replace_rec(
+        &mut self,
+        idx: u32,
+        meta: MetaId,
+        replacement: Option<RemoteRef<D>>,
+    ) -> ReplaceResult<D> {
+        let (left, right) = match &self.nodes[idx as usize].kind {
+            BKind::Internal { left, right } => (*left, *right),
+            _ => return ReplaceResult::NotFound,
+        };
+        for (side, slot) in [(0u8, left), (1u8, right)] {
+            match slot {
+                ChildRef::Remote(r) if r.meta == meta => {
+                    match replacement {
+                        Some(new_r) => {
+                            let n = &mut self.nodes[idx as usize];
+                            let (l, r2) = if side == 0 {
+                                (ChildRef::Remote(new_r), right)
+                            } else {
+                                (left, ChildRef::Remote(new_r))
+                            };
+                            n.kind = BKind::Internal { left: l, right: r2 };
+                            return ReplaceResult::Done;
+                        }
+                        None => {
+                            // Child vanished: splice this node, keeping the
+                            // sibling.
+                            let sibling = if side == 0 { right } else { left };
+                            self.release(idx);
+                            return ReplaceResult::ReplaceMe(Some(sibling));
+                        }
+                    }
+                }
+                ChildRef::Local(c) => match self.replace_rec(c, meta, replacement) {
+                    ReplaceResult::NotFound => {}
+                    ReplaceResult::Done => return ReplaceResult::Done,
+                    ReplaceResult::ReplaceMe(Some(sib)) => {
+                        let n = &mut self.nodes[idx as usize];
+                        let (l, r2) =
+                            if side == 0 { (sib, right) } else { (left, sib) };
+                        n.kind = BKind::Internal { left: l, right: r2 };
+                        return ReplaceResult::Done;
+                    }
+                    ReplaceResult::ReplaceMe(None) => unreachable!(),
+                },
+                _ => {}
+            }
+        }
+        ReplaceResult::NotFound
+    }
+}
+
+impl<const D: usize> Fragment<D> {
+    /// Replaces the remote reference to `meta` with a freshly-allocated
+    /// local node (promotion into this fragment). Returns whether found.
+    pub fn replace_remote_with_node(&mut self, meta: MetaId, node: BNode<D>) -> bool {
+        let new_idx = self.alloc(node);
+        let mut stack = vec![self.root];
+        while let Some(idx) = stack.pop() {
+            let (left, right) = match &self.nodes[idx as usize].kind {
+                BKind::Internal { left, right } => (*left, *right),
+                _ => continue,
+            };
+            for (side, slot) in [(0u8, left), (1u8, right)] {
+                match slot {
+                    ChildRef::Remote(r) if r.meta == meta => {
+                        let n = &mut self.nodes[idx as usize];
+                        let (l, r2) = if side == 0 {
+                            (ChildRef::Local(new_idx), right)
+                        } else {
+                            (left, ChildRef::Local(new_idx))
+                        };
+                        n.kind = BKind::Internal { left: l, right: r2 };
+                        self.rebuild_chunk_dir();
+                        return true;
+                    }
+                    ChildRef::Local(c) => stack.push(c),
+                    _ => {}
+                }
+            }
+        }
+        // Not found: undo the allocation.
+        self.release(new_idx);
+        false
+    }
+
+    /// Builds a fresh fragment holding the canonical tree over sorted
+    /// `items`.
+    pub fn build_from(
+        meta: MetaId,
+        master_module: u32,
+        items: &[Keyed<D>],
+        leaf_cap: usize,
+        sink: &mut impl CostSink,
+    ) -> Fragment<D> {
+        debug_assert!(!items.is_empty());
+        let mut f = Fragment {
+            meta,
+            master_module,
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: 0,
+            leaf_cap,
+            chunk_dir: ChunkDir::default(),
+            dir_bits: 0,
+            dense_min: 0,
+        };
+        let root = f.build_local(items, sink);
+        f.root = root;
+        f
+    }
+}
+
+enum ReplaceResult<const D: usize> {
+    NotFound,
+    Done,
+    ReplaceMe(Option<ChildRef<D>>),
+}
+
+/// Outcome of [`Fragment::replace_remote_child`].
+#[derive(Clone, Copy, Debug)]
+pub enum ReplaceOutcome<const D: usize> {
+    /// No reference to the named meta exists here.
+    NotFound,
+    /// Replaced/spliced internally; fragment root unchanged or relinked.
+    Done,
+    /// The fragment collapsed to this remote ref (host must dissolve it).
+    RootCollapsed(RemoteRef<D>),
+}
+
+/// Outcome of a fragment-level delete.
+#[derive(Clone, Copy, Debug)]
+pub enum RootAfterRemove<const D: usize> {
+    /// Fragment still rooted locally.
+    Kept,
+    /// Fragment is now empty; the parent must splice its reference.
+    Empty,
+    /// Fragment collapsed to a single remote reference; the parent should
+    /// point directly at it.
+    CollapsedToRemote(RemoteRef<D>),
+}
+
+/// Anchor location for kNN (Alg. 3 step 2).
+#[derive(Clone, Copy, Debug)]
+pub enum AnchorLoc<const D: usize> {
+    /// A node in the current fragment.
+    Local(u32),
+    /// A remote subtree.
+    Remote(RemoteRef<D>),
+}
+
+/// Whether a sorted item set forms a single leaf.
+#[inline]
+pub fn is_leaf_set<const D: usize>(items: &[Keyed<D>], leaf_cap: usize) -> bool {
+    items.len() <= leaf_cap || items.first().unwrap().0 == items.last().unwrap().0
+}
+
+/// Canonical prefix of a sorted non-empty item set.
+#[inline]
+pub fn set_prefix<const D: usize>(items: &[Keyed<D>]) -> Prefix<D> {
+    let first = items.first().unwrap().0;
+    let last = items.last().unwrap().0;
+    Prefix::new(first, first.common_prefix_len(last))
+}
+
+/// Inserts a candidate into the k-best list (sorted ascending by
+/// (dist, coords)), keeping at most k.
+pub fn push_candidate<const D: usize>(
+    cands: &mut Vec<(u64, Point<D>)>,
+    k: usize,
+    cand: (u64, Point<D>),
+    sink: &mut impl CostSink,
+) {
+    sink.op(12);
+    let key = (cand.0, cand.1.coords);
+    let pos = cands.partition_point(|(d, p)| (*d, p.coords) < key);
+    if pos >= k {
+        return;
+    }
+    cands.insert(pos, cand);
+    cands.truncate(k);
+}
+
+/// Current kNN pruning bound (∞ until k candidates exist).
+#[inline]
+pub fn knn_bound<const D: usize>(cands: &[(u64, Point<D>)], k: usize) -> u64 {
+    if cands.len() < k {
+        u64::MAX
+    } else {
+        cands[k - 1].0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keyed(pts: &[[u32; 3]]) -> Vec<Keyed<3>> {
+        let mut v: Vec<Keyed<3>> = pts
+            .iter()
+            .map(|c| {
+                let p = Point::new(*c);
+                (ZKey::<3>::encode(&p), p)
+            })
+            .collect();
+        v.sort_unstable_by_key(|(k, p)| (*k, p.coords));
+        v
+    }
+
+    fn leaf_fragment(pts: &[[u32; 3]], cap: usize) -> Fragment<3> {
+        let items = keyed(pts);
+        Fragment::singleton(
+            1,
+            0,
+            BNode {
+                prefix: set_prefix(&items),
+                count: items.len() as u64,
+                kind: BKind::Leaf { points: items },
+            },
+            cap,
+        )
+    }
+
+    #[test]
+    fn search_descends_to_leaf() {
+        let mut f = leaf_fragment(&[[1, 1, 1]], 2);
+        f.merge(&keyed(&[[100, 100, 100], [200, 200, 200]]), &mut NullSink);
+        let k = ZKey::<3>::encode(&Point::new([1, 1, 1]));
+        match f.search(k, &mut NullSink) {
+            SearchEnd::Leaf(idx) => {
+                assert!(f.node(idx).prefix.covers(k));
+            }
+            other => panic!("expected leaf, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_splits_overflowing_leaf() {
+        let mut f = leaf_fragment(&[[0, 0, 0], [1, 1, 1]], 2);
+        let created = f.merge(&keyed(&[[5, 5, 5], [9, 9, 9], [100, 3, 7]]), &mut NullSink);
+        assert!(created > 0);
+        assert_eq!(f.root_node().count, 5);
+        // All five points findable.
+        for c in [[0u32, 0, 0], [1, 1, 1], [5, 5, 5], [9, 9, 9], [100, 3, 7]] {
+            let key = ZKey::<3>::encode(&Point::new(c));
+            match f.search(key, &mut NullSink) {
+                SearchEnd::Leaf(idx) => {
+                    let BKind::Leaf { points } = &f.node(idx).kind else { panic!() };
+                    assert!(points.iter().any(|(k, _)| *k == key), "{c:?} lost");
+                }
+                other => panic!("{c:?} → {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn merge_handles_edge_split_above_remote_child() {
+        // Internal root with one remote child; an item diverging from the
+        // remote child's prefix must split locally.
+        let items = keyed(&[[0, 0, 0], [0, 0, 1]]);
+        let leaf_pre = set_prefix(&items);
+        let remote_pre = {
+            // A deep prefix on the 1-side of the root split.
+            let k = ZKey::<3>::encode(&Point::new([2_000_000, 2_000_000, 2_000_000]));
+            Prefix::new(k, 30)
+        };
+        let root_pre = Prefix::new(leaf_pre.key, leaf_pre.key.common_prefix_len(remote_pre.key));
+        let mut f = Fragment {
+            meta: 7,
+            master_module: 0,
+            nodes: vec![
+                BNode {
+                    prefix: root_pre,
+                    count: 12,
+                    kind: BKind::Internal {
+                        left: ChildRef::Local(1),
+                        right: ChildRef::Remote(RemoteRef {
+                            meta: 99,
+                            module: 3,
+                            prefix: remote_pre,
+                            sc: 10,
+                        }),
+                    },
+                },
+                BNode { prefix: leaf_pre, count: 2, kind: BKind::Leaf { points: items } },
+            ],
+            free: vec![],
+            root: 0,
+            leaf_cap: 4,
+            chunk_dir: Default::default(),
+            dir_bits: 0,
+            dense_min: 0,
+        };
+        // This point goes to the 1-side of the root but diverges from the
+        // remote prefix (its bit pattern differs within the first 30 bits).
+        let stray = Point::new([2_000_000, 1, 1]);
+        let stray_key = ZKey::<3>::encode(&stray);
+        assert!(root_pre.covers(stray_key));
+        assert!(!remote_pre.covers(stray_key));
+        match f.search(stray_key, &mut NullSink) {
+            SearchEnd::Diverge { .. } => {}
+            other => panic!("expected divergence, got {other:?}"),
+        }
+        f.merge(&keyed(&[[2_000_000, 1, 1]]), &mut NullSink);
+        // Now the stray must be findable, and the remote ref preserved.
+        match f.search(stray_key, &mut NullSink) {
+            SearchEnd::Leaf(_) => {}
+            other => panic!("after merge: {other:?}"),
+        }
+        assert_eq!(f.remote_children().len(), 1);
+        assert_eq!(f.remote_children()[0].meta, 99);
+    }
+
+    #[test]
+    fn remove_collapses_and_empties() {
+        let pts = [[0u32, 0, 0], [1, 1, 1], [5, 5, 5], [9, 9, 9], [100, 3, 7]];
+        let mut f = leaf_fragment(&pts[..2], 2);
+        f.merge(&keyed(&pts[2..]), &mut NullSink);
+        let mut removed = 0;
+        match f.remove(&keyed(&pts[..4]), &mut removed, &mut NullSink) {
+            RootAfterRemove::Kept => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(removed, 4);
+        assert_eq!(f.root_node().count, 1);
+        let mut removed2 = 0;
+        match f.remove(&keyed(&pts[4..]), &mut removed2, &mut NullSink) {
+            RootAfterRemove::Empty => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn remove_around_remote_child_collapses_to_remote() {
+        // Root = internal(leaf, remote); deleting the leaf must collapse the
+        // fragment to the remote ref.
+        let items = keyed(&[[0, 0, 0]]);
+        let leaf_pre = set_prefix(&items);
+        let rk = ZKey::<3>::encode(&Point::new([2_000_000, 0, 0]));
+        let remote_pre = Prefix::new(rk, 20);
+        let root_pre = Prefix::new(leaf_pre.key, leaf_pre.key.common_prefix_len(rk));
+        let mut f = Fragment {
+            meta: 5,
+            master_module: 0,
+            nodes: vec![
+                BNode {
+                    prefix: root_pre,
+                    count: 11,
+                    kind: BKind::Internal {
+                        left: ChildRef::Local(1),
+                        right: ChildRef::Remote(RemoteRef {
+                            meta: 42,
+                            module: 1,
+                            prefix: remote_pre,
+                            sc: 10,
+                        }),
+                    },
+                },
+                BNode { prefix: leaf_pre, count: 1, kind: BKind::Leaf { points: items } },
+            ],
+            free: vec![],
+            root: 0,
+            leaf_cap: 4,
+            chunk_dir: Default::default(),
+            dir_bits: 0,
+            dense_min: 0,
+        };
+        let mut removed = 0;
+        match f.remove(&keyed(&[[0, 0, 0]]), &mut removed, &mut NullSink) {
+            RootAfterRemove::CollapsedToRemote(r) => assert_eq!(r.meta, 42),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(removed, 1);
+    }
+
+    #[test]
+    fn local_knn_finds_nearest_and_reports_frontier() {
+        let pts = [[0u32, 0, 0], [10, 10, 10], [1000, 1000, 1000], [1001, 1001, 1001]];
+        let mut f = leaf_fragment(&pts[..1], 2);
+        f.merge(&keyed(&pts[1..]), &mut NullSink);
+        let q = Point::new([9, 9, 9]);
+        let mut cands = Vec::new();
+        let mut frontier = Vec::new();
+        f.local_knn(f.root, &q, 2, Metric::L2, &mut cands, &mut frontier, &mut NullSink);
+        assert_eq!(cands.len(), 2);
+        assert_eq!(cands[0].1, Point::new([10, 10, 10]));
+        assert_eq!(cands[1].1, Point::new([0, 0, 0]));
+        assert!(frontier.is_empty());
+    }
+
+    #[test]
+    fn local_box_count_and_fetch_agree() {
+        let pts: Vec<[u32; 3]> = (0..40u32).map(|i| [i * 3, i * 5, i * 7]).collect();
+        let mut f = leaf_fragment(&pts[..1], 4);
+        f.merge(&keyed(&pts[1..]), &mut NullSink);
+        let query = Aabb::new(Point::new([0, 0, 0]), Point::new([60, 100, 140]));
+        let mut fr1 = Vec::new();
+        let mut fr2 = Vec::new();
+        let count = f.local_box_count(f.root, &query, &mut fr1, &mut NullSink);
+        let mut out = Vec::new();
+        f.local_box_fetch(f.root, &query, &mut out, &mut fr2, &mut NullSink);
+        assert_eq!(count, out.len() as u64);
+        let brute = pts.iter().filter(|c| query.contains(&Point::new(**c))).count() as u64;
+        assert_eq!(count, brute);
+    }
+
+    #[test]
+    fn split_root_partitions_fragment() {
+        let pts: Vec<[u32; 3]> = (0..32u32).map(|i| [i * 1000, i, i]).collect();
+        let mut f = leaf_fragment(&pts[..1], 4);
+        f.merge(&keyed(&pts[1..]), &mut NullSink);
+        let total = f.root_node().count;
+        let ids = vec![(100u64, 5u32), (101, 6)];
+        let (root, frags) = f.split_root(ids.into_iter());
+        assert_eq!(frags.len(), 2);
+        let BKind::Internal { left, right } = &root.kind else { panic!() };
+        for c in [left, right] {
+            match c {
+                ChildRef::Remote(r) => assert!(r.meta == 100 || r.meta == 101),
+                _ => panic!("children must be remote after split"),
+            }
+        }
+        let sum: u64 = frags.iter().map(|fr| fr.root_node().count).sum();
+        assert_eq!(sum, total);
+        // Points preserved across the split.
+        let n: usize = frags.iter().map(|fr| fr.local_points().len()).sum();
+        assert_eq!(n, 32);
+    }
+
+    #[test]
+    fn structure_clone_stubs_leaves() {
+        let mut f = leaf_fragment(&[[0, 0, 0], [5, 5, 5]], 2);
+        f.merge(&keyed(&[[9, 9, 9], [100, 50, 25]]), &mut NullSink);
+        let c = f.structure_clone();
+        assert_eq!(c.live_nodes(), f.live_nodes());
+        assert!(c.structure_bytes() < f.bytes() + 1);
+        let any_leaf = c.nodes.iter().any(|n| matches!(n.kind, BKind::Leaf { .. }));
+        assert!(!any_leaf, "cached copies must not carry point payloads");
+        // Searching the clone ends at stubs.
+        let k = ZKey::<3>::encode(&Point::new([0, 0, 0]));
+        match c.search(k, &mut NullSink) {
+            SearchEnd::Stub(_) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sync_remote_child_updates_sc_and_ancestors() {
+        let items = keyed(&[[0, 0, 0]]);
+        let leaf_pre = set_prefix(&items);
+        let rk = ZKey::<3>::encode(&Point::new([2_000_000, 0, 0]));
+        let remote_pre = Prefix::new(rk, 20);
+        let root_pre = Prefix::new(leaf_pre.key, leaf_pre.key.common_prefix_len(rk));
+        let mut f = Fragment {
+            meta: 5,
+            master_module: 0,
+            nodes: vec![
+                BNode {
+                    prefix: root_pre,
+                    count: 11,
+                    kind: BKind::Internal {
+                        left: ChildRef::Local(1),
+                        right: ChildRef::Remote(RemoteRef {
+                            meta: 42,
+                            module: 1,
+                            prefix: remote_pre,
+                            sc: 10,
+                        }),
+                    },
+                },
+                BNode { prefix: leaf_pre, count: 1, kind: BKind::Leaf { points: items } },
+            ],
+            free: vec![],
+            root: 0,
+            leaf_cap: 4,
+            chunk_dir: Default::default(),
+            dir_bits: 0,
+            dense_min: 0,
+        };
+        f.sync_remote_child(42, 25, None);
+        assert_eq!(f.root_node().count, 26);
+        assert_eq!(f.remote_children()[0].sc, 25);
+    }
+
+    #[test]
+    fn candidate_list_keeps_k_best_sorted() {
+        let mut cands: Vec<(u64, Point<2>)> = Vec::new();
+        for (d, c) in [(9u64, [9u32, 9]), (1, [1, 1]), (5, [5, 5]), (3, [3, 3])] {
+            push_candidate(&mut cands, 3, (d, Point::new(c)), &mut NullSink);
+        }
+        assert_eq!(cands.iter().map(|(d, _)| *d).collect::<Vec<_>>(), vec![1, 3, 5]);
+        assert_eq!(knn_bound(&cands, 3), 5);
+        assert_eq!(knn_bound(&cands, 4), u64::MAX);
+    }
+}
+
+#[cfg(test)]
+mod chunk_dir_tests {
+    use super::*;
+
+    fn keyed(pts: &[[u32; 3]]) -> Vec<Keyed<3>> {
+        let mut v: Vec<Keyed<3>> = pts
+            .iter()
+            .map(|c| {
+                let p = Point::new(*c);
+                (ZKey::<3>::encode(&p), p)
+            })
+            .collect();
+        v.sort_unstable_by_key(|(k, p)| (*k, p.coords));
+        v
+    }
+
+    fn dense_fragment() -> (Fragment<3>, Vec<[u32; 3]>) {
+        let pts: Vec<[u32; 3]> = (0..200u32).map(|i| [i * 9731, i * 331 + 5, i * 77]).collect();
+        let items = keyed(&pts);
+        let mut f = Fragment::singleton(
+            1,
+            0,
+            BNode {
+                prefix: set_prefix(&items[..1]),
+                count: 1,
+                kind: BKind::Leaf { points: items[..1].to_vec() },
+            },
+            4,
+        );
+        f.dir_bits = 4;
+        f.dense_min = 4;
+        f.merge(&items[1..], &mut NullSink);
+        (f, pts)
+    }
+
+    #[test]
+    fn dense_mode_engages_and_sparse_mode_does_not() {
+        let (f, _) = dense_fragment();
+        assert_eq!(f.chunk_dir.bits, 4, "200 points ≥ B/4 ⇒ dense mode");
+        assert_eq!(f.chunk_dir.slots.len(), 16);
+
+        let items = keyed(&[[1, 2, 3]]);
+        let mut small = Fragment::singleton(
+            2,
+            0,
+            BNode { prefix: set_prefix(&items), count: 1, kind: BKind::Leaf { points: items } },
+            4,
+        );
+        small.dir_bits = 4;
+        small.dense_min = 4;
+        small.rebuild_chunk_dir();
+        assert_eq!(small.chunk_dir.bits, 0, "tiny fragment stays sparse");
+    }
+
+    #[test]
+    fn dense_search_agrees_with_sparse_search() {
+        let (mut f, pts) = dense_fragment();
+        // Probe with every stored point plus strays.
+        let mut probes: Vec<[u32; 3]> = pts.clone();
+        probes.extend((0..100u32).map(|i| [i * 13331 + 7, i * 17, i * 991]));
+        let dense_ends: Vec<String> = probes
+            .iter()
+            .map(|c| format!("{:?}", f.search(ZKey::<3>::encode(&Point::new(*c)), &mut NullSink)))
+            .collect();
+        f.chunk_dir = ChunkDir::default(); // force sparse walk
+        let sparse_ends: Vec<String> = probes
+            .iter()
+            .map(|c| format!("{:?}", f.search(ZKey::<3>::encode(&Point::new(*c)), &mut NullSink)))
+            .collect();
+        assert_eq!(dense_ends, sparse_ends);
+    }
+
+    #[test]
+    fn dense_search_is_cheaper() {
+        let (mut f, pts) = dense_fragment();
+        let count_cycles = |f: &Fragment<3>, pts: &[[u32; 3]]| {
+            let mut ctx = pim_sim::PimCtx::new();
+            for c in pts {
+                let _ = f.search(ZKey::<3>::encode(&Point::new(*c)), &mut ctx);
+            }
+            ctx.cycles
+        };
+        let dense = count_cycles(&f, &pts);
+        f.chunk_dir = ChunkDir::default();
+        let sparse = count_cycles(&f, &pts);
+        assert!(dense < sparse, "jump table must save work: {dense} !< {sparse}");
+    }
+
+    #[test]
+    fn dir_rebuilds_after_mutations() {
+        let (mut f, _) = dense_fragment();
+        let before = f.chunk_dir.slots.clone();
+        f.merge(&keyed(&[[1_999_999, 3, 4], [1_888_888, 5, 6]]), &mut NullSink);
+        assert_eq!(f.chunk_dir.bits, 4, "still dense after merge");
+        // The new points must be findable through the (rebuilt) table.
+        for c in [[1_999_999u32, 3, 4], [1_888_888, 5, 6]] {
+            match f.search(ZKey::<3>::encode(&Point::new(c)), &mut NullSink) {
+                SearchEnd::Leaf(idx) => {
+                    let BKind::Leaf { points } = &f.node(idx).kind else { panic!() };
+                    assert!(points.iter().any(|(_, p)| p.coords == c));
+                }
+                other => panic!("{c:?} → {other:?}"),
+            }
+        }
+        let _ = before;
+    }
+}

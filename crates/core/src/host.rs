@@ -1,0 +1,264 @@
+//! The host-side index object and its shared round machinery.
+//!
+//! [`PimZdTree`] owns the L0 fragment (host-resident, §3.1), the meta-node
+//! directory, the simulated PIM machine, and the host cost meter. The
+//! operation orchestrators (`search`, `insert`, `knn`, `boxq`) live in their
+//! own modules; this file provides what they share: measurement scaffolding,
+//! management rounds, and the pull half of push-pull search.
+
+use crate::config::{Layer, PimZdConfig};
+use crate::frag::{Fragment, HostSink, MetaId};
+use crate::meta::Directory;
+use crate::module::{handle_mgmt, MgmtReply, MgmtTask, ModuleState};
+use crate::stats::OpStats;
+use pim_memsim::{CpuConfig, CpuMeter, CpuModel, CpuStats};
+use pim_sim::{MachineConfig, PimSystem};
+use rustc_hash::FxHashMap;
+
+/// Host virtual-address region of the L0 fragment.
+pub(crate) const L0_REGION: u64 = 1 << 44;
+/// Base of the staging region where pulled fragments land.
+pub(crate) const STAGING_REGION: u64 = 1 << 45;
+/// Base of the per-query batch-state region (search traces, grouping
+/// buffers). Batches larger than the LLC start missing here — the Fig. 7
+/// effect ("excessively large batches, combined with auxiliary structures,
+/// may exceed the capacity of the L3 cache").
+pub(crate) const QUERY_STATE_REGION: u64 = 1 << 46;
+/// Bytes of host-side state per query (trace hop + grouping slot).
+pub(crate) const QUERY_STATE_BYTES: u64 = 24;
+
+/// The PIM-zd-tree index.
+pub struct PimZdTree<const D: usize> {
+    /// Structure configuration.
+    pub cfg: PimZdConfig,
+    pub(crate) sys: PimSystem<ModuleState<D>>,
+    /// L0: the globally-shared top of the tree (`None` when empty).
+    pub(crate) l0: Option<Fragment<D>>,
+    pub(crate) dir: Directory<D>,
+    pub(crate) meter: CpuMeter,
+    pub(crate) cpu_model: CpuModel,
+    pub(crate) n_points: usize,
+    pub(crate) last_stats: OpStats,
+    pub(crate) staging_next: u64,
+    /// Set once L0 outgrows the LLC: its structure counts as replicated on
+    /// every module (space + broadcast-on-update accounting, §3.1).
+    pub(crate) l0_replicated: bool,
+}
+
+impl<const D: usize> PimZdTree<D> {
+    /// Creates an empty index over a fresh simulated machine with the
+    /// default host CPU model.
+    pub fn new(cfg: PimZdConfig, machine: MachineConfig) -> Self {
+        Self::new_with_cpu(cfg, machine, CpuConfig::xeon())
+    }
+
+    /// Creates an empty index with an explicit host CPU model (benches use
+    /// this to scale the LLC with the dataset, keeping the paper's
+    /// cache-to-data ratio at reduced scales).
+    pub fn new_with_cpu(cfg: PimZdConfig, machine: MachineConfig, cpu_cfg: CpuConfig) -> Self {
+        Self {
+            cfg,
+            sys: PimSystem::new(machine, |_| ModuleState::default()),
+            l0: None,
+            dir: Directory::new(),
+            meter: CpuMeter::new(cpu_cfg),
+            cpu_model: CpuModel::new(cpu_cfg),
+            n_points: 0,
+            last_stats: OpStats::default(),
+            staging_next: STAGING_REGION,
+            l0_replicated: false,
+        }
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.n_points
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n_points == 0
+    }
+
+    /// Number of PIM modules.
+    pub fn n_modules(&self) -> usize {
+        self.sys.n_modules()
+    }
+
+    /// Statistics of the most recent batched operation.
+    pub fn last_op_stats(&self) -> &OpStats {
+        &self.last_stats
+    }
+
+    /// Mutable access to the simulated machine's configuration (benches flip
+    /// the transfer-API knob for the Table 3 ablation).
+    pub fn machine_mut(&mut self) -> &mut pim_sim::MachineConfig {
+        self.sys.config_mut()
+    }
+
+    /// Total space consumption in bytes: host L0 (+ its replication on all
+    /// modules when it outgrew the cache) plus every module's masters and
+    /// caches (Theorem 5.1 / Table 2).
+    pub fn space_bytes(&self) -> u64 {
+        let l0 = self.l0.as_ref().map_or(0, Fragment::bytes);
+        let replicated =
+            if self.l0_replicated { l0 * self.sys.n_modules() as u64 } else { 0 };
+        let modules: u64 =
+            (0..self.sys.n_modules()).map(|i| self.sys.peek(i).resident_bytes()).sum();
+        l0 + replicated + modules
+    }
+
+    /// Number of live meta-nodes (directory size).
+    pub fn meta_count(&self) -> usize {
+        self.dir.len()
+    }
+
+    // -----------------------------------------------------------------
+    // Measurement scaffolding
+    // -----------------------------------------------------------------
+
+    /// Runs `f` as one measured batched operation: snapshots counters,
+    /// executes, and stores the per-op [`OpStats`] (retrievable via
+    /// [`Self::last_op_stats`]). `f` returns `(result, elements_returned)`.
+    pub(crate) fn measured<R>(
+        &mut self,
+        batch_ops: u64,
+        f: impl FnOnce(&mut Self) -> (R, u64),
+    ) -> R {
+        self.meter.start_measurement();
+        let sim_before = self.sys.stats().clone();
+        let (result, elements) = f(self);
+        let host: CpuStats = self.meter.stats();
+        let sim = self.sys.stats().since(&sim_before);
+        self.last_stats = OpStats::from_deltas(&self.cpu_model, host, sim, batch_ops, elements);
+        result
+    }
+
+    /// A cost sink charging the host meter at the L0 region.
+    pub(crate) fn l0_sink(meter: &mut CpuMeter) -> HostSink<'_> {
+        HostSink { meter, base_addr: L0_REGION }
+    }
+
+    /// Charges one access to query `qid`'s host-side batch state (trace
+    /// recording / grouping).
+    #[inline]
+    pub(crate) fn touch_query_state(&mut self, qid: usize, write: bool) {
+        self.meter.touch(
+            QUERY_STATE_REGION + qid as u64 * QUERY_STATE_BYTES,
+            QUERY_STATE_BYTES,
+            write,
+        );
+    }
+
+    /// Allocates a staging address range for a pulled fragment.
+    pub(crate) fn stage_addr(&mut self, bytes: u64) -> u64 {
+        let a = self.staging_next;
+        self.staging_next += bytes.max(64);
+        a
+    }
+
+    // -----------------------------------------------------------------
+    // Management rounds
+    // -----------------------------------------------------------------
+
+    /// Executes one management round with per-module task lists.
+    pub(crate) fn mgmt_round(
+        &mut self,
+        tasks: Vec<Vec<MgmtTask<D>>>,
+    ) -> Vec<Vec<MgmtReply<D>>> {
+        self.sys.execute_round(tasks, handle_mgmt)
+    }
+
+    /// Builds an empty per-module task matrix.
+    pub(crate) fn task_matrix<T>(&self) -> Vec<Vec<T>> {
+        (0..self.sys.n_modules()).map(|_| Vec::new()).collect()
+    }
+
+    /// Pulls the master fragments of `metas` to the host in one round,
+    /// returning them keyed by id. This is the "pull" of push-pull search:
+    /// only master storage is fetched (caches excluded, §3.3) and the bytes
+    /// are charged as PIM→CPU traffic.
+    pub(crate) fn pull_fragments(
+        &mut self,
+        metas: &[MetaId],
+    ) -> FxHashMap<MetaId, (Fragment<D>, u64)> {
+        if metas.is_empty() {
+            return FxHashMap::default();
+        }
+        let mut tasks = self.task_matrix::<MgmtTask<D>>();
+        for &m in metas {
+            let module = self.dir.get(m).module as usize;
+            tasks[module].push(MgmtTask::Pull(m));
+        }
+        let replies = self.mgmt_round(tasks);
+        let mut out = FxHashMap::default();
+        for per_module in replies {
+            for r in per_module {
+                if let MgmtReply::Pulled(f) = r {
+                    let addr = self.stage_addr(f.bytes());
+                    out.insert(f.meta, (f, addr));
+                }
+            }
+        }
+        out
+    }
+
+    /// Decides which meta-nodes to pull given per-meta demand (Alg. 1 step
+    /// 2): while the busiest module carries more than `imbalance_factor` ×
+    /// the average load, every meta whose demand exceeds its layer's K
+    /// threshold is pulled. Returns the chosen metas.
+    pub(crate) fn pull_candidates(&self, demand: &FxHashMap<MetaId, u64>) -> Vec<MetaId> {
+        if demand.is_empty() {
+            return Vec::new();
+        }
+        let mut per_module: FxHashMap<u32, u64> = FxHashMap::default();
+        let mut total = 0u64;
+        for (&meta, &n) in demand {
+            *per_module.entry(self.dir.get(meta).module).or_insert(0) += n;
+            total += n;
+        }
+        let busiest = per_module.values().copied().max().unwrap_or(0);
+        let avg = total as f64 / self.sys.n_modules() as f64;
+        if (busiest as f64) <= self.cfg.imbalance_factor * avg.max(1.0) {
+            return Vec::new();
+        }
+        let mut out: Vec<MetaId> = demand
+            .iter()
+            .filter(|(&meta, &n)| {
+                let k = match self.dir.get(meta).layer {
+                    Layer::L1 => self.cfg.k_pull_l1,
+                    _ => self.cfg.k_pull_l2,
+                };
+                n > k
+            })
+            .map(|(&m, _)| m)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Re-checks whether L0 still fits in the LLC; flips the replication
+    /// flag (and charges the replication broadcast) when it first overflows.
+    pub(crate) fn update_l0_replication(&mut self) {
+        let l0_bytes = self.l0.as_ref().map_or(0, Fragment::bytes);
+        let cache = self.meter.cache().config().capacity_bytes;
+        if !self.l0_replicated && l0_bytes > cache {
+            self.l0_replicated = true;
+            // Replicating L0 to every module is a broadcast of its bytes.
+            self.sys.broadcast(ReplBytes(l0_bytes), |_, _, ctx, b| {
+                ctx.mem(b.0);
+            });
+        }
+    }
+}
+
+/// Opaque broadcast payload carrying only a byte count (used to charge L0
+/// replication without materializing per-module copies the simulation never
+/// reads — the host copy is authoritative for correctness).
+pub(crate) struct ReplBytes(pub u64);
+
+impl pim_sim::Wire for ReplBytes {
+    fn wire_bytes(&self) -> u64 {
+        self.0
+    }
+}

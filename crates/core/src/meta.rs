@@ -1,0 +1,237 @@
+//! Host-side meta-node directory.
+//!
+//! The host tracks, for every meta-node: its master module, layer, position
+//! in the meta-tree (parent/children), lazy-counter bookkeeping, and which
+//! modules cache its structure. This is topology-only state (O(#meta-nodes)
+//! host DRAM — the host legitimately has DRAM in the PIM Model): it contains
+//! no key-routing information, so queries still traverse L0 and the PIM
+//! fragments to find their way. The directory is what lets the host batch
+//! lazy-counter syncs, cache refreshes, and promotions without broadcasting
+//! queries.
+
+use crate::config::Layer;
+use crate::frag::MetaId;
+use pim_zorder::prefix::Prefix;
+use rustc_hash::FxHashMap;
+
+/// Directory entry for one meta-node.
+#[derive(Clone, Debug)]
+pub struct MetaInfo<const D: usize> {
+    /// Meta id.
+    pub id: MetaId,
+    /// Master module.
+    pub module: u32,
+    /// Layer (L1 or L2; L0 is the host fragment, not a directory entry).
+    pub layer: Layer,
+    /// Parent meta (`None` = hangs off L0).
+    pub parent: Option<MetaId>,
+    /// Child metas.
+    pub children: Vec<MetaId>,
+    /// Root prefix (bookkeeping; refreshed on structural change).
+    pub prefix: Prefix<D>,
+    /// Counter snapshot last propagated to the parent and caches.
+    pub synced_sc: u64,
+    /// Host-tracked count change since the last sync (the host routes every
+    /// update, so it knows each fragment's delta exactly — propagation to
+    /// replicas is what lazy counters defer).
+    pub pending_delta: i64,
+    /// Modules holding structure caches of this fragment.
+    pub cached_on: Vec<u32>,
+    /// Live binary nodes (re-chunk trigger).
+    pub live_nodes: u64,
+    /// Structure changed since last cache refresh.
+    pub dirty: bool,
+}
+
+impl<const D: usize> MetaInfo<D> {
+    /// Current best host-side estimate of the fragment's true count.
+    pub fn estimated_count(&self) -> u64 {
+        (self.synced_sc as i64 + self.pending_delta).max(0) as u64
+    }
+}
+
+/// The directory of all meta-nodes.
+#[derive(Default)]
+pub struct Directory<const D: usize> {
+    /// Entries by id.
+    pub metas: FxHashMap<MetaId, MetaInfo<D>>,
+    next_id: MetaId,
+}
+
+impl<const D: usize> Directory<D> {
+    /// Creates an empty directory. Meta id 0 is reserved for L0.
+    pub fn new() -> Self {
+        Self { metas: FxHashMap::default(), next_id: 1 }
+    }
+
+    /// Allocates a fresh meta id.
+    pub fn next_id(&mut self) -> MetaId {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Inserts an entry.
+    pub fn insert(&mut self, info: MetaInfo<D>) {
+        if let Some(p) = info.parent {
+            if let Some(pe) = self.metas.get_mut(&p) {
+                if !pe.children.contains(&info.id) {
+                    pe.children.push(info.id);
+                }
+            }
+        }
+        self.metas.insert(info.id, info);
+    }
+
+    /// Entry accessor.
+    pub fn get(&self, id: MetaId) -> &MetaInfo<D> {
+        &self.metas[&id]
+    }
+
+    /// Mutable entry accessor.
+    pub fn get_mut(&mut self, id: MetaId) -> &mut MetaInfo<D> {
+        self.metas.get_mut(&id).expect("unknown meta id")
+    }
+
+    /// Removes an entry, detaching it from its parent's child list.
+    pub fn remove(&mut self, id: MetaId) -> Option<MetaInfo<D>> {
+        let info = self.metas.remove(&id)?;
+        if let Some(p) = info.parent {
+            if let Some(pe) = self.metas.get_mut(&p) {
+                pe.children.retain(|c| *c != id);
+            }
+        }
+        Some(info)
+    }
+
+    /// L1 ancestors of `id` (nearest first, excluding `id`).
+    pub fn l1_ancestors(&self, id: MetaId) -> Vec<MetaId> {
+        let mut out = Vec::new();
+        let mut cur = self.get(id).parent;
+        while let Some(p) = cur {
+            let e = self.get(p);
+            if e.layer == Layer::L1 {
+                out.push(p);
+            } else {
+                break;
+            }
+            cur = e.parent;
+        }
+        out
+    }
+
+    /// L1 descendants of `id` (BFS, excluding `id`), stopping at the L1/L2
+    /// border.
+    pub fn l1_descendants(&self, id: MetaId) -> Vec<MetaId> {
+        let mut out = Vec::new();
+        let mut queue: Vec<MetaId> = self.get(id).children.clone();
+        while let Some(c) = queue.pop() {
+            let e = self.get(c);
+            if e.layer == Layer::L1 {
+                out.push(c);
+                queue.extend_from_slice(&e.children);
+            }
+        }
+        out
+    }
+
+    /// Which modules should hold a structure cache of L1 meta `id`: the
+    /// master modules of its L1 ancestors and L1 descendants (§3.1 —
+    /// "a copy of all its ancestors and descendants in L1 will be attached
+    /// to the master storage"), excluding its own master.
+    pub fn cache_targets(&self, id: MetaId) -> Vec<u32> {
+        let own = self.get(id).module;
+        let mut mods: Vec<u32> = self
+            .l1_ancestors(id)
+            .into_iter()
+            .chain(self.l1_descendants(id))
+            .map(|m| self.get(m).module)
+            .filter(|m| *m != own)
+            .collect();
+        mods.sort_unstable();
+        mods.dedup();
+        mods
+    }
+
+    /// Number of registered metas.
+    pub fn len(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.metas.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(id: MetaId, parent: Option<MetaId>, layer: Layer, module: u32) -> MetaInfo<3> {
+        MetaInfo {
+            id,
+            module,
+            layer,
+            parent,
+            children: Vec::new(),
+            prefix: Prefix::root(),
+            synced_sc: 0,
+            pending_delta: 0,
+            cached_on: Vec::new(),
+            live_nodes: 1,
+            dirty: false,
+        }
+    }
+
+    #[test]
+    fn parent_child_links_maintained() {
+        let mut d = Directory::<3>::new();
+        d.insert(info(1, None, Layer::L1, 0));
+        d.insert(info(2, Some(1), Layer::L1, 1));
+        d.insert(info(3, Some(1), Layer::L2, 2));
+        assert_eq!(d.get(1).children, vec![2, 3]);
+        d.remove(2);
+        assert_eq!(d.get(1).children, vec![3]);
+    }
+
+    #[test]
+    fn l1_ancestors_stop_at_l0() {
+        let mut d = Directory::<3>::new();
+        d.insert(info(1, None, Layer::L1, 0));
+        d.insert(info(2, Some(1), Layer::L1, 1));
+        d.insert(info(3, Some(2), Layer::L1, 2));
+        assert_eq!(d.l1_ancestors(3), vec![2, 1]);
+        assert!(d.l1_ancestors(1).is_empty());
+    }
+
+    #[test]
+    fn l1_descendants_stop_at_l2() {
+        let mut d = Directory::<3>::new();
+        d.insert(info(1, None, Layer::L1, 0));
+        d.insert(info(2, Some(1), Layer::L1, 1));
+        d.insert(info(3, Some(2), Layer::L2, 2));
+        d.insert(info(4, Some(3), Layer::L2, 3));
+        let desc = d.l1_descendants(1);
+        assert_eq!(desc, vec![2]);
+    }
+
+    #[test]
+    fn cache_targets_are_l1_neighborhood_modules() {
+        let mut d = Directory::<3>::new();
+        d.insert(info(1, None, Layer::L1, 10));
+        d.insert(info(2, Some(1), Layer::L1, 11));
+        d.insert(info(3, Some(2), Layer::L1, 12));
+        d.insert(info(4, Some(2), Layer::L2, 13));
+        let t = d.cache_targets(2);
+        assert_eq!(t, vec![10, 12]);
+    }
+
+    #[test]
+    fn estimated_count_tracks_pending() {
+        let mut e = info(1, None, Layer::L1, 0);
+        e.synced_sc = 100;
+        e.pending_delta = -30;
+        assert_eq!(e.estimated_count(), 70);
+    }
+}

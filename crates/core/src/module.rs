@@ -1,0 +1,1022 @@
+//! PIM-module state and round handlers.
+//!
+//! Each PIM module owns two keyed stores: `masters` (the meta-node fragments
+//! it is responsible for) and `caches` (structure-only copies of other
+//! modules' L1 fragments, §3.1 "partially-shared"). The handlers here are
+//! the module-side halves of every batched operation; the host halves live
+//! in `search`/`insert`/`knn`/`boxq`.
+//!
+//! A handler may chase a traversal through any fragment *present on this
+//! module* — its own masters and its caches — without communication; only
+//! an edge whose target is absent locally surfaces as a `Forward`, costing
+//! the next BSP round. That locality rule is exactly what the paper's L1
+//! caching buys.
+
+use crate::frag::{
+    AnchorLoc, BNode, Fragment, Keyed, MetaId, RemoteRef, RootAfterRemove, SearchEnd,
+    BNODE_BYTES, REMOTE_REF_BYTES,
+};
+use pim_geom::{Aabb, Metric, Point};
+use pim_sim::{PimCtx, Wire};
+use pim_zorder::prefix::Prefix;
+use pim_zorder::ZKey;
+use rustc_hash::FxHashMap;
+
+/// Per-module storage.
+#[derive(Default)]
+pub struct ModuleState<const D: usize> {
+    /// Master fragments owned by this module.
+    pub masters: FxHashMap<MetaId, Fragment<D>>,
+    /// Structure-only cached copies of L1 fragments (ancestors/descendants
+    /// of this module's masters).
+    pub caches: FxHashMap<MetaId, Fragment<D>>,
+}
+
+impl<const D: usize> ModuleState<D> {
+    /// Local-memory bytes resident on this module (for Theorem 5.1 / Table 2
+    /// space accounting).
+    pub fn resident_bytes(&self) -> u64 {
+        let m: u64 = self.masters.values().map(Fragment::bytes).sum();
+        let c: u64 = self.caches.values().map(Fragment::structure_bytes).sum();
+        m + c
+    }
+
+    /// Locates a fragment present on this module (master first, then cache).
+    fn lookup(&self, meta: MetaId) -> Option<(&Fragment<D>, bool)> {
+        if let Some(f) = self.masters.get(&meta) {
+            Some((f, true))
+        } else {
+            self.caches.get(&meta).map(|f| (f, false))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Message types (all Wire so rounds charge channel bytes)
+// ---------------------------------------------------------------------
+
+/// One search query routed to a module.
+#[derive(Clone, Copy, Debug)]
+pub struct SearchTask<const D: usize> {
+    /// Query index within the batch.
+    pub qid: u32,
+    /// Morton key being searched.
+    pub key: ZKey<D>,
+    /// Fragment to start in.
+    pub meta: MetaId,
+    /// When nonzero, also report the lowest path node with counter ≥ this
+    /// (the kNN anchor of Alg. 3).
+    pub want_anchor: u64,
+}
+
+impl<const D: usize> Wire for SearchTask<D> {
+    fn wire_bytes(&self) -> u64 {
+        20 + if self.want_anchor > 0 { 8 } else { 0 }
+    }
+}
+
+/// Where a search's kNN anchor sits.
+#[derive(Clone, Copy, Debug)]
+pub struct AnchorInfo<const D: usize> {
+    /// Fragment holding the anchor subtree's root.
+    pub meta: MetaId,
+    /// That fragment's master module.
+    pub module: u32,
+    /// Node within the fragment (`u32::MAX` = the fragment root).
+    pub node: u32,
+    /// Anchor prefix (its subtree box).
+    pub prefix: Prefix<D>,
+    /// Counter snapshot.
+    pub sc: u64,
+}
+
+/// Module-side search outcome for one query.
+#[derive(Clone, Copy, Debug)]
+pub enum SearchVerdict<const D: usize> {
+    /// Reached the key's leaf in master fragment `meta`.
+    Done {
+        /// Owning fragment.
+        meta: MetaId,
+        /// Leaf node index.
+        leaf: u32,
+        /// Whether the exact key was present in the leaf.
+        found: bool,
+    },
+    /// The key's insertion point is a compressed-edge split in master
+    /// fragment `meta`.
+    Diverge {
+        /// Owning fragment.
+        meta: MetaId,
+    },
+    /// Continue at another module.
+    Forward {
+        /// Next hop.
+        to: RemoteRef<D>,
+    },
+}
+
+/// Search reply: verdict plus (optionally) the deepest anchor seen locally.
+#[derive(Clone, Copy, Debug)]
+pub struct SearchReply<const D: usize> {
+    /// Query index.
+    pub qid: u32,
+    /// Outcome.
+    pub verdict: SearchVerdict<D>,
+    /// Deepest path node with counter ≥ `want_anchor`, if requested/found.
+    pub anchor: Option<AnchorInfo<D>>,
+}
+
+impl<const D: usize> Wire for SearchReply<D> {
+    fn wire_bytes(&self) -> u64 {
+        16 + self.anchor.map_or(0, |_| 28)
+    }
+}
+
+/// Batched inserts targeted at one fragment.
+#[derive(Clone, Debug)]
+pub struct InsertTask<const D: usize> {
+    /// Target master fragment.
+    pub meta: MetaId,
+    /// Sorted (key, point) pairs.
+    pub items: Vec<Keyed<D>>,
+}
+
+impl<const D: usize> Wire for InsertTask<D> {
+    fn wire_bytes(&self) -> u64 {
+        12 + self.items.len() as u64 * (8 + Point::<D>::wire_bytes())
+    }
+}
+
+/// Insert outcome for one fragment.
+#[derive(Clone, Copy, Debug)]
+pub struct InsertReply {
+    /// Fragment.
+    pub meta: MetaId,
+    /// Points added.
+    pub added: u64,
+    /// New binary nodes created (structural-change signal for caching).
+    pub new_nodes: u64,
+    /// Fragment root count after the merge (exact local view).
+    pub root_count: u64,
+    /// Live binary nodes in the fragment (re-chunk trigger).
+    pub live_nodes: u64,
+}
+
+impl Wire for InsertReply {
+    fn wire_bytes(&self) -> u64 {
+        32
+    }
+}
+
+/// Batched deletes targeted at one fragment.
+#[derive(Clone, Debug)]
+pub struct DeleteTask<const D: usize> {
+    /// Target master fragment.
+    pub meta: MetaId,
+    /// Sorted (key, point) pairs to remove.
+    pub items: Vec<Keyed<D>>,
+}
+
+impl<const D: usize> Wire for DeleteTask<D> {
+    fn wire_bytes(&self) -> u64 {
+        12 + self.items.len() as u64 * (8 + Point::<D>::wire_bytes())
+    }
+}
+
+/// Delete outcome for one fragment.
+#[derive(Clone, Copy, Debug)]
+pub struct DeleteReply<const D: usize> {
+    /// Fragment.
+    pub meta: MetaId,
+    /// Instances removed.
+    pub removed: u64,
+    /// What happened to the fragment root.
+    pub outcome: DeleteOutcome<D>,
+    /// Root count and prefix after the delete (when kept).
+    pub root_count: u64,
+    /// Root prefix after the delete (when kept).
+    pub root_prefix: Prefix<D>,
+}
+
+/// Root status after a fragment delete.
+#[derive(Clone, Copy, Debug)]
+pub enum DeleteOutcome<const D: usize> {
+    /// Fragment persists.
+    Kept,
+    /// Fragment emptied (host must splice the parent).
+    Empty,
+    /// Fragment collapsed to a remote ref (host repoints the parent).
+    Collapsed(RemoteRef<D>),
+}
+
+impl<const D: usize> Wire for DeleteReply<D> {
+    fn wire_bytes(&self) -> u64 {
+        40
+    }
+}
+
+/// kNN subtree exploration task.
+#[derive(Clone, Copy, Debug)]
+pub struct KnnTask<const D: usize> {
+    /// Query index.
+    pub qid: u32,
+    /// Fragment to explore.
+    pub meta: MetaId,
+    /// Start node (`u32::MAX` = fragment root).
+    pub node: u32,
+    /// Query point.
+    pub q: Point<D>,
+    /// Number of neighbors.
+    pub k: u32,
+    /// Current global pruning bound (comparable distance).
+    pub bound: u64,
+    /// Metric evaluated on the PIM side (the coarse metric under §6
+    /// two-stage filtering, the target metric otherwise).
+    pub metric: Metric,
+    /// `false`: best-k exploration (Alg. 3 step 2). `true`: collect *every*
+    /// point within `bound` (the step-4 sphere collection).
+    pub ball: bool,
+}
+
+impl<const D: usize> Wire for KnnTask<D> {
+    fn wire_bytes(&self) -> u64 {
+        33 + Point::<D>::wire_bytes()
+    }
+}
+
+/// kNN exploration reply.
+#[derive(Clone, Debug)]
+pub struct KnnReply<const D: usize> {
+    /// Query index.
+    pub qid: u32,
+    /// Up to k best local candidates (comparable distance, point).
+    pub cands: Vec<(u64, Point<D>)>,
+    /// Remote subtrees still worth exploring, with box lower bounds.
+    pub frontier: Vec<(RemoteRef<D>, u64)>,
+    /// Master fragments whose payloads were fully covered locally (the host
+    /// must not re-dispatch refs to them — they may have been reached by
+    /// chasing a co-located ref).
+    pub covered: Vec<MetaId>,
+}
+
+impl<const D: usize> Wire for KnnReply<D> {
+    fn wire_bytes(&self) -> u64 {
+        8 + self.cands.len() as u64 * (8 + Point::<D>::wire_bytes())
+            + self.frontier.len() as u64 * (REMOTE_REF_BYTES + 8)
+            + self.covered.len() as u64 * 8
+    }
+}
+
+/// Box-query exploration task.
+#[derive(Clone, Copy, Debug)]
+pub struct BoxTask<const D: usize> {
+    /// Query index.
+    pub qid: u32,
+    /// Fragment to explore.
+    pub meta: MetaId,
+    /// Start node (`u32::MAX` = fragment root).
+    pub node: u32,
+    /// The query box.
+    pub query: Aabb<D>,
+    /// Whether to return the points (BoxFetch) or only counts (BoxCount).
+    pub fetch: bool,
+}
+
+impl<const D: usize> Wire for BoxTask<D> {
+    fn wire_bytes(&self) -> u64 {
+        17 + Aabb::<D>::wire_bytes()
+    }
+}
+
+/// Box-query exploration reply.
+#[derive(Clone, Debug)]
+pub struct BoxReply<const D: usize> {
+    /// Query index.
+    pub qid: u32,
+    /// Exact count of local points inside the box.
+    pub count: u64,
+    /// The points themselves (BoxFetch only).
+    pub points: Vec<Point<D>>,
+    /// Remote subtrees intersecting the box.
+    pub frontier: Vec<RemoteRef<D>>,
+    /// Master fragments fully handled locally (host must not re-dispatch).
+    pub covered: Vec<MetaId>,
+}
+
+impl<const D: usize> Wire for BoxReply<D> {
+    fn wire_bytes(&self) -> u64 {
+        16 + self.points.len() as u64 * Point::<D>::wire_bytes()
+            + self.frontier.len() as u64 * REMOTE_REF_BYTES
+            + self.covered.len() as u64 * 8
+    }
+}
+
+/// Management operations (structure distribution and maintenance).
+#[derive(Clone, Debug)]
+pub enum MgmtTask<const D: usize> {
+    /// Install a master fragment on this module.
+    InstallMaster(Fragment<D>),
+    /// Install a structure-only cache copy.
+    InstallCache(Fragment<D>),
+    /// Drop a cache copy.
+    DropCache(MetaId),
+    /// Drop a master fragment.
+    DropMaster(MetaId),
+    /// Pull: send the full master fragment to the host.
+    Pull(MetaId),
+    /// Pull only the structure (leaves stubbed) — what a cache refresh
+    /// ships.
+    PullStructure(MetaId),
+    /// Update the counter snapshot (and optionally prefix) of the remote
+    /// child `child` inside fragment `parent` (master or cache).
+    SyncChild {
+        /// Parent fragment id.
+        parent: MetaId,
+        /// Child meta id whose snapshot changes.
+        child: MetaId,
+        /// New counter snapshot.
+        sc: u64,
+        /// New prefix if the child root restructured.
+        prefix: Option<Prefix<D>>,
+        /// How many individual update messages this batches. 1 under lazy
+        /// counters; the per-op count when the Table 3 ablation syncs every
+        /// change eagerly (each is charged on the wire and the core).
+        repeat: u32,
+    },
+    /// Replace (or splice out) the remote child `child` of `parent`.
+    ReplaceChild {
+        /// Parent fragment id.
+        parent: MetaId,
+        /// Child to replace.
+        child: MetaId,
+        /// Replacement ref (`None` splices).
+        replacement: Option<RemoteRef<D>>,
+    },
+    /// Split the fragment's root, registering its local children as new
+    /// fragments with the provided (meta, module) ids. When `keep_root` the
+    /// old fragment is left holding just the root node; otherwise the root
+    /// is detached and returned (promotion into L0).
+    SplitRoot {
+        /// Fragment to split.
+        meta: MetaId,
+        /// Ids/placements for extracted children, left to right.
+        new_ids: Vec<(MetaId, u32)>,
+        /// Keep the root node as a (now tiny) fragment?
+        keep_root: bool,
+    },
+}
+
+impl<const D: usize> Wire for MgmtTask<D> {
+    fn wire_bytes(&self) -> u64 {
+        match self {
+            // Installing ships the fragment's bytes over the channel.
+            MgmtTask::InstallMaster(f) => 8 + f.bytes(),
+            MgmtTask::InstallCache(f) => 8 + f.structure_bytes(),
+            MgmtTask::DropCache(_)
+            | MgmtTask::DropMaster(_)
+            | MgmtTask::Pull(_)
+            | MgmtTask::PullStructure(_) => 9,
+            MgmtTask::SyncChild { prefix, repeat, .. } => {
+                (24 + if prefix.is_some() { 12 } else { 0 }) * (*repeat as u64).max(1)
+            }
+            MgmtTask::ReplaceChild { replacement, .. } => {
+                16 + replacement.map_or(1, |_| REMOTE_REF_BYTES)
+            }
+            MgmtTask::SplitRoot { new_ids, .. } => 9 + new_ids.len() as u64 * 12,
+        }
+    }
+}
+
+/// Replies to management operations.
+#[derive(Clone, Debug)]
+pub enum MgmtReply<const D: usize> {
+    /// Nothing to report.
+    Ack,
+    /// The pulled fragment (full or structure-only).
+    Pulled(Fragment<D>),
+    /// Outcome of a `ReplaceChild` splice.
+    ReplaceStatus {
+        /// Parent fragment the splice ran in.
+        parent: MetaId,
+        /// Set when the parent fragment collapsed to a remote ref and must
+        /// be dissolved by the host.
+        collapsed: Option<RemoteRef<D>>,
+    },
+    /// Result of a root split.
+    Split {
+        /// The detached/retained root node (children rewritten remote).
+        root: BNode<D>,
+        /// Info about each extracted child fragment, left to right.
+        children: Vec<SplitChildInfo<D>>,
+        /// Extracted fragments that must move to *other* modules (fragments
+        /// staying on this module were installed directly).
+        moved: Vec<Fragment<D>>,
+    },
+}
+
+/// Directory bookkeeping about one fragment created by a root split.
+#[derive(Clone, Debug)]
+pub struct SplitChildInfo<const D: usize> {
+    /// Reference to the new fragment.
+    pub r: RemoteRef<D>,
+    /// Its live binary-node count.
+    pub live_nodes: u64,
+    /// Meta ids of the remote children now hanging under it (the host
+    /// reassigns their directory parents).
+    pub grandchildren: Vec<MetaId>,
+}
+
+impl<const D: usize> Wire for SplitChildInfo<D> {
+    fn wire_bytes(&self) -> u64 {
+        REMOTE_REF_BYTES + 8 + self.grandchildren.len() as u64 * 8
+    }
+}
+
+impl<const D: usize> Wire for MgmtReply<D> {
+    fn wire_bytes(&self) -> u64 {
+        match self {
+            MgmtReply::Ack => 1,
+            MgmtReply::ReplaceStatus { collapsed, .. } => {
+                9 + collapsed.map_or(0, |_| REMOTE_REF_BYTES)
+            }
+            MgmtReply::Pulled(f) => f.bytes(),
+            MgmtReply::Split { root, children, moved } => {
+                root.bytes()
+                    + children.iter().map(Wire::wire_bytes).sum::<u64>()
+                    + moved.iter().map(Fragment::bytes).sum::<u64>()
+            }
+        }
+    }
+}
+
+impl<const D: usize> Wire for Fragment<D> {
+    fn wire_bytes(&self) -> u64 {
+        self.bytes()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Handlers
+// ---------------------------------------------------------------------
+
+/// The module id is threaded in so handlers can chase refs that point back
+/// at this module's own masters without a round trip.
+pub fn handle_search<const D: usize>(
+    module_id: usize,
+    state: &mut ModuleState<D>,
+    ctx: &mut PimCtx,
+    tasks: Vec<SearchTask<D>>,
+) -> Vec<SearchReply<D>> {
+    let mut replies = Vec::with_capacity(tasks.len());
+    for t in tasks {
+        let mut meta = t.meta;
+        let mut anchor: Option<AnchorInfo<D>> = None;
+        let verdict = loop {
+            let Some((frag, is_master)) = state.lookup(meta) else {
+                // Shouldn't happen if host routing is correct; treat as a
+                // forward to wherever the directory says (host resolves).
+                break SearchVerdict::Forward {
+                    to: RemoteRef {
+                        meta,
+                        module: module_id as u32,
+                        prefix: Prefix::root(),
+                        sc: 0,
+                    },
+                };
+            };
+            if t.want_anchor > 0 {
+                if let Some((prefix, loc)) =
+                    frag.lowest_on_path_with_count(t.key, t.want_anchor, ctx)
+                {
+                    anchor = Some(match loc {
+                        AnchorLoc::Local(n) => AnchorInfo {
+                            meta,
+                            module: frag.master_module,
+                            node: n,
+                            prefix,
+                            sc: frag.node(n).count,
+                        },
+                        AnchorLoc::Remote(r) => AnchorInfo {
+                            meta: r.meta,
+                            module: r.module,
+                            node: u32::MAX,
+                            prefix,
+                            sc: r.sc,
+                        },
+                    });
+                }
+            }
+            match frag.search(t.key, ctx) {
+                SearchEnd::Leaf(idx) => {
+                    debug_assert!(is_master, "payload leaves exist only at masters");
+                    let found = match &frag.node(idx).kind {
+                        crate::frag::BKind::Leaf { points } => {
+                            ctx.op(points.len() as u64);
+                            points.iter().any(|(k, _)| *k == t.key)
+                        }
+                        _ => false,
+                    };
+                    break SearchVerdict::Done { meta, leaf: idx, found };
+                }
+                SearchEnd::Stub(_) => {
+                    // Continue at the master of this cached fragment.
+                    break SearchVerdict::Forward {
+                        to: RemoteRef {
+                            meta,
+                            module: frag.master_module,
+                            prefix: frag.root_node().prefix,
+                            sc: frag.root_node().count,
+                        },
+                    };
+                }
+                SearchEnd::Diverge { .. } => {
+                    if is_master {
+                        break SearchVerdict::Diverge { meta };
+                    } else {
+                        // Structural insert must happen at the master.
+                        break SearchVerdict::Forward {
+                            to: RemoteRef {
+                                meta,
+                                module: frag.master_module,
+                                prefix: frag.root_node().prefix,
+                                sc: frag.root_node().count,
+                            },
+                        };
+                    }
+                }
+                SearchEnd::Remote(r) => {
+                    if state.lookup(r.meta).is_some() {
+                        meta = r.meta; // free local hop (cache or co-located master)
+                        ctx.op(4);
+                        continue;
+                    }
+                    break SearchVerdict::Forward { to: r };
+                }
+            }
+        };
+        replies.push(SearchReply { qid: t.qid, verdict, anchor });
+    }
+    replies
+}
+
+/// Applies insert merges to master fragments.
+pub fn handle_insert<const D: usize>(
+    state: &mut ModuleState<D>,
+    ctx: &mut PimCtx,
+    tasks: Vec<InsertTask<D>>,
+) -> Vec<InsertReply> {
+    let mut replies = Vec::with_capacity(tasks.len());
+    for t in tasks {
+        let frag = state.masters.get_mut(&t.meta).expect("insert targets a master fragment");
+        let added = t.items.len() as u64;
+        let new_nodes = frag.merge(&t.items, ctx) as u64;
+        replies.push(InsertReply {
+            meta: t.meta,
+            added,
+            new_nodes,
+            root_count: frag.root_node().count,
+            live_nodes: frag.live_nodes() as u64,
+        });
+    }
+    replies
+}
+
+/// Applies delete removals to master fragments.
+pub fn handle_delete<const D: usize>(
+    state: &mut ModuleState<D>,
+    ctx: &mut PimCtx,
+    tasks: Vec<DeleteTask<D>>,
+) -> Vec<DeleteReply<D>> {
+    let mut replies = Vec::with_capacity(tasks.len());
+    for t in tasks {
+        let frag = state.masters.get_mut(&t.meta).expect("delete targets a master fragment");
+        let mut removed = 0usize;
+        let outcome = match frag.remove(&t.items, &mut removed, ctx) {
+            RootAfterRemove::Kept => DeleteOutcome::Kept,
+            RootAfterRemove::Empty => DeleteOutcome::Empty,
+            RootAfterRemove::CollapsedToRemote(r) => DeleteOutcome::Collapsed(r),
+        };
+        let (root_count, root_prefix) = match outcome {
+            DeleteOutcome::Kept => (frag.root_node().count, frag.root_node().prefix),
+            _ => (0, Prefix::root()),
+        };
+        match outcome {
+            DeleteOutcome::Empty | DeleteOutcome::Collapsed(_) => {
+                state.masters.remove(&t.meta);
+            }
+            DeleteOutcome::Kept => {}
+        }
+        replies.push(DeleteReply { meta: t.meta, removed: removed as u64, outcome, root_count, root_prefix });
+    }
+    replies
+}
+
+/// kNN exploration: branch-and-bound through every locally-present
+/// fragment, surfacing only truly-remote frontier.
+pub fn handle_knn<const D: usize>(
+    state: &mut ModuleState<D>,
+    ctx: &mut PimCtx,
+    tasks: Vec<KnnTask<D>>,
+) -> Vec<KnnReply<D>> {
+    let mut replies = Vec::with_capacity(tasks.len());
+    for t in tasks {
+        let mut cands: Vec<(u64, Point<D>)> = Vec::new();
+        let mut frontier: Vec<(RemoteRef<D>, u64)> = Vec::new();
+        let mut work: Vec<(MetaId, u32, u64)> = vec![(t.meta, t.node, 0)];
+        let mut visited: Vec<MetaId> = Vec::new();
+        while let Some((meta, node, lb)) = work.pop() {
+            let bound = if t.ball {
+                t.bound
+            } else {
+                crate::frag::knn_bound(&cands, t.k as usize).min(t.bound)
+            };
+            if lb > bound || visited.contains(&meta) {
+                continue;
+            }
+            visited.push(meta);
+            let Some((frag, _)) = state.lookup(meta) else {
+                continue;
+            };
+            let start = if node == u32::MAX { frag.root } else { node };
+            let mut local_frontier = Vec::new();
+            if t.ball {
+                frag.local_ball(start, &t.q, t.bound, t.metric, &mut cands, &mut local_frontier, ctx);
+            } else {
+                frag.local_knn(
+                    start,
+                    &t.q,
+                    t.k as usize,
+                    t.metric,
+                    &mut cands,
+                    &mut local_frontier,
+                    ctx,
+                );
+            }
+            for (r, d) in local_frontier {
+                // Chase locally-present fragments, except a cached
+                // fragment's stub refs (r.meta == meta), whose payloads live
+                // only at the master.
+                if r.meta != meta && !visited.contains(&r.meta) && state.lookup(r.meta).is_some()
+                {
+                    work.push((r.meta, u32::MAX, d));
+                } else {
+                    frontier.push((r, d));
+                }
+            }
+        }
+        // Trim frontier entries the final bound already excludes.
+        let bound = if t.ball {
+            t.bound
+        } else {
+            crate::frag::knn_bound(&cands, t.k as usize).min(t.bound)
+        };
+        frontier.retain(|(_, d)| *d <= bound);
+        frontier.sort_unstable_by_key(|(r, d)| (*d, r.meta));
+        frontier.dedup_by_key(|(r, _)| r.meta);
+        let covered: Vec<MetaId> =
+            visited.into_iter().filter(|m| state.masters.contains_key(m)).collect();
+        replies.push(KnnReply { qid: t.qid, cands, frontier, covered });
+    }
+    replies
+}
+
+/// Box-query exploration.
+pub fn handle_box<const D: usize>(
+    state: &mut ModuleState<D>,
+    ctx: &mut PimCtx,
+    tasks: Vec<BoxTask<D>>,
+) -> Vec<BoxReply<D>> {
+    let mut replies = Vec::with_capacity(tasks.len());
+    for t in tasks {
+        let mut count = 0u64;
+        let mut points = Vec::new();
+        let mut frontier: Vec<RemoteRef<D>> = Vec::new();
+        let mut work: Vec<(MetaId, u32)> = vec![(t.meta, t.node)];
+        let mut visited: Vec<MetaId> = Vec::new();
+        while let Some((meta, node)) = work.pop() {
+            if visited.contains(&meta) {
+                continue;
+            }
+            visited.push(meta);
+            let Some((frag, _)) = state.lookup(meta) else {
+                continue;
+            };
+            let start = if node == u32::MAX { frag.root } else { node };
+            let mut local_frontier = Vec::new();
+            if t.fetch {
+                frag.local_box_fetch(start, &t.query, &mut points, &mut local_frontier, ctx);
+            } else {
+                count += frag.local_box_count(start, &t.query, &mut local_frontier, ctx);
+            }
+            // Chase locally-present fragments, except a cached fragment's
+            // stub refs (r.meta == meta), whose payloads live only at the
+            // master.
+            for r in local_frontier {
+                if r.meta != meta && !visited.contains(&r.meta) && state.lookup(r.meta).is_some()
+                {
+                    work.push((r.meta, u32::MAX));
+                } else {
+                    frontier.push(r);
+                }
+            }
+        }
+        frontier.sort_unstable_by_key(|r| r.meta);
+        frontier.dedup_by_key(|r| r.meta);
+        let covered: Vec<MetaId> =
+            visited.into_iter().filter(|m| state.masters.contains_key(m)).collect();
+        replies.push(BoxReply { qid: t.qid, count, points, frontier, covered });
+    }
+    replies
+}
+
+/// Management handler.
+pub fn handle_mgmt<const D: usize>(
+    module_id: usize,
+    state: &mut ModuleState<D>,
+    ctx: &mut PimCtx,
+    tasks: Vec<MgmtTask<D>>,
+) -> Vec<MgmtReply<D>> {
+    let mut replies = Vec::with_capacity(tasks.len());
+    for t in tasks {
+        let reply = match t {
+            MgmtTask::InstallMaster(f) => {
+                ctx.mem(f.bytes());
+                state.masters.insert(f.meta, f);
+                MgmtReply::Ack
+            }
+            MgmtTask::InstallCache(f) => {
+                ctx.mem(f.structure_bytes());
+                state.caches.insert(f.meta, f);
+                MgmtReply::Ack
+            }
+            MgmtTask::DropCache(m) => {
+                state.caches.remove(&m);
+                MgmtReply::Ack
+            }
+            MgmtTask::DropMaster(m) => {
+                state.masters.remove(&m);
+                MgmtReply::Ack
+            }
+            MgmtTask::Pull(m) => {
+                let f = state.masters.get(&m).expect("pull targets a master");
+                ctx.mem(f.bytes());
+                MgmtReply::Pulled(f.clone())
+            }
+            MgmtTask::PullStructure(m) => {
+                let f = state.masters.get(&m).expect("pull targets a master");
+                ctx.mem(f.structure_bytes());
+                MgmtReply::Pulled(f.structure_clone())
+            }
+            MgmtTask::SyncChild { parent, child, sc, prefix, repeat } => {
+                let r = repeat.max(1) as u64;
+                ctx.op(20 * r);
+                ctx.mem(BNODE_BYTES * r);
+                if let Some(f) = state.masters.get_mut(&parent) {
+                    f.sync_remote_child(child, sc, prefix);
+                }
+                if let Some(f) = state.caches.get_mut(&parent) {
+                    f.sync_remote_child(child, sc, prefix);
+                }
+                MgmtReply::Ack
+            }
+            MgmtTask::ReplaceChild { parent, child, replacement } => {
+                ctx.op(30);
+                ctx.mem(BNODE_BYTES);
+                let mut collapsed = None;
+                if let Some(f) = state.masters.get_mut(&parent) {
+                    if let crate::frag::ReplaceOutcome::RootCollapsed(r) =
+                        f.replace_remote_child(child, replacement)
+                    {
+                        collapsed = Some(r);
+                    }
+                }
+                if let Some(f) = state.caches.get_mut(&parent) {
+                    f.replace_remote_child(child, replacement);
+                }
+                if collapsed.is_some() {
+                    state.masters.remove(&parent);
+                }
+                MgmtReply::ReplaceStatus { parent, collapsed }
+            }
+            MgmtTask::SplitRoot { meta, new_ids, keep_root } => {
+                let mut f = state.masters.remove(&meta).expect("split targets a master");
+                ctx.mem(f.bytes());
+                let (root, frags) = f.split_root(new_ids.into_iter());
+                let children: Vec<SplitChildInfo<D>> = frags
+                    .iter()
+                    .map(|fr| SplitChildInfo {
+                        r: RemoteRef {
+                            meta: fr.meta,
+                            module: fr.master_module,
+                            prefix: fr.root_node().prefix,
+                            sc: fr.root_node().count,
+                        },
+                        live_nodes: fr.live_nodes() as u64,
+                        grandchildren: fr.remote_children().iter().map(|r| r.meta).collect(),
+                    })
+                    .collect();
+                let mut moved = Vec::new();
+                for fr in frags {
+                    if fr.master_module as usize == module_id {
+                        state.masters.insert(fr.meta, fr);
+                    } else {
+                        moved.push(fr);
+                    }
+                }
+                if keep_root {
+                    let root_frag =
+                        Fragment::singleton(meta, module_id as u32, root.clone(), f.leaf_cap);
+                    state.masters.insert(meta, root_frag);
+                }
+                MgmtReply::Split { root, children, moved }
+            }
+        };
+        replies.push(reply);
+    }
+    replies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frag::{set_prefix, BKind, NullSink};
+
+    fn keyed(pts: &[[u32; 3]]) -> Vec<Keyed<3>> {
+        let mut v: Vec<Keyed<3>> = pts
+            .iter()
+            .map(|c| {
+                let p = Point::new(*c);
+                (ZKey::<3>::encode(&p), p)
+            })
+            .collect();
+        v.sort_unstable_by_key(|(k, p)| (*k, p.coords));
+        v
+    }
+
+    fn frag_of(meta: MetaId, module: u32, pts: &[[u32; 3]]) -> Fragment<3> {
+        let items = keyed(pts);
+        let mut f = Fragment::singleton(
+            meta,
+            module,
+            BNode {
+                prefix: set_prefix(&items[..1]),
+                count: 1,
+                kind: BKind::Leaf { points: items[..1].to_vec() },
+            },
+            4,
+        );
+        f.merge(&items[1..], &mut NullSink);
+        f
+    }
+
+    #[test]
+    fn search_handler_finds_local_leaf() {
+        let mut st = ModuleState::<3>::default();
+        st.masters.insert(9, frag_of(9, 0, &[[1, 2, 3], [4, 5, 6], [1000, 1000, 1000]]));
+        let key = ZKey::<3>::encode(&Point::new([4, 5, 6]));
+        let mut ctx = PimCtx::new();
+        let r = handle_search(
+            0,
+            &mut st,
+            &mut ctx,
+            vec![SearchTask { qid: 7, key, meta: 9, want_anchor: 0 }],
+        );
+        assert_eq!(r.len(), 1);
+        match r[0].verdict {
+            SearchVerdict::Done { meta, found, .. } => {
+                assert_eq!(meta, 9);
+                assert!(found);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(ctx.cycles > 0, "search must charge PIM cycles");
+    }
+
+    #[test]
+    fn search_handler_reports_anchor() {
+        let mut st = ModuleState::<3>::default();
+        st.masters.insert(
+            9,
+            frag_of(9, 0, &[[0, 0, 0], [1, 1, 1], [2, 2, 2], [3, 3, 3], [1 << 20, 0, 0]]),
+        );
+        let key = ZKey::<3>::encode(&Point::new([0, 0, 0]));
+        let mut ctx = PimCtx::new();
+        let r = handle_search(
+            0,
+            &mut st,
+            &mut ctx,
+            vec![SearchTask { qid: 0, key, meta: 9, want_anchor: 2 }],
+        );
+        let a = r[0].anchor.expect("anchor expected");
+        assert!(a.sc >= 2);
+    }
+
+    #[test]
+    fn insert_handler_merges() {
+        let mut st = ModuleState::<3>::default();
+        st.masters.insert(3, frag_of(3, 0, &[[0, 0, 0]]));
+        let mut ctx = PimCtx::new();
+        let r = handle_insert(
+            &mut st,
+            &mut ctx,
+            vec![InsertTask { meta: 3, items: keyed(&[[7, 7, 7], [9, 9, 9]]) }],
+        );
+        assert_eq!(r[0].added, 2);
+        assert_eq!(r[0].root_count, 3);
+    }
+
+    #[test]
+    fn delete_handler_reports_empty() {
+        let mut st = ModuleState::<3>::default();
+        st.masters.insert(3, frag_of(3, 0, &[[0, 0, 0]]));
+        let mut ctx = PimCtx::new();
+        let r = handle_delete(
+            &mut st,
+            &mut ctx,
+            vec![DeleteTask { meta: 3, items: keyed(&[[0, 0, 0]]) }],
+        );
+        assert!(matches!(r[0].outcome, DeleteOutcome::Empty));
+        assert!(!st.masters.contains_key(&3));
+    }
+
+    #[test]
+    fn knn_handler_explores_colocated_fragments() {
+        // Fragment 1 references fragment 2; both on this module → single
+        // round resolves everything.
+        let mut st = ModuleState::<3>::default();
+        let f2 = frag_of(2, 0, &[[1_000_000, 1_000_000, 1_000_000], [1_000_010, 1_000_010, 1_000_010]]);
+        let r2 = RemoteRef {
+            meta: 2,
+            module: 0,
+            prefix: f2.root_node().prefix,
+            sc: 2,
+        };
+        let f1_items = keyed(&[[0, 0, 0], [10, 10, 10]]);
+        let leaf_pre = set_prefix(&f1_items);
+        let root_pre = Prefix::new(leaf_pre.key, leaf_pre.key.common_prefix_len(r2.prefix.key));
+        let f1 = Fragment {
+            meta: 1,
+            master_module: 0,
+            nodes: vec![
+                BNode {
+                    prefix: root_pre,
+                    count: 4,
+                    kind: BKind::Internal {
+                        left: crate::frag::ChildRef::Local(1),
+                        right: crate::frag::ChildRef::Remote(r2),
+                    },
+                },
+                BNode { prefix: leaf_pre, count: 2, kind: BKind::Leaf { points: f1_items } },
+            ],
+            free: vec![],
+            root: 0,
+            leaf_cap: 4,
+            chunk_dir: Default::default(),
+            dir_bits: 0,
+            dense_min: 0,
+        };
+        st.masters.insert(1, f1);
+        st.masters.insert(2, f2);
+        let mut ctx = PimCtx::new();
+        let r = handle_knn(
+            &mut st,
+            &mut ctx,
+            vec![KnnTask {
+                qid: 0,
+                meta: 1,
+                node: u32::MAX,
+                q: Point::new([1_000_001, 1_000_001, 1_000_001]),
+                k: 1,
+                bound: u64::MAX,
+                metric: Metric::L2,
+                ball: false,
+            }],
+        );
+        assert_eq!(r[0].cands[0].1, Point::new([1_000_000, 1_000_000, 1_000_000]));
+        assert!(r[0].frontier.is_empty());
+    }
+
+    #[test]
+    fn mgmt_pull_returns_fragment() {
+        let mut st = ModuleState::<3>::default();
+        st.masters.insert(5, frag_of(5, 0, &[[1, 1, 1], [2, 2, 2]]));
+        let mut ctx = PimCtx::new();
+        let r = handle_mgmt(0, &mut st, &mut ctx, vec![MgmtTask::Pull(5)]);
+        match &r[0] {
+            MgmtReply::Pulled(f) => assert_eq!(f.meta, 5),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn resident_bytes_counts_masters_and_caches() {
+        let mut st = ModuleState::<3>::default();
+        let f = frag_of(1, 0, &[[1, 1, 1], [2, 2, 2], [3, 3, 3]]);
+        let cache = f.structure_clone();
+        st.masters.insert(1, f);
+        st.caches.insert(1, cache);
+        assert!(st.resident_bytes() > 0);
+        let just_master = st.masters[&1].bytes();
+        assert!(st.resident_bytes() > just_master);
+    }
+}

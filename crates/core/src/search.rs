@@ -1,0 +1,365 @@
+//! Top-down batched SEARCH (Alg. 1) with push-pull load balancing (§3.3).
+//!
+//! A batch traverses L0 on the host, then descends the meta-tree in BSP
+//! rounds. Before each push round the host examines per-meta demand: while
+//! the busiest module would receive more than `imbalance_factor`× the
+//! average load, meta-nodes attracting more than their layer's K threshold
+//! are *pulled* — their master storage is fetched (caches excluded) and
+//! searched on the CPU. Everything else is *pushed* to the PIM modules,
+//! which traverse their masters and caches locally.
+
+use crate::frag::{BKind, Fragment, HostSink, MetaId, RemoteRef};
+use crate::host::PimZdTree;
+use crate::module::{handle_search, AnchorInfo, SearchReply, SearchTask, SearchVerdict};
+use pim_geom::Point;
+use pim_zorder::ZKey;
+use rustc_hash::FxHashMap;
+
+/// Where one query's search ended.
+#[derive(Clone, Copy, Debug)]
+pub enum QueryEnd {
+    /// The index is empty.
+    Empty,
+    /// Ended in an L0 leaf.
+    L0Leaf {
+        /// Whether the key was present.
+        found: bool,
+    },
+    /// The key's insertion point is a compressed-edge split inside L0.
+    L0Diverge,
+    /// Ended in a leaf of fragment `meta`.
+    FragLeaf {
+        /// Owning fragment.
+        meta: MetaId,
+        /// Whether the key was present.
+        found: bool,
+    },
+    /// The key's insertion point is inside fragment `meta`.
+    FragDiverge {
+        /// Owning fragment.
+        meta: MetaId,
+    },
+}
+
+impl QueryEnd {
+    /// The fragment the end belongs to (`None` = L0 / empty).
+    pub fn meta(&self) -> Option<MetaId> {
+        match self {
+            QueryEnd::FragLeaf { meta, .. } | QueryEnd::FragDiverge { meta } => Some(*meta),
+            _ => None,
+        }
+    }
+
+    /// Whether the searched key was found in a leaf.
+    pub fn found(&self) -> bool {
+        matches!(self, QueryEnd::L0Leaf { found: true } | QueryEnd::FragLeaf { found: true, .. })
+    }
+}
+
+/// Result of a batched search.
+pub struct BatchSearch<const D: usize> {
+    /// Morton keys of the batch (computed once, reused by the caller).
+    pub keys: Vec<ZKey<D>>,
+    /// Per-query end.
+    pub ends: Vec<QueryEnd>,
+    /// Per-query deepest path node with counter ≥ the requested threshold.
+    pub anchors: Vec<Option<AnchorInfo<D>>>,
+    /// Per-query chain of meta hops taken below L0 (the search trace at
+    /// meta granularity; Alg. 2/3 use it).
+    pub hops: Vec<Vec<RemoteRef<D>>>,
+}
+
+/// Safety valve: a correct meta-tree descent can never need this many
+/// rounds; hitting it means a routing bug, so fail loudly.
+const MAX_ROUNDS: usize = 1000;
+
+impl<const D: usize> PimZdTree<D> {
+    /// Charges and computes the batch's Morton keys (fast path or the
+    /// Table 3 naive path).
+    pub(crate) fn encode_batch(&mut self, pts: &[Point<D>]) -> Vec<ZKey<D>> {
+        let per_key = if self.cfg.toggles.fast_zorder {
+            12 * D as u64
+        } else {
+            4 * D as u64 * ZKey::<D>::COORD_BITS as u64
+        };
+        self.meter.work(pts.len() as u64 * per_key);
+        if self.cfg.toggles.fast_zorder {
+            pts.iter().map(ZKey::<D>::encode).collect()
+        } else {
+            pts.iter().map(ZKey::<D>::encode_naive).collect()
+        }
+    }
+
+    /// Batched top-down search. `want_anchor > 0` also tracks, per query,
+    /// the deepest path node whose (lazy) counter is at least that value.
+    pub(crate) fn batch_search_internal(
+        &mut self,
+        pts: &[Point<D>],
+        want_anchor: u64,
+    ) -> BatchSearch<D> {
+        let keys = self.encode_batch(pts);
+        let n = keys.len();
+        let mut ends: Vec<QueryEnd> = vec![QueryEnd::Empty; n];
+        let mut anchors: Vec<Option<AnchorInfo<D>>> = vec![None; n];
+        let mut hops: Vec<Vec<RemoteRef<D>>> = vec![Vec::new(); n];
+
+        if self.l0.is_none() {
+            return BatchSearch { keys, ends, anchors, hops };
+        }
+
+        // Per-key batch preprocessing (semi-sort grouping, Alg. 1 step 1).
+        self.meter.work(n as u64 * 12);
+
+        // ---- L0 traversal on the host ----
+        let mut pending: Vec<(u32, RemoteRef<D>)> = Vec::new();
+        {
+            let l0 = self.l0.as_ref().unwrap();
+            let mut sink = Self::l0_sink(&mut self.meter);
+            for (qid, &key) in keys.iter().enumerate() {
+                if !l0.root_node().prefix.covers(key) {
+                    ends[qid] = QueryEnd::L0Diverge;
+                    continue;
+                }
+                if want_anchor > 0 {
+                    if let Some((prefix, loc)) =
+                        l0.lowest_on_path_with_count(key, want_anchor, &mut sink)
+                    {
+                        anchors[qid] = Some(anchor_from_l0(l0, prefix, loc));
+                    }
+                }
+                match l0.search(key, &mut sink) {
+                    crate::frag::SearchEnd::Leaf(idx) => {
+                        let found = leaf_contains(l0, idx, key);
+                        ends[qid] = QueryEnd::L0Leaf { found };
+                    }
+                    crate::frag::SearchEnd::Stub(_) => unreachable!("L0 holds real leaves"),
+                    crate::frag::SearchEnd::Diverge { .. } => {
+                        ends[qid] = QueryEnd::L0Diverge;
+                    }
+                    crate::frag::SearchEnd::Remote(r) => {
+                        hops[qid].push(r);
+                        pending.push((qid as u32, r));
+                    }
+                }
+            }
+        }
+
+        // ---- Meta-tree descent: pull then push, per round ----
+        let mut rounds = 0usize;
+        while !pending.is_empty() {
+            rounds += 1;
+            assert!(rounds < MAX_ROUNDS, "search failed to converge: routing bug");
+
+            // Pull phase (Alg. 1 step 2).
+            loop {
+                let mut demand: FxHashMap<MetaId, u64> = FxHashMap::default();
+                for (_, r) in &pending {
+                    *demand.entry(r.meta).or_insert(0) += 1;
+                }
+                let to_pull = self.pull_candidates(&demand);
+                if to_pull.is_empty() {
+                    break;
+                }
+                let pulled = self.pull_fragments(&to_pull);
+                let mut next = Vec::with_capacity(pending.len());
+                for (qid, mut r) in pending {
+                    // Chase through pulled fragments host-side until the
+                    // query leaves the pulled set.
+                    loop {
+                        let Some((frag, addr)) = pulled.get(&r.meta) else {
+                            next.push((qid, r));
+                            break;
+                        };
+                        let mut sink = HostSink { meter: &mut self.meter, base_addr: *addr };
+                        if want_anchor > 0 {
+                            if let Some((prefix, loc)) = frag.lowest_on_path_with_count(
+                                keys[qid as usize],
+                                want_anchor,
+                                &mut sink,
+                            ) {
+                                anchors[qid as usize] =
+                                    Some(anchor_from_frag(frag, prefix, loc));
+                            }
+                        }
+                        match frag.search(keys[qid as usize], &mut sink) {
+                            crate::frag::SearchEnd::Leaf(idx) => {
+                                let found = leaf_contains(frag, idx, keys[qid as usize]);
+                                ends[qid as usize] =
+                                    QueryEnd::FragLeaf { meta: frag.meta, found };
+                                break;
+                            }
+                            crate::frag::SearchEnd::Stub(_) => {
+                                unreachable!("pulled masters hold real leaves")
+                            }
+                            crate::frag::SearchEnd::Diverge { .. } => {
+                                ends[qid as usize] = QueryEnd::FragDiverge { meta: frag.meta };
+                                break;
+                            }
+                            crate::frag::SearchEnd::Remote(r2) => {
+                                hops[qid as usize].push(r2);
+                                r = r2;
+                            }
+                        }
+                    }
+                }
+                pending = next;
+                if pending.is_empty() {
+                    break;
+                }
+            }
+            if pending.is_empty() {
+                break;
+            }
+
+            // Push phase (Alg. 1 steps 3–4).
+            let mut tasks: Vec<Vec<SearchTask<D>>> = self.task_matrix();
+            for (qid, r) in &pending {
+                tasks[r.module as usize].push(SearchTask {
+                    qid: *qid,
+                    key: keys[*qid as usize],
+                    meta: r.meta,
+                    want_anchor,
+                });
+            }
+            let replies: Vec<Vec<SearchReply<D>>> =
+                self.sys.execute_round(tasks, handle_search);
+
+            pending = Vec::new();
+            for reply in replies.into_iter().flatten() {
+                let qid = reply.qid as usize;
+                self.touch_query_state(qid, true);
+                if let Some(a) = reply.anchor {
+                    anchors[qid] = Some(a);
+                }
+                match reply.verdict {
+                    SearchVerdict::Done { meta, found, .. } => {
+                        ends[qid] = QueryEnd::FragLeaf { meta, found };
+                    }
+                    SearchVerdict::Diverge { meta } => {
+                        ends[qid] = QueryEnd::FragDiverge { meta };
+                    }
+                    SearchVerdict::Forward { to } => {
+                        hops[qid].push(to);
+                        pending.push((reply.qid, to));
+                    }
+                }
+            }
+        }
+
+        BatchSearch { keys, ends, anchors, hops }
+    }
+
+    /// Public batched point-membership query (the SEARCH of Alg. 1 used as
+    /// an operation in its own right).
+    pub fn batch_contains(&mut self, pts: &[Point<D>]) -> Vec<bool> {
+        self.measured(pts.len() as u64, |t| {
+            let s = t.batch_search_internal(pts, 0);
+            let out: Vec<bool> = s.ends.iter().map(QueryEnd::found).collect();
+            let n = out.len() as u64;
+            (out, n)
+        })
+    }
+}
+
+fn leaf_contains<const D: usize>(frag: &Fragment<D>, idx: u32, key: ZKey<D>) -> bool {
+    match &frag.node(idx).kind {
+        BKind::Leaf { points } => points.iter().any(|(k, _)| *k == key),
+        _ => false,
+    }
+}
+
+fn anchor_from_l0<const D: usize>(
+    l0: &Fragment<D>,
+    prefix: pim_zorder::prefix::Prefix<D>,
+    loc: crate::frag::AnchorLoc<D>,
+) -> AnchorInfo<D> {
+    match loc {
+        crate::frag::AnchorLoc::Local(n) => AnchorInfo {
+            meta: 0,
+            module: u32::MAX,
+            node: n,
+            prefix,
+            sc: l0.node(n).count,
+        },
+        crate::frag::AnchorLoc::Remote(r) => AnchorInfo {
+            meta: r.meta,
+            module: r.module,
+            node: u32::MAX,
+            prefix,
+            sc: r.sc,
+        },
+    }
+}
+
+fn anchor_from_frag<const D: usize>(
+    frag: &Fragment<D>,
+    prefix: pim_zorder::prefix::Prefix<D>,
+    loc: crate::frag::AnchorLoc<D>,
+) -> AnchorInfo<D> {
+    match loc {
+        crate::frag::AnchorLoc::Local(n) => AnchorInfo {
+            meta: frag.meta,
+            module: frag.master_module,
+            node: n,
+            prefix,
+            sc: frag.node(n).count,
+        },
+        crate::frag::AnchorLoc::Remote(r) => AnchorInfo {
+            meta: r.meta,
+            module: r.module,
+            node: u32::MAX,
+            prefix,
+            sc: r.sc,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::PimZdConfig;
+    use crate::host::PimZdTree;
+    use pim_sim::MachineConfig;
+    use pim_workloads::uniform;
+
+    #[test]
+    fn contains_finds_built_points() {
+        let pts = uniform::<3>(4_000, 1);
+        let cfg = PimZdConfig::throughput_optimized(4_000, 16);
+        let mut t = PimZdTree::build(&pts, cfg, MachineConfig::with_modules(16));
+        let found = t.batch_contains(&pts[..200]);
+        assert!(found.iter().all(|&f| f), "every built point must be found");
+        let absent = uniform::<3>(100, 999);
+        let found = t.batch_contains(&absent);
+        let hits = found.iter().filter(|&&f| f).count();
+        assert!(hits <= 1, "random points should not be present");
+    }
+
+    #[test]
+    fn contains_works_in_skew_mode() {
+        let pts = uniform::<3>(8_000, 2);
+        let cfg = PimZdConfig::skew_resistant(16);
+        let mut t = PimZdTree::build(&pts, cfg, MachineConfig::with_modules(16));
+        let found = t.batch_contains(&pts[..300]);
+        assert!(found.iter().all(|&f| f));
+    }
+
+    #[test]
+    fn search_charges_communication() {
+        let pts = uniform::<3>(4_000, 3);
+        let cfg = PimZdConfig::throughput_optimized(4_000, 8);
+        let mut t = PimZdTree::build(&pts, cfg, MachineConfig::with_modules(8));
+        let _ = t.batch_contains(&pts[..500]);
+        let s = t.last_op_stats();
+        assert!(s.channel_bytes > 0, "searches must move bytes");
+        assert!(s.rounds >= 1);
+        assert!(s.breakdown.total_s() > 0.0);
+    }
+
+    #[test]
+    fn empty_tree_search() {
+        let cfg = PimZdConfig::throughput_optimized(16, 4);
+        let mut t = PimZdTree::<3>::new(cfg, MachineConfig::with_modules(4));
+        let q = uniform::<3>(5, 4);
+        assert_eq!(t.batch_contains(&q), vec![false; 5]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Property tests on the fragment layer (the core crate's own proptest
+//! suite; the workspace-level `tests/properties.rs` covers the whole-index
+//! surface).
+
+use pim_geom::{Metric, Point};
+use pim_zd_tree::frag::{
+    knn_bound, push_candidate, BKind, BNode, Fragment, Keyed, NullSink, SearchEnd,
+};
+use pim_zorder::prefix::Prefix;
+use pim_zorder::ZKey;
+use proptest::prelude::*;
+
+fn keyed(pts: &[Point<3>]) -> Vec<Keyed<3>> {
+    let mut v: Vec<Keyed<3>> = pts.iter().map(|p| (ZKey::<3>::encode(p), *p)).collect();
+    v.sort_unstable_by_key(|(k, p)| (*k, p.coords));
+    v
+}
+
+fn fragment_over(pts: &[Point<3>], cap: usize, dir_bits: u32) -> Fragment<3> {
+    let items = keyed(pts);
+    let mut f = Fragment::singleton(
+        1,
+        0,
+        BNode {
+            prefix: Prefix::new(items[0].0, items[0].0.common_prefix_len(items[0].0)),
+            count: 1,
+            kind: BKind::Leaf { points: items[..1].to_vec() },
+        },
+        cap,
+    );
+    f.dir_bits = dir_bits;
+    f.dense_min = 4;
+    f.merge(&items[1..], &mut NullSink);
+    f
+}
+
+fn point3() -> impl Strategy<Value = Point<3>> {
+    (0..1u32 << 21, 0..1u32 << 21, 0..1u32 << 21).prop_map(|(x, y, z)| Point::new([x, y, z]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every merged point is findable; absent keys end in a leaf or diverge
+    /// (never panic), with or without the dense chunk directory.
+    #[test]
+    fn merge_then_search_finds_everything(
+        pts in proptest::collection::vec(point3(), 2..150),
+        probes in proptest::collection::vec(point3(), 0..40),
+        dir_bits in 0u32..6,
+    ) {
+        let f = fragment_over(&pts, 4, dir_bits);
+        for p in &pts {
+            let k = ZKey::<3>::encode(p);
+            match f.search(k, &mut NullSink) {
+                SearchEnd::Leaf(idx) => {
+                    let BKind::Leaf { points } = &f.node(idx).kind else { panic!() };
+                    prop_assert!(points.iter().any(|(kk, _)| *kk == k));
+                }
+                other => prop_assert!(false, "stored point not at a leaf: {other:?}"),
+            }
+        }
+        let root_pre = f.root_node().prefix;
+        for p in &probes {
+            let k = ZKey::<3>::encode(p);
+            if root_pre.covers(k) {
+                // Must terminate in Leaf or Diverge; Remote/Stub impossible
+                // in a fully-local fragment.
+                match f.search(k, &mut NullSink) {
+                    SearchEnd::Leaf(_) | SearchEnd::Diverge { .. } => {}
+                    other => prop_assert!(false, "unexpected end {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// local_knn on a fully-local fragment equals brute force.
+    #[test]
+    fn fragment_knn_is_exact(
+        pts in proptest::collection::vec(point3(), 2..120),
+        q in point3(),
+        k in 1usize..12,
+    ) {
+        let f = fragment_over(&pts, 4, 4);
+        let mut cands = Vec::new();
+        let mut frontier = Vec::new();
+        f.local_knn(f.root, &q, k, Metric::L2, &mut cands, &mut frontier, &mut NullSink);
+        prop_assert!(frontier.is_empty());
+        let mut want: Vec<(u64, Point<3>)> =
+            pts.iter().map(|p| (Metric::L2.cmp_dist(&q, p), *p)).collect();
+        want.sort_unstable_by_key(|(d, p)| (*d, p.coords));
+        want.dedup();
+        want.truncate(k);
+        let mut got = cands;
+        got.dedup();
+        prop_assert_eq!(got, want);
+    }
+
+    /// remove() deletes exactly the requested instances.
+    #[test]
+    fn fragment_remove_is_exact(
+        pts in proptest::collection::vec(point3(), 3..120),
+        stride in 1usize..5,
+    ) {
+        let mut f = fragment_over(&pts, 4, 4);
+        let to_del: Vec<Point<3>> = pts.iter().step_by(stride).copied().collect();
+        let mut removed = 0;
+        let _ = f.remove(&keyed(&to_del), &mut removed, &mut NullSink);
+        prop_assert_eq!(removed, to_del.len());
+    }
+
+    /// The candidate-list helpers maintain a sorted k-bounded prefix.
+    #[test]
+    fn push_candidate_invariants(
+        items in proptest::collection::vec((0u64..1000, point3()), 0..40),
+        k in 1usize..8,
+    ) {
+        let mut cands: Vec<(u64, Point<3>)> = Vec::new();
+        for it in &items {
+            push_candidate(&mut cands, k, *it, &mut NullSink);
+            prop_assert!(cands.len() <= k);
+            prop_assert!(cands.windows(2).all(|w| (w[0].0, w[0].1.coords) <= (w[1].0, w[1].1.coords)));
+        }
+        if cands.len() == k {
+            prop_assert_eq!(knn_bound(&cands, k), cands[k - 1].0);
+        } else {
+            prop_assert_eq!(knn_bound(&cands, k), u64::MAX);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// structure_clone preserves routing: the cached copy ends at a stub
+    /// exactly where the master ends at a leaf, and diverges exactly where
+    /// the master diverges.
+    #[test]
+    fn cache_clone_routes_identically(
+        pts in proptest::collection::vec(point3(), 2..100),
+        probes in proptest::collection::vec(point3(), 1..30),
+    ) {
+        let f = fragment_over(&pts, 4, 4);
+        let c = f.structure_clone();
+        let root_pre = f.root_node().prefix;
+        for p in pts.iter().chain(probes.iter()) {
+            let k = ZKey::<3>::encode(p);
+            if !root_pre.covers(k) {
+                continue;
+            }
+            match (f.search(k, &mut NullSink), c.search(k, &mut NullSink)) {
+                (SearchEnd::Leaf(a), SearchEnd::Stub(b)) => prop_assert_eq!(a, b),
+                (SearchEnd::Diverge { parent: a, side: sa },
+                 SearchEnd::Diverge { parent: b, side: sb }) => {
+                    prop_assert_eq!((a, sa), (b, sb));
+                }
+                (m, cc) => prop_assert!(false, "master {m:?} vs cache {cc:?}"),
+            }
+        }
+    }
+
+    /// split_root partitions the fragment: counts and point multisets are
+    /// preserved across the detached root and extracted children.
+    #[test]
+    fn split_root_preserves_points(
+        pts in proptest::collection::vec(point3(), 20..150),
+    ) {
+        let mut f = fragment_over(&pts, 4, 0);
+        let total_pts = f.local_points().len();
+        let ids = vec![(100u64, 1u32), (101, 2)];
+        let (root, frags) = f.split_root(ids.into_iter());
+        let sum: usize = frags.iter().map(|fr| fr.local_points().len()).sum();
+        prop_assert_eq!(sum, total_pts, "points preserved");
+        match &root.kind {
+            BKind::Internal { .. } => prop_assert!(frags.len() <= 2),
+            BKind::Leaf { .. } => prop_assert_eq!(frags.len(), 1),
+            BKind::LeafStub => prop_assert!(false, "master split can't stub"),
+        }
+    }
+
+    /// local_box_count equals a scan for random boxes, with dense chunking
+    /// on and off.
+    #[test]
+    fn fragment_box_count_is_exact(
+        pts in proptest::collection::vec(point3(), 2..120),
+        a in point3(),
+        b in point3(),
+        dir_bits in 0u32..6,
+    ) {
+        use pim_geom::Aabb;
+        let f = fragment_over(&pts, 4, dir_bits);
+        let bx = Aabb::new(a, b);
+        let mut frontier = Vec::new();
+        let got = f.local_box_count(f.root, &bx, &mut frontier, &mut NullSink);
+        prop_assert!(frontier.is_empty());
+        let want = pts.iter().filter(|p| bx.contains(p)).count() as u64;
+        prop_assert_eq!(got, want);
+    }
+}

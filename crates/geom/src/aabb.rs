@@ -1,0 +1,253 @@
+//! Axis-aligned bounding boxes with inclusive integer bounds.
+
+use crate::metric::Metric;
+use crate::point::Point;
+
+/// An axis-aligned box `[lo, hi]` (both bounds inclusive) on the integer grid.
+///
+/// Inclusive bounds are the natural choice for z-order subdivision: the box of
+/// a tree node covering bit-prefix `p` is exactly the set of points whose key
+/// starts with `p`, and that set has inclusive integer corners.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Aabb<const D: usize> {
+    /// Smallest corner (inclusive).
+    pub lo: Point<D>,
+    /// Largest corner (inclusive).
+    pub hi: Point<D>,
+}
+
+impl<const D: usize> Aabb<D> {
+    /// Creates a box from its two inclusive corners; corners are normalized
+    /// component-wise so the result is always well-formed.
+    #[inline]
+    pub fn new(a: Point<D>, b: Point<D>) -> Self {
+        Self { lo: a.min(&b), hi: a.max(&b) }
+    }
+
+    /// A degenerate box containing exactly one point.
+    #[inline]
+    pub fn point(p: Point<D>) -> Self {
+        Self { lo: p, hi: p }
+    }
+
+    /// The box covering the entire coordinate grid for this dimension.
+    #[inline]
+    pub fn universe() -> Self {
+        let m = crate::max_coord_for_dim(D);
+        Self { lo: Point::origin(), hi: Point::new([m; D]) }
+    }
+
+    /// Whether `p` lies inside the box (bounds inclusive).
+    #[inline]
+    pub fn contains(&self, p: &Point<D>) -> bool {
+        for i in 0..D {
+            if p.coords[i] < self.lo.coords[i] || p.coords[i] > self.hi.coords[i] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether `other` is entirely inside `self`.
+    #[inline]
+    pub fn contains_box(&self, other: &Self) -> bool {
+        self.contains(&other.lo) && self.contains(&other.hi)
+    }
+
+    /// Whether the two boxes share at least one grid point.
+    #[inline]
+    pub fn intersects(&self, other: &Self) -> bool {
+        for i in 0..D {
+            if self.hi.coords[i] < other.lo.coords[i] || other.hi.coords[i] < self.lo.coords[i] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Smallest box containing both `self` and `other`.
+    #[inline]
+    pub fn union(&self, other: &Self) -> Self {
+        Self { lo: self.lo.min(&other.lo), hi: self.hi.max(&other.hi) }
+    }
+
+    /// Grows the box to include `p`.
+    #[inline]
+    pub fn expand(&mut self, p: &Point<D>) {
+        self.lo = self.lo.min(p);
+        self.hi = self.hi.max(p);
+    }
+
+    /// Per-axis gap between `p` and the box: 0 when `p`'s coordinate is
+    /// within the slab, otherwise the distance to the nearer face.
+    #[inline]
+    fn axis_gap(&self, p: &Point<D>, i: usize) -> u64 {
+        let c = p.coords[i];
+        if c < self.lo.coords[i] {
+            (self.lo.coords[i] - c) as u64
+        } else if c > self.hi.coords[i] {
+            (c - self.hi.coords[i]) as u64
+        } else {
+            0
+        }
+    }
+
+    /// Minimum squared ℓ2 distance from `p` to any point of the box
+    /// (0 if `p` is inside).
+    #[inline]
+    pub fn min_l2_sq(&self, p: &Point<D>) -> u64 {
+        let mut acc = 0u64;
+        for i in 0..D {
+            let g = self.axis_gap(p, i);
+            acc = acc.saturating_add(g * g);
+        }
+        acc
+    }
+
+    /// Minimum ℓ1 distance from `p` to any point of the box.
+    #[inline]
+    pub fn min_l1(&self, p: &Point<D>) -> u64 {
+        let mut acc = 0u64;
+        for i in 0..D {
+            acc += self.axis_gap(p, i);
+        }
+        acc
+    }
+
+    /// Minimum ℓ∞ distance from `p` to any point of the box.
+    #[inline]
+    pub fn min_linf(&self, p: &Point<D>) -> u64 {
+        let mut acc = 0u64;
+        for i in 0..D {
+            acc = acc.max(self.axis_gap(p, i));
+        }
+        acc
+    }
+
+    /// Minimum distance from `p` to the box under `metric`, in that metric's
+    /// comparable form (ℓ2 is squared — see [`Metric::cmp_dist`]).
+    #[inline]
+    pub fn min_dist(&self, p: &Point<D>, metric: Metric) -> u64 {
+        match metric {
+            Metric::L1 => self.min_l1(p),
+            Metric::L2 => self.min_l2_sq(p),
+            Metric::Linf => self.min_linf(p),
+        }
+    }
+
+    /// Whether every point of the box is within comparable distance `r` of
+    /// `p` under `metric` (used to find the lowest tree node containing a
+    /// candidate sphere in kNN, Alg 3 step 3).
+    #[inline]
+    pub fn max_dist_within(&self, p: &Point<D>, metric: Metric, r: u64) -> bool {
+        // The farthest point of a box from p is a corner; per-axis the
+        // farther face. Compute the farthest corner's distance.
+        let mut far = [0u32; D];
+        for i in 0..D {
+            let dl = p.coords[i].abs_diff(self.lo.coords[i]);
+            let dh = p.coords[i].abs_diff(self.hi.coords[i]);
+            far[i] = if dl > dh { self.lo.coords[i] } else { self.hi.coords[i] };
+        }
+        let fp = Point::new(far);
+        metric.cmp_dist(p, &fp) <= r
+    }
+
+    /// Number of grid points in the box (saturating; only used in tests and
+    /// diagnostics).
+    pub fn volume(&self) -> u128 {
+        let mut v: u128 = 1;
+        for i in 0..D {
+            v = v.saturating_mul((self.hi.coords[i] - self.lo.coords[i]) as u128 + 1);
+        }
+        v
+    }
+
+    /// Size in bytes as laid out on the wire (two corners).
+    #[inline]
+    pub const fn wire_bytes() -> u64 {
+        2 * Point::<D>::wire_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bx(lo: [u32; 2], hi: [u32; 2]) -> Aabb<2> {
+        Aabb::new(Point::new(lo), Point::new(hi))
+    }
+
+    #[test]
+    fn contains_is_inclusive() {
+        let b = bx([2, 2], [5, 7]);
+        assert!(b.contains(&Point::new([2, 2])));
+        assert!(b.contains(&Point::new([5, 7])));
+        assert!(b.contains(&Point::new([3, 4])));
+        assert!(!b.contains(&Point::new([1, 4])));
+        assert!(!b.contains(&Point::new([3, 8])));
+    }
+
+    #[test]
+    fn intersects_handles_touching_edges() {
+        let a = bx([0, 0], [4, 4]);
+        let b = bx([4, 4], [8, 8]);
+        let c = bx([5, 0], [8, 3]);
+        assert!(a.intersects(&b), "shared corner counts as intersection");
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn min_dists_zero_inside() {
+        let b = bx([2, 2], [5, 7]);
+        let p = Point::new([3, 3]);
+        assert_eq!(b.min_l2_sq(&p), 0);
+        assert_eq!(b.min_l1(&p), 0);
+        assert_eq!(b.min_linf(&p), 0);
+    }
+
+    #[test]
+    fn min_dists_outside() {
+        let b = bx([2, 2], [5, 7]);
+        let p = Point::new([0, 10]);
+        assert_eq!(b.min_l2_sq(&p), 2 * 2 + 3 * 3);
+        assert_eq!(b.min_l1(&p), 2 + 3);
+        assert_eq!(b.min_linf(&p), 3);
+    }
+
+    #[test]
+    fn max_dist_within_uses_farthest_corner() {
+        let b = bx([0, 0], [2, 2]);
+        let p = Point::new([0, 0]);
+        // farthest corner is (2,2): l2² = 8
+        assert!(b.max_dist_within(&p, Metric::L2, 8));
+        assert!(!b.max_dist_within(&p, Metric::L2, 7));
+        assert!(b.max_dist_within(&p, Metric::L1, 4));
+        assert!(!b.max_dist_within(&p, Metric::L1, 3));
+    }
+
+    #[test]
+    fn union_and_expand_agree() {
+        let a = bx([1, 5], [2, 6]);
+        let b = bx([0, 7], [9, 9]);
+        let u = a.union(&b);
+        let mut e = a;
+        e.expand(&Point::new([0, 7]));
+        e.expand(&Point::new([9, 9]));
+        assert_eq!(u, e);
+        assert!(u.contains_box(&a) && u.contains_box(&b));
+    }
+
+    #[test]
+    fn universe_contains_everything() {
+        let u = Aabb::<3>::universe();
+        assert!(u.contains(&Point::new([0, 0, 0])));
+        let m = crate::max_coord_for_dim(3);
+        assert!(u.contains(&Point::new([m, m, m])));
+    }
+
+    #[test]
+    fn volume_counts_grid_points() {
+        assert_eq!(bx([0, 0], [1, 2]).volume(), 6);
+        assert_eq!(Aabb::<2>::point(Point::new([7, 7])).volume(), 1);
+    }
+}

@@ -1,0 +1,137 @@
+//! Dataset diagnostics used by the paper's theory (§5).
+//!
+//! - **Bounded ratio** (Definition 1): `d_max / d_min` over all point pairs
+//!   should be `poly(n)`.
+//! - **Bounded expansion constant** (Definition 2): doubling a ball's radius
+//!   should grow its population by at most a constant factor γ.
+//!
+//! These are *diagnostics*: the index is correct on arbitrary data (§5 notes
+//! this explicitly); the bounds only sharpen the cost analysis. The
+//! reproduction uses them in tests to confirm the synthetic datasets exercise
+//! the regimes the paper assumes.
+
+use crate::metric::Metric;
+use crate::point::Point;
+
+/// Computes the bounded-ratio statistic `d_max / d_min` (ℓ2) by exact
+/// pairwise scan. Quadratic — intended for test-sized samples only.
+///
+/// Returns `None` if fewer than two distinct points exist (the ratio is then
+/// undefined).
+pub fn bounded_ratio<const D: usize>(points: &[Point<D>]) -> Option<f64> {
+    let mut dmin_sq = u64::MAX;
+    let mut dmax_sq = 0u64;
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            let d = points[i].l2_sq(&points[j]);
+            if d == 0 {
+                continue; // duplicate points don't define a minimum distance
+            }
+            dmin_sq = dmin_sq.min(d);
+            dmax_sq = dmax_sq.max(d);
+        }
+    }
+    if dmax_sq == 0 || dmin_sq == u64::MAX {
+        return None;
+    }
+    Some(((dmax_sq as f64) / (dmin_sq as f64)).sqrt())
+}
+
+/// Estimates the expansion constant γ of a point set by sampling.
+///
+/// For each of `samples` center points (taken round-robin from the set) and a
+/// geometric ladder of radii, measures `|ball(x, 2r)| / |ball(x, r)|` and
+/// returns the maximum ratio observed over balls with at least `min_ball`
+/// points (tiny balls make the ratio statistically meaningless).
+/// Quadratic per sample — test-sized inputs only.
+pub fn estimate_expansion_constant<const D: usize>(
+    points: &[Point<D>],
+    samples: usize,
+    min_ball: usize,
+) -> f64 {
+    if points.len() < 2 {
+        return 1.0;
+    }
+    let stride = (points.len() / samples.max(1)).max(1);
+    let mut gamma: f64 = 1.0;
+    for center in points.iter().step_by(stride).take(samples) {
+        // Distances from this center, in comparable (squared) form.
+        let mut dists: Vec<u64> =
+            points.iter().map(|p| Metric::L2.cmp_dist(center, p)).collect();
+        dists.sort_unstable();
+        // Radius ladder: distance of the 2^j-th nearest neighbor.
+        let mut j = min_ball.max(2);
+        while j < dists.len() {
+            let r_sq = dists[j - 1];
+            if r_sq == 0 {
+                j *= 2;
+                continue;
+            }
+            // |ball(x, r)| and |ball(x, 2r)|: squared radii compare as 4r².
+            let k1 = dists.partition_point(|&d| d <= r_sq);
+            let k2 = dists.partition_point(|&d| d <= r_sq.saturating_mul(4));
+            if k1 >= min_ball {
+                gamma = gamma.max(k2 as f64 / k1 as f64);
+            }
+            j *= 2;
+        }
+    }
+    gamma
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_ratio_on_grid() {
+        // 3 collinear points spaced 1 and 9 apart: ratio = 10.
+        let pts = vec![
+            Point::new([0u32, 0]),
+            Point::new([1u32, 0]),
+            Point::new([10u32, 0]),
+        ];
+        let r = bounded_ratio(&pts).unwrap();
+        assert!((r - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounded_ratio_ignores_duplicates() {
+        let pts = vec![
+            Point::new([5u32, 5]),
+            Point::new([5u32, 5]),
+            Point::new([8u32, 9]),
+        ];
+        assert!(bounded_ratio(&pts).is_some());
+    }
+
+    #[test]
+    fn bounded_ratio_undefined_for_degenerate_sets() {
+        let pts = vec![Point::new([5u32, 5]); 4];
+        assert!(bounded_ratio(&pts).is_none());
+        assert!(bounded_ratio::<2>(&[]).is_none());
+    }
+
+    #[test]
+    fn expansion_constant_small_on_uniform_grid() {
+        // A uniform 2D grid has expansion constant ≈ 4 (area scaling).
+        let mut pts = Vec::new();
+        for x in 0..32u32 {
+            for y in 0..32u32 {
+                pts.push(Point::new([x * 100, y * 100]));
+            }
+        }
+        let g = estimate_expansion_constant(&pts, 8, 4);
+        assert!(g >= 2.0, "grid must expand, got {g}");
+        assert!(g <= 16.0, "uniform grid should have small gamma, got {g}");
+    }
+
+    #[test]
+    fn expansion_constant_trivial_cases() {
+        assert_eq!(estimate_expansion_constant::<2>(&[], 4, 4), 1.0);
+        assert_eq!(
+            estimate_expansion_constant(&[Point::new([1u32, 1])], 4, 4),
+            1.0
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Integer-grid points with a const-generic dimension.
+
+
+/// A `D`-dimensional point on the integer grid.
+///
+/// Coordinates are unsigned so that Morton interleaving is a direct bit
+/// operation; datasets with real-valued coordinates are quantized by the
+/// workload generators before they reach the index.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Point<const D: usize> {
+    /// Coordinate per dimension, each below `2^coord_bits_for_dim(D)`.
+    pub coords: [u32; D],
+}
+
+impl<const D: usize> std::default::Default for Point<D> {
+    #[inline]
+    fn default() -> Self {
+        Self::origin()
+    }
+}
+
+impl<const D: usize> Point<D> {
+    /// Creates a point from raw coordinates.
+    #[inline]
+    pub const fn new(coords: [u32; D]) -> Self {
+        Self { coords }
+    }
+
+    /// The origin (all coordinates zero).
+    #[inline]
+    pub const fn origin() -> Self {
+        Self { coords: [0; D] }
+    }
+
+    /// Squared Euclidean (ℓ2²) distance to `other`.
+    ///
+    /// Exact in `u64`: each per-axis difference is < 2^31, its square < 2^62,
+    /// and at most 8 dimensions are supported, so the sum fits comfortably in
+    /// `u128`-free arithmetic only for D ≤ 2; we therefore widen through
+    /// `u64` per axis and saturate, which is unreachable for valid grids.
+    #[inline]
+    pub fn l2_sq(&self, other: &Self) -> u64 {
+        let mut acc = 0u64;
+        for i in 0..D {
+            let d = self.coords[i].abs_diff(other.coords[i]) as u64;
+            acc = acc.saturating_add(d * d);
+        }
+        acc
+    }
+
+    /// Manhattan (ℓ1) distance to `other`.
+    #[inline]
+    pub fn l1(&self, other: &Self) -> u64 {
+        let mut acc = 0u64;
+        for i in 0..D {
+            acc += self.coords[i].abs_diff(other.coords[i]) as u64;
+        }
+        acc
+    }
+
+    /// Chebyshev (ℓ∞) distance to `other`.
+    #[inline]
+    pub fn linf(&self, other: &Self) -> u64 {
+        let mut acc = 0u64;
+        for i in 0..D {
+            acc = acc.max(self.coords[i].abs_diff(other.coords[i]) as u64);
+        }
+        acc
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(&self, other: &Self) -> Self {
+        let mut c = [0u32; D];
+        for i in 0..D {
+            c[i] = self.coords[i].min(other.coords[i]);
+        }
+        Self { coords: c }
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(&self, other: &Self) -> Self {
+        let mut c = [0u32; D];
+        for i in 0..D {
+            c[i] = self.coords[i].max(other.coords[i]);
+        }
+        Self { coords: c }
+    }
+
+    /// Size of the point in bytes as laid out in PIM local memory / on the
+    /// memory bus. Used for communication accounting.
+    #[inline]
+    pub const fn wire_bytes() -> u64 {
+        (D * core::mem::size_of::<u32>()) as u64
+    }
+}
+
+impl<const D: usize> From<[u32; D]> for Point<D> {
+    #[inline]
+    fn from(coords: [u32; D]) -> Self {
+        Self { coords }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_match_hand_computation() {
+        let a = Point::new([1u32, 2, 3]);
+        let b = Point::new([4u32, 6, 3]);
+        assert_eq!(a.l2_sq(&b), 9 + 16);
+        assert_eq!(a.l1(&b), 3 + 4);
+        assert_eq!(a.linf(&b), 4);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new([10u32, 0]);
+        let b = Point::new([3u32, 99]);
+        assert_eq!(a.l2_sq(&b), b.l2_sq(&a));
+        assert_eq!(a.l1(&b), b.l1(&a));
+        assert_eq!(a.linf(&b), b.linf(&a));
+    }
+
+    #[test]
+    fn metric_inequalities_l1_anchors_l2() {
+        // ‖x‖2 ≤ ‖x‖1 ≤ √D·‖x‖2 — the anchoring fact behind the paper's
+        // coarse/fine kNN filter (§6), checked on a sample of points.
+        let pts = [
+            (Point::new([0u32, 0, 0]), Point::new([5u32, 5, 5])),
+            (Point::new([1u32, 2, 3]), Point::new([9u32, 1, 4])),
+            (Point::new([7u32, 7, 0]), Point::new([0u32, 0, 0])),
+        ];
+        for (a, b) in pts {
+            let l1 = a.l1(&b);
+            let l2_sq = a.l2_sq(&b);
+            // l2 <= l1  <=>  l2² <= l1²
+            assert!(l2_sq <= l1 * l1);
+            // l1 <= sqrt(3) l2  <=>  l1² <= 3 l2²
+            assert!(l1 * l1 <= 3 * l2_sq);
+        }
+    }
+
+    #[test]
+    fn min_max_are_componentwise() {
+        let a = Point::new([1u32, 9]);
+        let b = Point::new([5u32, 2]);
+        assert_eq!(a.min(&b), Point::new([1, 2]));
+        assert_eq!(a.max(&b), Point::new([5, 9]));
+    }
+
+    #[test]
+    fn wire_bytes_counts_coords() {
+        assert_eq!(Point::<3>::wire_bytes(), 12);
+        assert_eq!(Point::<2>::wire_bytes(), 8);
+    }
+}

@@ -1,0 +1,181 @@
+//! Quantization of real-valued coordinates onto the integer grid.
+//!
+//! The index operates on integer Morton keys (21 bits/dim in 3D); real
+//! datasets (astronomy catalogs, GPS traces) arrive as floats. A
+//! [`Quantizer`] fits the data's bounding box once and maps points both
+//! ways; the forward map is monotone per axis, so spatial relations
+//! (containment, relative order) survive, and the inverse map lands within
+//! half a grid cell of the original.
+
+use crate::point::Point;
+use crate::max_coord_for_dim;
+
+/// Affine map between a real-valued bounding box and the integer grid.
+///
+/// ```
+/// use pim_geom::Quantizer;
+///
+/// let data = vec![[0.0, -1.0], [10.0, 1.0], [5.0, 0.0]];
+/// let (q, grid) = Quantizer::quantize_all(&data).unwrap();
+/// let back = q.dequantize(&grid[2]);
+/// assert!((back[0] - 5.0).abs() < 1e-6);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Quantizer<const D: usize> {
+    lo: [f64; D],
+    scale: [f64; D],
+    inv_scale: [f64; D],
+}
+
+impl<const D: usize> Quantizer<D> {
+    /// Fits a quantizer to the bounding box of `data`. Returns `None` for
+    /// an empty input. Degenerate axes (all values equal) map to grid 0.
+    pub fn fit(data: &[[f64; D]]) -> Option<Self> {
+        let first = data.first()?;
+        let mut lo = *first;
+        let mut hi = *first;
+        for p in data {
+            for i in 0..D {
+                lo[i] = lo[i].min(p[i]);
+                hi[i] = hi[i].max(p[i]);
+            }
+        }
+        Some(Self::from_bounds(lo, hi))
+    }
+
+    /// Builds a quantizer for the explicit real-valued box `[lo, hi]`.
+    pub fn from_bounds(lo: [f64; D], hi: [f64; D]) -> Self {
+        let m = max_coord_for_dim(D) as f64;
+        let mut scale = [0.0; D];
+        let mut inv_scale = [0.0; D];
+        for i in 0..D {
+            let w = hi[i] - lo[i];
+            if w > 0.0 && w.is_finite() {
+                scale[i] = m / w;
+                inv_scale[i] = w / m;
+            }
+        }
+        Self { lo, scale, inv_scale }
+    }
+
+    /// Maps a real point onto the grid (clamped to the fitted box).
+    #[inline]
+    pub fn quantize(&self, p: &[f64; D]) -> Point<D> {
+        let m = max_coord_for_dim(D) as f64;
+        let mut c = [0u32; D];
+        for i in 0..D {
+            let v = ((p[i] - self.lo[i]) * self.scale[i]).clamp(0.0, m);
+            c[i] = v.round() as u32;
+        }
+        Point::new(c)
+    }
+
+    /// Maps a grid point back to real coordinates (cell centers).
+    #[inline]
+    pub fn dequantize(&self, p: &Point<D>) -> [f64; D] {
+        let mut out = [0.0; D];
+        for i in 0..D {
+            out[i] = self.lo[i] + p.coords[i] as f64 * self.inv_scale[i];
+        }
+        out
+    }
+
+    /// Worst-case absolute error the round trip introduces per axis
+    /// (half a grid cell).
+    pub fn max_error(&self) -> [f64; D] {
+        let mut out = [0.0; D];
+        for i in 0..D {
+            out[i] = self.inv_scale[i] * 0.5;
+        }
+        out
+    }
+
+    /// Convenience: fit and quantize a whole dataset.
+    pub fn quantize_all(data: &[[f64; D]]) -> Option<(Self, Vec<Point<D>>)> {
+        let q = Self::fit(data)?;
+        let pts = data.iter().map(|p| q.quantize(p)).collect();
+        Some((q, pts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_stays_within_half_cell() {
+        let data: Vec<[f64; 3]> = (0..500)
+            .map(|i| {
+                let t = i as f64;
+                [t.sin() * 180.0, t.cos() * 90.0, t * 0.37 - 42.0]
+            })
+            .collect();
+        let (q, pts) = Quantizer::quantize_all(&data).unwrap();
+        let err = q.max_error();
+        for (orig, p) in data.iter().zip(&pts) {
+            let back = q.dequantize(p);
+            for i in 0..3 {
+                assert!(
+                    (orig[i] - back[i]).abs() <= err[i] * 1.001,
+                    "axis {i}: {} vs {} (tol {})",
+                    orig[i],
+                    back[i],
+                    err[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_is_monotone_per_axis() {
+        let q = Quantizer::<2>::from_bounds([0.0, 0.0], [100.0, 100.0]);
+        let a = q.quantize(&[10.0, 50.0]);
+        let b = q.quantize(&[20.0, 50.0]);
+        assert!(a.coords[0] < b.coords[0]);
+        assert_eq!(a.coords[1], b.coords[1]);
+    }
+
+    #[test]
+    fn grid_corners_map_to_extremes() {
+        let q = Quantizer::<3>::from_bounds([-1.0; 3], [1.0; 3]);
+        assert_eq!(q.quantize(&[-1.0; 3]), Point::origin());
+        let m = max_coord_for_dim(3);
+        assert_eq!(q.quantize(&[1.0; 3]), Point::new([m; 3]));
+    }
+
+    #[test]
+    fn out_of_box_points_are_clamped() {
+        let q = Quantizer::<2>::from_bounds([0.0, 0.0], [1.0, 1.0]);
+        let p = q.quantize(&[-5.0, 99.0]);
+        assert_eq!(p.coords[0], 0);
+        assert_eq!(p.coords[1], max_coord_for_dim(2));
+    }
+
+    #[test]
+    fn degenerate_axis_maps_to_zero() {
+        let data = vec![[3.0, 7.0], [5.0, 7.0], [4.0, 7.0]];
+        let (q, pts) = Quantizer::quantize_all(&data).unwrap();
+        for p in &pts {
+            assert_eq!(p.coords[1], 0, "flat axis collapses to 0");
+        }
+        // And dequantizes back to the flat value.
+        assert_eq!(q.dequantize(&pts[0])[1], 7.0);
+    }
+
+    #[test]
+    fn empty_input_yields_none() {
+        assert!(Quantizer::<3>::fit(&[]).is_none());
+    }
+
+    #[test]
+    fn resolution_uses_full_bit_budget() {
+        // 21 bits in 3D: relative error ≈ 2^-22 of the box width.
+        let q = Quantizer::<3>::from_bounds([0.0; 3], [1.0; 3]);
+        let err = q.max_error();
+        let expect = 1.0 / (max_coord_for_dim(3) as f64) / 2.0;
+        for e in err {
+            assert!((e - expect).abs() < 1e-12);
+        }
+        assert_eq!(crate::coord_bits_for_dim(3), 21);
+    }
+}

@@ -1,0 +1,171 @@
+//! Simulation counters: time, traffic, rounds, and load balance.
+
+use serde::Serialize;
+
+/// Per-round time decomposition, matching the paper's Fig. 6 categories.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct RoundBreakdown {
+    /// Max-over-modules core time for the round (the "PIM time").
+    pub pim_s: f64,
+    /// Channel transfer time.
+    pub comm_s: f64,
+    /// Fixed overheads: mux switch + transfer-call overhead.
+    pub overhead_s: f64,
+}
+
+impl RoundBreakdown {
+    /// Total simulated seconds of the round.
+    pub fn total_s(&self) -> f64 {
+        self.pim_s + self.comm_s + self.overhead_s
+    }
+}
+
+/// Load-balance summary of one round.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct LoadStats {
+    /// Maximum per-module cycles in the round.
+    pub max_cycles: u64,
+    /// Mean per-module cycles over *all* modules (idle ones count as 0).
+    pub mean_cycles: f64,
+}
+
+impl LoadStats {
+    /// Max/mean imbalance ratio (1.0 = perfectly balanced; undefined rounds
+    /// with no PIM work report 1.0).
+    pub fn imbalance(&self) -> f64 {
+        if self.mean_cycles <= 0.0 {
+            1.0
+        } else {
+            self.max_cycles as f64 / self.mean_cycles
+        }
+    }
+}
+
+/// Lifetime counters of a [`crate::PimSystem`]. Reset between warmup and
+/// measurement phases.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct SimStats {
+    /// Number of BSP rounds executed.
+    pub rounds: u64,
+    /// Bytes sent CPU → PIM.
+    pub cpu_to_pim_bytes: u64,
+    /// Bytes sent PIM → CPU.
+    pub pim_to_cpu_bytes: u64,
+    /// Sum over rounds of the max-over-modules core time.
+    pub pim_s: f64,
+    /// Sum of channel transfer time.
+    pub comm_s: f64,
+    /// Sum of fixed overheads (mux + call overhead).
+    pub overhead_s: f64,
+    /// Worst max/mean cycle imbalance seen in any round with PIM work.
+    pub worst_imbalance: f64,
+    /// Total PIM core cycles across all modules (for energy-style metrics).
+    pub total_pim_cycles: u64,
+    /// Sum over rounds of the per-round maximum module cycles (the
+    /// straggler path length).
+    pub sum_max_cycles: u64,
+    /// Number of modules (for aggregate imbalance).
+    pub n_modules: usize,
+}
+
+impl SimStats {
+    /// Total CPU⇄PIM traffic in bytes (the PIM half of the Fig. 5 traffic
+    /// metric).
+    pub fn channel_bytes(&self) -> u64 {
+        self.cpu_to_pim_bytes + self.pim_to_cpu_bytes
+    }
+
+    /// Total simulated seconds spent in PIM rounds (excludes host compute,
+    /// which the host algorithm accounts via its `CpuMeter`).
+    pub fn round_time_s(&self) -> f64 {
+        self.pim_s + self.comm_s + self.overhead_s
+    }
+
+    /// Cycle-weighted load imbalance: the straggler path (Σ per-round max
+    /// cycles) over the perfectly-balanced path (Σ cycles / P). Unlike
+    /// [`Self::worst_imbalance`], tiny management rounds barely move it.
+    pub fn agg_imbalance(&self) -> f64 {
+        if self.total_pim_cycles == 0 || self.n_modules == 0 {
+            return 1.0;
+        }
+        self.sum_max_cycles as f64 / (self.total_pim_cycles as f64 / self.n_modules as f64)
+    }
+
+    /// Records one round.
+    pub fn record(&mut self, b: RoundBreakdown, load: LoadStats, sent: u64, recv: u64) {
+        self.rounds += 1;
+        self.cpu_to_pim_bytes += sent;
+        self.pim_to_cpu_bytes += recv;
+        self.pim_s += b.pim_s;
+        self.comm_s += b.comm_s;
+        self.overhead_s += b.overhead_s;
+        if load.max_cycles > 0 {
+            self.worst_imbalance = self.worst_imbalance.max(load.imbalance());
+        }
+        self.sum_max_cycles += load.max_cycles;
+    }
+
+    /// Difference `self - earlier` for phase-relative measurements.
+    pub fn since(&self, earlier: &SimStats) -> SimStats {
+        SimStats {
+            rounds: self.rounds - earlier.rounds,
+            cpu_to_pim_bytes: self.cpu_to_pim_bytes - earlier.cpu_to_pim_bytes,
+            pim_to_cpu_bytes: self.pim_to_cpu_bytes - earlier.pim_to_cpu_bytes,
+            pim_s: self.pim_s - earlier.pim_s,
+            comm_s: self.comm_s - earlier.comm_s,
+            overhead_s: self.overhead_s - earlier.overhead_s,
+            worst_imbalance: self.worst_imbalance,
+            total_pim_cycles: self.total_pim_cycles - earlier.total_pim_cycles,
+            sum_max_cycles: self.sum_max_cycles - earlier.sum_max_cycles,
+            n_modules: self.n_modules.max(earlier.n_modules),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imbalance_of_idle_round_is_one() {
+        let l = LoadStats { max_cycles: 0, mean_cycles: 0.0 };
+        assert_eq!(l.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let mut s = SimStats::default();
+        s.record(
+            RoundBreakdown { pim_s: 1.0, comm_s: 2.0, overhead_s: 0.5 },
+            LoadStats { max_cycles: 10, mean_cycles: 5.0 },
+            100,
+            200,
+        );
+        assert_eq!(s.rounds, 1);
+        assert_eq!(s.channel_bytes(), 300);
+        assert!((s.round_time_s() - 3.5).abs() < 1e-12);
+        assert!((s.worst_imbalance - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let mut a = SimStats::default();
+        a.record(
+            RoundBreakdown { pim_s: 1.0, comm_s: 0.0, overhead_s: 0.0 },
+            LoadStats::default(),
+            10,
+            20,
+        );
+        let snapshot = a.clone();
+        a.record(
+            RoundBreakdown { pim_s: 2.0, comm_s: 0.0, overhead_s: 0.0 },
+            LoadStats::default(),
+            1,
+            2,
+        );
+        let d = a.since(&snapshot);
+        assert_eq!(d.rounds, 1);
+        assert_eq!(d.cpu_to_pim_bytes, 1);
+        assert!((d.pim_s - 2.0).abs() < 1e-12);
+    }
+}

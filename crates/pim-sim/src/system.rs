@@ -1,0 +1,389 @@
+//! The BSP round executor.
+//!
+//! A [`PimSystem`] owns `P` module states and executes bulk-synchronous
+//! rounds: the host scatters per-module task buffers, every module's handler
+//! runs (in parallel, via rayon), and the host gathers per-module reply
+//! buffers. All four cost channels are accounted per round:
+//!
+//! 1. **CPU→PIM bytes** — the wire size of the scattered tasks;
+//! 2. **PIM→CPU bytes** — the wire size of the gathered replies;
+//! 3. **PIM time** — the *maximum* per-module core time (the PIM Model's
+//!    round metric; stragglers determine round completion, §1 Q1);
+//! 4. **Overheads** — one mux switch per round plus one transfer-call
+//!    overhead per module that sent or received data (the Direct-API knob).
+//!
+//! Handlers receive `(module_index, &mut M, &mut PimCtx, Vec<T>)` and must
+//! charge their work to the ctx; the simulator trusts but verifies nothing —
+//! the cost model is part of the algorithm under test, exactly as a DPU
+//! kernel's cycle count is part of a real implementation.
+
+use crate::config::MachineConfig;
+use crate::ctx::PimCtx;
+use crate::stats::{LoadStats, RoundBreakdown, SimStats};
+use crate::wire::Wire;
+use rayon::prelude::*;
+
+/// A simulated PIM machine with module state `M`.
+///
+/// ```
+/// use pim_sim::{MachineConfig, PimSystem};
+///
+/// let mut sys = PimSystem::new(MachineConfig::with_modules(4), |_| 0u64);
+/// let tasks: Vec<Vec<u32>> = (0..4).map(|i| vec![i as u32]).collect();
+/// let replies = sys.execute_round(tasks, |_, state, ctx, t| {
+///     ctx.op(t.len() as u64);
+///     *state += t.len() as u64;
+///     t
+/// });
+/// assert_eq!(replies[3], vec![3]);
+/// assert!(sys.stats().channel_bytes() > 0);
+/// ```
+pub struct PimSystem<M> {
+    cfg: MachineConfig,
+    modules: Vec<M>,
+    stats: SimStats,
+    /// When false, rounds execute but are not charged (warmup phases).
+    pub accounting: bool,
+}
+
+impl<M: Send> PimSystem<M> {
+    /// Builds a machine whose module `i` starts as `init(i)`.
+    pub fn new(cfg: MachineConfig, init: impl FnMut(usize) -> M) -> Self {
+        let modules: Vec<M> = (0..cfg.n_modules).map(init).collect();
+        Self { cfg, modules, stats: SimStats::default(), accounting: true }
+    }
+
+    /// Number of modules `P`.
+    pub fn n_modules(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Machine parameters.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Mutable machine parameters (benches flip the transfer API knob).
+    pub fn config_mut(&mut self) -> &mut MachineConfig {
+        &mut self.cfg
+    }
+
+    /// Read-only access to a module's state **for tests and invariant checks
+    /// only** — it bypasses communication accounting.
+    pub fn peek(&self, module: usize) -> &M {
+        &self.modules[module]
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Resets statistics (e.g. after warmup).
+    pub fn reset_stats(&mut self) {
+        self.stats = SimStats::default();
+    }
+
+    /// Executes one BSP round. `tasks[i]` is scattered to module `i`;
+    /// modules with an empty task list do not run (no transfer call, no
+    /// cycles). Returns `replies[i]` from each module.
+    pub fn execute_round<T, R, F>(&mut self, tasks: Vec<Vec<T>>, handler: F) -> Vec<Vec<R>>
+    where
+        T: Wire + Send,
+        R: Wire + Send,
+        F: Fn(usize, &mut M, &mut PimCtx, Vec<T>) -> Vec<R> + Sync,
+    {
+        self.run_round(tasks, handler, false)
+    }
+
+    /// Like [`Self::execute_round`], but invokes the handler on **every**
+    /// module, even those with no input (used for broadcast application,
+    /// e.g. replicating L0 updates). Modules without input still pay no
+    /// CPU→PIM transfer, but their work and replies are charged.
+    pub fn execute_round_all<T, R, F>(&mut self, tasks: Vec<Vec<T>>, handler: F) -> Vec<Vec<R>>
+    where
+        T: Wire + Send,
+        R: Wire + Send,
+        F: Fn(usize, &mut M, &mut PimCtx, Vec<T>) -> Vec<R> + Sync,
+    {
+        self.run_round(tasks, handler, true)
+    }
+
+    fn run_round<T, R, F>(&mut self, mut tasks: Vec<Vec<T>>, handler: F, run_all: bool) -> Vec<Vec<R>>
+    where
+        T: Wire + Send,
+        R: Wire + Send,
+        F: Fn(usize, &mut M, &mut PimCtx, Vec<T>) -> Vec<R> + Sync,
+    {
+        let p = self.modules.len();
+        assert!(
+            tasks.len() <= p,
+            "scattered {} task buffers onto {} modules",
+            tasks.len(),
+            p
+        );
+        tasks.resize_with(p, Vec::new);
+
+        let per_module_sent: Vec<u64> = tasks.iter().map(|t| t.wire_bytes()).collect();
+
+        // Run all module handlers in parallel; collect (reply, ctx) in
+        // module order so the simulation stays deterministic.
+        let results: Vec<(Vec<R>, PimCtx)> = self
+            .modules
+            .par_iter_mut()
+            .zip(tasks.into_par_iter())
+            .enumerate()
+            .map(|(i, (m, t))| {
+                let mut ctx = PimCtx::new();
+                let replies = if run_all || !t.is_empty() {
+                    handler(i, m, &mut ctx, t)
+                } else {
+                    Vec::new()
+                };
+                (replies, ctx)
+            })
+            .collect();
+
+        let per_module_recv: Vec<u64> = results.iter().map(|(r, _)| r.wire_bytes()).collect();
+
+        if self.accounting {
+            let sent: u64 = per_module_sent.iter().sum();
+            let recv: u64 = per_module_recv.iter().sum();
+            let max_module_bytes = per_module_sent
+                .iter()
+                .zip(&per_module_recv)
+                .map(|(a, b)| a + b)
+                .max()
+                .unwrap_or(0);
+
+            let mut max_time = 0.0f64;
+            let mut max_cycles = 0u64;
+            let mut sum_cycles = 0u64;
+            for (_, ctx) in &results {
+                max_time = max_time.max(ctx.time_s(self.cfg.pim_freq_hz, self.cfg.pim_local_bw));
+                max_cycles = max_cycles.max(ctx.cycles);
+                sum_cycles += ctx.cycles;
+            }
+            self.stats.total_pim_cycles += sum_cycles;
+
+            let calls = per_module_sent.iter().filter(|&&b| b > 0).count()
+                + per_module_recv.iter().filter(|&&b| b > 0).count();
+            let overhead = self.cfg.mux_switch_s
+                + calls as f64 * self.cfg.call_overhead_s() / self.cfg.host_threads as f64;
+
+            let breakdown = RoundBreakdown {
+                pim_s: max_time,
+                comm_s: self.cfg.transfer_time_s(sent + recv, max_module_bytes),
+                overhead_s: overhead,
+            };
+            let load = LoadStats { max_cycles, mean_cycles: sum_cycles as f64 / p as f64 };
+            self.stats.n_modules = p;
+            self.stats.record(breakdown, load, sent, recv);
+        }
+
+        results.into_iter().map(|(r, _)| r).collect()
+    }
+
+    /// Broadcasts one value to all modules and applies it: charges `P ×`
+    /// the value's wire size of CPU→PIM traffic (how L0 replication and
+    /// promoted-node broadcasts are paid for, Alg 2 step 3d).
+    pub fn broadcast<T, F>(&mut self, item: T, handler: F)
+    where
+        T: Wire + Sync,
+        F: Fn(usize, &mut M, &mut PimCtx, &T) + Sync,
+    {
+        let bytes = item.wire_bytes();
+        let p = self.modules.len();
+        let ctxs: Vec<PimCtx> = self
+            .modules
+            .par_iter_mut()
+            .enumerate()
+            .map(|(i, m)| {
+                let mut ctx = PimCtx::new();
+                handler(i, m, &mut ctx, &item);
+                ctx
+            })
+            .collect();
+
+        if self.accounting {
+            let mut max_time = 0.0f64;
+            let mut max_cycles = 0u64;
+            let mut sum_cycles = 0u64;
+            for ctx in &ctxs {
+                max_time = max_time.max(ctx.time_s(self.cfg.pim_freq_hz, self.cfg.pim_local_bw));
+                max_cycles = max_cycles.max(ctx.cycles);
+                sum_cycles += ctx.cycles;
+            }
+            self.stats.total_pim_cycles += sum_cycles;
+            let sent = bytes * p as u64;
+            let overhead = self.cfg.mux_switch_s
+                + p as f64 * self.cfg.call_overhead_s() / self.cfg.host_threads as f64;
+            let breakdown = RoundBreakdown {
+                pim_s: max_time,
+                comm_s: self.cfg.transfer_time_s(sent, bytes),
+                overhead_s: overhead,
+            };
+            let load = LoadStats { max_cycles, mean_cycles: sum_cycles as f64 / p as f64 };
+            self.stats.n_modules = p;
+            self.stats.record(breakdown, load, sent, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(p: usize) -> PimSystem<u64> {
+        PimSystem::new(MachineConfig::with_modules(p), |_| 0u64)
+    }
+
+    #[test]
+    fn round_scatters_and_gathers_in_order() {
+        let mut sys = machine(4);
+        let tasks: Vec<Vec<u32>> = vec![vec![1], vec![2, 2], vec![], vec![4]];
+        let replies = sys.execute_round(tasks, |i, state, ctx, t| {
+            *state += t.len() as u64;
+            ctx.op(t.len() as u64);
+            t.into_iter().map(|x| x as u64 * 10 + i as u64).collect::<Vec<u64>>()
+        });
+        assert_eq!(replies[0], vec![10]);
+        assert_eq!(replies[1], vec![21, 21]);
+        assert!(replies[2].is_empty());
+        assert_eq!(replies[3], vec![43]);
+        assert_eq!(*sys.peek(1), 2);
+        assert_eq!(*sys.peek(2), 0, "idle module must not run");
+    }
+
+    #[test]
+    fn byte_accounting_counts_both_directions() {
+        let mut sys = machine(2);
+        let tasks: Vec<Vec<u32>> = vec![vec![1, 2, 3], vec![]];
+        let _ = sys.execute_round(tasks, |_, _, _, t| {
+            t.into_iter().map(|x| x as u64).collect::<Vec<u64>>()
+        });
+        let s = sys.stats();
+        assert_eq!(s.cpu_to_pim_bytes, 12);
+        assert_eq!(s.pim_to_cpu_bytes, 24);
+        assert_eq!(s.rounds, 1);
+    }
+
+    #[test]
+    fn pim_time_is_max_over_modules() {
+        let mut sys = machine(4);
+        let tasks: Vec<Vec<u32>> = vec![vec![0], vec![0], vec![0], vec![0]];
+        let _ = sys.execute_round(tasks, |i, _, ctx, _| {
+            ctx.op(if i == 2 { 3500 } else { 35 });
+            Vec::<u32>::new()
+        });
+        // 3500 cycles at 350 MHz = 10 µs.
+        assert!((sys.stats().pim_s - 1e-5).abs() < 1e-9);
+        assert!(sys.stats().worst_imbalance > 3.0);
+    }
+
+    #[test]
+    fn warmup_rounds_are_free() {
+        let mut sys = machine(2);
+        sys.accounting = false;
+        let _ = sys.execute_round(vec![vec![1u32], vec![2u32]], |_, s, ctx, t| {
+            *s += 1;
+            ctx.op(1000);
+            t
+        });
+        assert_eq!(sys.stats().rounds, 0);
+        assert_eq!(sys.stats().channel_bytes(), 0);
+        assert_eq!(*sys.peek(0), 1, "state still mutated during warmup");
+    }
+
+    #[test]
+    fn broadcast_charges_p_copies() {
+        let mut sys = machine(8);
+        sys.broadcast(7u64, |_, s, ctx, v| {
+            *s = *v;
+            ctx.op(1);
+        });
+        assert_eq!(sys.stats().cpu_to_pim_bytes, 8 * 8);
+        for i in 0..8 {
+            assert_eq!(*sys.peek(i), 7);
+        }
+    }
+
+    #[test]
+    fn sdk_api_has_higher_overhead() {
+        let run = |api| {
+            let mut cfg = MachineConfig::with_modules(64);
+            cfg.api = api;
+            let mut sys = PimSystem::new(cfg, |_| 0u64);
+            let tasks: Vec<Vec<u32>> = (0..64).map(|_| vec![1u32]).collect();
+            let _ = sys.execute_round(tasks, |_, _, _, _| vec![1u32]);
+            sys.stats().overhead_s
+        };
+        let sdk = run(crate::config::TransferApi::Sdk);
+        let direct = run(crate::config::TransferApi::Direct);
+        assert!(sdk > direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "scattered")]
+    fn too_many_task_buffers_panics() {
+        let mut sys = machine(1);
+        let _ = sys.execute_round(vec![vec![1u32], vec![2u32]], |_, _, _, t| t);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn execute_round_all_runs_idle_modules() {
+        let mut sys = PimSystem::new(MachineConfig::with_modules(3), |_| 0u64);
+        let replies = sys.execute_round_all(vec![vec![5u32]], |i, s, ctx, t| {
+            *s += 1 + t.len() as u64;
+            ctx.op(1);
+            vec![i as u32]
+        });
+        // All three ran; only module 0 had input.
+        assert_eq!(replies.len(), 3);
+        assert_eq!(*sys.peek(0), 2);
+        assert_eq!(*sys.peek(1), 1);
+        assert_eq!(*sys.peek(2), 1);
+    }
+
+    #[test]
+    fn aggregate_imbalance_dilutes_tiny_rounds() {
+        let mut sys = PimSystem::new(MachineConfig::with_modules(4), |_| 0u64);
+        // Round 1: heavily imbalanced but tiny (1 module, 40 cycles).
+        let _ = sys.execute_round(vec![vec![1u32]], |_, _, ctx, _| {
+            ctx.op(40);
+            Vec::<u32>::new()
+        });
+        // Round 2: big and balanced.
+        let tasks: Vec<Vec<u32>> = (0..4).map(|_| vec![0u32; 10]).collect();
+        let _ = sys.execute_round(tasks, |_, _, ctx, _| {
+            ctx.op(100_000);
+            Vec::<u32>::new()
+        });
+        let s = sys.stats();
+        assert!(s.worst_imbalance >= 4.0, "per-round metric sees the tiny round");
+        assert!(
+            s.agg_imbalance() < 1.2,
+            "aggregate metric must not: {:.3}",
+            s.agg_imbalance()
+        );
+    }
+
+    #[test]
+    fn stats_reset_clears_everything() {
+        let mut sys = PimSystem::new(MachineConfig::with_modules(2), |_| 0u64);
+        let _ = sys.execute_round(vec![vec![1u32], vec![2u32]], |_, _, ctx, t| {
+            ctx.op(5);
+            t
+        });
+        assert!(sys.stats().rounds > 0);
+        sys.reset_stats();
+        assert_eq!(sys.stats().rounds, 0);
+        assert_eq!(sys.stats().channel_bytes(), 0);
+        assert_eq!(sys.stats().total_pim_cycles, 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Wire-size accounting for host⇄PIM transfers.
+//!
+//! Every value crossing the memory channel implements [`Wire`], reporting
+//! the number of bytes it occupies in a transfer buffer. The simulator sums
+//! these to charge communication — the paper's "communication amount" metric
+//! (§2.1) and half of the Fig. 5 memory-traffic series.
+
+/// Size of a value as serialized into a host⇄PIM transfer buffer.
+pub trait Wire {
+    /// Number of bytes this value occupies on the wire.
+    fn wire_bytes(&self) -> u64;
+}
+
+impl Wire for () {
+    fn wire_bytes(&self) -> u64 {
+        0
+    }
+}
+
+macro_rules! prim_wire {
+    ($($t:ty),*) => {
+        $(impl Wire for $t {
+            #[inline]
+            fn wire_bytes(&self) -> u64 {
+                core::mem::size_of::<$t>() as u64
+            }
+        })*
+    };
+}
+prim_wire!(u8, u16, u32, u64, i8, i16, i32, i64, usize, f32, f64);
+
+impl<T: Wire> Wire for Vec<T> {
+    #[inline]
+    fn wire_bytes(&self) -> u64 {
+        self.iter().map(Wire::wire_bytes).sum()
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    #[inline]
+    fn wire_bytes(&self) -> u64 {
+        // A presence byte plus the payload.
+        1 + self.as_ref().map_or(0, Wire::wire_bytes)
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    #[inline]
+    fn wire_bytes(&self) -> u64 {
+        self.0.wire_bytes() + self.1.wire_bytes()
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    #[inline]
+    fn wire_bytes(&self) -> u64 {
+        self.0.wire_bytes() + self.1.wire_bytes() + self.2.wire_bytes()
+    }
+}
+
+impl<T: Wire> Wire for &T {
+    #[inline]
+    fn wire_bytes(&self) -> u64 {
+        (*self).wire_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_report_their_size() {
+        assert_eq!(5u32.wire_bytes(), 4);
+        assert_eq!(5u64.wire_bytes(), 8);
+        assert_eq!(().wire_bytes(), 0);
+    }
+
+    #[test]
+    fn containers_sum_elements() {
+        assert_eq!(vec![1u32, 2, 3].wire_bytes(), 12);
+        assert_eq!((1u32, 2u64).wire_bytes(), 12);
+        assert_eq!(Some(7u32).wire_bytes(), 5);
+        assert_eq!(Option::<u32>::None.wire_bytes(), 1);
+    }
+}

@@ -1,0 +1,379 @@
+//! Structure and construction of the object-median kd-tree.
+
+use pim_geom::{Aabb, Point};
+use pim_memsim::CpuMeter;
+
+/// Handle into the node arena.
+pub type PkNodeId = u32;
+
+/// Weight-balance factor: a child may hold at most this fraction of its
+/// parent's points (plus slack) before the subtree is rebuilt. Pkd-tree
+/// calls this the imbalance ratio; 0.7 is its default regime.
+pub const BALANCE_ALPHA: f64 = 0.7;
+
+/// Payload of a kd-tree node.
+#[derive(Clone, Debug)]
+pub enum PkNodeKind<const D: usize> {
+    /// Internal split node.
+    Internal {
+        /// Split dimension.
+        dim: u8,
+        /// The object median's full order key along `dim`
+        /// (`(coords[dim], coords)`): points strictly below go left, the
+        /// median and everything above go right. Storing the complete key
+        /// makes routing a total order, so updates are deterministic even
+        /// with duplicate coordinates.
+        split: (u32, [u32; D]),
+        /// Left child.
+        left: PkNodeId,
+        /// Right child.
+        right: PkNodeId,
+    },
+    /// Leaf bucket.
+    Leaf {
+        /// Unordered point bucket.
+        points: Vec<Point<D>>,
+    },
+}
+
+/// One node: tight bounding box + subtree count + payload.
+#[derive(Clone, Debug)]
+pub struct PkNode<const D: usize> {
+    /// Tight bounding box of the subtree's points.
+    pub bbox: Aabb<D>,
+    /// Number of points below.
+    pub count: u32,
+    /// Payload.
+    pub kind: PkNodeKind<D>,
+}
+
+/// Virtual address region for the cache model (disjoint from the zd-tree's).
+pub mod addr {
+    /// Base of the node-record region.
+    pub const NODE_REGION: u64 = 1 << 42;
+    /// Base of the leaf point-storage region.
+    pub const POINTS_REGION: u64 = 1 << 43;
+    /// Bytes per node record.
+    pub const NODE_BYTES: u64 = 56;
+
+    /// Address of a node record.
+    #[inline]
+    pub fn node(idx: super::PkNodeId) -> u64 {
+        NODE_REGION + idx as u64 * NODE_BYTES
+    }
+
+    /// Address of a leaf's point slot.
+    #[inline]
+    pub fn leaf_points(idx: super::PkNodeId, slot_bytes: u64) -> u64 {
+        POINTS_REGION + idx as u64 * slot_bytes
+    }
+}
+
+/// The parallel batch-dynamic kd-tree.
+pub struct PkdTree<const D: usize> {
+    pub(crate) nodes: Vec<PkNode<D>>,
+    pub(crate) free: Vec<PkNodeId>,
+    pub(crate) root: Option<PkNodeId>,
+    pub(crate) leaf_cap: usize,
+    pub(crate) n_points: usize,
+}
+
+/// Tight bounding box of a point set (assumed non-empty).
+pub(crate) fn tight_box<const D: usize>(pts: &[Point<D>]) -> Aabb<D> {
+    let mut b = Aabb::point(pts[0]);
+    for p in &pts[1..] {
+        b.expand(p);
+    }
+    b
+}
+
+/// Widest dimension of a box (ties to the lowest index).
+pub(crate) fn widest_dim<const D: usize>(b: &Aabb<D>) -> u8 {
+    let mut best = 0usize;
+    let mut width = 0u64;
+    for i in 0..D {
+        let w = (b.hi.coords[i] - b.lo.coords[i]) as u64;
+        if w > width {
+            width = w;
+            best = i;
+        }
+    }
+    best as u8
+}
+
+/// Deterministic total order along `dim` with full-coordinate tiebreak.
+#[inline]
+pub(crate) fn dim_key<const D: usize>(p: &Point<D>, dim: u8) -> (u32, [u32; D]) {
+    (p.coords[dim as usize], p.coords)
+}
+
+const PAR_CUTOFF: usize = 4096;
+
+/// Number of arena nodes for `n` points (object-median halves exactly).
+fn count_nodes(n: usize, leaf_cap: usize) -> usize {
+    if n <= leaf_cap {
+        1
+    } else {
+        let m = n / 2;
+        1 + count_nodes(m, leaf_cap) + count_nodes(n - m, leaf_cap)
+    }
+}
+
+/// Fills `arena` with the kd-tree over `pts` (mutated in place by median
+/// partitioning); the subtree root lands at `arena\[0\]` with global id `base`.
+fn fill<const D: usize>(
+    arena: &mut [Option<PkNode<D>>],
+    pts: &mut [Point<D>],
+    base: PkNodeId,
+    leaf_cap: usize,
+) {
+    debug_assert!(!pts.is_empty());
+    if pts.len() <= leaf_cap {
+        arena[0] = Some(PkNode {
+            bbox: tight_box(pts),
+            count: pts.len() as u32,
+            kind: PkNodeKind::Leaf { points: pts.to_vec() },
+        });
+        return;
+    }
+    let bbox = tight_box(pts);
+    let dim = widest_dim(&bbox);
+    let m = pts.len() / 2;
+    pts.select_nth_unstable_by_key(m, |p| dim_key(p, dim));
+    let split = dim_key(&pts[m], dim);
+    let (lp, rp) = pts.split_at_mut(m);
+    let ln = count_nodes(m, leaf_cap);
+    let (root_slot, rest) = arena.split_first_mut().unwrap();
+    let (la, ra) = rest.split_at_mut(ln);
+    *root_slot = Some(PkNode {
+        bbox,
+        count: (lp.len() + rp.len()) as u32,
+        kind: PkNodeKind::Internal {
+            dim,
+            split,
+            left: base + 1,
+            right: base + 1 + ln as PkNodeId,
+        },
+    });
+    if lp.len() + rp.len() >= PAR_CUTOFF {
+        rayon::join(
+            || fill(la, lp, base + 1, leaf_cap),
+            || fill(ra, rp, base + 1 + ln as PkNodeId, leaf_cap),
+        );
+    } else {
+        fill(la, lp, base + 1, leaf_cap);
+        fill(ra, rp, base + 1 + ln as PkNodeId, leaf_cap);
+    }
+}
+
+impl<const D: usize> PkdTree<D> {
+    /// Default leaf capacity (Pkd-tree favours larger buckets than zd-tree).
+    pub const DEFAULT_LEAF_CAP: usize = 32;
+
+    /// Creates an empty tree.
+    pub fn new(leaf_cap: usize) -> Self {
+        assert!(leaf_cap >= 1);
+        Self { nodes: Vec::new(), free: Vec::new(), root: None, leaf_cap, n_points: 0 }
+    }
+
+    /// Parallel bulk build.
+    pub fn build(points: &[Point<D>], leaf_cap: usize) -> Self {
+        let mut t = Self::new(leaf_cap);
+        if points.is_empty() {
+            return t;
+        }
+        let mut pts = points.to_vec();
+        let n_nodes = count_nodes(pts.len(), leaf_cap);
+        let mut arena: Vec<Option<PkNode<D>>> = vec![None; n_nodes];
+        fill(&mut arena, &mut pts, 0, leaf_cap);
+        t.nodes = arena.into_iter().map(|n| n.expect("fill covers arena")).collect();
+        t.root = Some(0);
+        t.n_points = points.len();
+        t
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.n_points
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n_points == 0
+    }
+
+    /// Leaf capacity.
+    pub fn leaf_cap(&self) -> usize {
+        self.leaf_cap
+    }
+
+    /// Immutable node access.
+    #[inline]
+    pub fn node(&self, id: PkNodeId) -> &PkNode<D> {
+        &self.nodes[id as usize]
+    }
+
+    /// Root id, if any.
+    pub fn root(&self) -> Option<PkNodeId> {
+        self.root
+    }
+
+    /// Live node count.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    pub(crate) fn alloc(&mut self, node: PkNode<D>) -> PkNodeId {
+        if let Some(id) = self.free.pop() {
+            self.nodes[id as usize] = node;
+            id
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as PkNodeId
+        }
+    }
+
+    pub(crate) fn release(&mut self, id: PkNodeId) {
+        self.free.push(id);
+    }
+
+    /// Charges one node visit.
+    #[inline]
+    pub(crate) fn charge_visit(&self, id: PkNodeId, meter: &mut CpuMeter) {
+        meter.work(20);
+        meter.touch(addr::node(id), addr::NODE_BYTES, false);
+    }
+
+    /// Charges the per-item batch bookkeeping every batched operation
+    /// streams through memory (mirrors the PIM host's query-state charges).
+    pub(crate) fn charge_batch_state(&self, n: usize, meter: &mut CpuMeter) {
+        const BATCH_REGION: u64 = 1 << 47;
+        const SLOT: u64 = 24;
+        for i in 0..n {
+            meter.touch(BATCH_REGION + i as u64 * SLOT, SLOT, true);
+        }
+    }
+
+    /// Charges a leaf point-payload read.
+    #[inline]
+    pub(crate) fn charge_leaf_points(&self, id: PkNodeId, n: usize, meter: &mut CpuMeter) {
+        let slot = (self.leaf_cap as u64).max(n as u64) * Point::<D>::wire_bytes();
+        meter.touch(addr::leaf_points(id, slot), n as u64 * Point::<D>::wire_bytes(), false);
+    }
+
+    /// Collects the subtree's points.
+    pub(crate) fn collect_points(&self, id: PkNodeId, out: &mut Vec<Point<D>>) {
+        match &self.node(id).kind {
+            PkNodeKind::Leaf { points } => out.extend_from_slice(points),
+            PkNodeKind::Internal { left, right, .. } => {
+                self.collect_points(*left, out);
+                self.collect_points(*right, out);
+            }
+        }
+    }
+
+    /// All stored points (arbitrary order).
+    pub fn all_points(&self) -> Vec<Point<D>> {
+        let mut out = Vec::with_capacity(self.n_points);
+        if let Some(r) = self.root {
+            self.collect_points(r, &mut out);
+        }
+        out
+    }
+
+    /// Structural invariants; panics on violation (tests only — O(n log n)).
+    pub fn check_invariants(&self) {
+        let Some(root) = self.root else {
+            assert_eq!(self.n_points, 0);
+            return;
+        };
+        let total = self.check_node(root);
+        assert_eq!(total as usize, self.n_points, "n_points mismatch");
+    }
+
+    fn check_node(&self, id: PkNodeId) -> u32 {
+        let n = self.node(id);
+        match &n.kind {
+            PkNodeKind::Leaf { points } => {
+                assert!(!points.is_empty(), "empty leaf");
+                for p in points {
+                    assert!(n.bbox.contains(p), "point escapes leaf bbox");
+                }
+                assert_eq!(n.count as usize, points.len());
+                points.len() as u32
+            }
+            PkNodeKind::Internal { dim, split, left, right } => {
+                let (lc, rc) = (self.check_node(*left), self.check_node(*right));
+                assert_eq!(n.count, lc + rc, "count mismatch");
+                assert!(lc > 0 && rc > 0, "empty child must be spliced");
+                let lb = &self.node(*left).bbox;
+                let rb = &self.node(*right).bbox;
+                assert!(n.bbox.contains_box(lb) && n.bbox.contains_box(rb));
+                // The split key separates the sides along `dim`.
+                assert!(lb.hi.coords[*dim as usize] <= split.0);
+                assert!(rb.hi.coords[*dim as usize] >= split.0);
+                n.count
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_workloads::uniform;
+
+    #[test]
+    fn build_and_invariants() {
+        let pts = uniform::<3>(10_000, 1);
+        let t = PkdTree::<3>::build(&pts, 32);
+        assert_eq!(t.len(), 10_000);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn build_empty_and_single() {
+        let t = PkdTree::<3>::build(&[], 8);
+        assert!(t.is_empty());
+        t.check_invariants();
+        let t = PkdTree::<3>::build(&[Point::new([1u32, 2, 3])], 8);
+        assert_eq!(t.len(), 1);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn object_median_build_is_balanced() {
+        let pts = uniform::<3>(8_192, 2);
+        let t = PkdTree::<3>::build(&pts, 8);
+        // Perfect halving: depth ≤ log2(n/cap) + 2.
+        fn depth<const D: usize>(t: &PkdTree<D>, id: PkNodeId) -> usize {
+            match &t.node(id).kind {
+                PkNodeKind::Leaf { .. } => 1,
+                PkNodeKind::Internal { left, right, .. } => {
+                    1 + depth(t, *left).max(depth(t, *right))
+                }
+            }
+        }
+        let d = depth(&t, t.root().unwrap());
+        assert!(d <= 13, "depth {d} too deep for 8k points / cap 8");
+    }
+
+    #[test]
+    fn duplicate_points_build() {
+        let pts = vec![Point::new([5u32, 5, 5]); 100];
+        let t = PkdTree::<3>::build(&pts, 8);
+        assert_eq!(t.len(), 100);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn all_points_preserves_multiset() {
+        let pts = uniform::<3>(3_000, 3);
+        let t = PkdTree::<3>::build(&pts, 16);
+        let mut got = t.all_points();
+        let mut want = pts.clone();
+        got.sort_unstable_by_key(|p| p.coords);
+        want.sort_unstable_by_key(|p| p.coords);
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,191 @@
+//! Query generators for the four operation families of §7.
+//!
+//! The paper's protocol: batches of point operations (INSERT), box queries
+//! sized to cover 1 / 10 / 100 points on average (BoxCount / BoxFetch), and
+//! kNN queries with k ∈ {1, 10, 100}. Query *locations* follow the data
+//! distribution (queries are drawn at/near existing points), so dataset skew
+//! induces query skew — the effect Figs. 5b/5c measure.
+
+use pim_geom::{max_coord_for_dim, Aabb, Point};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// `n` point-lookup / insert-target queries drawn from the data points,
+/// jittered by ±`jitter` per axis so inserts don't all collide with existing
+/// keys.
+pub fn point_queries<const D: usize>(
+    data: &[Point<D>],
+    n: usize,
+    jitter: u32,
+    seed: u64,
+) -> Vec<Point<D>> {
+    assert!(!data.is_empty());
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let m = max_coord_for_dim(D);
+    (0..n)
+        .map(|_| {
+            let base = data[rng.random_range(0..data.len())];
+            let mut c = base.coords;
+            if jitter > 0 {
+                for x in c.iter_mut() {
+                    let d = rng.random_range(0..=2 * jitter) as i64 - jitter as i64;
+                    *x = (*x as i64 + d).clamp(0, m as i64) as u32;
+                }
+            }
+            Point::new(c)
+        })
+        .collect()
+}
+
+/// Side length (per axis) of an axis-aligned cube expected to cover
+/// `expected` points of an `n`-point dataset spread over the whole grid.
+pub fn box_side_for_expected<const D: usize>(n: usize, expected: f64) -> u32 {
+    let span = max_coord_for_dim(D) as f64 + 1.0;
+    let frac = (expected / n as f64).min(1.0);
+    let side = span * frac.powf(1.0 / D as f64);
+    (side.ceil() as u64).clamp(1, span as u64) as u32
+}
+
+/// `n` box queries, each a cube of side `side` centered at a random data
+/// point (clipped to the grid).
+pub fn box_queries<const D: usize>(
+    data: &[Point<D>],
+    n: usize,
+    side: u32,
+    seed: u64,
+) -> Vec<Aabb<D>> {
+    assert!(!data.is_empty());
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xB0C5);
+    let m = max_coord_for_dim(D) as i64;
+    let half = (side / 2) as i64;
+    (0..n)
+        .map(|_| {
+            let c = data[rng.random_range(0..data.len())];
+            let mut lo = [0u32; D];
+            let mut hi = [0u32; D];
+            for i in 0..D {
+                lo[i] = (c.coords[i] as i64 - half).clamp(0, m) as u32;
+                hi[i] = (c.coords[i] as i64 + half).clamp(0, m) as u32;
+            }
+            Aabb::new(Point::new(lo), Point::new(hi))
+        })
+        .collect()
+}
+
+/// `n` kNN query points drawn from the data distribution.
+pub fn knn_queries<const D: usize>(data: &[Point<D>], n: usize, seed: u64) -> Vec<Point<D>> {
+    point_queries(data, n, 0, seed ^ 0x1221)
+}
+
+/// The Fig. 9 workload: a batch of `n` kNN queries where a fraction
+/// `varden_frac` is drawn from the (extremely skewed) `varden_points` and
+/// the rest from `uniform_points`. Positions of the skewed queries within
+/// the batch are randomized so the skew is not trivially batched away.
+pub fn mixed_queries<const D: usize>(
+    uniform_points: &[Point<D>],
+    varden_points: &[Point<D>],
+    n: usize,
+    varden_frac: f64,
+    seed: u64,
+) -> Vec<Point<D>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xF19);
+    let n_varden = ((n as f64) * varden_frac).round() as usize;
+    let mut out = Vec::with_capacity(n);
+    out.extend(point_queries(varden_points, n_varden, 0, seed ^ 0xAA));
+    out.extend(point_queries(uniform_points, n - n_varden, 0, seed ^ 0xBB));
+    out.shuffle(&mut rng);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::uniform;
+
+    #[test]
+    fn box_side_scales_with_expected_count() {
+        let s1 = box_side_for_expected::<3>(1_000_000, 1.0);
+        let s10 = box_side_for_expected::<3>(1_000_000, 10.0);
+        let s100 = box_side_for_expected::<3>(1_000_000, 100.0);
+        assert!(s1 < s10 && s10 < s100);
+        // Doubling expected count in 3D grows side by 2^(1/3).
+        let ratio = s10 as f64 / s1 as f64;
+        assert!((ratio - 10f64.powf(1.0 / 3.0)).abs() < 0.05 * ratio);
+    }
+
+    #[test]
+    fn box_queries_cover_expected_counts_on_uniform_data() {
+        let n = 50_000;
+        let data = uniform::<3>(n, 5);
+        let side = box_side_for_expected::<3>(n, 100.0);
+        let boxes = box_queries(&data, 200, side, 6);
+        let mut total = 0usize;
+        for b in &boxes {
+            total += data.iter().filter(|p| b.contains(p)).count();
+        }
+        let avg = total as f64 / 200.0;
+        // Centered at a data point, the box covers that point plus ≈ its
+        // expected share; allow a generous band.
+        assert!((50.0..=220.0).contains(&avg), "avg coverage {avg}");
+    }
+
+    #[test]
+    fn point_queries_jitter_stays_on_grid() {
+        let data = vec![Point::new([0u32, 0, 0]), Point::new([5, 5, 5])];
+        let qs = point_queries(&data, 1000, 10, 9);
+        let m = max_coord_for_dim(3);
+        for q in qs {
+            for c in q.coords {
+                assert!(c <= m);
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_queries_respects_fraction() {
+        let u = uniform::<3>(1000, 1);
+        let v = vec![Point::new([7u32, 7, 7]); 100];
+        let q = mixed_queries(&u, &v, 10_000, 0.02, 3);
+        assert_eq!(q.len(), 10_000);
+        let n_v = q.iter().filter(|p| p.coords == [7, 7, 7]).count();
+        assert!((150..=250).contains(&n_v), "got {n_v} varden queries");
+    }
+
+    #[test]
+    fn mixed_queries_zero_fraction_is_all_uniform() {
+        let u = uniform::<3>(1000, 1);
+        let v = vec![Point::new([7u32, 7, 7]); 10];
+        let q = mixed_queries(&u, &v, 500, 0.0, 3);
+        assert_eq!(q.iter().filter(|p| p.coords == [7, 7, 7]).count(), 0);
+    }
+}
+
+#[cfg(test)]
+mod determinism_tests {
+    use super::*;
+    use crate::gen::{uniform, varden};
+
+    #[test]
+    fn query_generators_are_seed_deterministic() {
+        let data = uniform::<3>(500, 1);
+        assert_eq!(point_queries(&data, 100, 5, 7), point_queries(&data, 100, 5, 7));
+        assert_ne!(point_queries(&data, 100, 5, 7), point_queries(&data, 100, 5, 8));
+        let v = varden::<3>(100, 2);
+        assert_eq!(
+            mixed_queries(&data, &v, 200, 0.1, 3),
+            mixed_queries(&data, &v, 200, 0.1, 3)
+        );
+    }
+
+    #[test]
+    fn box_queries_are_clipped_to_grid() {
+        let data = vec![Point::new([0u32, 0, 0]), Point::new([(1 << 21) - 1; 3].into())];
+        let boxes = box_queries(&data, 50, 1 << 15, 4);
+        let m = max_coord_for_dim(3);
+        for b in boxes {
+            for i in 0..3 {
+                assert!(b.hi.coords[i] <= m);
+            }
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Skew diagnostics: Gini coefficients, Zipf sampling, and the paper's
+//! (α, β)-skew measure (Definition 3).
+
+use pim_geom::Point;
+use pim_zorder::ZKey;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Gini coefficient of a non-negative count vector (0 = perfectly even,
+/// → 1 = all mass in one bin).
+pub fn gini_coefficient(counts: &[u64]) -> f64 {
+    if counts.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<u64> = counts.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    let total: u64 = sorted.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    // G = (2·Σ i·x_i) / (n·Σ x_i) − (n+1)/n  with 1-based ranks i.
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
+        .sum();
+    (2.0 * weighted) / (n * total as f64) - (n + 1.0) / n
+}
+
+/// Partitions points into `bins` equal z-order cells (top `log2(bins)` key
+/// bits) and returns the Gini coefficient of the occupancy — exactly how the
+/// paper quantifies COSMOS/OSM skew for P = 2048 (§7.2).
+pub fn gini_over_bins<const D: usize>(points: &[Point<D>], bins: usize) -> f64 {
+    assert!(bins.is_power_of_two(), "bins must be a power of two");
+    let bits = bins.trailing_zeros();
+    let mut counts = vec![0u64; bins];
+    for p in points {
+        let k = ZKey::<D>::encode(p);
+        let bin = (k.0 >> (ZKey::<D>::BITS - bits)) as usize;
+        counts[bin] += 1;
+    }
+    gini_coefficient(&counts)
+}
+
+/// Samples `n` indices in `[0, universe)` under a Zipf distribution with
+/// exponent `gamma` (γ = 0 is uniform). Uses inverse-CDF over a precomputed
+/// prefix table, deterministic in `seed`.
+pub fn zipf_sample(universe: usize, gamma: f64, n: usize, seed: u64) -> Vec<usize> {
+    assert!(universe > 0);
+    let mut weights: Vec<f64> = (1..=universe).map(|i| (i as f64).powf(-gamma)).collect();
+    let mut acc = 0.0;
+    for w in weights.iter_mut() {
+        acc += *w;
+        *w = acc;
+    }
+    let total = acc;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let t = rng.random::<f64>() * total;
+            weights.partition_point(|&c| c < t).min(universe - 1)
+        })
+        .collect()
+}
+
+/// Measures the (α, β)-skew of a batch of keys (Definition 3): divides the
+/// key range into β equal subranges and returns α = S / max_subrange_count,
+/// i.e. the largest α such that the batch is (α, β)-skewed. Larger α means
+/// less skew; α = β is perfectly even.
+pub fn alpha_beta_skew(keys: &[u64], beta: usize) -> f64 {
+    assert!(beta > 0);
+    if keys.is_empty() {
+        return beta as f64;
+    }
+    let lo = *keys.iter().min().unwrap() as u128;
+    let hi = *keys.iter().max().unwrap() as u128;
+    let width = hi - lo + 1;
+    let mut counts = vec![0u64; beta];
+    for &k in keys {
+        let idx = (((k as u128 - lo) * beta as u128) / width) as usize;
+        counts[idx.min(beta - 1)] += 1;
+    }
+    let max = *counts.iter().max().unwrap();
+    keys.len() as f64 / max as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gini_of_even_counts_is_zero() {
+        assert!(gini_coefficient(&[5, 5, 5, 5]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_of_concentrated_counts_approaches_one() {
+        let mut counts = vec![0u64; 1000];
+        counts[0] = 1_000_000;
+        assert!(gini_coefficient(&counts) > 0.99);
+    }
+
+    #[test]
+    fn gini_is_scale_invariant() {
+        let a = gini_coefficient(&[1, 2, 3, 4]);
+        let b = gini_coefficient(&[10, 20, 30, 40]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_handles_degenerate_inputs() {
+        assert_eq!(gini_coefficient(&[]), 0.0);
+        assert_eq!(gini_coefficient(&[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn zipf_gamma_zero_is_roughly_uniform() {
+        let s = zipf_sample(100, 0.0, 50_000, 1);
+        let mut counts = vec![0u64; 100];
+        for i in s {
+            counts[i] += 1;
+        }
+        assert!(gini_coefficient(&counts) < 0.1);
+    }
+
+    #[test]
+    fn zipf_large_gamma_concentrates() {
+        let s = zipf_sample(100, 2.0, 50_000, 1);
+        let head = s.iter().filter(|&&i| i == 0).count();
+        assert!(head > 25_000, "head got {head}/50000");
+    }
+
+    #[test]
+    fn alpha_beta_skew_of_even_batch_is_beta() {
+        // Keys striped evenly over [0, 1024): every 1/β subrange equal.
+        let keys: Vec<u64> = (0..1024).collect();
+        let a = alpha_beta_skew(&keys, 8);
+        assert!((a - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alpha_beta_skew_of_point_mass_is_one() {
+        let keys = vec![7u64; 100];
+        // All keys identical: subrange width 1; alpha = 1.
+        assert!((alpha_beta_skew(&keys, 8) - 1.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod skew_interaction_tests {
+    use super::*;
+    use crate::gen::{uniform, varden};
+    use pim_zorder::ZKey;
+
+    #[test]
+    fn varden_batches_have_low_alpha() {
+        // Definition 3: the Varden filament concentrates keys into few
+        // subranges, so its largest-α is far below uniform's.
+        let keys = |pts: &[Point<3>]| -> Vec<u64> {
+            pts.iter().map(|p| ZKey::<3>::encode(p).0).collect()
+        };
+        let a_uni = alpha_beta_skew(&keys(&uniform::<3>(20_000, 1)), 64);
+        let a_var = alpha_beta_skew(&keys(&varden::<3>(20_000, 1)), 64);
+        assert!(a_uni > 30.0, "uniform α ≈ β, got {a_uni}");
+        assert!(a_var < a_uni / 4.0, "varden must be far more skewed: {a_var}");
+    }
+}

@@ -1,0 +1,54 @@
+//! CPU cycle-cost constants for instrumented traversals.
+//!
+//! These are coarse per-step instruction estimates used by both baselines
+//! (and by the host side of the PIM index); only their relative magnitudes
+//! matter for the shape of the results. They follow the obvious instruction
+//! counts of each step on a superscalar x86 core.
+
+/// Pointer-chase + compare + branch of one internal-node traversal step.
+pub const NODE_VISIT: u64 = 20;
+
+/// Per-point distance evaluation in `d` dimensions on the CPU (multiply is
+/// cheap here — that asymmetry versus PIM cores is the point of §6).
+#[inline]
+pub const fn dist_cycles(d: usize) -> u64 {
+    6 * d as u64
+}
+
+/// Box/point or box/box overlap test in `d` dimensions.
+#[inline]
+pub const fn box_test_cycles(d: usize) -> u64 {
+    8 * d as u64
+}
+
+/// Fast gap-interleave Morton encoding (§6): ~5 mask rounds × `d` coords.
+#[inline]
+pub const fn zorder_fast_cycles(d: usize) -> u64 {
+    12 * d as u64
+}
+
+/// Naive bit-by-bit Morton encoding: ~4 ops per output bit (the Table 3
+/// ablation charges this instead of [`zorder_fast_cycles`]).
+#[inline]
+pub const fn zorder_naive_cycles(d: usize, coord_bits: u32) -> u64 {
+    4 * d as u64 * coord_bits as u64
+}
+
+/// Heap push/pop pair in a k-bounded priority queue.
+pub const HEAP_OP: u64 = 30;
+
+/// Per-element cost of moving a result into the output buffer.
+pub const EMIT: u64 = 4;
+
+/// Per-key cost of the batch preprocessing sort, amortized (radix-ish).
+pub const SORT_PER_KEY: u64 = 25;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_encoding_is_much_slower() {
+        assert!(zorder_naive_cycles(3, 21) > 5 * zorder_fast_cycles(3));
+    }
+}

@@ -1,0 +1,110 @@
+//! Arena nodes of the compressed z-order radix tree.
+
+use pim_geom::{Aabb, Point};
+use pim_zorder::prefix::Prefix;
+use pim_zorder::ZKey;
+
+/// Handle into the node arena.
+pub type NodeId = u32;
+
+/// A point paired with its Morton key (keys are computed once on entry and
+/// carried alongside; recomputation is a measured cost, not a hidden one).
+pub type Keyed<const D: usize> = (ZKey<D>, Point<D>);
+
+/// Payload of a node.
+#[derive(Clone, Debug)]
+pub enum NodeKind<const D: usize> {
+    /// Two-child internal node (compression guarantees exactly two).
+    Internal {
+        /// Child covering the 0-side of the split bit.
+        left: NodeId,
+        /// Child covering the 1-side.
+        right: NodeId,
+    },
+    /// Leaf holding its points sorted by key.
+    Leaf {
+        /// Points sorted by Morton key.
+        points: Vec<Keyed<D>>,
+    },
+}
+
+/// One node of the tree.
+#[derive(Clone, Debug)]
+pub struct Node<const D: usize> {
+    /// The key prefix this node covers. For an internal node the split is at
+    /// bit `prefix.len`; for a leaf it is the common prefix of its keys.
+    pub prefix: Prefix<D>,
+    /// Number of points in this subtree.
+    pub count: u32,
+    /// Internal links or points.
+    pub kind: NodeKind<D>,
+}
+
+impl<const D: usize> Node<D> {
+    /// The node's bounding box (the exact box of its prefix, §2.3 stores
+    /// bounding boxes on all nodes).
+    #[inline]
+    pub fn bbox(&self) -> Aabb<D> {
+        self.prefix.to_box()
+    }
+
+    /// Whether this node is a leaf.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.kind, NodeKind::Leaf { .. })
+    }
+}
+
+/// Virtual address regions for the cache model: node records and leaf point
+/// storage live in disjoint regions so their cache behaviour is independent.
+pub mod addr {
+    /// Base of the node-record region.
+    pub const NODE_REGION: u64 = 1 << 40;
+    /// Base of the leaf point-storage region.
+    pub const POINTS_REGION: u64 = 1 << 41;
+    /// Bytes charged per node record (prefix + count + links, padded).
+    pub const NODE_BYTES: u64 = 48;
+
+    /// Address of a node record.
+    #[inline]
+    pub fn node(idx: super::NodeId) -> u64 {
+        NODE_REGION + idx as u64 * NODE_BYTES
+    }
+
+    /// Address of a leaf's point storage (slot-per-node layout).
+    #[inline]
+    pub fn leaf_points(idx: super::NodeId, slot_bytes: u64) -> u64 {
+        POINTS_REGION + idx as u64 * slot_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bbox_of_leaf_prefix_contains_its_points() {
+        let pts: Vec<Keyed<3>> = [[1u32, 2, 3], [1, 2, 4]]
+            .into_iter()
+            .map(|c| {
+                let p = Point::new(c);
+                (ZKey::<3>::encode(&p), p)
+            })
+            .collect();
+        let lcp = pts[0].0.common_prefix_len(pts[1].0);
+        let n = Node::<3> {
+            prefix: Prefix::new(pts[0].0, lcp),
+            count: 2,
+            kind: NodeKind::Leaf { points: pts.clone() },
+        };
+        for (_, p) in &pts {
+            assert!(n.bbox().contains(p));
+        }
+    }
+
+    #[test]
+    fn address_regions_are_disjoint() {
+        // A billion nodes still keeps the regions apart.
+        assert!(addr::node(1 << 30) < addr::POINTS_REGION);
+    }
+}

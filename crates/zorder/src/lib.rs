@@ -1,0 +1,277 @@
+//! Morton (z-order) keys and their algebra.
+//!
+//! A zd-tree is a compressed radix tree over the Morton keys of its points
+//! (§2.3 of the paper). This crate owns everything about those keys:
+//!
+//! * [`ZKey`] — a `D`-dimensional Morton key packed right-aligned into a
+//!   `u64` (`D * coord_bits_for_dim(D)` significant bits). Comparing two keys
+//!   as integers compares their positions on the z-order curve.
+//! * **Fast encoding** (§6 "Fast z-Order Computation"): the gap-interleave
+//!   construction with magic masks — the paper's `Split_By_Three` for 3D and
+//!   its 2D analogue — runs in `O(log bits)` word operations, plus a generic
+//!   per-bit fallback for other dimensions.
+//! * **Naive encoding** ([`naive`]): direct bit-wise interleaving, `O(bits)`,
+//!   kept as the Table 3 ablation baseline.
+//! * **Prefix algebra** ([`prefix`]): common-prefix length, child selection,
+//!   and the exact bounding box of a key prefix — the basis of tree node
+//!   bounding boxes.
+
+pub mod naive;
+pub mod prefix;
+pub mod spread;
+
+use pim_geom::{coord_bits_for_dim, Point};
+
+/// A `D`-dimensional Morton key.
+///
+/// Layout: the key has `L = D * coord_bits_for_dim(D)` significant bits,
+/// right-aligned in the `u64`. Bit `i` *in key order* (0 = most significant)
+/// holds bit `(bits_per_dim - 1 - i / D)` of coordinate `i % D`; i.e. the key
+/// cycles through dimensions from the top bit down, dimension 0 first —
+/// the standard Morton layout.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ZKey<const D: usize>(pub u64);
+
+impl<const D: usize> ZKey<D> {
+    /// Number of significant bits in a key for this dimension.
+    pub const BITS: u32 = D as u32 * coord_bits_for_dim(D);
+
+    /// Bits used per coordinate.
+    pub const COORD_BITS: u32 = coord_bits_for_dim(D);
+
+    /// Encodes a point with the fast gap-interleave path (2D/3D use magic
+    /// masks; other dimensions use the generic spreader).
+    #[inline]
+    pub fn encode(p: &Point<D>) -> Self {
+        let mut key = 0u64;
+        for (j, &c) in p.coords.iter().enumerate() {
+            debug_assert!(
+                u64::from(c) < (1u64 << Self::COORD_BITS),
+                "coordinate {c} exceeds {} bits",
+                Self::COORD_BITS
+            );
+            // Dimension 0 owns the most significant bit of each D-bit group.
+            key |= spread::spread(c as u64, D as u32, Self::COORD_BITS)
+                << (D - 1 - j);
+        }
+        ZKey(key)
+    }
+
+    /// Encodes with the naive O(bits) interleave — the Table 3 ablation.
+    #[inline]
+    pub fn encode_naive(p: &Point<D>) -> Self {
+        naive::encode(p)
+    }
+
+    /// Decodes the key back to its point.
+    #[inline]
+    pub fn decode(self) -> Point<D> {
+        let mut coords = [0u32; D];
+        for (j, c) in coords.iter_mut().enumerate() {
+            *c = spread::compact(self.0 >> (D - 1 - j), D as u32, Self::COORD_BITS) as u32;
+        }
+        Point::new(coords)
+    }
+
+    /// Bit `i` in key order (0 = most significant of the `L` used bits).
+    #[inline]
+    pub fn bit(self, i: u32) -> u8 {
+        debug_assert!(i < Self::BITS);
+        ((self.0 >> (Self::BITS - 1 - i)) & 1) as u8
+    }
+
+    /// Length of the common prefix (in key-order bits) of two keys.
+    #[inline]
+    pub fn common_prefix_len(self, other: Self) -> u32 {
+        let x = self.0 ^ other.0;
+        if x == 0 {
+            Self::BITS
+        } else {
+            // leading_zeros counts from the u64 MSB; subtract the unused slack.
+            x.leading_zeros() - (64 - Self::BITS)
+        }
+    }
+
+    /// Truncates the key to its first `len` bits (rest zeroed): the canonical
+    /// representative of a prefix.
+    #[inline]
+    pub fn truncate(self, len: u32) -> Self {
+        debug_assert!(len <= Self::BITS);
+        if len == 0 {
+            ZKey(0)
+        } else {
+            let keep = !0u64 << (Self::BITS - len);
+            // Mask against the used-bit region too.
+            let used = if Self::BITS == 64 { !0u64 } else { (1u64 << Self::BITS) - 1 };
+            ZKey(self.0 & keep & used)
+        }
+    }
+
+    /// Whether `self` starts with the `len`-bit prefix of `p`.
+    #[inline]
+    pub fn has_prefix(self, p: Self, len: u32) -> bool {
+        self.common_prefix_len(p) >= len
+    }
+
+    /// Inclusive range `[lo, hi]` of raw key values sharing this key's first
+    /// `len` bits.
+    #[inline]
+    pub fn prefix_range(self, len: u32) -> (u64, u64) {
+        let lo = self.truncate(len).0;
+        let hi = if len == 0 {
+            if Self::BITS == 64 { !0u64 } else { (1u64 << Self::BITS) - 1 }
+        } else if len == Self::BITS {
+            lo
+        } else {
+            lo | ((1u64 << (Self::BITS - len)) - 1)
+        };
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip_3d() {
+        let pts = [
+            Point::new([0u32, 0, 0]),
+            Point::new([1, 2, 3]),
+            Point::new([(1 << 21) - 1, 0, 12345]),
+            Point::new([999_999, (1 << 21) - 1, 1]),
+        ];
+        for p in pts {
+            assert_eq!(ZKey::<3>::encode(&p).decode(), p);
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_2d() {
+        let pts = [
+            Point::new([0u32, 0]),
+            Point::new([(1 << 31) - 1, 7]),
+            Point::new([123_456_789, 987_654_321]),
+        ];
+        for p in pts {
+            assert_eq!(ZKey::<2>::encode(&p).decode(), p);
+        }
+    }
+
+    #[test]
+    fn encode_matches_naive() {
+        for seed in 0..200u64 {
+            // Cheap deterministic pseudo-random coords.
+            let h = |s: u64| s.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(31);
+            let p3 = Point::new([
+                (h(seed) % (1 << 21)) as u32,
+                (h(seed + 1000) % (1 << 21)) as u32,
+                (h(seed + 2000) % (1 << 21)) as u32,
+            ]);
+            assert_eq!(ZKey::<3>::encode(&p3), ZKey::<3>::encode_naive(&p3));
+            let p2 = Point::new([
+                (h(seed + 3000) % (1 << 31)) as u32,
+                (h(seed + 4000) % (1 << 31)) as u32,
+            ]);
+            assert_eq!(ZKey::<2>::encode(&p2), ZKey::<2>::encode_naive(&p2));
+            let p4 = Point::new([
+                (h(seed + 5000) % (1 << 15)) as u32,
+                (h(seed + 6000) % (1 << 15)) as u32,
+                (h(seed + 7000) % (1 << 15)) as u32,
+                (h(seed + 8000) % (1 << 15)) as u32,
+            ]);
+            assert_eq!(ZKey::<4>::encode(&p4), ZKey::<4>::encode_naive(&p4));
+        }
+    }
+
+    #[test]
+    fn bit_order_is_msb_first_dim0_first() {
+        // Point with only the top bit of dim 0 set → key bit 0 is 1.
+        let top = 1u32 << 20;
+        let p = Point::new([top, 0, 0]);
+        let k = ZKey::<3>::encode(&p);
+        assert_eq!(k.bit(0), 1);
+        for i in 1..ZKey::<3>::BITS {
+            assert_eq!(k.bit(i), 0, "bit {i}");
+        }
+        // Top bit of dim 1 → key bit 1.
+        let p = Point::new([0, top, 0]);
+        let k = ZKey::<3>::encode(&p);
+        assert_eq!(k.bit(1), 1);
+        assert_eq!(k.bit(0), 0);
+    }
+
+    #[test]
+    fn common_prefix_len_basics() {
+        let a = ZKey::<3>(0b1010 << 59);
+        let b = ZKey::<3>(0b1011 << 59);
+        assert_eq!(a.common_prefix_len(b), 3);
+        assert_eq!(a.common_prefix_len(a), ZKey::<3>::BITS);
+    }
+
+    #[test]
+    fn truncate_and_prefix_range() {
+        let p = Point::new([123_456u32, 654_321, 111_111]);
+        let k = ZKey::<3>::encode(&p);
+        for len in [0u32, 1, 7, 30, ZKey::<3>::BITS] {
+            let t = k.truncate(len);
+            assert!(k.has_prefix(t, len));
+            let (lo, hi) = k.prefix_range(len);
+            assert!(lo <= k.0 && k.0 <= hi);
+            if len < ZKey::<3>::BITS {
+                assert_eq!(hi - lo + 1, 1u64 << (ZKey::<3>::BITS - len));
+            } else {
+                assert_eq!(hi, lo);
+            }
+        }
+    }
+
+    #[test]
+    fn zorder_key_comparison_groups_quadrants() {
+        // In 2D, all points in the low-left quadrant sort before any point in
+        // the top-right quadrant (they differ in the first key bits).
+        let half = 1u32 << 30;
+        let a = ZKey::<2>::encode(&Point::new([1, 1]));
+        let b = ZKey::<2>::encode(&Point::new([half + 1, half + 1]));
+        assert!(a < b);
+    }
+}
+
+#[cfg(test)]
+mod higher_dim_tests {
+    use super::*;
+
+    #[test]
+    fn four_and_five_dim_roundtrip() {
+        for s in 0..50u64 {
+            let h = |x: u64, m: u32| ((x.wrapping_mul(0x9E3779B97F4A7C15) >> 17) % (1 << m)) as u32;
+            let p4 = Point::new([h(s, 15), h(s + 9, 15), h(s + 18, 15), h(s + 27, 15)]);
+            assert_eq!(ZKey::<4>::encode(&p4).decode(), p4);
+            let p5 = Point::new([h(s, 12), h(s + 1, 12), h(s + 2, 12), h(s + 3, 12), h(s + 4, 12)]);
+            assert_eq!(ZKey::<5>::encode(&p5).decode(), p5);
+            assert_eq!(ZKey::<5>::encode(&p5), ZKey::<5>::encode_naive(&p5));
+        }
+    }
+
+    #[test]
+    fn bits_budget_shrinks_with_dimension() {
+        assert_eq!(ZKey::<4>::BITS, 60);
+        assert_eq!(ZKey::<5>::BITS, 60);
+        assert_eq!(ZKey::<6>::BITS, 60);
+    }
+
+    #[test]
+    fn naive_decode_inverts_naive_encode() {
+        let p = Point::new([123_456u32, 99, 2_000_000]);
+        let k = naive::encode(&p);
+        assert_eq!(naive::decode(k), p);
+    }
+
+    #[test]
+    fn full_length_prefix_range_is_singleton() {
+        let k = ZKey::<3>::encode(&Point::new([1u32, 2, 3]));
+        let (lo, hi) = k.prefix_range(ZKey::<3>::BITS);
+        assert_eq!(lo, hi);
+        assert_eq!(lo, k.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Fast bit spreading/compaction ("gap" construction).
+//!
+//! `spread(x, d, b)` places bit `i` of a `b`-bit integer `x` at position
+//! `i * d` of the result, leaving `d - 1` zero bits between consecutive
+//! source bits; `compact` is its inverse. Interleaving `D` coordinates is
+//! then `spread(c_j) << (D - 1 - j)` OR-ed together.
+//!
+//! For the hot dimensions the paper cares about we use the `O(log bits)`
+//! magic-mask recurrences (§6 lists the 3D variant, `Split_By_Three`); other
+//! gaps fall back to a generic per-bit loop. The module is careful to keep
+//! fast and slow paths observationally identical — the property tests in the
+//! crate root compare them exhaustively against the naive encoder.
+
+/// Spreads the low `b` bits of `x` with gap `d` (bit `i` → position `i*d`).
+#[inline]
+pub fn spread(x: u64, d: u32, b: u32) -> u64 {
+    match d {
+        1 => x & mask_low(b),
+        2 => spread2(x & mask_low(b)),
+        3 => spread3(x & mask_low(b)),
+        _ => spread_generic(x, d, b),
+    }
+}
+
+/// Inverse of [`spread`]: collects bits at positions `0, d, 2d, …` into the
+/// low `b` bits of the result.
+#[inline]
+pub fn compact(x: u64, d: u32, b: u32) -> u64 {
+    match d {
+        1 => x & mask_low(b),
+        2 => compact2(x) & mask_low(b),
+        3 => compact3(x) & mask_low(b),
+        _ => compact_generic(x, d, b),
+    }
+}
+
+#[inline]
+fn mask_low(b: u32) -> u64 {
+    if b >= 64 {
+        !0
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+/// 2D gap construction: supports up to 32 source bits.
+#[inline]
+fn spread2(mut x: u64) -> u64 {
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+#[inline]
+fn compact2(mut x: u64) -> u64 {
+    x &= 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF;
+    x
+}
+
+/// 3D gap construction — the paper's `Split_By_Three` (x in `[0, 2^21)`).
+#[inline]
+fn spread3(mut x: u64) -> u64 {
+    x = (x | (x << 32)) & 0x001F_0000_0000_FFFF;
+    x = (x | (x << 16)) & 0x001F_0000_FF00_00FF;
+    x = (x | (x << 8)) & 0x100F_00F0_0F00_F00F;
+    x = (x | (x << 4)) & 0x10C3_0C30_C30C_30C3;
+    x = (x | (x << 2)) & 0x1249_2492_4924_9249;
+    x
+}
+
+#[inline]
+fn compact3(mut x: u64) -> u64 {
+    x &= 0x1249_2492_4924_9249;
+    x = (x | (x >> 2)) & 0x10C3_0C30_C30C_30C3;
+    x = (x | (x >> 4)) & 0x100F_00F0_0F00_F00F;
+    x = (x | (x >> 8)) & 0x001F_0000_FF00_00FF;
+    x = (x | (x >> 16)) & 0x001F_0000_0000_FFFF;
+    x = (x | (x >> 32)) & 0x0000_0000_001F_FFFF;
+    x
+}
+
+/// Generic per-bit spreader for dimensions without a magic-mask fast path.
+#[inline]
+fn spread_generic(x: u64, d: u32, b: u32) -> u64 {
+    let mut out = 0u64;
+    for i in 0..b {
+        out |= ((x >> i) & 1) << (i * d);
+    }
+    out
+}
+
+#[inline]
+fn compact_generic(x: u64, d: u32, b: u32) -> u64 {
+    let mut out = 0u64;
+    for i in 0..b {
+        out |= ((x >> (i * d)) & 1) << i;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread3_matches_generic() {
+        for x in [0u64, 1, 2, 0x1F_FFFF, 0x15_5555, 0x0A_AAAA, 123_456] {
+            assert_eq!(spread3(x), spread_generic(x, 3, 21), "x={x:#x}");
+        }
+    }
+
+    #[test]
+    fn spread2_matches_generic() {
+        for x in [0u64, 1, (1 << 31) - 1, 0x5555_5555, 0x2AAA_AAAA, 99_999_999] {
+            assert_eq!(spread2(x & 0x7FFF_FFFF), spread_generic(x & 0x7FFF_FFFF, 2, 31));
+        }
+    }
+
+    #[test]
+    fn compact_inverts_spread_all_gaps() {
+        for d in 1..=6u32 {
+            let b = 63 / d;
+            for x in [0u64, 1, 3, mask_low(b), 0x1234_5678 & mask_low(b)] {
+                assert_eq!(compact(spread(x, d, b), d, b), x, "d={d} x={x:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn spread_leaves_gaps_zero() {
+        // All bits of spread output must land on multiples of d.
+        for d in 2..=4u32 {
+            let b = 63 / d;
+            let s = spread(mask_low(b), d, b);
+            for pos in 0..64u32 {
+                let bit = (s >> pos) & 1;
+                if pos % d != 0 || pos / d >= b {
+                    assert_eq!(bit, 0, "d={d} pos={pos}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_masks_are_reachable() {
+        // The last mask of Split_By_Three is the 3-gap comb itself.
+        assert_eq!(spread3(0x1F_FFFF), 0x1249_2492_4924_9249);
+    }
+}

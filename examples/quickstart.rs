@@ -1,0 +1,74 @@
+//! Quickstart: build a PIM-zd-tree on a simulated 64-module machine and run
+//! every operation family once, printing the paper's metrics (throughput,
+//! memory traffic per element, time breakdown).
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pim_zd_tree_repro::{
+    workloads, MachineConfig, Metric, PimZdConfig, PimZdTree,
+};
+
+fn main() {
+    let n_modules = 64;
+    let n_points = 200_000;
+    let batch = 20_000;
+
+    println!("== PIM-zd-tree quickstart ==");
+    println!("machine: {n_modules} PIM modules; dataset: {n_points} uniform 3D points\n");
+
+    // Warmup: bulk-build the index (untimed, like the paper's warmup phase).
+    let pts = workloads::uniform::<3>(n_points, 42);
+    let cfg = PimZdConfig::throughput_optimized(n_points as u64, n_modules);
+    let mut index = PimZdTree::build(&pts, cfg, MachineConfig::with_modules(n_modules));
+    println!(
+        "built: {} points, {} meta-nodes, {:.1} MB total space",
+        index.len(),
+        index.meta_count(),
+        index.space_bytes() as f64 / 1e6
+    );
+
+    // INSERT: a fresh batch of points.
+    let new_pts = workloads::uniform::<3>(batch, 7);
+    index.batch_insert(&new_pts);
+    report("INSERT", &index);
+
+    // BoxCount: boxes covering ≈100 points each.
+    let side = workloads::box_side_for_expected::<3>(index.len(), 100.0);
+    let boxes = workloads::box_queries(&pts, batch / 10, side, 8);
+    let counts = index.batch_box_count(&boxes);
+    let avg = counts.iter().sum::<u64>() as f64 / counts.len() as f64;
+    report(&format!("BoxCount (avg {avg:.0} hits)"), &index);
+
+    // BoxFetch over the same boxes.
+    let fetched = index.batch_box_fetch(&boxes);
+    let total: usize = fetched.iter().map(Vec::len).sum();
+    report(&format!("BoxFetch ({total} points returned)"), &index);
+
+    // 10-NN under the Euclidean metric (coarse ℓ1 on PIM, exact ℓ2 on CPU).
+    let queries = workloads::knn_queries(&pts, batch / 10, 9);
+    let knn = index.batch_knn(&queries, 10, Metric::L2);
+    assert!(knn.iter().all(|r| r.len() == 10));
+    report("10-NN", &index);
+
+    // DELETE the batch we inserted.
+    let removed = index.batch_delete(&new_pts);
+    report(&format!("DELETE ({removed} removed)"), &index);
+
+    println!("\nall operations verified; final size = {}", index.len());
+}
+
+fn report<const D: usize>(op: &str, index: &PimZdTree<D>) {
+    let s = index.last_op_stats();
+    let b = &s.breakdown;
+    println!(
+        "{op:<28} {:>9.2} Mops/s | {:>7.1} B/elem | cpu {:>5.1}% pim {:>5.1}% comm {:>5.1}% | {} rounds",
+        s.throughput() / 1e6,
+        s.traffic_per_element(),
+        100.0 * b.cpu_s / b.total_s(),
+        100.0 * b.pim_s / b.total_s(),
+        100.0 * b.comm_s / b.total_s(),
+        s.rounds,
+    );
+}

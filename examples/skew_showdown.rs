@@ -1,0 +1,64 @@
+//! Throughput-optimized vs skew-resistant under adversarial skew — a
+//! miniature of the paper's Fig. 9 experiment.
+//!
+//! Both configurations index the same uniform dataset; batches of kNN
+//! queries are then polluted with an increasing fraction of queries drawn
+//! from the Varden distribution (random-walk clusters). The
+//! throughput-optimized layout degrades as one module's subtree absorbs the
+//! hot queries, while the skew-resistant layout's fine-grained chunking +
+//! push-pull keeps throughput (and per-round load imbalance) stable.
+//!
+//! ```sh
+//! cargo run --release --example skew_showdown
+//! ```
+
+use pim_zd_tree_repro::{workloads, MachineConfig, Metric, PimZdConfig, PimZdTree};
+
+fn main() {
+    // The effect needs the paper's regime: many modules relative to the
+    // number of hot subtrees (see EXPERIMENTS.md E7 for the recorded run at
+    // 2048 modules).
+    let n_modules = 512;
+    let n_points = 400_000;
+    let batch = 50_000;
+
+    let base = workloads::uniform::<3>(n_points, 1);
+    let varden = workloads::varden::<3>(n_points / 10, 2);
+
+    let mut thr = PimZdTree::build(
+        &base,
+        PimZdConfig::throughput_optimized(n_points as u64, n_modules),
+        MachineConfig::with_modules(n_modules),
+    );
+    let mut skw = PimZdTree::build(
+        &base,
+        PimZdConfig::skew_resistant(n_modules),
+        MachineConfig::with_modules(n_modules),
+    );
+
+    println!("== skew showdown: 1-NN throughput vs Varden query fraction ==\n");
+    println!(
+        "{:>10} | {:>22} | {:>22}",
+        "varden %", "throughput-optimized", "skew-resistant"
+    );
+    println!("{:->10}-+-{:->22}-+-{:->22}", "", "", "");
+
+    for pct in [0.0, 0.1, 0.5, 1.0, 2.0, 5.0] {
+        let queries = workloads::mixed_queries(&base, &varden, batch, pct / 100.0, 1000 + pct as u64);
+
+        let _ = thr.batch_knn(&queries, 1, Metric::L2);
+        let st = thr.last_op_stats().clone();
+        let _ = skw.batch_knn(&queries, 1, Metric::L2);
+        let ss = skw.last_op_stats().clone();
+
+        println!(
+            "{pct:>9.1}% | {:>9.2} Mq/s ({:>4.1}x) | {:>9.2} Mq/s ({:>4.1}x)",
+            st.throughput() / 1e6,
+            st.worst_imbalance,
+            ss.throughput() / 1e6,
+            ss.worst_imbalance,
+        );
+    }
+
+    println!("\n(second column in parens: worst per-round PIM load imbalance, max/mean)");
+}

@@ -1,0 +1,58 @@
+//! The §5 dataset assumptions, checked against the synthetic generators:
+//! bounded ratio (Definition 1) and bounded expansion constant
+//! (Definition 2). The paper notes its index stays *correct* regardless;
+//! these tests document which regimes the workloads exercise.
+
+use pim_zd_tree_repro::{geom, workloads};
+
+#[test]
+fn uniform_data_has_bounded_expansion() {
+    let pts = workloads::uniform::<3>(4_000, 1);
+    let gamma = geom::estimate_expansion_constant(&pts, 12, 8);
+    // Uniform 3D data doubles ball volume 8x per radius doubling; sampling
+    // noise allowed.
+    assert!(
+        (2.0..=32.0).contains(&gamma),
+        "uniform expansion constant out of band: {gamma}"
+    );
+}
+
+#[test]
+fn osm_like_data_expands_faster_than_uniform() {
+    let uni = workloads::uniform::<3>(3_000, 2);
+    let osm = workloads::osm_like::<3>(3_000, 2);
+    let g_uni = geom::estimate_expansion_constant(&uni, 10, 8);
+    let g_osm = geom::estimate_expansion_constant(&osm, 10, 8);
+    // Clustered data has sharp density cliffs: doubling a ball that sits
+    // inside a cluster can swallow whole neighborhoods.
+    assert!(
+        g_osm > g_uni,
+        "clustered data should have larger γ: {g_osm} !> {g_uni}"
+    );
+}
+
+#[test]
+fn generated_data_has_poly_bounded_ratio() {
+    // On a small sample the ratio d_max/d_min must stay well below the
+    // 2^63 worst case of the raw key space — poly(n) territory.
+    for (name, pts) in [
+        ("uniform", workloads::uniform::<3>(500, 3)),
+        ("cosmos", workloads::cosmos_like::<3>(500, 3)),
+    ] {
+        if let Some(r) = geom::bounded_ratio(&pts) {
+            assert!(r < 1e9, "{name} ratio blew up: {r}");
+            assert!(r > 1.0);
+        }
+    }
+}
+
+#[test]
+fn gini_targets_match_the_paper() {
+    // The calibration claims of DESIGN.md substitution 2, end to end.
+    let cosmos = workloads::cosmos_like::<3>(200_000, 4);
+    let osm = workloads::osm_like::<3>(200_000, 4);
+    let g_c = workloads::gini_over_bins(&cosmos, 2048);
+    let g_o = workloads::gini_over_bins(&osm, 2048);
+    assert!((g_c - 0.287).abs() < 0.12, "COSMOS-like Gini {g_c} vs paper 0.287");
+    assert!((g_o - 0.967).abs() < 0.04, "OSM-like Gini {g_o} vs paper 0.967");
+}

@@ -1,0 +1,127 @@
+//! Determinism of the whole simulation stack and the paper's scaling claims
+//! (Table 2 / §7.3 "Sensitivity to Dataset Sizes").
+
+use pim_zd_tree_repro::{workloads, MachineConfig, Metric, PimZdConfig, PimZdTree};
+
+/// Builds, runs a fixed op mix, and fingerprints results + accounting.
+fn run_fingerprint(seed: u64) -> (Vec<u64>, u64, u64, u64) {
+    let pts = workloads::uniform::<3>(8_000, seed);
+    let cfg = PimZdConfig::skew_resistant(16);
+    let mut t = PimZdTree::build(&pts, cfg, MachineConfig::with_modules(16));
+
+    let extra = workloads::uniform::<3>(1_000, seed + 1);
+    t.batch_insert(&extra);
+    let ins = t.last_op_stats().clone();
+
+    let queries = workloads::knn_queries(&pts, 200, seed + 2);
+    let knn = t.batch_knn(&queries, 5, Metric::L2);
+    let knn_stats = t.last_op_stats().clone();
+
+    let fingerprint: Vec<u64> = knn
+        .iter()
+        .flat_map(|r| r.iter().map(|(d, p)| d ^ (p.coords[0] as u64)))
+        .collect();
+    (
+        fingerprint,
+        ins.channel_bytes,
+        knn_stats.channel_bytes,
+        ins.rounds + knn_stats.rounds,
+    )
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    // Same seed → bit-identical results AND bit-identical accounting, even
+    // though modules execute on rayon threads.
+    let a = run_fingerprint(42);
+    let b = run_fingerprint(42);
+    assert_eq!(a, b, "simulation must be deterministic");
+    let c = run_fingerprint(43);
+    assert_ne!(a.0, c.0, "different seeds must differ");
+}
+
+#[test]
+fn search_communication_is_independent_of_n() {
+    // Theorem 5.3 / §7.3: per-op communication depends on P (and the layer
+    // thresholds), not on n. Grow n 8x and check bytes/op stays flat.
+    let per_op_bytes = |n: usize| {
+        let pts = workloads::uniform::<3>(n, 7);
+        let cfg = PimZdConfig::skew_resistant(32);
+        let mut t = PimZdTree::build(&pts, cfg, MachineConfig::with_modules(32));
+        let q = workloads::knn_queries(&pts, 2_000, 9);
+        let _ = t.batch_contains(&q);
+        t.last_op_stats().channel_bytes as f64 / 2_000.0
+    };
+    let small = per_op_bytes(8_000);
+    let large = per_op_bytes(64_000);
+    assert!(
+        large < small * 2.0,
+        "search bytes/op grew with n: {small:.1} → {large:.1}"
+    );
+}
+
+#[test]
+fn space_is_linear_in_n() {
+    // Theorem 5.1: space = O(n + replication terms).
+    let space = |n: usize| {
+        let pts = workloads::uniform::<3>(n, 3);
+        let cfg = PimZdConfig::throughput_optimized(n as u64, 16);
+        PimZdTree::build(&pts, cfg, MachineConfig::with_modules(16)).space_bytes()
+    };
+    let s1 = space(10_000);
+    let s4 = space(40_000);
+    let ratio = s4 as f64 / s1 as f64;
+    assert!(
+        (2.5..=6.0).contains(&ratio),
+        "space should scale ≈linearly: 4x points → {ratio:.2}x bytes"
+    );
+}
+
+#[test]
+fn skew_resistant_space_overhead_is_bounded() {
+    // Table 2: both configurations take O(n) space; the skew-resistant
+    // caching multiplies structure bytes by a bounded factor only.
+    let pts = workloads::uniform::<3>(30_000, 5);
+    let thr = PimZdTree::build(
+        &pts,
+        PimZdConfig::throughput_optimized(30_000, 32),
+        MachineConfig::with_modules(32),
+    )
+    .space_bytes();
+    let skw = PimZdTree::build(
+        &pts,
+        PimZdConfig::skew_resistant(32),
+        MachineConfig::with_modules(32),
+    )
+    .space_bytes();
+    let ratio = skw as f64 / thr as f64;
+    assert!(ratio < 4.0, "skew-resistant space blew up: {ratio:.2}x");
+}
+
+#[test]
+fn load_stays_balanced_on_uniform_batches() {
+    // Lemma 5.2 regime: batch ≫ P log P ⇒ whp-balanced PIM execution.
+    let pts = workloads::uniform::<3>(40_000, 6);
+    let cfg = PimZdConfig::throughput_optimized(40_000, 32);
+    let mut t = PimZdTree::build(&pts, cfg, MachineConfig::with_modules(32));
+    let q = workloads::knn_queries(&pts, 20_000, 8);
+    let _ = t.batch_contains(&q);
+    let s = t.last_op_stats().clone();
+    assert!(
+        s.worst_imbalance < 4.0,
+        "uniform batch should be balanced, got {:.2}x",
+        s.worst_imbalance
+    );
+}
+
+#[test]
+fn rounds_are_bounded_by_layer_depth() {
+    // Theorem 5.3: worst-case O(log_B θ_L0) communication rounds per batch.
+    let pts = workloads::uniform::<3>(50_000, 10);
+    let cfg = PimZdConfig::skew_resistant(32);
+    let mut t = PimZdTree::build(&pts, cfg, MachineConfig::with_modules(32));
+    let q = workloads::knn_queries(&pts, 5_000, 11);
+    let _ = t.batch_contains(&q);
+    let s = t.last_op_stats().clone();
+    assert!(s.rounds <= 12, "search took {} rounds", s.rounds);
+}

@@ -1,0 +1,170 @@
+//! Cross-crate integration: the PIM index must agree with the shared-memory
+//! zd-tree oracle on every operation, across configurations, datasets, and
+//! update schedules.
+
+use pim_memsim::{CpuConfig, CpuMeter};
+use pim_zd_tree_repro::{workloads, Aabb, MachineConfig, Metric, PimZdConfig, Point, PimZdTree};
+use pim_zdtree_base::ZdTree;
+
+fn meter() -> CpuMeter {
+    CpuMeter::new(CpuConfig::xeon())
+}
+
+/// Runs the full operation battery comparing index vs oracle.
+fn battery(data: &[Point<3>], index: &mut PimZdTree<3>, oracle: &ZdTree<3>, seed: u64) {
+    let mut m = meter();
+
+    // Point membership.
+    let probes: Vec<Point<3>> = data.iter().step_by(37).copied().collect();
+    let got = index.batch_contains(&probes);
+    let want = oracle.batch_contains(&probes, &mut m);
+    assert_eq!(got, want, "contains diverged");
+
+    // kNN across metrics and k values.
+    let queries = workloads::knn_queries(data, 25, seed);
+    for metric in [Metric::L2, Metric::L1, Metric::Linf] {
+        for k in [1usize, 8] {
+            let got = index.batch_knn(&queries, k, metric);
+            let want = oracle.batch_knn(&queries, k, metric, &mut m);
+            for (qid, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(g, w, "kNN diverged: metric {metric:?} k={k} q#{qid}");
+            }
+        }
+    }
+
+    // Box queries at three selectivities.
+    for expect in [1.0, 10.0, 100.0] {
+        let side = workloads::box_side_for_expected::<3>(data.len().max(1), expect);
+        let boxes = workloads::box_queries(data, 20, side, seed ^ 0xB0);
+        let got = index.batch_box_count(&boxes);
+        let want: Vec<u64> = boxes.iter().map(|b| oracle.box_count(b, &mut m)).collect();
+        assert_eq!(got, want, "box_count diverged at expect={expect}");
+
+        let got = index.batch_box_fetch(&boxes);
+        for (i, b) in boxes.iter().enumerate() {
+            let mut g: Vec<[u32; 3]> = got[i].iter().map(|p| p.coords).collect();
+            let mut w: Vec<[u32; 3]> =
+                oracle.box_fetch(b, &mut m).iter().map(|p| p.coords).collect();
+            g.sort_unstable();
+            w.sort_unstable();
+            assert_eq!(g, w, "box_fetch diverged at expect={expect} box#{i}");
+        }
+    }
+}
+
+#[test]
+fn uniform_throughput_mode() {
+    let data = workloads::uniform::<3>(10_000, 1);
+    let cfg = PimZdConfig::throughput_optimized(10_000, 32);
+    let mut index = PimZdTree::build(&data, cfg, MachineConfig::with_modules(32));
+    let oracle = ZdTree::build(&data, cfg.leaf_cap);
+    battery(&data, &mut index, &oracle, 11);
+}
+
+#[test]
+fn uniform_skew_resistant_mode() {
+    let data = workloads::uniform::<3>(12_000, 2);
+    let cfg = PimZdConfig::skew_resistant(32);
+    let mut index = PimZdTree::build(&data, cfg, MachineConfig::with_modules(32));
+    let oracle = ZdTree::build(&data, cfg.leaf_cap);
+    battery(&data, &mut index, &oracle, 22);
+}
+
+#[test]
+fn osm_like_skewed_data() {
+    let data = workloads::osm_like::<3>(10_000, 3);
+    let cfg = PimZdConfig::skew_resistant(32);
+    let mut index = PimZdTree::build(&data, cfg, MachineConfig::with_modules(32));
+    let oracle = ZdTree::build(&data, cfg.leaf_cap);
+    battery(&data, &mut index, &oracle, 33);
+}
+
+#[test]
+fn cosmos_like_data_throughput_mode() {
+    let data = workloads::cosmos_like::<3>(10_000, 4);
+    let cfg = PimZdConfig::throughput_optimized(10_000, 16);
+    let mut index = PimZdTree::build(&data, cfg, MachineConfig::with_modules(16));
+    let oracle = ZdTree::build(&data, cfg.leaf_cap);
+    battery(&data, &mut index, &oracle, 44);
+}
+
+#[test]
+fn equivalence_survives_update_schedule() {
+    // Interleave inserts and deletes, checking the battery between rounds.
+    let initial = workloads::uniform::<3>(6_000, 5);
+    let extra = workloads::uniform::<3>(6_000, 6);
+    let cfg = PimZdConfig::skew_resistant(16);
+    let mut index = PimZdTree::build(&initial, cfg, MachineConfig::with_modules(16));
+    let mut oracle = ZdTree::build(&initial, cfg.leaf_cap);
+    let mut m = meter();
+    let mut live: Vec<Point<3>> = initial.clone();
+
+    for round in 0..3 {
+        let ins = &extra[round * 2_000..(round + 1) * 2_000];
+        index.batch_insert(ins);
+        oracle.batch_insert(ins, &mut m);
+        live.extend_from_slice(ins);
+
+        let del: Vec<Point<3>> = live.iter().step_by(5).copied().collect();
+        let a = index.batch_delete(&del);
+        let b = oracle.batch_delete(&del, &mut m);
+        assert_eq!(a, b, "delete count diverged in round {round}");
+        // Rebuild the live multiset.
+        let removed: std::collections::HashSet<[u32; 3]> =
+            del.iter().map(|p| p.coords).collect();
+        let mut budget: std::collections::HashMap<[u32; 3], usize> = Default::default();
+        for p in &del {
+            *budget.entry(p.coords).or_insert(0) += 1;
+        }
+        let mut kept = Vec::with_capacity(live.len());
+        for p in live {
+            if removed.contains(&p.coords) {
+                let b = budget.get_mut(&p.coords).unwrap();
+                if *b > 0 {
+                    *b -= 1;
+                    continue;
+                }
+            }
+            kept.push(p);
+        }
+        live = kept;
+
+        assert_eq!(index.len(), oracle.len(), "sizes diverged in round {round}");
+        index.check_invariants(&live);
+        battery(&live, &mut index, &oracle, 100 + round as u64);
+    }
+}
+
+#[test]
+fn two_dimensional_equivalence() {
+    let data = workloads::uniform::<2>(8_000, 7);
+    let cfg = PimZdConfig::throughput_optimized(8_000, 16);
+    let mut index = PimZdTree::build(&data, cfg, MachineConfig::with_modules(16));
+    let oracle = ZdTree::build(&data, cfg.leaf_cap);
+    let mut m = meter();
+
+    let queries: Vec<Point<2>> = data.iter().step_by(400).copied().collect();
+    let got = index.batch_knn(&queries, 10, Metric::L2);
+    let want = oracle.batch_knn(&queries, 10, Metric::L2, &mut m);
+    assert_eq!(got, want, "2D kNN diverged");
+
+    let boxes: Vec<Aabb<2>> = workloads::box_queries(&data, 20, 1 << 27, 8);
+    let got = index.batch_box_count(&boxes);
+    let want: Vec<u64> = boxes.iter().map(|b| oracle.box_count(b, &mut m)).collect();
+    assert_eq!(got, want, "2D box_count diverged");
+}
+
+#[test]
+fn pkdtree_also_agrees_on_queries() {
+    // Sanity: the second baseline answers the same queries identically.
+    use pim_pkdtree::PkdTree;
+    let data = workloads::uniform::<3>(5_000, 9);
+    let cfg = PimZdConfig::throughput_optimized(5_000, 16);
+    let mut index = PimZdTree::build(&data, cfg, MachineConfig::with_modules(16));
+    let pkd = PkdTree::build(&data, 32);
+    let mut m = meter();
+    let queries = workloads::knn_queries(&data, 30, 10);
+    let got = index.batch_knn(&queries, 6, Metric::L2);
+    let want: Vec<_> = queries.iter().map(|q| pkd.knn(q, 6, Metric::L2, &mut m)).collect();
+    assert_eq!(got, want);
+}
