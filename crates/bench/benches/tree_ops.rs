@@ -17,9 +17,7 @@ fn bench_zdtree(c: &mut Criterion) {
     g.sample_size(10);
 
     g.throughput(Throughput::Elements(100_000));
-    g.bench_function("build_100k", |b| {
-        b.iter(|| ZdTree::build(black_box(&pts), 16))
-    });
+    g.bench_function("build_100k", |b| b.iter(|| ZdTree::build(black_box(&pts), 16)));
 
     let tree = ZdTree::build(&pts, 16);
     let batch = uniform::<3>(10_000, 2);

@@ -53,8 +53,7 @@ fn bench_encode(c: &mut Criterion) {
 }
 
 fn bench_decode_and_prefix(c: &mut Criterion) {
-    let keys: Vec<ZKey<3>> =
-        uniform::<3>(10_000, 3).iter().map(ZKey::<3>::encode).collect();
+    let keys: Vec<ZKey<3>> = uniform::<3>(10_000, 3).iter().map(ZKey::<3>::encode).collect();
     let mut g = c.benchmark_group("zorder_algebra");
     g.throughput(Throughput::Elements(10_000));
     g.bench_function("decode_3d", |b| {

@@ -14,16 +14,26 @@ pub struct BenchArgs {
     pub positional: Option<String>,
     /// Seed for all generators.
     pub seed: u64,
+    /// Round-trace output path (JSONL); `None` disables tracing.
+    pub trace: Option<String>,
 }
 
 impl Default for BenchArgs {
     fn default() -> Self {
-        Self { points: 1_000_000, batch: 100_000, modules: 2048, positional: None, seed: 2026 }
+        Self {
+            points: 1_000_000,
+            batch: 100_000,
+            modules: 2048,
+            positional: None,
+            seed: 2026,
+            trace: None,
+        }
     }
 }
 
 impl BenchArgs {
-    /// Parses `--points N --batch N --modules N --seed N [positional]`.
+    /// Parses `--points N --batch N --modules N --seed N --trace PATH
+    /// [positional]`.
     pub fn parse() -> Self {
         let mut out = Self::default();
         let mut args = std::env::args().skip(1);
@@ -42,6 +52,7 @@ impl BenchArgs {
                         out.seed = v;
                     }
                 }
+                "--trace" => out.trace = args.next(),
                 other if !other.starts_with("--") => out.positional = Some(other.to_string()),
                 _ => {}
             }

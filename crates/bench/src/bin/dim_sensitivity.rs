@@ -44,10 +44,7 @@ fn run<const D: usize>(args: &BenchArgs) -> Vec<(String, f64)> {
 
 fn main() {
     let args = BenchArgs::parse();
-    println!(
-        "== §7.3 dimension sensitivity ({} pts, {} modules) ==\n",
-        args.points, args.modules
-    );
+    println!("== §7.3 dimension sensitivity ({} pts, {} modules) ==\n", args.points, args.modules);
     let d2 = run::<2>(&args);
     let d3 = run::<3>(&args);
     println!("{:<10} {:>12} {:>12} {:>10}", "op", "2D (Mop/s)", "3D (Mop/s)", "2D/3D");

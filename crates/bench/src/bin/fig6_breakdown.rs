@@ -3,6 +3,8 @@
 //!
 //! ```sh
 //! cargo run --release -p pim-bench --bin fig6_breakdown
+//! # with a per-round trace journal for trace_summary:
+//! cargo run --release -p pim-bench --bin fig6_breakdown -- --trace fig6.jsonl
 //! ```
 
 use pim_bench::harness::{make_queries, run_cell_pim, OpKind, PimRunner};
@@ -20,6 +22,7 @@ fn main() {
     let cfg = PimZdConfig::throughput_optimized(args.points as u64, args.modules);
     let mut pim =
         PimRunner::new(&warm, cfg, MachineConfig::with_modules(args.modules), "PIM-zd-tree");
+    pim.attach_trace_if_requested(&args);
 
     let ops = [
         OpKind::Insert,
@@ -28,10 +31,7 @@ fn main() {
         OpKind::BoxFetch(100.0),
         OpKind::Knn(100),
     ];
-    println!(
-        "{:<10} {:>8} {:>8} {:>8}   {:>10}",
-        "op", "CPU %", "PIM %", "Comm %", "total"
-    );
+    println!("{:<10} {:>8} {:>8} {:>8}   {:>10}", "op", "CPU %", "PIM %", "Comm %", "total");
     println!("{}", "-".repeat(52));
     for op in ops {
         let q = make_queries(op, &test, args.points, args.batch, args.seed ^ 0xF16);
@@ -48,4 +48,5 @@ fn main() {
     }
     println!("\n(paper: INSERT is CPU-heavy from batch preprocessing; BF-100 is");
     println!(" communication-heavy from output volume; the rest is PIM-dominated)");
+    pim.flush_trace();
 }

@@ -44,12 +44,8 @@ fn main() {
     for &batch in &batches {
         // Fresh index per size so tree growth doesn't confound the sweep.
         let cfg = PimZdConfig::throughput_optimized(args.points as u64, args.modules);
-        let mut pim = PimRunner::new(
-            &warm,
-            cfg,
-            MachineConfig::with_modules(args.modules),
-            "PIM-zd-tree",
-        );
+        let mut pim =
+            PimRunner::new(&warm, cfg, MachineConfig::with_modules(args.modules), "PIM-zd-tree");
         let q = make_queries(op, &test, args.points, batch, args.seed ^ 0xF17);
         let m = run_cell_pim(&mut pim, op, &q);
         println!("{:>10} {:>16.2} {:>14.1}", batch, m.throughput / 1e6, m.traffic);

@@ -20,8 +20,7 @@ fn main() {
 
     let base = wl::uniform::<3>(n, args.seed);
     let cfg = PimZdConfig::skew_resistant(args.modules.min(64));
-    let mut t =
-        PimZdTree::build(&base, cfg, MachineConfig::with_modules(args.modules.min(64)));
+    let mut t = PimZdTree::build(&base, cfg, MachineConfig::with_modules(args.modules.min(64)));
     let mut live = base.clone();
 
     for round in 0..6 {

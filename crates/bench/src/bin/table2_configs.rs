@@ -20,10 +20,7 @@ fn main() {
     let warm = Dataset::Uniform.generate(args.points, args.seed);
     let raw_bytes = (args.points * 3 * 4) as f64;
 
-    println!(
-        "{:<22} {:>22} {:>18}",
-        "property", "throughput-optimized", "skew-resistant"
-    );
+    println!("{:<22} {:>22} {:>18}", "property", "throughput-optimized", "skew-resistant");
     println!("{}", "-".repeat(64));
 
     let mut rows: Vec<Vec<String>> = vec![Vec::new(); 6];
@@ -64,16 +61,10 @@ fn main() {
         ));
     }
 
-    for (label, row) in [
-        "theta_L0",
-        "theta_L1",
-        "space",
-        "SEARCH comm/op",
-        "INSERT comm/op",
-        "10-NN comm/op",
-    ]
-    .iter()
-    .zip(rows)
+    for (label, row) in
+        ["theta_L0", "theta_L1", "space", "SEARCH comm/op", "INSERT comm/op", "10-NN comm/op"]
+            .iter()
+            .zip(rows)
     {
         println!("{:<22} {:>22} {:>18}", label, row[0], row[1]);
     }

@@ -68,8 +68,14 @@ fn main() {
         out.push(("Insert".into(), run_cell_pim(&mut pim, OpKind::Insert, &q).throughput));
         // BoxCount / BoxFetch / kNN: geometric mean over the three sizes.
         for (label, ops) in [
-            ("BoxCount", vec![OpKind::BoxCount(1.0), OpKind::BoxCount(10.0), OpKind::BoxCount(100.0)]),
-            ("BoxFetch", vec![OpKind::BoxFetch(1.0), OpKind::BoxFetch(10.0), OpKind::BoxFetch(100.0)]),
+            (
+                "BoxCount",
+                vec![OpKind::BoxCount(1.0), OpKind::BoxCount(10.0), OpKind::BoxCount(100.0)],
+            ),
+            (
+                "BoxFetch",
+                vec![OpKind::BoxFetch(1.0), OpKind::BoxFetch(10.0), OpKind::BoxFetch(100.0)],
+            ),
             ("kNN", vec![OpKind::Knn(1), OpKind::Knn(10), OpKind::Knn(100)]),
         ] {
             let ts: Vec<f64> = ops
@@ -85,10 +91,7 @@ fn main() {
     };
 
     let base = measure(Ablation::None);
-    println!(
-        "{:<14} {:>9} {:>9} {:>9} {:>9}",
-        "removed", "Insert", "BoxCount", "BoxFetch", "kNN"
-    );
+    println!("{:<14} {:>9} {:>9} {:>9} {:>9}", "removed", "Insert", "BoxCount", "BoxFetch", "kNN");
     println!("{}", "-".repeat(56));
     for ab in [
         Ablation::LazyCounter,
@@ -98,11 +101,8 @@ fn main() {
         Ablation::PracticalChunking,
     ] {
         let m = measure(ab);
-        let slowdowns: Vec<String> = base
-            .iter()
-            .zip(&m)
-            .map(|((_, b), (_, x))| format!("{:>8.2}x", b / x))
-            .collect();
+        let slowdowns: Vec<String> =
+            base.iter().zip(&m).map(|((_, b), (_, x))| format!("{:>8.2}x", b / x)).collect();
         println!("{:<14} {}", ab.name(), slowdowns.join(" "));
     }
     println!("\n(paper: lazy counter 1.49x on Insert; fast z-order 1.31–1.99x across ops;");

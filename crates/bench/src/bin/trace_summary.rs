@@ -1,0 +1,44 @@
+//! Renders a Fig-6-style per-phase breakdown from a round-trace journal.
+//!
+//! ```sh
+//! cargo run --release -p pim-bench --bin fig6_breakdown -- --trace fig6.jsonl
+//! cargo run --release -p pim-bench --bin trace_summary -- fig6.jsonl
+//! ```
+//!
+//! The journal is the JSONL file a `--trace` run writes: one
+//! `pim_sim::RoundRecord` per accounted BSP round. This binary groups the
+//! rounds by phase label and prints (a) the PIM/Comm/overhead time
+//! attribution per phase — the Fig. 6 categories, with `Comm + Ovhd`
+//! matching the harness's communication column exactly — and (b) a
+//! per-phase traffic and load-imbalance table (Fig. 9's metric).
+
+use pim_bench::trace_report::{parse_jsonl, render, summarize};
+use pim_bench::BenchArgs;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let Some(path) = args.positional.or(args.trace) else {
+        eprintln!("usage: trace_summary <journal.jsonl>");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_summary: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let rows = match parse_jsonl(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("trace_summary: malformed journal {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if rows.is_empty() {
+        println!("(empty journal: no accounted rounds were traced)");
+        return;
+    }
+    println!("journal: {path} ({} round records)\n", rows.len());
+    print!("{}", render(&summarize(&rows)));
+}

@@ -114,7 +114,13 @@ pub enum Queries {
 
 /// Generates the query set for `op` against `data` (queries follow the data
 /// distribution, §7.1).
-pub fn make_queries(op: OpKind, data: &[Point<3>], n_total: usize, batch: usize, seed: u64) -> Queries {
+pub fn make_queries(
+    op: OpKind,
+    data: &[Point<3>],
+    n_total: usize,
+    batch: usize,
+    seed: u64,
+) -> Queries {
     let n = op.n_queries(batch);
     match op {
         // Twice the batch: the first half is an unmeasured pre-batch that
@@ -138,6 +144,7 @@ pub struct PimRunner {
     /// The index under test.
     pub index: PimZdTree<3>,
     name: String,
+    journal: Option<(pim_sim::Journal, String)>,
 }
 
 impl PimRunner {
@@ -146,6 +153,33 @@ impl PimRunner {
         Self {
             index: PimZdTree::build_with_cpu(warmup, cfg, machine, scaled_cpu(warmup.len())),
             name: name.to_string(),
+            journal: None,
+        }
+    }
+
+    /// Attaches a round-trace journal; every subsequent accounted BSP round
+    /// is recorded and written as JSONL to `path` by [`Self::flush_trace`].
+    pub fn attach_trace(&mut self, path: &str) {
+        let (sink, journal) = pim_sim::JournalSink::new();
+        self.index.set_trace_sink(Box::new(sink));
+        self.journal = Some((journal, path.to_string()));
+    }
+
+    /// Attaches a trace only when the benchmark was invoked with `--trace`.
+    pub fn attach_trace_if_requested(&mut self, args: &crate::BenchArgs) {
+        if let Some(path) = &args.trace {
+            self.attach_trace(path);
+        }
+    }
+
+    /// Writes the journal (if attached) to its path. Prints a one-line
+    /// confirmation so figure binaries stay self-describing.
+    pub fn flush_trace(&self) {
+        if let Some((journal, path)) = &self.journal {
+            match journal.write_jsonl(path) {
+                Ok(()) => eprintln!("trace: wrote {} round records to {path}", journal.len()),
+                Err(e) => eprintln!("trace: failed to write {path}: {e}"),
+            }
         }
     }
 
@@ -361,6 +395,49 @@ mod tests {
         assert_eq!(a.elements, b.elements, "same queries, same output size");
         assert!(a.throughput > 0.0 && b.throughput > 0.0);
         assert!(a.traffic > 0.0 && b.traffic > 0.0);
+    }
+
+    #[test]
+    fn traced_run_attribution_matches_harness_totals() {
+        use crate::trace_report::summarize;
+
+        let (warm, test) = Dataset::Uniform.warmup_and_test(20_000, 7);
+        let cfg = PimZdConfig::throughput_optimized(20_000, 32);
+        let mut pim = PimRunner::new(&warm, cfg, MachineConfig::with_modules(32), "PIM-zd-tree");
+        let (sink, journal) = pim_sim::JournalSink::new();
+        pim.index.set_trace_sink(Box::new(sink));
+        assert!(journal.is_empty(), "build/warmup rounds are unaccounted, hence untraced");
+
+        // Ops without an unmeasured pre-batch, so every journaled round of
+        // the phase belongs to the measured window.
+        for (op, phase) in [
+            (OpKind::BoxCount(10.0), "box_count"),
+            (OpKind::BoxFetch(10.0), "box_fetch"),
+            (OpKind::Knn(10), "knn"),
+        ] {
+            let q = make_queries(op, &test, 20_000, 2_000, 11);
+            let before = journal.len();
+            let m = run_cell_pim(&mut pim, op, &q);
+            let recs = journal.snapshot().split_off(before);
+            assert!(!recs.is_empty(), "{phase}: no rounds traced");
+            let rows: Vec<_> = recs.iter().map(crate::trace_report::TraceRow::from).collect();
+            let s = summarize(&rows);
+            assert_eq!(s.len(), 1, "{phase}: one phase label expected, got {s:?}");
+            assert_eq!(s[0].phase, phase);
+            assert_eq!(s[0].rounds, m.rounds, "{phase}: round counts");
+            assert!(
+                (s[0].pim_s - m.pim_s).abs() < 1e-9,
+                "{phase}: PIM attribution {} vs harness {}",
+                s[0].pim_s,
+                m.pim_s
+            );
+            assert!(
+                (s[0].comm_incl_overhead_s() - m.comm_s).abs() < 1e-9,
+                "{phase}: Comm attribution {} vs harness {}",
+                s[0].comm_incl_overhead_s(),
+                m.comm_s
+            );
+        }
     }
 
     #[test]

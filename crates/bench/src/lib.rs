@@ -14,6 +14,7 @@ pub mod args;
 pub mod datasets;
 pub mod harness;
 pub mod report;
+pub mod trace_report;
 
 pub use args::BenchArgs;
 pub use datasets::Dataset;

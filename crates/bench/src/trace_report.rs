@@ -1,0 +1,317 @@
+//! Per-phase aggregation of round-trace journals (the `trace_summary`
+//! binary's engine, shared with the harness tests so the rendered numbers
+//! are the tested numbers).
+//!
+//! A journal is the JSONL stream a [`pim_sim::JournalSink`] writes: one
+//! [`pim_sim::RoundRecord`] per accounted BSP round, labelled with the
+//! phase stack the core pushed around the operation (`insert`,
+//! `insert/maintain`, `box_count`, …). Summaries group rounds by label and
+//! reproduce exactly the attribution the harness reports per operation:
+//! `pim_s` sums the per-round PIM time and `comm_s + overhead_s` sums to
+//! the harness's communication column.
+
+use pim_sim::RoundRecord;
+
+/// The per-round fields the summary consumes (a journal line, parsed).
+#[derive(Clone, Debug, Default)]
+pub struct TraceRow {
+    /// Phase label ("" when the round ran outside any labelled phase).
+    pub phase: String,
+    /// Per-round PIM seconds (max-over-modules core time).
+    pub pim_s: f64,
+    /// Channel transfer seconds.
+    pub comm_s: f64,
+    /// Mux + call-overhead seconds.
+    pub overhead_s: f64,
+    /// Bytes CPU → PIM.
+    pub cpu_to_pim_bytes: u64,
+    /// Bytes PIM → CPU.
+    pub pim_to_cpu_bytes: u64,
+    /// Tasks shipped this round.
+    pub tasks: u64,
+    /// Replies returned this round.
+    pub replies: u64,
+    /// Slowest module's cycles.
+    pub max_cycles: u64,
+    /// Mean cycles over all modules (idle ones count as 0).
+    pub mean_cycles: f64,
+}
+
+impl From<&RoundRecord> for TraceRow {
+    fn from(r: &RoundRecord) -> Self {
+        TraceRow {
+            phase: r.phase.clone(),
+            pim_s: r.breakdown.pim_s,
+            comm_s: r.breakdown.comm_s,
+            overhead_s: r.breakdown.overhead_s,
+            cpu_to_pim_bytes: r.cpu_to_pim_bytes,
+            pim_to_cpu_bytes: r.pim_to_cpu_bytes,
+            tasks: r.tasks,
+            replies: r.replies,
+            max_cycles: r.max_cycles,
+            mean_cycles: r.mean_cycles,
+        }
+    }
+}
+
+/// Parses a JSONL journal into rows. Fails on the first malformed line
+/// (journals are machine-written; silence would hide truncation).
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceRow>, String> {
+    let mut rows = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = serde_json::from_str(line).map_err(|e| format!("line {}: {e:?}", i + 1))?;
+        let f = |key: &str| v.get("breakdown").and_then(|b| b.get(key)).and_then(|x| x.as_f64());
+        let u = |key: &str| v.get(key).and_then(|x| x.as_u64());
+        rows.push(TraceRow {
+            phase: v.get("phase").and_then(|p| p.as_str()).unwrap_or("").to_string(),
+            pim_s: f("pim_s").ok_or_else(|| format!("line {}: missing breakdown.pim_s", i + 1))?,
+            comm_s: f("comm_s").unwrap_or(0.0),
+            overhead_s: f("overhead_s").unwrap_or(0.0),
+            cpu_to_pim_bytes: u("cpu_to_pim_bytes").unwrap_or(0),
+            pim_to_cpu_bytes: u("pim_to_cpu_bytes").unwrap_or(0),
+            tasks: u("tasks").unwrap_or(0),
+            replies: u("replies").unwrap_or(0),
+            max_cycles: u("max_cycles").unwrap_or(0),
+            mean_cycles: v.get("mean_cycles").and_then(|x| x.as_f64()).unwrap_or(0.0),
+        });
+    }
+    Ok(rows)
+}
+
+/// Aggregate of all rounds sharing one phase label.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseSummary {
+    /// The label ("(unlabeled)" for rounds outside any phase).
+    pub phase: String,
+    /// Rounds in the phase.
+    pub rounds: u64,
+    /// Σ per-round PIM seconds.
+    pub pim_s: f64,
+    /// Σ channel transfer seconds.
+    pub comm_s: f64,
+    /// Σ mux/call overhead seconds.
+    pub overhead_s: f64,
+    /// Σ bytes CPU → PIM.
+    pub cpu_to_pim_bytes: u64,
+    /// Σ bytes PIM → CPU.
+    pub pim_to_cpu_bytes: u64,
+    /// Σ tasks.
+    pub tasks: u64,
+    /// Σ replies.
+    pub replies: u64,
+    /// Worst single-round max/mean imbalance (1.0 = balanced).
+    pub worst_imbalance: f64,
+    /// Cycle-weighted imbalance: Σ max-cycles over Σ mean-cycles, so tiny
+    /// management rounds barely move it (mirrors `SimStats::agg_imbalance`).
+    pub agg_imbalance: f64,
+}
+
+impl PhaseSummary {
+    /// Total round seconds attributed to the phase.
+    pub fn total_s(&self) -> f64 {
+        self.pim_s + self.comm_s + self.overhead_s
+    }
+
+    /// The harness's communication column (`comm_s + overhead_s`, matching
+    /// `OpBreakdown::comm_s`).
+    pub fn comm_incl_overhead_s(&self) -> f64 {
+        self.comm_s + self.overhead_s
+    }
+}
+
+/// Groups rows by phase label. Order: descending total time.
+pub fn summarize(rows: &[TraceRow]) -> Vec<PhaseSummary> {
+    let mut by_phase: Vec<PhaseSummary> = Vec::new();
+    let mut sums_max: Vec<u64> = Vec::new(); // Σ max_cycles per phase
+    let mut sums_mean: Vec<f64> = Vec::new(); // Σ mean_cycles per phase
+    for row in rows {
+        let label = if row.phase.is_empty() { "(unlabeled)" } else { &row.phase };
+        let idx = match by_phase.iter().position(|s| s.phase == label) {
+            Some(i) => i,
+            None => {
+                by_phase.push(PhaseSummary { phase: label.to_string(), ..Default::default() });
+                sums_max.push(0);
+                sums_mean.push(0.0);
+                by_phase.len() - 1
+            }
+        };
+        let s = &mut by_phase[idx];
+        s.rounds += 1;
+        s.pim_s += row.pim_s;
+        s.comm_s += row.comm_s;
+        s.overhead_s += row.overhead_s;
+        s.cpu_to_pim_bytes += row.cpu_to_pim_bytes;
+        s.pim_to_cpu_bytes += row.pim_to_cpu_bytes;
+        s.tasks += row.tasks;
+        s.replies += row.replies;
+        if row.mean_cycles > 0.0 {
+            s.worst_imbalance = s.worst_imbalance.max(row.max_cycles as f64 / row.mean_cycles);
+        }
+        sums_max[idx] += row.max_cycles;
+        sums_mean[idx] += row.mean_cycles;
+    }
+    for (i, s) in by_phase.iter_mut().enumerate() {
+        s.agg_imbalance = if sums_mean[i] > 0.0 { sums_max[i] as f64 / sums_mean[i] } else { 1.0 };
+        if s.worst_imbalance == 0.0 {
+            s.worst_imbalance = 1.0;
+        }
+    }
+    by_phase.sort_by(|a, b| b.total_s().total_cmp(&a.total_s()));
+    by_phase
+}
+
+/// Renders the Fig-6-style breakdown plus the per-phase imbalance table.
+pub fn render(summaries: &[PhaseSummary]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let grand: f64 = summaries.iter().map(PhaseSummary::total_s).sum();
+
+    writeln!(out, "== Round-time attribution by phase (Fig. 6 categories) ==\n").unwrap();
+    writeln!(
+        out,
+        "{:<22} {:>7} {:>10} {:>10} {:>10} {:>10}  {:>6} {:>6} {:>6}",
+        "phase", "rounds", "PIM ms", "Comm ms", "Ovhd ms", "total ms", "PIM%", "Comm%", "Ovhd%"
+    )
+    .unwrap();
+    writeln!(out, "{}", "-".repeat(96)).unwrap();
+    for s in summaries {
+        let t = s.total_s().max(f64::MIN_POSITIVE);
+        writeln!(
+            out,
+            "{:<22} {:>7} {:>10.4} {:>10.4} {:>10.4} {:>10.4}  {:>5.1}% {:>5.1}% {:>5.1}%",
+            s.phase,
+            s.rounds,
+            s.pim_s * 1e3,
+            s.comm_s * 1e3,
+            s.overhead_s * 1e3,
+            s.total_s() * 1e3,
+            100.0 * s.pim_s / t,
+            100.0 * s.comm_s / t,
+            100.0 * s.overhead_s / t,
+        )
+        .unwrap();
+    }
+    let (pim, comm, ovhd): (f64, f64, f64) = summaries
+        .iter()
+        .fold((0.0, 0.0, 0.0), |a, s| (a.0 + s.pim_s, a.1 + s.comm_s, a.2 + s.overhead_s));
+    writeln!(out, "{}", "-".repeat(96)).unwrap();
+    writeln!(
+        out,
+        "{:<22} {:>7} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+        "total",
+        summaries.iter().map(|s| s.rounds).sum::<u64>(),
+        pim * 1e3,
+        comm * 1e3,
+        ovhd * 1e3,
+        grand * 1e3,
+    )
+    .unwrap();
+    writeln!(out, "\n(host CPU time is not in round records; the harness meters it").unwrap();
+    writeln!(out, " separately — see the figure binary's CPU column)").unwrap();
+
+    writeln!(out, "\n== Per-phase traffic and load balance ==\n").unwrap();
+    writeln!(
+        out,
+        "{:<22} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "phase", "→PIM KiB", "→CPU KiB", "tasks", "replies", "worst imb", "agg imb"
+    )
+    .unwrap();
+    writeln!(out, "{}", "-".repeat(92)).unwrap();
+    for s in summaries {
+        writeln!(
+            out,
+            "{:<22} {:>12.1} {:>12.1} {:>10} {:>10} {:>10.3} {:>10.3}",
+            s.phase,
+            s.cpu_to_pim_bytes as f64 / 1024.0,
+            s.pim_to_cpu_bytes as f64 / 1024.0,
+            s.tasks,
+            s.replies,
+            s.worst_imbalance,
+            s.agg_imbalance,
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(phase: &str, pim: f64, comm: f64, ovhd: f64, maxc: u64, meanc: f64) -> TraceRow {
+        TraceRow {
+            phase: phase.into(),
+            pim_s: pim,
+            comm_s: comm,
+            overhead_s: ovhd,
+            cpu_to_pim_bytes: 100,
+            pim_to_cpu_bytes: 50,
+            tasks: 4,
+            replies: 4,
+            max_cycles: maxc,
+            mean_cycles: meanc,
+        }
+    }
+
+    #[test]
+    fn summarize_groups_and_sorts_by_total_time() {
+        let rows = vec![
+            row("search", 1.0, 0.5, 0.1, 40, 10.0),
+            row("insert", 5.0, 1.0, 0.2, 20, 20.0),
+            row("search", 2.0, 0.5, 0.1, 30, 30.0),
+        ];
+        let s = summarize(&rows);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].phase, "insert");
+        assert_eq!(s[1].phase, "search");
+        assert_eq!(s[1].rounds, 2);
+        assert!((s[1].pim_s - 3.0).abs() < 1e-12);
+        assert!((s[1].worst_imbalance - 4.0).abs() < 1e-12, "40/10 round dominates");
+        // Cycle-weighted: (40 + 30) / (10 + 30).
+        assert!((s[1].agg_imbalance - 70.0 / 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unlabeled_rounds_get_a_bucket() {
+        let s = summarize(&[row("", 1.0, 0.0, 0.0, 1, 1.0)]);
+        assert_eq!(s[0].phase, "(unlabeled)");
+    }
+
+    #[test]
+    fn parse_jsonl_roundtrips_journal_records() {
+        use pim_sim::{JournalSink, RoundBreakdown, TraceSink};
+        let (mut sink, journal) = JournalSink::new();
+        sink.record(pim_sim::RoundRecord {
+            round: 0,
+            phase: "knn".into(),
+            kind: pim_sim::RoundKind::Execute,
+            breakdown: RoundBreakdown { pim_s: 0.25, comm_s: 0.5, overhead_s: 0.125 },
+            cpu_to_pim_bytes: 64,
+            pim_to_cpu_bytes: 32,
+            tasks: 3,
+            replies: 2,
+            active_modules: 2,
+            max_cycles: 9,
+            mean_cycles: 4.5,
+            sum_cycles: 9,
+            cycle_hist: [0; pim_sim::trace::HIST_BUCKETS],
+            stragglers: vec![1],
+        });
+        let rows = parse_jsonl(&journal.to_jsonl()).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].phase, "knn");
+        assert_eq!(rows[0].pim_s, 0.25);
+        assert_eq!(rows[0].cpu_to_pim_bytes, 64);
+        assert_eq!(rows[0].max_cycles, 9);
+        let rendered = render(&summarize(&rows));
+        assert!(rendered.contains("knn"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_jsonl("not json\n").is_err());
+    }
+}

@@ -26,27 +26,27 @@ const MAX_ROUNDS: usize = 1000;
 impl<const D: usize> PimZdTree<D> {
     /// Batched BoxCount: exact number of stored points in each box.
     pub fn batch_box_count(&mut self, queries: &[Aabb<D>]) -> Vec<u64> {
-        self.measured(queries.len() as u64, |t| {
-            let out = t.box_inner(queries, false).0;
-            let n = out.len() as u64;
-            (out, n)
+        self.phased("box_count", |t| {
+            t.measured(queries.len() as u64, |t| {
+                let out = t.box_inner(queries, false).0;
+                let n = out.len() as u64;
+                (out, n)
+            })
         })
     }
 
     /// Batched BoxFetch: the stored points in each box (unspecified order).
     pub fn batch_box_fetch(&mut self, queries: &[Aabb<D>]) -> Vec<Vec<Point<D>>> {
-        self.measured(queries.len() as u64, |t| {
-            let out = t.box_inner(queries, true).1;
-            let elements = out.iter().map(|v| v.len() as u64).sum();
-            (out, elements)
+        self.phased("box_fetch", |t| {
+            t.measured(queries.len() as u64, |t| {
+                let out = t.box_inner(queries, true).1;
+                let elements = out.iter().map(|v| v.len() as u64).sum();
+                (out, elements)
+            })
         })
     }
 
-    fn box_inner(
-        &mut self,
-        queries: &[Aabb<D>],
-        fetch: bool,
-    ) -> (Vec<u64>, Vec<Vec<Point<D>>>) {
+    fn box_inner(&mut self, queries: &[Aabb<D>], fetch: bool) -> (Vec<u64>, Vec<Vec<Point<D>>>) {
         let n = queries.len();
         let mut states: Vec<BState<D>> = queries
             .iter()
@@ -71,8 +71,7 @@ impl<const D: usize> PimZdTree<D> {
                 } else {
                     st.count = l0.local_box_count(l0.root, &st.query, &mut remote, &mut sink);
                 }
-                st.frontier =
-                    remote.into_iter().map(|r| (r.meta, r.module, u32::MAX)).collect();
+                st.frontier = remote.into_iter().map(|r| (r.meta, r.module, u32::MAX)).collect();
             }
         } else {
             return (vec![0; n], vec![Vec::new(); n]);
@@ -177,10 +176,8 @@ impl<const D: usize> PimZdTree<D> {
             }
         }
 
-        let counts = states
-            .iter()
-            .map(|st| if fetch { st.points.len() as u64 } else { st.count })
-            .collect();
+        let counts =
+            states.iter().map(|st| if fetch { st.points.len() as u64 } else { st.count }).collect();
         let points = states.into_iter().map(|st| st.points).collect();
         (counts, points)
     }

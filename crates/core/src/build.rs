@@ -198,7 +198,10 @@ impl<const D: usize> PimZdTree<D> {
         if points.is_empty() {
             return t;
         }
-        // Warmup: nothing is charged.
+        // Warmup: nothing is charged (and, being unaccounted, nothing is
+        // journaled — the label only matters if a caller re-enables
+        // accounting to trace construction itself).
+        t.sys.push_phase("build");
         t.sys.accounting = false;
         t.meter.enabled = false;
 
@@ -222,8 +225,7 @@ impl<const D: usize> PimZdTree<D> {
             dense_min: 0,
         };
         let p = t.sys.n_modules();
-        let mut carver =
-            Carver { cfg, p, tmp: &tmp, dir: &mut t.dir, frags: Vec::new() };
+        let mut carver = Carver { cfg, p, tmp: &tmp, dir: &mut t.dir, frags: Vec::new() };
         // The root always lives in L0 (the host must be able to route).
         let l0_root = carver.carve_l0(root, &mut l0);
         l0.root = l0_root;
@@ -240,18 +242,14 @@ impl<const D: usize> PimZdTree<D> {
         t.n_points = items.len();
 
         // Install L1 caches (§3.1 partially-shared layer).
-        let l1_metas: Vec<MetaId> = t
-            .dir
-            .metas
-            .values()
-            .filter(|m| m.layer == Layer::L1)
-            .map(|m| m.id)
-            .collect();
+        let l1_metas: Vec<MetaId> =
+            t.dir.metas.values().filter(|m| m.layer == Layer::L1).map(|m| m.id).collect();
         t.install_caches(&l1_metas);
 
         t.update_l0_replication();
         t.sys.accounting = true;
         t.meter.enabled = true;
+        t.sys.pop_phase();
         t
     }
 
@@ -370,11 +368,7 @@ mod tests {
         let l2 = t.dir.metas.values().filter(|m| m.layer == Layer::L2).count();
         assert!(l1 > 0, "expected L1 metas");
         assert!(l2 > 0, "expected L2 metas");
-        let chained = t
-            .dir
-            .metas
-            .values()
-            .any(|m| m.layer == Layer::L1 && m.parent.is_some());
+        let chained = t.dir.metas.values().any(|m| m.layer == Layer::L1 && m.parent.is_some());
         assert!(chained, "expected L1 metas hanging under L1 parents");
         // Deep L1 chains imply caching somewhere.
         let cached: usize = t.dir.metas.values().map(|m| m.cached_on.len()).sum();

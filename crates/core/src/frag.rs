@@ -827,11 +827,8 @@ impl<const D: usize> Fragment<D> {
                 let rp = self.child_prefix(right);
                 let ld = lp.to_box().min_dist(q, metric);
                 let rd = rp.to_box().min_dist(q, metric);
-                let order = if ld <= rd {
-                    [(ld, left), (rd, right)]
-                } else {
-                    [(rd, right), (ld, left)]
-                };
+                let order =
+                    if ld <= rd { [(ld, left), (rd, right)] } else { [(rd, right), (ld, left)] };
                 for (d, child) in order {
                     let bound = knn_bound(cands, k);
                     if d > bound {
@@ -1032,9 +1029,7 @@ impl<const D: usize> Fragment<D> {
             BKind::Internal { left, right } => {
                 for child in [left, right] {
                     match child {
-                        ChildRef::Local(c) => {
-                            self.local_box_fetch(*c, query, out, frontier, sink)
-                        }
+                        ChildRef::Local(c) => self.local_box_fetch(*c, query, out, frontier, sink),
                         ChildRef::Remote(r) => {
                             sink.op(8 * D as u64);
                             if query.intersects(&r.prefix.to_box()) {
@@ -1208,12 +1203,11 @@ impl<const D: usize> Fragment<D> {
                     }
                     *new_slot = ChildRef::Remote(r);
                 }
-                ChildRef::Local(c)
-                    if delta.is_none() => {
-                        if let Some(d) = self.sync_rec(c, meta, new_sc, new_prefix) {
-                            delta = Some(d);
-                        }
+                ChildRef::Local(c) if delta.is_none() => {
+                    if let Some(d) = self.sync_rec(c, meta, new_sc, new_prefix) {
+                        delta = Some(d);
                     }
+                }
                 _ => {}
             }
         }
@@ -1293,8 +1287,7 @@ impl<const D: usize> Fragment<D> {
                     ReplaceResult::Done => return ReplaceResult::Done,
                     ReplaceResult::ReplaceMe(Some(sib)) => {
                         let n = &mut self.nodes[idx as usize];
-                        let (l, r2) =
-                            if side == 0 { (sib, right) } else { (left, sib) };
+                        let (l, r2) = if side == 0 { (sib, right) } else { (left, sib) };
                         n.kind = BKind::Internal { left: l, right: r2 };
                         return ReplaceResult::Done;
                     }

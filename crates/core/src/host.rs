@@ -101,8 +101,7 @@ impl<const D: usize> PimZdTree<D> {
     /// caches (Theorem 5.1 / Table 2).
     pub fn space_bytes(&self) -> u64 {
         let l0 = self.l0.as_ref().map_or(0, Fragment::bytes);
-        let replicated =
-            if self.l0_replicated { l0 * self.sys.n_modules() as u64 } else { 0 };
+        let replicated = if self.l0_replicated { l0 * self.sys.n_modules() as u64 } else { 0 };
         let modules: u64 =
             (0..self.sys.n_modules()).map(|i| self.sys.peek(i).resident_bytes()).sum();
         l0 + replicated + modules
@@ -134,6 +133,25 @@ impl<const D: usize> PimZdTree<D> {
         result
     }
 
+    /// Runs `f` under a trace phase label: every PIM round executed inside
+    /// is journaled with the label (nested calls join with `/`, so a
+    /// maintenance round inside a delete batch reads `delete/maintain`).
+    /// This is the index-side counterpart of
+    /// [`PimSystem::scoped_phase`](pim_sim::PimSystem::scoped_phase), needed
+    /// because operations borrow the whole tree, not just the system.
+    pub(crate) fn phased<R>(&mut self, label: &str, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.sys.push_phase(label);
+        let out = f(self);
+        self.sys.pop_phase();
+        out
+    }
+
+    /// Attaches a trace sink to the simulated machine (see
+    /// [`pim_sim::trace`]); pass `Box::new(pim_sim::NullSink)` to detach.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn pim_sim::TraceSink>) {
+        self.sys.set_trace_sink(sink);
+    }
+
     /// A cost sink charging the host meter at the L0 region.
     pub(crate) fn l0_sink(meter: &mut CpuMeter) -> HostSink<'_> {
         HostSink { meter, base_addr: L0_REGION }
@@ -162,10 +180,7 @@ impl<const D: usize> PimZdTree<D> {
     // -----------------------------------------------------------------
 
     /// Executes one management round with per-module task lists.
-    pub(crate) fn mgmt_round(
-        &mut self,
-        tasks: Vec<Vec<MgmtTask<D>>>,
-    ) -> Vec<Vec<MgmtReply<D>>> {
+    pub(crate) fn mgmt_round(&mut self, tasks: Vec<Vec<MgmtTask<D>>>) -> Vec<Vec<MgmtReply<D>>> {
         self.sys.execute_round(tasks, handle_mgmt)
     }
 

@@ -26,9 +26,11 @@ impl<const D: usize> PimZdTree<D> {
         if points.is_empty() {
             return;
         }
-        self.measured(points.len() as u64, |t| {
-            t.insert_inner(points);
-            ((), points.len() as u64)
+        self.phased("insert", |t| {
+            t.measured(points.len() as u64, |t| {
+                t.insert_inner(points);
+                ((), points.len() as u64)
+            })
         });
     }
 
@@ -104,9 +106,11 @@ impl<const D: usize> PimZdTree<D> {
         if points.is_empty() {
             return 0;
         }
-        self.measured(points.len() as u64, |t| {
-            let removed = t.delete_inner(points);
-            (removed, points.len() as u64)
+        self.phased("delete", |t| {
+            t.measured(points.len() as u64, |t| {
+                let removed = t.delete_inner(points);
+                (removed, points.len() as u64)
+            })
         })
     }
 
@@ -223,60 +227,56 @@ impl<const D: usize> PimZdTree<D> {
             for (_, child, replacement) in &splices {
                 resolution.insert(*child, *replacement);
             }
-            let resolve = |mut r: Option<RemoteRef<D>>,
-                           resolution: &FxHashMap<MetaId, Option<RemoteRef<D>>>| {
-                let mut hops = 0;
-                while let Some(rr) = r {
-                    match resolution.get(&rr.meta) {
-                        Some(next) => {
-                            r = *next;
-                            hops += 1;
-                            assert!(hops < 1000, "replacement chain loops");
+            let resolve =
+                |mut r: Option<RemoteRef<D>>,
+                 resolution: &FxHashMap<MetaId, Option<RemoteRef<D>>>| {
+                    let mut hops = 0;
+                    while let Some(rr) = r {
+                        match resolution.get(&rr.meta) {
+                            Some(next) => {
+                                r = *next;
+                                hops += 1;
+                                assert!(hops < 1000, "replacement chain loops");
+                            }
+                            None => break,
                         }
-                        None => break,
                     }
-                }
-                r
-            };
+                    r
+                };
 
             let mut next = Vec::new();
             let mut tasks: Vec<Vec<MgmtTask<D>>> = self.task_matrix();
+            // Host-side L0 patches are deferred until after the module
+            // round: an L0 root collapse absorbs a parent fragment into L0,
+            // and that fragment must first receive its own pending
+            // `ReplaceChild` splices module-side, or L0 inherits dangling
+            // refs to dissolved children.
+            let mut l0_patches: Vec<(MetaId, Option<RemoteRef<D>>)> = Vec::new();
             for (parent, child, replacement) in splices {
                 let replacement = resolve(replacement, &resolution);
+                // A recorded parent that has left the directory was either
+                // dissolved (nothing references `child` any more) or
+                // absorbed into L0 (L0 now holds its ref to `child`); both
+                // cases are served by the L0 patch path below, where a
+                // missing ref is a no-op.
+                let live_parent = parent.filter(|p| self.dir.metas.contains_key(p));
                 // Fix the directory first.
                 if let Some(rr) = replacement {
                     // The surviving grandchild hangs off the dissolved
                     // child's parent.
                     if self.dir.metas.contains_key(&rr.meta) {
-                        self.dir.get_mut(rr.meta).parent = parent;
-                        if let Some(p) = parent {
-                            if self.dir.metas.contains_key(&p)
-                                && !self.dir.get(p).children.contains(&rr.meta)
-                            {
+                        self.dir.get_mut(rr.meta).parent = live_parent;
+                        if let Some(p) = live_parent {
+                            if !self.dir.get(p).children.contains(&rr.meta) {
                                 self.dir.get_mut(p).children.push(rr.meta);
                             }
                         }
                     }
                 }
                 self.dir.remove(child);
-                match parent {
-                    None => {
-                        // Parent is L0: splice host-side.
-                        let outcome = match self.l0.as_mut() {
-                            Some(l0) => {
-                                self.meter.work(60);
-                                l0.replace_remote_child(child, replacement)
-                            }
-                            None => continue,
-                        };
-                        if let crate::frag::ReplaceOutcome::RootCollapsed(r) = outcome {
-                            match resolve(Some(r), &resolution) {
-                                None => self.l0 = None,
-                                Some(rr) => self.absorb_fragment_into_l0(rr),
-                            }
-                        }
-                    }
-                    Some(p) if self.dir.metas.contains_key(&p) => {
+                match live_parent {
+                    None => l0_patches.push((child, replacement)),
+                    Some(p) => {
                         let module = self.dir.get(p).module as usize;
                         tasks[module].push(MgmtTask::ReplaceChild {
                             parent: p,
@@ -292,8 +292,6 @@ impl<const D: usize> PimZdTree<D> {
                             });
                         }
                     }
-                    // Parent dissolved in this batch: nothing to patch.
-                    Some(_) => {}
                 }
             }
             if !tasks.iter().all(Vec::is_empty) {
@@ -304,6 +302,27 @@ impl<const D: usize> PimZdTree<D> {
                             let gp = self.dir.get(parent).parent;
                             next.push((gp, parent, Some(rr)));
                         }
+                    }
+                }
+            }
+            // Parents that collapsed module-side in this round already lost
+            // their masters; record their replacements now so an L0 absorb
+            // below never tries to pull one of them.
+            for (_, child, replacement) in &next {
+                resolution.insert(*child, *replacement);
+            }
+            for (child, replacement) in l0_patches {
+                let outcome = match self.l0.as_mut() {
+                    Some(l0) => {
+                        self.meter.work(60);
+                        l0.replace_remote_child(child, replacement)
+                    }
+                    None => continue,
+                };
+                if let crate::frag::ReplaceOutcome::RootCollapsed(r) = outcome {
+                    match resolve(Some(r), &resolution) {
+                        None => self.l0 = None,
+                        Some(rr) => self.absorb_fragment_into_l0(rr),
                     }
                 }
             }
@@ -341,13 +360,15 @@ impl<const D: usize> PimZdTree<D> {
 
     /// Runs the full maintenance pipeline after a batch of updates.
     pub(crate) fn maintain(&mut self) {
-        self.demote_small_l0_children();
-        self.sync_lazy_counters();
-        self.promotions();
-        self.layer_transitions();
-        self.rechunk();
-        self.refresh_dirty_caches();
-        self.update_l0_replication();
+        self.phased("maintain", |t| {
+            t.demote_small_l0_children();
+            t.sync_lazy_counters();
+            t.promotions();
+            t.layer_transitions();
+            t.rechunk();
+            t.refresh_dirty_caches();
+            t.update_l0_replication();
+        });
     }
 
     /// Extracts L0-resident subtrees that fell below θ_L0 into new
@@ -852,7 +873,7 @@ mod tests {
         let extra = uniform::<3>(1_500, 6);
         let cfg = PimZdConfig::skew_resistant(16);
         let mut t = PimZdTree::build(&pts, cfg, MachineConfig::with_modules(16));
-        t.batch_delete(&pts[..2_500].to_vec());
+        t.batch_delete(&pts[..2_500]);
         t.batch_insert(&extra);
         let mut data: Vec<Point<3>> = pts[2_500..].to_vec();
         data.extend_from_slice(&extra);
@@ -880,7 +901,7 @@ mod tests {
         let cfg = PimZdConfig::skew_resistant(16);
         let mut t = PimZdTree::build(&pts, cfg, MachineConfig::with_modules(16));
         for i in 0..4 {
-            t.batch_delete(&pts[i * 1_000..(i + 1) * 1_000].to_vec());
+            t.batch_delete(&pts[i * 1_000..(i + 1) * 1_000]);
             t.check_invariants(&pts[(i + 1) * 1_000..]);
         }
         assert!(t.is_empty());
@@ -902,11 +923,11 @@ mod tests {
         let p = Point::new([123u32, 456, 789]);
         let cfg = PimZdConfig::throughput_optimized(100, 4);
         let mut t = PimZdTree::new(cfg, MachineConfig::with_modules(4));
-        t.batch_insert(&vec![p; 5]);
+        t.batch_insert(&[p; 5]);
         assert_eq!(t.len(), 5);
         assert_eq!(t.batch_delete(&[p, p]), 2);
         assert_eq!(t.len(), 3);
-        t.check_invariants(&vec![p; 3]);
+        t.check_invariants(&[p; 3]);
     }
 
     #[test]

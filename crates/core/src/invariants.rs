@@ -53,14 +53,7 @@ impl<const D: usize> PimZdTree<D> {
         // Walk the logical tree.
         let mut points: Vec<Keyed<D>> = Vec::new();
         let mut seen_metas: Vec<MetaId> = Vec::new();
-        let true_total = self.walk_node(
-            l0,
-            l0.root,
-            None,
-            &masters,
-            &mut points,
-            &mut seen_metas,
-        );
+        let true_total = self.walk_node(l0, l0.root, None, &masters, &mut points, &mut seen_metas);
         assert_eq!(true_total as usize, expected.len(), "logical tree point count");
 
         // Every master referenced exactly once.
@@ -158,9 +151,12 @@ impl<const D: usize> PimZdTree<D> {
                         ),
                         ChildRef::Remote(r) => {
                             seen.push(r.meta);
-                            let (child_frag, module) = masters
-                                .get(&r.meta)
-                                .unwrap_or_else(|| panic!("dangling ref to meta {}", r.meta));
+                            let (child_frag, module) = masters.get(&r.meta).unwrap_or_else(|| {
+                                panic!(
+                                    "dangling ref to meta {} (referenced from meta {})",
+                                    r.meta, frag.meta
+                                )
+                            });
                             assert_eq!(*module, r.module, "ref names wrong module");
                             let croot = child_frag.root_node();
                             assert_eq!(

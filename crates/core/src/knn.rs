@@ -23,11 +23,7 @@ use rustc_hash::FxHashMap;
 #[derive(Clone, Copy, Debug)]
 enum Target<const D: usize> {
     L0(u32),
-    Frag {
-        meta: MetaId,
-        module: u32,
-        node: u32,
-    },
+    Frag { meta: MetaId, module: u32, node: u32 },
 }
 
 /// Per-query exploration state.
@@ -66,10 +62,12 @@ impl<const D: usize> PimZdTree<D> {
         if queries.is_empty() {
             return Vec::new();
         }
-        self.measured(queries.len() as u64, |t| {
-            let out = t.knn_inner(queries, k, metric);
-            let elements: u64 = out.iter().map(|v| v.len() as u64).sum();
-            (out, elements)
+        self.phased("knn", |t| {
+            t.measured(queries.len() as u64, |t| {
+                let out = t.knn_inner(queries, k, metric);
+                let elements: u64 = out.iter().map(|v| v.len() as u64).sum();
+                (out, elements)
+            })
         })
     }
 
@@ -140,12 +138,8 @@ impl<const D: usize> PimZdTree<D> {
                 x
             };
             self.meter.work(30);
-            let start = self.lowest_trace_node_containing(
-                &s.hops[qid],
-                &queries[qid],
-                radius,
-                coarse,
-            );
+            let start =
+                self.lowest_trace_node_containing(&s.hops[qid], &queries[qid], radius, coarse);
             ball_states.push(QState {
                 q: queries[qid],
                 cands: Vec::new(),
@@ -262,10 +256,22 @@ impl<const D: usize> PimZdTree<D> {
                             let mut remote = Vec::new();
                             match st.ball {
                                 Some(r) => l0.local_ball(
-                                    node, &st.q, r, metric, &mut st.cands, &mut remote, &mut sink,
+                                    node,
+                                    &st.q,
+                                    r,
+                                    metric,
+                                    &mut st.cands,
+                                    &mut remote,
+                                    &mut sink,
                                 ),
                                 None => l0.local_knn(
-                                    node, &st.q, k, metric, &mut st.cands, &mut remote, &mut sink,
+                                    node,
+                                    &st.q,
+                                    k,
+                                    metric,
+                                    &mut st.cands,
+                                    &mut remote,
+                                    &mut sink,
                                 ),
                             }
                             for (r, d) in remote {
@@ -342,10 +348,22 @@ impl<const D: usize> PimZdTree<D> {
                         let mut remote = Vec::new();
                         match st.ball {
                             Some(r) => frag.local_ball(
-                                start, &st.q, r, metric, &mut st.cands, &mut remote, &mut sink,
+                                start,
+                                &st.q,
+                                r,
+                                metric,
+                                &mut st.cands,
+                                &mut remote,
+                                &mut sink,
                             ),
                             None => frag.local_knn(
-                                start, &st.q, k, metric, &mut st.cands, &mut remote, &mut sink,
+                                start,
+                                &st.q,
+                                k,
+                                metric,
+                                &mut st.cands,
+                                &mut remote,
+                                &mut sink,
                             ),
                         }
                         for (r, d) in remote {
@@ -412,10 +430,8 @@ impl<const D: usize> PimZdTree<D> {
                     }
                 }
                 for (r, d) in reply.frontier {
-                    st.frontier.push((
-                        Target::Frag { meta: r.meta, module: r.module, node: u32::MAX },
-                        d,
-                    ));
+                    st.frontier
+                        .push((Target::Frag { meta: r.meta, module: r.module, node: u32::MAX }, d));
                 }
             }
         }

@@ -13,8 +13,8 @@
 //! caching buys.
 
 use crate::frag::{
-    AnchorLoc, BNode, Fragment, Keyed, MetaId, RemoteRef, RootAfterRemove, SearchEnd,
-    BNODE_BYTES, REMOTE_REF_BYTES,
+    AnchorLoc, BNode, Fragment, Keyed, MetaId, RemoteRef, RootAfterRemove, SearchEnd, BNODE_BYTES,
+    REMOTE_REF_BYTES,
 };
 use pim_geom::{Aabb, Metric, Point};
 use pim_sim::{PimCtx, Wire};
@@ -476,12 +476,7 @@ pub fn handle_search<const D: usize>(
                 // Shouldn't happen if host routing is correct; treat as a
                 // forward to wherever the directory says (host resolves).
                 break SearchVerdict::Forward {
-                    to: RemoteRef {
-                        meta,
-                        module: module_id as u32,
-                        prefix: Prefix::root(),
-                        sc: 0,
-                    },
+                    to: RemoteRef { meta, module: module_id as u32, prefix: Prefix::root(), sc: 0 },
                 };
             };
             if t.want_anchor > 0 {
@@ -606,7 +601,13 @@ pub fn handle_delete<const D: usize>(
             }
             DeleteOutcome::Kept => {}
         }
-        replies.push(DeleteReply { meta: t.meta, removed: removed as u64, outcome, root_count, root_prefix });
+        replies.push(DeleteReply {
+            meta: t.meta,
+            removed: removed as u64,
+            outcome,
+            root_count,
+            root_prefix,
+        });
     }
     replies
 }
@@ -640,7 +641,15 @@ pub fn handle_knn<const D: usize>(
             let start = if node == u32::MAX { frag.root } else { node };
             let mut local_frontier = Vec::new();
             if t.ball {
-                frag.local_ball(start, &t.q, t.bound, t.metric, &mut cands, &mut local_frontier, ctx);
+                frag.local_ball(
+                    start,
+                    &t.q,
+                    t.bound,
+                    t.metric,
+                    &mut cands,
+                    &mut local_frontier,
+                    ctx,
+                );
             } else {
                 frag.local_knn(
                     start,
@@ -656,8 +665,7 @@ pub fn handle_knn<const D: usize>(
                 // Chase locally-present fragments, except a cached
                 // fragment's stub refs (r.meta == meta), whose payloads live
                 // only at the master.
-                if r.meta != meta && !visited.contains(&r.meta) && state.lookup(r.meta).is_some()
-                {
+                if r.meta != meta && !visited.contains(&r.meta) && state.lookup(r.meta).is_some() {
                     work.push((r.meta, u32::MAX, d));
                 } else {
                     frontier.push((r, d));
@@ -712,8 +720,7 @@ pub fn handle_box<const D: usize>(
             // stub refs (r.meta == meta), whose payloads live only at the
             // master.
             for r in local_frontier {
-                if r.meta != meta && !visited.contains(&r.meta) && state.lookup(r.meta).is_some()
-                {
+                if r.meta != meta && !visited.contains(&r.meta) && state.lookup(r.meta).is_some() {
                     work.push((r.meta, u32::MAX));
                 } else {
                     frontier.push(r);
@@ -944,13 +951,9 @@ mod tests {
         // Fragment 1 references fragment 2; both on this module → single
         // round resolves everything.
         let mut st = ModuleState::<3>::default();
-        let f2 = frag_of(2, 0, &[[1_000_000, 1_000_000, 1_000_000], [1_000_010, 1_000_010, 1_000_010]]);
-        let r2 = RemoteRef {
-            meta: 2,
-            module: 0,
-            prefix: f2.root_node().prefix,
-            sc: 2,
-        };
+        let f2 =
+            frag_of(2, 0, &[[1_000_000, 1_000_000, 1_000_000], [1_000_010, 1_000_010, 1_000_010]]);
+        let r2 = RemoteRef { meta: 2, module: 0, prefix: f2.root_node().prefix, sc: 2 };
         let f1_items = keyed(&[[0, 0, 0], [10, 10, 10]]);
         let leaf_pre = set_prefix(&f1_items);
         let root_pre = Prefix::new(leaf_pre.key, leaf_pre.key.common_prefix_len(r2.prefix.key));

@@ -177,15 +177,13 @@ impl<const D: usize> PimZdTree<D> {
                                 want_anchor,
                                 &mut sink,
                             ) {
-                                anchors[qid as usize] =
-                                    Some(anchor_from_frag(frag, prefix, loc));
+                                anchors[qid as usize] = Some(anchor_from_frag(frag, prefix, loc));
                             }
                         }
                         match frag.search(keys[qid as usize], &mut sink) {
                             crate::frag::SearchEnd::Leaf(idx) => {
                                 let found = leaf_contains(frag, idx, keys[qid as usize]);
-                                ends[qid as usize] =
-                                    QueryEnd::FragLeaf { meta: frag.meta, found };
+                                ends[qid as usize] = QueryEnd::FragLeaf { meta: frag.meta, found };
                                 break;
                             }
                             crate::frag::SearchEnd::Stub(_) => {
@@ -221,8 +219,7 @@ impl<const D: usize> PimZdTree<D> {
                     want_anchor,
                 });
             }
-            let replies: Vec<Vec<SearchReply<D>>> =
-                self.sys.execute_round(tasks, handle_search);
+            let replies: Vec<Vec<SearchReply<D>>> = self.sys.execute_round(tasks, handle_search);
 
             pending = Vec::new();
             for reply in replies.into_iter().flatten() {
@@ -252,11 +249,13 @@ impl<const D: usize> PimZdTree<D> {
     /// Public batched point-membership query (the SEARCH of Alg. 1 used as
     /// an operation in its own right).
     pub fn batch_contains(&mut self, pts: &[Point<D>]) -> Vec<bool> {
-        self.measured(pts.len() as u64, |t| {
-            let s = t.batch_search_internal(pts, 0);
-            let out: Vec<bool> = s.ends.iter().map(QueryEnd::found).collect();
-            let n = out.len() as u64;
-            (out, n)
+        self.phased("search", |t| {
+            t.measured(pts.len() as u64, |t| {
+                let s = t.batch_search_internal(pts, 0);
+                let out: Vec<bool> = s.ends.iter().map(QueryEnd::found).collect();
+                let n = out.len() as u64;
+                (out, n)
+            })
         })
     }
 }
@@ -274,20 +273,12 @@ fn anchor_from_l0<const D: usize>(
     loc: crate::frag::AnchorLoc<D>,
 ) -> AnchorInfo<D> {
     match loc {
-        crate::frag::AnchorLoc::Local(n) => AnchorInfo {
-            meta: 0,
-            module: u32::MAX,
-            node: n,
-            prefix,
-            sc: l0.node(n).count,
-        },
-        crate::frag::AnchorLoc::Remote(r) => AnchorInfo {
-            meta: r.meta,
-            module: r.module,
-            node: u32::MAX,
-            prefix,
-            sc: r.sc,
-        },
+        crate::frag::AnchorLoc::Local(n) => {
+            AnchorInfo { meta: 0, module: u32::MAX, node: n, prefix, sc: l0.node(n).count }
+        }
+        crate::frag::AnchorLoc::Remote(r) => {
+            AnchorInfo { meta: r.meta, module: r.module, node: u32::MAX, prefix, sc: r.sc }
+        }
     }
 }
 
@@ -304,13 +295,9 @@ fn anchor_from_frag<const D: usize>(
             prefix,
             sc: frag.node(n).count,
         },
-        crate::frag::AnchorLoc::Remote(r) => AnchorInfo {
-            meta: r.meta,
-            module: r.module,
-            node: u32::MAX,
-            prefix,
-            sc: r.sc,
-        },
+        crate::frag::AnchorLoc::Remote(r) => {
+            AnchorInfo { meta: r.meta, module: r.module, node: u32::MAX, prefix, sc: r.sc }
+        }
     }
 }
 

@@ -133,11 +133,13 @@ mod tests {
     fn from_deltas_wires_fields() {
         let model = CpuModel::new(CpuConfig::xeon());
         let host = CpuStats { work_cycles: 1_000, dram_bytes: 64, ..Default::default() };
-        let mut sim = SimStats::default();
-        sim.rounds = 2;
-        sim.pim_s = 0.001;
-        sim.cpu_to_pim_bytes = 10;
-        sim.pim_to_cpu_bytes = 20;
+        let sim = SimStats {
+            rounds: 2,
+            pim_s: 0.001,
+            cpu_to_pim_bytes: 10,
+            pim_to_cpu_bytes: 20,
+            ..Default::default()
+        };
         let s = OpStats::from_deltas(&model, host, sim, 5, 7);
         assert_eq!(s.rounds, 2);
         assert_eq!(s.channel_bytes, 30);

@@ -56,8 +56,7 @@ pub fn estimate_expansion_constant<const D: usize>(
     let mut gamma: f64 = 1.0;
     for center in points.iter().step_by(stride).take(samples) {
         // Distances from this center, in comparable (squared) form.
-        let mut dists: Vec<u64> =
-            points.iter().map(|p| Metric::L2.cmp_dist(center, p)).collect();
+        let mut dists: Vec<u64> = points.iter().map(|p| Metric::L2.cmp_dist(center, p)).collect();
         dists.sort_unstable();
         // Radius ladder: distance of the 2^j-th nearest neighbor.
         let mut j = min_ball.max(2);
@@ -86,22 +85,14 @@ mod tests {
     #[test]
     fn bounded_ratio_on_grid() {
         // 3 collinear points spaced 1 and 9 apart: ratio = 10.
-        let pts = vec![
-            Point::new([0u32, 0]),
-            Point::new([1u32, 0]),
-            Point::new([10u32, 0]),
-        ];
+        let pts = vec![Point::new([0u32, 0]), Point::new([1u32, 0]), Point::new([10u32, 0])];
         let r = bounded_ratio(&pts).unwrap();
         assert!((r - 10.0).abs() < 1e-9);
     }
 
     #[test]
     fn bounded_ratio_ignores_duplicates() {
-        let pts = vec![
-            Point::new([5u32, 5]),
-            Point::new([5u32, 5]),
-            Point::new([8u32, 9]),
-        ];
+        let pts = vec![Point::new([5u32, 5]), Point::new([5u32, 5]), Point::new([8u32, 9])];
         assert!(bounded_ratio(&pts).is_some());
     }
 
@@ -129,9 +120,6 @@ mod tests {
     #[test]
     fn expansion_constant_trivial_cases() {
         assert_eq!(estimate_expansion_constant::<2>(&[], 4, 4), 1.0);
-        assert_eq!(
-            estimate_expansion_constant(&[Point::new([1u32, 1])], 4, 4),
-            1.0
-        );
+        assert_eq!(estimate_expansion_constant(&[Point::new([1u32, 1])], 4, 4), 1.0);
     }
 }

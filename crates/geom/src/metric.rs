@@ -64,7 +64,7 @@ impl Metric {
     pub fn pim_cycles(self, d: usize) -> u64 {
         let d = d as u64;
         match self {
-            Metric::L1 => 3 * d,       // diff, abs, add per axis
+            Metric::L1 => 3 * d,        // diff, abs, add per axis
             Metric::L2 => d * (32 + 3), // diff, abs, mul(32), add per axis
             Metric::Linf => 3 * d,
         }

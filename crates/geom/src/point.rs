@@ -1,6 +1,5 @@
 //! Integer-grid points with a const-generic dimension.
 
-
 /// A `D`-dimensional point on the integer grid.
 ///
 /// Coordinates are unsigned so that Morton interleaving is a direct bit

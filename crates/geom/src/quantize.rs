@@ -7,8 +7,8 @@
 //! (containment, relative order) survive, and the inverse map lands within
 //! half a grid cell of the original.
 
-use crate::point::Point;
 use crate::max_coord_for_dim;
+use crate::point::Point;
 
 /// Affine map between a real-valued bounding box and the integer grid.
 ///

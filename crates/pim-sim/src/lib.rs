@@ -30,12 +30,14 @@ pub mod energy;
 pub mod placement;
 pub mod stats;
 pub mod system;
+pub mod trace;
 pub mod wire;
 
 pub use config::MachineConfig;
-pub use energy::{EnergyEstimate, EnergyModel};
 pub use ctx::PimCtx;
+pub use energy::{EnergyEstimate, EnergyModel};
 pub use placement::hash_place;
 pub use stats::{LoadStats, RoundBreakdown, SimStats};
 pub use system::PimSystem;
+pub use trace::{Journal, JournalSink, NullSink, RoundKind, RoundRecord, TraceSink};
 pub use wire::Wire;

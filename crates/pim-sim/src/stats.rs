@@ -66,6 +66,12 @@ pub struct SimStats {
     pub sum_max_cycles: u64,
     /// Number of modules (for aggregate imbalance).
     pub n_modules: usize,
+    /// Per-round imbalance, indexed by round number (0.0 for rounds without
+    /// PIM work, mirroring how such rounds never move `worst_imbalance`).
+    /// Lets [`Self::since`] report the *window's* worst imbalance instead of
+    /// the lifetime one.
+    #[serde(skip)]
+    pub imbalance_history: Vec<f64>,
 }
 
 impl SimStats {
@@ -99,14 +105,29 @@ impl SimStats {
         self.pim_s += b.pim_s;
         self.comm_s += b.comm_s;
         self.overhead_s += b.overhead_s;
-        if load.max_cycles > 0 {
-            self.worst_imbalance = self.worst_imbalance.max(load.imbalance());
-        }
+        let im = if load.max_cycles > 0 {
+            let im = load.imbalance();
+            self.worst_imbalance = self.worst_imbalance.max(im);
+            im
+        } else {
+            0.0
+        };
+        self.imbalance_history.push(im);
         self.sum_max_cycles += load.max_cycles;
     }
 
     /// Difference `self - earlier` for phase-relative measurements.
+    ///
+    /// `earlier` must be a snapshot of this same stats object taken at some
+    /// earlier round (the only way the subtraction is meaningful). The
+    /// result's `worst_imbalance` covers only the rounds of the window —
+    /// previously it leaked the lifetime value, so a balanced phase measured
+    /// after one imbalanced round reported the stale maximum forever.
     pub fn since(&self, earlier: &SimStats) -> SimStats {
+        let lo = (earlier.rounds as usize).min(self.imbalance_history.len());
+        let hi = (self.rounds as usize).min(self.imbalance_history.len());
+        let window = self.imbalance_history[lo..hi].to_vec();
+        let worst = window.iter().fold(0.0f64, |a, &b| a.max(b));
         SimStats {
             rounds: self.rounds - earlier.rounds,
             cpu_to_pim_bytes: self.cpu_to_pim_bytes - earlier.cpu_to_pim_bytes,
@@ -114,10 +135,11 @@ impl SimStats {
             pim_s: self.pim_s - earlier.pim_s,
             comm_s: self.comm_s - earlier.comm_s,
             overhead_s: self.overhead_s - earlier.overhead_s,
-            worst_imbalance: self.worst_imbalance,
+            worst_imbalance: worst,
             total_pim_cycles: self.total_pim_cycles - earlier.total_pim_cycles,
             sum_max_cycles: self.sum_max_cycles - earlier.sum_max_cycles,
             n_modules: self.n_modules.max(earlier.n_modules),
+            imbalance_history: window,
         }
     }
 }
@@ -167,5 +189,57 @@ mod tests {
         assert_eq!(d.rounds, 1);
         assert_eq!(d.cpu_to_pim_bytes, 1);
         assert!((d.pim_s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn since_reports_window_imbalance_not_lifetime() {
+        let mut s = SimStats::default();
+        // Round 1: heavily imbalanced (max 40, mean 10 → 4.0).
+        s.record(RoundBreakdown::default(), LoadStats { max_cycles: 40, mean_cycles: 10.0 }, 0, 0);
+        let snapshot = s.clone();
+        // Round 2: perfectly balanced (max 100, mean 100 → 1.0).
+        s.record(
+            RoundBreakdown::default(),
+            LoadStats { max_cycles: 100, mean_cycles: 100.0 },
+            0,
+            0,
+        );
+        assert!((s.worst_imbalance - 4.0).abs() < 1e-12, "lifetime keeps the max");
+        let w = s.since(&snapshot);
+        assert!(
+            (w.worst_imbalance - 1.0).abs() < 1e-12,
+            "window must see only its own rounds, got {}",
+            w.worst_imbalance
+        );
+        // Window with no PIM work reports the 0.0 default, like a fresh stats.
+        let empty = s.since(&s.clone());
+        assert_eq!(empty.worst_imbalance, 0.0);
+        assert_eq!(empty.rounds, 0);
+    }
+
+    #[test]
+    fn nested_since_windows_stay_consistent() {
+        let mut s = SimStats::default();
+        for (max, mean) in [(30u64, 10.0f64), (20, 10.0), (10, 10.0)] {
+            s.record(
+                RoundBreakdown::default(),
+                LoadStats { max_cycles: max, mean_cycles: mean },
+                0,
+                0,
+            );
+        }
+        let snap1 = SimStats::default();
+        let whole = s.since(&snap1);
+        assert!((whole.worst_imbalance - 3.0).abs() < 1e-12);
+        // A window over the last two rounds sees 2.0, not 3.0.
+        let mut snap2 = SimStats::default();
+        snap2.record(
+            RoundBreakdown::default(),
+            LoadStats { max_cycles: 30, mean_cycles: 10.0 },
+            0,
+            0,
+        );
+        let tail = s.since(&snap2);
+        assert!((tail.worst_imbalance - 2.0).abs() < 1e-12);
     }
 }

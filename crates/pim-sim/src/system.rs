@@ -20,6 +20,7 @@
 use crate::config::MachineConfig;
 use crate::ctx::PimCtx;
 use crate::stats::{LoadStats, RoundBreakdown, SimStats};
+use crate::trace::{summarize_cycles, NullSink, RoundKind, RoundRecord, TraceSink};
 use crate::wire::Wire;
 use rayon::prelude::*;
 
@@ -44,13 +45,65 @@ pub struct PimSystem<M> {
     stats: SimStats,
     /// When false, rounds execute but are not charged (warmup phases).
     pub accounting: bool,
+    /// Trace receiver; [`NullSink`] (disabled) by default.
+    sink: Box<dyn TraceSink>,
+    /// Monotonic id of the next accounted round (never reset).
+    trace_round: u64,
+    /// Active phase labels, innermost last; records carry their `/`-join.
+    phase_stack: Vec<String>,
 }
 
 impl<M: Send> PimSystem<M> {
     /// Builds a machine whose module `i` starts as `init(i)`.
     pub fn new(cfg: MachineConfig, init: impl FnMut(usize) -> M) -> Self {
         let modules: Vec<M> = (0..cfg.n_modules).map(init).collect();
-        Self { cfg, modules, stats: SimStats::default(), accounting: true }
+        Self {
+            cfg,
+            modules,
+            stats: SimStats::default(),
+            accounting: true,
+            sink: Box::new(NullSink),
+            trace_round: 0,
+            phase_stack: Vec::new(),
+        }
+    }
+
+    /// Attaches a trace sink; every subsequent accounted round emits a
+    /// [`RoundRecord`] to it. Pass `Box::new(NullSink)` to detach.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = sink;
+    }
+
+    /// Opens a phase label for the dynamic extent of `f`: rounds executed
+    /// inside carry the label (nested scopes join with `/`, e.g.
+    /// `insert/maintain`). Labels are tracked even with tracing disabled —
+    /// the bookkeeping is two `Vec` operations per scope.
+    pub fn scoped_phase<R>(
+        &mut self,
+        label: impl Into<String>,
+        f: impl FnOnce(&mut Self) -> R,
+    ) -> R {
+        self.push_phase(label);
+        let out = f(self);
+        self.pop_phase();
+        out
+    }
+
+    /// Opens a phase label (prefer [`Self::scoped_phase`]; this exists for
+    /// callers that cannot express the scope as a closure over the system,
+    /// e.g. methods of a struct that owns it).
+    pub fn push_phase(&mut self, label: impl Into<String>) {
+        self.phase_stack.push(label.into());
+    }
+
+    /// Closes the innermost phase label.
+    pub fn pop_phase(&mut self) {
+        self.phase_stack.pop();
+    }
+
+    /// The current `/`-joined phase label (`""` outside any scope).
+    pub fn current_phase(&self) -> String {
+        self.phase_stack.join("/")
     }
 
     /// Number of modules `P`.
@@ -109,20 +162,30 @@ impl<M: Send> PimSystem<M> {
         self.run_round(tasks, handler, true)
     }
 
-    fn run_round<T, R, F>(&mut self, mut tasks: Vec<Vec<T>>, handler: F, run_all: bool) -> Vec<Vec<R>>
+    fn run_round<T, R, F>(
+        &mut self,
+        mut tasks: Vec<Vec<T>>,
+        handler: F,
+        run_all: bool,
+    ) -> Vec<Vec<R>>
     where
         T: Wire + Send,
         R: Wire + Send,
         F: Fn(usize, &mut M, &mut PimCtx, Vec<T>) -> Vec<R> + Sync,
     {
         let p = self.modules.len();
-        assert!(
-            tasks.len() <= p,
-            "scattered {} task buffers onto {} modules",
-            tasks.len(),
-            p
-        );
+        assert!(tasks.len() <= p, "scattered {} task buffers onto {} modules", tasks.len(), p);
         tasks.resize_with(p, Vec::new);
+
+        // Task counts are only observable before the buffers move into the
+        // parallel scatter; gather them now iff a sink will consume them.
+        let tracing = self.accounting && self.sink.enabled();
+        let (n_tasks, n_active) = if tracing {
+            let active = if run_all { p } else { tasks.iter().filter(|t| !t.is_empty()).count() };
+            (tasks.iter().map(|t| t.len() as u64).sum::<u64>(), active as u32)
+        } else {
+            (0, 0)
+        };
 
         let per_module_sent: Vec<u64> = tasks.iter().map(|t| t.wire_bytes()).collect();
 
@@ -135,11 +198,8 @@ impl<M: Send> PimSystem<M> {
             .enumerate()
             .map(|(i, (m, t))| {
                 let mut ctx = PimCtx::new();
-                let replies = if run_all || !t.is_empty() {
-                    handler(i, m, &mut ctx, t)
-                } else {
-                    Vec::new()
-                };
+                let replies =
+                    if run_all || !t.is_empty() { handler(i, m, &mut ctx, t) } else { Vec::new() };
                 (replies, ctx)
             })
             .collect();
@@ -149,12 +209,8 @@ impl<M: Send> PimSystem<M> {
         if self.accounting {
             let sent: u64 = per_module_sent.iter().sum();
             let recv: u64 = per_module_recv.iter().sum();
-            let max_module_bytes = per_module_sent
-                .iter()
-                .zip(&per_module_recv)
-                .map(|(a, b)| a + b)
-                .max()
-                .unwrap_or(0);
+            let max_module_bytes =
+                per_module_sent.iter().zip(&per_module_recv).map(|(a, b)| a + b).max().unwrap_or(0);
 
             let mut max_time = 0.0f64;
             let mut max_cycles = 0u64;
@@ -179,6 +235,29 @@ impl<M: Send> PimSystem<M> {
             let load = LoadStats { max_cycles, mean_cycles: sum_cycles as f64 / p as f64 };
             self.stats.n_modules = p;
             self.stats.record(breakdown, load, sent, recv);
+
+            let round = self.trace_round;
+            self.trace_round += 1;
+            if tracing {
+                let cycles: Vec<u64> = results.iter().map(|(_, c)| c.cycles).collect();
+                let (cycle_hist, stragglers) = summarize_cycles(&cycles);
+                self.sink.record(RoundRecord {
+                    round,
+                    phase: self.current_phase(),
+                    kind: if run_all { RoundKind::ExecuteAll } else { RoundKind::Execute },
+                    breakdown,
+                    cpu_to_pim_bytes: sent,
+                    pim_to_cpu_bytes: recv,
+                    tasks: n_tasks,
+                    replies: results.iter().map(|(r, _)| r.len() as u64).sum(),
+                    active_modules: n_active,
+                    max_cycles,
+                    mean_cycles: sum_cycles as f64 / p as f64,
+                    sum_cycles,
+                    cycle_hist,
+                    stragglers,
+                });
+            }
         }
 
         results.into_iter().map(|(r, _)| r).collect()
@@ -226,6 +305,29 @@ impl<M: Send> PimSystem<M> {
             let load = LoadStats { max_cycles, mean_cycles: sum_cycles as f64 / p as f64 };
             self.stats.n_modules = p;
             self.stats.record(breakdown, load, sent, 0);
+
+            let round = self.trace_round;
+            self.trace_round += 1;
+            if self.sink.enabled() {
+                let cycles: Vec<u64> = ctxs.iter().map(|c| c.cycles).collect();
+                let (cycle_hist, stragglers) = summarize_cycles(&cycles);
+                self.sink.record(RoundRecord {
+                    round,
+                    phase: self.current_phase(),
+                    kind: RoundKind::Broadcast,
+                    breakdown,
+                    cpu_to_pim_bytes: sent,
+                    pim_to_cpu_bytes: 0,
+                    tasks: 1,
+                    replies: 0,
+                    active_modules: p as u32,
+                    max_cycles,
+                    mean_cycles: sum_cycles as f64 / p as f64,
+                    sum_cycles,
+                    cycle_hist,
+                    stragglers,
+                });
+            }
         }
     }
 }
@@ -366,11 +468,101 @@ mod more_tests {
         });
         let s = sys.stats();
         assert!(s.worst_imbalance >= 4.0, "per-round metric sees the tiny round");
-        assert!(
-            s.agg_imbalance() < 1.2,
-            "aggregate metric must not: {:.3}",
-            s.agg_imbalance()
-        );
+        assert!(s.agg_imbalance() < 1.2, "aggregate metric must not: {:.3}", s.agg_imbalance());
+    }
+
+    #[test]
+    fn summed_trace_records_reproduce_sim_stats_exactly() {
+        use crate::trace::JournalSink;
+        let (sink, journal) = JournalSink::new();
+        let mut sys = PimSystem::new(MachineConfig::with_modules(4), |_| 0u64);
+        sys.set_trace_sink(Box::new(sink));
+
+        // A mix of round shapes: skewed execute, execute_all, broadcast.
+        sys.scoped_phase("search", |s| {
+            let _ = s.execute_round(vec![vec![1u32, 2], vec![3u32]], |i, _, ctx, t| {
+                ctx.op((i as u64 + 1) * 500);
+                ctx.mem(64);
+                t
+            });
+        });
+        sys.scoped_phase("insert", |s| {
+            s.scoped_phase("maintain", |s| {
+                let _ = s.execute_round_all(vec![vec![9u32]], |_, _, ctx, _| {
+                    ctx.op(100);
+                    vec![7u64]
+                });
+            });
+            s.broadcast(42u64, |_, _, ctx, _| ctx.op(10));
+        });
+
+        let recs = journal.snapshot();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].phase, "search");
+        assert_eq!(recs[1].phase, "insert/maintain");
+        assert_eq!(recs[2].phase, "insert");
+        assert_eq!(recs[2].kind, crate::trace::RoundKind::Broadcast);
+        // Monotonic ids.
+        assert!(recs.windows(2).all(|w| w[1].round == w[0].round + 1));
+
+        // Exact reassembly of the lifetime counters from the journal.
+        let s = sys.stats();
+        assert_eq!(recs.iter().map(|r| r.cpu_to_pim_bytes).sum::<u64>(), s.cpu_to_pim_bytes);
+        assert_eq!(recs.iter().map(|r| r.pim_to_cpu_bytes).sum::<u64>(), s.pim_to_cpu_bytes);
+        assert_eq!(recs.iter().map(|r| r.sum_cycles).sum::<u64>(), s.total_pim_cycles);
+        assert_eq!(recs.iter().map(|r| r.max_cycles).sum::<u64>(), s.sum_max_cycles);
+        assert_eq!(recs.len() as u64, s.rounds);
+        let sum = |f: fn(&crate::trace::RoundRecord) -> f64| recs.iter().map(f).sum::<f64>();
+        assert!((sum(|r| r.breakdown.pim_s) - s.pim_s).abs() < 1e-15);
+        assert!((sum(|r| r.breakdown.comm_s) - s.comm_s).abs() < 1e-15);
+        assert!((sum(|r| r.breakdown.overhead_s) - s.overhead_s).abs() < 1e-15);
+        let worst = recs.iter().map(|r| r.imbalance()).fold(0.0f64, f64::max);
+        assert!((worst - s.worst_imbalance).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_round_ids_survive_stats_reset() {
+        use crate::trace::JournalSink;
+        let (sink, journal) = JournalSink::new();
+        let mut sys = PimSystem::new(MachineConfig::with_modules(2), |_| 0u64);
+        sys.set_trace_sink(Box::new(sink));
+        let _ = sys.execute_round(vec![vec![1u32]], |_, _, ctx, t| {
+            ctx.op(1);
+            t
+        });
+        sys.reset_stats();
+        let _ = sys.execute_round(vec![vec![2u32]], |_, _, ctx, t| {
+            ctx.op(1);
+            t
+        });
+        let recs = journal.snapshot();
+        assert_eq!(recs[0].round, 0);
+        assert_eq!(recs[1].round, 1, "round ids are monotonic across resets");
+        assert_eq!(sys.stats().rounds, 1, "stats themselves did reset");
+    }
+
+    #[test]
+    fn unaccounted_rounds_emit_no_records() {
+        use crate::trace::JournalSink;
+        let (sink, journal) = JournalSink::new();
+        let mut sys = PimSystem::new(MachineConfig::with_modules(2), |_| 0u64);
+        sys.set_trace_sink(Box::new(sink));
+        sys.accounting = false;
+        let _ = sys.execute_round(vec![vec![1u32]], |_, _, ctx, t| {
+            ctx.op(1);
+            t
+        });
+        assert!(journal.is_empty(), "warmup rounds stay out of the journal");
+    }
+
+    #[test]
+    fn phase_labels_nest_and_unwind() {
+        let mut sys = PimSystem::new(MachineConfig::with_modules(1), |_| 0u64);
+        assert_eq!(sys.current_phase(), "");
+        let label =
+            sys.scoped_phase("insert", |s| s.scoped_phase("redistribute", |s| s.current_phase()));
+        assert_eq!(label, "insert/redistribute");
+        assert_eq!(sys.current_phase(), "", "labels unwind with their scopes");
     }
 
     #[test]

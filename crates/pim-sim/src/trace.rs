@@ -1,0 +1,269 @@
+//! Round-level trace journal.
+//!
+//! Every accounted BSP round (scatter/gather or broadcast) can emit one
+//! [`RoundRecord`] to a [`TraceSink`] attached to the
+//! [`PimSystem`](crate::PimSystem). The default sink is [`NullSink`], which
+//! reports itself disabled so the executor skips record construction
+//! entirely — tracing is zero-cost until a sink is attached.
+//!
+//! [`JournalSink`] buffers records in memory; its paired [`Journal`] handle
+//! (kept by the caller while the system owns the sink) renders them to JSON
+//! Lines for offline analysis, e.g. by the `trace_summary` bench binary,
+//! which reassembles the paper's Fig. 6 CPU/PIM/Comm breakdown per phase.
+//!
+//! Phase labels come from [`PimSystem::scoped_phase`](crate::PimSystem::scoped_phase)
+//! (or the lower-level `push_phase`/`pop_phase`): nested scopes join with
+//! `/`, so a maintenance round inside a delete batch is labeled
+//! `delete/maintain`.
+
+use crate::stats::RoundBreakdown;
+use serde::Serialize;
+use std::sync::{Arc, Mutex};
+
+/// Number of log₂ buckets in the per-round cycle histogram.
+pub const HIST_BUCKETS: usize = 16;
+
+/// How many straggler module ids a record retains.
+pub const TOP_STRAGGLERS: usize = 4;
+
+/// Which executor entry point produced a round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum RoundKind {
+    /// `execute_round`: scatter to non-idle modules, gather replies.
+    Execute,
+    /// `execute_round_all`: every module runs, even without input.
+    ExecuteAll,
+    /// `broadcast`: one value replicated to all modules.
+    Broadcast,
+}
+
+/// One BSP round, as seen by the accountant.
+///
+/// Summing the breakdown/byte/cycle fields of every record of a run
+/// reproduces the final [`SimStats`](crate::SimStats) exactly (this is a
+/// tested invariant), so a journal is a lossless refinement of the lifetime
+/// counters.
+#[derive(Clone, Debug, Serialize)]
+pub struct RoundRecord {
+    /// Monotonic round id (survives `reset_stats`).
+    pub round: u64,
+    /// Phase label at emission time (`""` when unlabeled); nested scopes
+    /// join with `/`, e.g. `insert/maintain`.
+    pub phase: String,
+    /// Executor entry point.
+    pub kind: RoundKind,
+    /// The round's time decomposition (Fig. 6 categories).
+    pub breakdown: RoundBreakdown,
+    /// Bytes scattered CPU → PIM.
+    pub cpu_to_pim_bytes: u64,
+    /// Bytes gathered PIM → CPU.
+    pub pim_to_cpu_bytes: u64,
+    /// Tasks scattered (total over modules; 1 for a broadcast value).
+    pub tasks: u64,
+    /// Replies gathered (total over modules).
+    pub replies: u64,
+    /// Modules that executed their handler.
+    pub active_modules: u32,
+    /// Straggler cycles (max over modules).
+    pub max_cycles: u64,
+    /// Mean cycles over all modules (idle ones count as 0).
+    pub mean_cycles: f64,
+    /// Total cycles over all modules.
+    pub sum_cycles: u64,
+    /// Log₂-bucket histogram of per-module cycles: bucket 0 counts idle
+    /// modules, bucket `i ≥ 1` counts modules with `2^(i-1) ≤ c < 2^i`
+    /// cycles (the last bucket absorbs everything larger).
+    pub cycle_hist: [u32; HIST_BUCKETS],
+    /// Module ids with the most cycles this round, busiest first (at most
+    /// [`TOP_STRAGGLERS`]; idle modules never appear).
+    pub stragglers: Vec<u32>,
+}
+
+impl RoundRecord {
+    /// Max/mean imbalance of the round (1.0 when no module did work).
+    pub fn imbalance(&self) -> f64 {
+        if self.mean_cycles <= 0.0 {
+            1.0
+        } else {
+            self.max_cycles as f64 / self.mean_cycles
+        }
+    }
+}
+
+/// Builds the log₂ histogram and straggler list from per-module cycles.
+pub fn summarize_cycles(cycles: &[u64]) -> ([u32; HIST_BUCKETS], Vec<u32>) {
+    let mut hist = [0u32; HIST_BUCKETS];
+    for &c in cycles {
+        let bucket =
+            if c == 0 { 0 } else { (64 - c.leading_zeros() as usize).min(HIST_BUCKETS - 1) };
+        hist[bucket] += 1;
+    }
+    let mut busy: Vec<(u64, u32)> =
+        cycles.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (c, i as u32)).collect();
+    // Busiest first; ties broken by module id for determinism.
+    busy.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    busy.truncate(TOP_STRAGGLERS);
+    (hist, busy.into_iter().map(|(_, i)| i).collect())
+}
+
+/// Receiver of round records.
+///
+/// `enabled` gates record *construction*: the executor consults it before
+/// building a [`RoundRecord`], so a disabled sink costs one virtual call per
+/// round and nothing else.
+pub trait TraceSink: Send {
+    /// Whether the executor should build and deliver records.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Delivers one round record.
+    fn record(&mut self, rec: RoundRecord);
+}
+
+/// The default sink: disabled, drops everything.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _rec: RoundRecord) {}
+}
+
+/// A sink buffering records in memory, shared with a [`Journal`] handle.
+///
+/// The system owns the sink; the caller keeps the handle:
+///
+/// ```
+/// use pim_sim::{MachineConfig, PimSystem};
+/// use pim_sim::trace::JournalSink;
+///
+/// let (sink, journal) = JournalSink::new();
+/// let mut sys = PimSystem::new(MachineConfig::with_modules(2), |_| 0u64);
+/// sys.set_trace_sink(Box::new(sink));
+/// sys.scoped_phase("demo", |s| {
+///     s.execute_round(vec![vec![1u32], vec![2u32]], |_, _, ctx, t| {
+///         ctx.op(10);
+///         t
+///     })
+/// });
+/// let recs = journal.snapshot();
+/// assert_eq!(recs.len(), 1);
+/// assert_eq!(recs[0].phase, "demo");
+/// ```
+#[derive(Debug)]
+pub struct JournalSink {
+    buf: Arc<Mutex<Vec<RoundRecord>>>,
+}
+
+impl JournalSink {
+    /// Creates the sink and its reader handle.
+    pub fn new() -> (JournalSink, Journal) {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        (JournalSink { buf: buf.clone() }, Journal { buf })
+    }
+}
+
+impl TraceSink for JournalSink {
+    fn record(&mut self, rec: RoundRecord) {
+        self.buf.lock().unwrap().push(rec);
+    }
+}
+
+/// Reader handle over a [`JournalSink`]'s buffer.
+#[derive(Clone, Debug)]
+pub struct Journal {
+    buf: Arc<Mutex<Vec<RoundRecord>>>,
+}
+
+impl Journal {
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.buf.lock().unwrap().len()
+    }
+
+    /// Whether the journal is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies out all records buffered so far.
+    pub fn snapshot(&self) -> Vec<RoundRecord> {
+        self.buf.lock().unwrap().clone()
+    }
+
+    /// Renders the journal as JSON Lines (one record per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for rec in self.buf.lock().unwrap().iter() {
+            out.push_str(&serde_json::to_string(rec).expect("record serializes"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the journal as JSON Lines to `path`.
+    pub fn write_jsonl(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled() {
+        assert!(!NullSink.enabled());
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let (hist, stragglers) = summarize_cycles(&[0, 1, 2, 3, 4, 1 << 40]);
+        assert_eq!(hist[0], 1, "idle module");
+        assert_eq!(hist[1], 1, "c = 1");
+        assert_eq!(hist[2], 2, "c in [2, 4)");
+        assert_eq!(hist[3], 1, "c in [4, 8)");
+        assert_eq!(hist[HIST_BUCKETS - 1], 1, "huge counts land in the last bucket");
+        assert_eq!(stragglers[0], 5, "busiest module leads");
+    }
+
+    #[test]
+    fn stragglers_are_sorted_and_capped() {
+        let cycles: Vec<u64> = (0..10).map(|i| (i as u64) * 100).collect();
+        let (_, s) = summarize_cycles(&cycles);
+        assert_eq!(s, vec![9, 8, 7, 6]);
+    }
+
+    #[test]
+    fn journal_roundtrips_to_jsonl() {
+        let (mut sink, journal) = JournalSink::new();
+        sink.record(RoundRecord {
+            round: 3,
+            phase: "insert/maintain".into(),
+            kind: RoundKind::Execute,
+            breakdown: RoundBreakdown { pim_s: 1e-6, comm_s: 2e-6, overhead_s: 3e-6 },
+            cpu_to_pim_bytes: 128,
+            pim_to_cpu_bytes: 256,
+            tasks: 4,
+            replies: 2,
+            active_modules: 2,
+            max_cycles: 100,
+            mean_cycles: 50.0,
+            sum_cycles: 100,
+            cycle_hist: [0; HIST_BUCKETS],
+            stragglers: vec![1],
+        });
+        assert_eq!(journal.len(), 1);
+        let line = journal.to_jsonl();
+        let v = serde_json::from_str(line.trim()).unwrap();
+        assert_eq!(v.get("round").and_then(|x| x.as_u64()), Some(3));
+        assert_eq!(v.get("phase").and_then(|x| x.as_str()), Some("insert/maintain"));
+        assert_eq!(v.get("kind").and_then(|x| x.as_str()), Some("Execute"));
+        let b = v.get("breakdown").unwrap();
+        assert_eq!(b.get("comm_s").and_then(|x| x.as_f64()), Some(2e-6));
+    }
+}

@@ -16,4 +16,4 @@ pub mod query;
 pub mod tree;
 pub mod update;
 
-pub use tree::{PkdTree, PkNode, PkNodeKind};
+pub use tree::{PkNode, PkNodeKind, PkdTree};

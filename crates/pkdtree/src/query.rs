@@ -80,8 +80,11 @@ impl<const D: usize> PkdTree<D> {
                 meter.work(16 * D as u64);
                 let ld = self.node(*left).bbox.min_dist(q, metric);
                 let rd = self.node(*right).bbox.min_dist(q, metric);
-                let order =
-                    if ld <= rd { [(ld, *left), (rd, *right)] } else { [(rd, *right), (ld, *left)] };
+                let order = if ld <= rd {
+                    [(ld, *left), (rd, *right)]
+                } else {
+                    [(rd, *right), (ld, *left)]
+                };
                 for (d, child) in order {
                     if !(heap.len() == k && d > heap.peek().unwrap().dist) {
                         self.knn_rec(child, q, k, metric, heap, meter);
@@ -199,11 +202,7 @@ impl<const D: usize> PkdTree<D> {
     }
 
     /// Batch BoxFetch.
-    pub fn batch_box_fetch(
-        &self,
-        queries: &[Aabb<D>],
-        meter: &mut CpuMeter,
-    ) -> Vec<Vec<Point<D>>> {
+    pub fn batch_box_fetch(&self, queries: &[Aabb<D>], meter: &mut CpuMeter) -> Vec<Vec<Point<D>>> {
         self.charge_batch_state(queries.len(), meter);
         queries.iter().map(|b| self.box_fetch(b, meter)).collect()
     }
@@ -219,7 +218,12 @@ mod tests {
         CpuMeter::new(CpuConfig::xeon())
     }
 
-    fn brute_knn(data: &[Point<3>], q: &Point<3>, k: usize, metric: Metric) -> Vec<(u64, Point<3>)> {
+    fn brute_knn(
+        data: &[Point<3>],
+        q: &Point<3>,
+        k: usize,
+        metric: Metric,
+    ) -> Vec<(u64, Point<3>)> {
         let mut all: Vec<(u64, Point<3>)> =
             data.iter().map(|p| (metric.cmp_dist(q, p), *p)).collect();
         all.sort_unstable_by_key(|(d, p)| (*d, p.coords));

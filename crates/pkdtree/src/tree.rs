@@ -148,12 +148,7 @@ fn fill<const D: usize>(
     *root_slot = Some(PkNode {
         bbox,
         count: (lp.len() + rp.len()) as u32,
-        kind: PkNodeKind::Internal {
-            dim,
-            split,
-            left: base + 1,
-            right: base + 1 + ln as PkNodeId,
-        },
+        kind: PkNodeKind::Internal { dim, split, left: base + 1, right: base + 1 + ln as PkNodeId },
     });
     if lp.len() + rp.len() >= PAR_CUTOFF {
         rayon::join(

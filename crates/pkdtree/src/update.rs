@@ -8,9 +8,7 @@
 //! PIM-zd-tree paper's §2.2 criticizes in PIM contexts — we faithfully keep
 //! it, it is a *shared-memory* baseline).
 
-use crate::tree::{
-    addr, dim_key, tight_box, PkNode, PkNodeId, PkNodeKind, PkdTree, BALANCE_ALPHA,
-};
+use crate::tree::{addr, dim_key, tight_box, PkNode, PkNodeId, PkNodeKind, PkdTree, BALANCE_ALPHA};
 use pim_geom::Point;
 use pim_memsim::CpuMeter;
 
@@ -66,11 +64,7 @@ impl<const D: usize> PkdTree<D> {
     }
 
     /// Sequential charged object-median build (fresh subtrees in updates).
-    pub(crate) fn build_subtree(
-        &mut self,
-        pts: &mut [Point<D>],
-        meter: &mut CpuMeter,
-    ) -> PkNodeId {
+    pub(crate) fn build_subtree(&mut self, pts: &mut [Point<D>], meter: &mut CpuMeter) -> PkNodeId {
         debug_assert!(!pts.is_empty());
         meter.work(pts.len() as u64 * 8); // partitioning work at this level
         if pts.len() <= self.leaf_cap {
@@ -107,7 +101,12 @@ impl<const D: usize> PkdTree<D> {
     }
 
     /// Collects a subtree's points and rebuilds it balanced.
-    fn rebuild(&mut self, id: PkNodeId, extra: &mut Vec<Point<D>>, meter: &mut CpuMeter) -> PkNodeId {
+    fn rebuild(
+        &mut self,
+        id: PkNodeId,
+        extra: &mut Vec<Point<D>>,
+        meter: &mut CpuMeter,
+    ) -> PkNodeId {
         let mut all = Vec::with_capacity(self.node(id).count as usize + extra.len());
         self.collect_points(id, &mut all);
         meter.work(all.len() as u64 * 10); // gather cost
@@ -328,7 +327,7 @@ mod tests {
         let p = Point::new([3u32, 3, 3]);
         let mut t = PkdTree::<3>::new(4);
         let mut m = meter();
-        t.batch_insert(&vec![p; 5], &mut m);
+        t.batch_insert(&[p; 5], &mut m);
         assert_eq!(t.batch_delete(&[p, p], &mut m), 2);
         assert_eq!(t.len(), 3);
         t.check_invariants();

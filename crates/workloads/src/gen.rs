@@ -208,20 +208,14 @@ mod tests {
     fn cosmos_like_matches_paper_gini() {
         let pts = cosmos_like::<3>(100_000, 1);
         let g = gini_over_bins(&pts, 2048);
-        assert!(
-            (0.2..=0.4).contains(&g),
-            "cosmos gini = {g}, paper reports 0.287"
-        );
+        assert!((0.2..=0.4).contains(&g), "cosmos gini = {g}, paper reports 0.287");
     }
 
     #[test]
     fn osm_like_matches_paper_gini() {
         let pts = osm_like::<3>(100_000, 1);
         let g = gini_over_bins(&pts, 2048);
-        assert!(
-            (0.93..=0.995).contains(&g),
-            "osm gini = {g}, paper reports 0.967"
-        );
+        assert!((0.93..=0.995).contains(&g), "osm gini = {g}, paper reports 0.967");
     }
 
     #[test]

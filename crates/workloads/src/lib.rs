@@ -18,4 +18,4 @@ pub mod skew;
 
 pub use gen::{cosmos_like, osm_like, uniform, varden};
 pub use queries::{box_queries, box_side_for_expected, knn_queries, mixed_queries, point_queries};
-pub use skew::{alpha_beta_skew, gini_over_bins, gini_coefficient, zipf_sample};
+pub use skew::{alpha_beta_skew, gini_coefficient, gini_over_bins, zipf_sample};

@@ -171,15 +171,12 @@ mod determinism_tests {
         assert_eq!(point_queries(&data, 100, 5, 7), point_queries(&data, 100, 5, 7));
         assert_ne!(point_queries(&data, 100, 5, 7), point_queries(&data, 100, 5, 8));
         let v = varden::<3>(100, 2);
-        assert_eq!(
-            mixed_queries(&data, &v, 200, 0.1, 3),
-            mixed_queries(&data, &v, 200, 0.1, 3)
-        );
+        assert_eq!(mixed_queries(&data, &v, 200, 0.1, 3), mixed_queries(&data, &v, 200, 0.1, 3));
     }
 
     #[test]
     fn box_queries_are_clipped_to_grid() {
-        let data = vec![Point::new([0u32, 0, 0]), Point::new([(1 << 21) - 1; 3].into())];
+        let data = vec![Point::new([0u32, 0, 0]), Point::new([(1 << 21) - 1; 3])];
         let boxes = box_queries(&data, 50, 1 << 15, 4);
         let m = max_coord_for_dim(3);
         for b in boxes {

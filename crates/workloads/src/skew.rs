@@ -20,11 +20,7 @@ pub fn gini_coefficient(counts: &[u64]) -> f64 {
         return 0.0;
     }
     // G = (2·Σ i·x_i) / (n·Σ x_i) − (n+1)/n  with 1-based ranks i.
-    let weighted: f64 = sorted
-        .iter()
-        .enumerate()
-        .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
-        .sum();
+    let weighted: f64 = sorted.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x as f64).sum();
     (2.0 * weighted) / (n * total as f64) - (n + 1.0) / n
 }
 
@@ -157,9 +153,8 @@ mod skew_interaction_tests {
     fn varden_batches_have_low_alpha() {
         // Definition 3: the Varden filament concentrates keys into few
         // subranges, so its largest-α is far below uniform's.
-        let keys = |pts: &[Point<3>]| -> Vec<u64> {
-            pts.iter().map(|p| ZKey::<3>::encode(p).0).collect()
-        };
+        let keys =
+            |pts: &[Point<3>]| -> Vec<u64> { pts.iter().map(|p| ZKey::<3>::encode(p).0).collect() };
         let a_uni = alpha_beta_skew(&keys(&uniform::<3>(20_000, 1)), 64);
         let a_var = alpha_beta_skew(&keys(&varden::<3>(20_000, 1)), 64);
         assert!(a_uni > 30.0, "uniform α ≈ β, got {a_uni}");

@@ -123,7 +123,11 @@ impl<const D: usize> ZdTree<D> {
                 let rb = self.node(*right).bbox();
                 let ld = lb.min_dist(q, metric);
                 let rd = rb.min_dist(q, metric);
-                let order = if ld <= rd { [(ld, *left), (rd, *right)] } else { [(rd, *right), (ld, *left)] };
+                let order = if ld <= rd {
+                    [(ld, *left), (rd, *right)]
+                } else {
+                    [(rd, *right), (ld, *left)]
+                };
                 for (d, child) in order {
                     let prune = heap.len() == k && d > heap.peek().unwrap().dist;
                     if !prune {
@@ -248,11 +252,7 @@ impl<const D: usize> ZdTree<D> {
     }
 
     /// Batch box fetches.
-    pub fn batch_box_fetch(
-        &self,
-        queries: &[Aabb<D>],
-        meter: &mut CpuMeter,
-    ) -> Vec<Vec<Point<D>>> {
+    pub fn batch_box_fetch(&self, queries: &[Aabb<D>], meter: &mut CpuMeter) -> Vec<Vec<Point<D>>> {
         self.charge_batch_state(queries.len(), meter);
         queries.iter().map(|b| self.box_fetch(b, meter)).collect()
     }
@@ -292,7 +292,6 @@ pub fn sort_points<const D: usize>(mut pts: Vec<Point<D>>) -> Vec<Point<D>> {
     pts.sort_unstable_by_key(|p| (ZKey::<D>::encode(p), p.coords));
     pts
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -376,7 +375,9 @@ mod tests {
             let c = pts[rng.random_range(0..pts.len())];
             let side = 1u32 << rng.random_range(10..20);
             let lo = Point::new(c.coords.map(|x| x.saturating_sub(side / 2)));
-            let hi = Point::new(c.coords.map(|x| (x as u64 + side as u64 / 2).min(pim_geom::max_coord_for_dim(3) as u64) as u32));
+            let hi = Point::new(c.coords.map(|x| {
+                (x as u64 + side as u64 / 2).min(pim_geom::max_coord_for_dim(3) as u64) as u32
+            }));
             let b = Aabb::new(lo, hi);
             assert_eq!(t.box_count(&b, &mut m), oracle::box_count(&pts, &b));
             let got = sort_points(t.box_fetch(&b, &mut m));
@@ -487,8 +488,7 @@ mod par_tests {
         let boxes = pim_workloads::box_queries(&pts, 50, side, 23);
         assert_eq!(t.par_batch_box_count(&boxes), t.batch_box_count(&boxes, &mut m));
         let a: Vec<usize> = t.par_batch_box_fetch(&boxes).iter().map(Vec::len).collect();
-        let b: Vec<usize> =
-            t.batch_box_fetch(&boxes, &mut m).iter().map(Vec::len).collect();
+        let b: Vec<usize> = t.batch_box_fetch(&boxes, &mut m).iter().map(Vec::len).collect();
         assert_eq!(a, b);
     }
 }

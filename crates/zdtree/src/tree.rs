@@ -41,10 +41,7 @@ pub struct ZdTree<const D: usize> {
 /// Encodes and sorts a batch: the standard preprocessing of every operation.
 /// Sorting is by (key, point) so duplicate keys have a canonical order.
 pub(crate) fn keyed_sorted<const D: usize>(points: &[Point<D>]) -> Vec<Keyed<D>> {
-    let mut items: Vec<Keyed<D>> = points
-        .par_iter()
-        .map(|p| (ZKey::<D>::encode(p), *p))
-        .collect();
+    let mut items: Vec<Keyed<D>> = points.par_iter().map(|p| (ZKey::<D>::encode(p), *p)).collect();
     items.par_sort_unstable_by_key(|(k, p)| (*k, p.coords));
     items
 }
@@ -277,10 +274,7 @@ impl<const D: usize> ZdTree<D> {
         if let Some((ppre, side)) = parent_region {
             assert!(n.prefix.len > ppre.len, "child prefix must extend parent");
             let region = ppre.child(side);
-            assert!(
-                region.covers_prefix(&n.prefix),
-                "child prefix outside its routing region"
-            );
+            assert!(region.covers_prefix(&n.prefix), "child prefix outside its routing region");
         }
         match &n.kind {
             NodeKind::Leaf { points } => {
@@ -289,10 +283,7 @@ impl<const D: usize> ZdTree<D> {
                     points.len() <= self.leaf_cap || points.windows(2).all(|w| w[0].0 == w[1].0),
                     "oversized leaf without duplicate keys"
                 );
-                assert!(
-                    points.windows(2).all(|w| w[0].0 <= w[1].0),
-                    "leaf points unsorted"
-                );
+                assert!(points.windows(2).all(|w| w[0].0 <= w[1].0), "leaf points unsorted");
                 let pre = set_prefix(points);
                 assert_eq!(pre.key, n.prefix.key, "leaf prefix key mismatch");
                 assert_eq!(pre.len, n.prefix.len, "leaf prefix not canonical LCP");

@@ -120,9 +120,7 @@ impl<const D: usize> ZdTree<D> {
         // at the first or last item (prefix lengths are an ultrametric).
         let first = items.first().unwrap().0;
         let last = items.last().unwrap().0;
-        let b = first
-            .common_prefix_len(np.key)
-            .min(last.common_prefix_len(np.key));
+        let b = first.common_prefix_len(np.key).min(last.common_prefix_len(np.key));
 
         if b < np.len {
             // The batch escapes this node's prefix: a new canonical node
@@ -246,7 +244,8 @@ impl<const D: usize> ZdTree<D> {
                 let mut j = 0usize;
                 let mut consumed = vec![false; items.len()];
                 for entry in &old {
-                    while j < items.len() && (items[j].0, items[j].1.coords) < (entry.0, entry.1.coords)
+                    while j < items.len()
+                        && (items[j].0, items[j].1.coords) < (entry.0, entry.1.coords)
                     {
                         j += 1;
                     }
@@ -369,8 +368,8 @@ mod tests {
         let p = Point::new([9u32, 9, 9]);
         let mut t = ZdTree::<3>::new(4);
         let mut m = meter();
-        t.batch_insert(&vec![p; 10], &mut m);
-        t.batch_insert(&vec![p; 10], &mut m);
+        t.batch_insert(&[p; 10], &mut m);
+        t.batch_insert(&[p; 10], &mut m);
         assert_eq!(t.len(), 20);
         t.check_invariants();
     }
@@ -414,10 +413,10 @@ mod tests {
         let p = Point::new([1u32, 2, 3]);
         let mut t = ZdTree::<3>::new(4);
         let mut m = meter();
-        t.batch_insert(&vec![p; 3], &mut m);
+        t.batch_insert(&[p; 3], &mut m);
         assert_eq!(t.batch_delete(&[p], &mut m), 1);
         assert_eq!(t.len(), 2);
-        assert_eq!(t.batch_delete(&vec![p; 5], &mut m), 2);
+        assert_eq!(t.batch_delete(&[p; 5], &mut m), 2);
         assert!(t.is_empty());
     }
 

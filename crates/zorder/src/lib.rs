@@ -51,8 +51,7 @@ impl<const D: usize> ZKey<D> {
                 Self::COORD_BITS
             );
             // Dimension 0 owns the most significant bit of each D-bit group.
-            key |= spread::spread(c as u64, D as u32, Self::COORD_BITS)
-                << (D - 1 - j);
+            key |= spread::spread(c as u64, D as u32, Self::COORD_BITS) << (D - 1 - j);
         }
         ZKey(key)
     }
@@ -119,7 +118,11 @@ impl<const D: usize> ZKey<D> {
     pub fn prefix_range(self, len: u32) -> (u64, u64) {
         let lo = self.truncate(len).0;
         let hi = if len == 0 {
-            if Self::BITS == 64 { !0u64 } else { (1u64 << Self::BITS) - 1 }
+            if Self::BITS == 64 {
+                !0u64
+            } else {
+                (1u64 << Self::BITS) - 1
+            }
         } else if len == Self::BITS {
             lo
         } else {

@@ -161,11 +161,13 @@ mod tests {
     #[test]
     fn split_dim_cycles() {
         let mut p = Prefix::<3>::root();
-        let dims: Vec<usize> = (0..6).map(|_| {
-            let d = p.split_dim();
-            p = p.child(0);
-            d
-        }).collect();
+        let dims: Vec<usize> = (0..6)
+            .map(|_| {
+                let d = p.split_dim();
+                p = p.child(0);
+                d
+            })
+            .collect();
         assert_eq!(dims, vec![0, 1, 2, 0, 1, 2]);
     }
 }

@@ -88,20 +88,35 @@ fn compact3(mut x: u64) -> u64 {
 }
 
 /// Generic per-bit spreader for dimensions without a magic-mask fast path.
+///
+/// Source bits whose target position `i * d` falls outside the 64-bit result
+/// are dropped; `spread` is only lossless when `(b - 1) * d < 64`. The loop
+/// clamps instead of shifting past the word so high `d`/`b` combinations are
+/// well-defined rather than shift-overflow UB (a panic in debug builds).
 #[inline]
 fn spread_generic(x: u64, d: u32, b: u32) -> u64 {
+    debug_assert!(d >= 1, "spread gap must be >= 1");
     let mut out = 0u64;
     for i in 0..b {
-        out |= ((x >> i) & 1) << (i * d);
+        let pos = u64::from(i) * u64::from(d);
+        if pos >= 64 {
+            break;
+        }
+        out |= ((x >> i) & 1) << pos;
     }
     out
 }
 
 #[inline]
 fn compact_generic(x: u64, d: u32, b: u32) -> u64 {
+    debug_assert!(d >= 1, "spread gap must be >= 1");
     let mut out = 0u64;
     for i in 0..b {
-        out |= ((x >> (i * d)) & 1) << i;
+        let pos = u64::from(i) * u64::from(d);
+        if pos >= 64 {
+            break;
+        }
+        out |= ((x >> pos) & 1) << i;
     }
     out
 }
@@ -147,6 +162,18 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn generic_paths_clamp_high_bit_positions() {
+        // d=13, b=6: bit 5 would land at position 65 — it must be dropped
+        // (the old loop shifted by 65 and panicked in debug builds).
+        let s = spread(0x3F, 13, 6);
+        assert_eq!(s, (1 << 0) | (1 << 13) | (1 << 26) | (1 << 39) | (1 << 52));
+        assert_eq!(compact(s, 13, 6), 0x1F);
+        // Exactly-at-the-edge case: bit 63 is the last representable position.
+        assert_eq!(spread(0b11, 63, 2), 1 | (1 << 63));
+        assert_eq!(compact(1 | (1 << 63), 63, 2), 0b11);
     }
 
     #[test]

@@ -38,7 +38,8 @@ fn main() {
 
     // Round 2: a straggler — module 7 gets 100x the work.
     sys.reset_stats();
-    let tasks: Vec<Vec<u64>> = (0..16).map(|i| vec![0u64; if i == 7 { 6400 } else { 64 }]).collect();
+    let tasks: Vec<Vec<u64>> =
+        (0..16).map(|i| vec![0u64; if i == 7 { 6400 } else { 64 }]).collect();
     let _ = sys.execute_round(tasks, |_, _, ctx: &mut PimCtx, incoming| {
         ctx.op(incoming.len() as u64 * 50);
         Vec::<u64>::new()

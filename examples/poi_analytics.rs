@@ -12,9 +12,7 @@
 //! cargo run --release --example poi_analytics
 //! ```
 
-use pim_zd_tree_repro::{
-    workloads, Aabb, MachineConfig, Metric, PimZdConfig, Point, PimZdTree,
-};
+use pim_zd_tree_repro::{workloads, Aabb, MachineConfig, Metric, PimZdConfig, PimZdTree, Point};
 
 fn main() {
     let n_modules = 64;

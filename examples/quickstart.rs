@@ -6,9 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use pim_zd_tree_repro::{
-    workloads, MachineConfig, Metric, PimZdConfig, PimZdTree,
-};
+use pim_zd_tree_repro::{workloads, MachineConfig, Metric, PimZdConfig, PimZdTree};
 
 fn main() {
     let n_modules = 64;

@@ -37,14 +37,12 @@ fn main() {
     );
 
     println!("== skew showdown: 1-NN throughput vs Varden query fraction ==\n");
-    println!(
-        "{:>10} | {:>22} | {:>22}",
-        "varden %", "throughput-optimized", "skew-resistant"
-    );
+    println!("{:>10} | {:>22} | {:>22}", "varden %", "throughput-optimized", "skew-resistant");
     println!("{:->10}-+-{:->22}-+-{:->22}", "", "", "");
 
     for pct in [0.0, 0.1, 0.5, 1.0, 2.0, 5.0] {
-        let queries = workloads::mixed_queries(&base, &varden, batch, pct / 100.0, 1000 + pct as u64);
+        let queries =
+            workloads::mixed_queries(&base, &varden, batch, pct / 100.0, 1000 + pct as u64);
 
         let _ = thr.batch_knn(&queries, 1, Metric::L2);
         let st = thr.last_op_stats().clone();

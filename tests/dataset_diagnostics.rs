@@ -11,10 +11,7 @@ fn uniform_data_has_bounded_expansion() {
     let gamma = geom::estimate_expansion_constant(&pts, 12, 8);
     // Uniform 3D data doubles ball volume 8x per radius doubling; sampling
     // noise allowed.
-    assert!(
-        (2.0..=32.0).contains(&gamma),
-        "uniform expansion constant out of band: {gamma}"
-    );
+    assert!((2.0..=32.0).contains(&gamma), "uniform expansion constant out of band: {gamma}");
 }
 
 #[test]
@@ -25,10 +22,7 @@ fn osm_like_data_expands_faster_than_uniform() {
     let g_osm = geom::estimate_expansion_constant(&osm, 10, 8);
     // Clustered data has sharp density cliffs: doubling a ball that sits
     // inside a cluster can swallow whole neighborhoods.
-    assert!(
-        g_osm > g_uni,
-        "clustered data should have larger γ: {g_osm} !> {g_uni}"
-    );
+    assert!(g_osm > g_uni, "clustered data should have larger γ: {g_osm} !> {g_uni}");
 }
 
 #[test]

@@ -17,16 +17,9 @@ fn run_fingerprint(seed: u64) -> (Vec<u64>, u64, u64, u64) {
     let knn = t.batch_knn(&queries, 5, Metric::L2);
     let knn_stats = t.last_op_stats().clone();
 
-    let fingerprint: Vec<u64> = knn
-        .iter()
-        .flat_map(|r| r.iter().map(|(d, p)| d ^ (p.coords[0] as u64)))
-        .collect();
-    (
-        fingerprint,
-        ins.channel_bytes,
-        knn_stats.channel_bytes,
-        ins.rounds + knn_stats.rounds,
-    )
+    let fingerprint: Vec<u64> =
+        knn.iter().flat_map(|r| r.iter().map(|(d, p)| d ^ (p.coords[0] as u64))).collect();
+    (fingerprint, ins.channel_bytes, knn_stats.channel_bytes, ins.rounds + knn_stats.rounds)
 }
 
 #[test]
@@ -54,10 +47,7 @@ fn search_communication_is_independent_of_n() {
     };
     let small = per_op_bytes(8_000);
     let large = per_op_bytes(64_000);
-    assert!(
-        large < small * 2.0,
-        "search bytes/op grew with n: {small:.1} → {large:.1}"
-    );
+    assert!(large < small * 2.0, "search bytes/op grew with n: {small:.1} → {large:.1}");
 }
 
 #[test]
@@ -88,12 +78,9 @@ fn skew_resistant_space_overhead_is_bounded() {
         MachineConfig::with_modules(32),
     )
     .space_bytes();
-    let skw = PimZdTree::build(
-        &pts,
-        PimZdConfig::skew_resistant(32),
-        MachineConfig::with_modules(32),
-    )
-    .space_bytes();
+    let skw =
+        PimZdTree::build(&pts, PimZdConfig::skew_resistant(32), MachineConfig::with_modules(32))
+            .space_bytes();
     let ratio = skw as f64 / thr as f64;
     assert!(ratio < 4.0, "skew-resistant space blew up: {ratio:.2}x");
 }

@@ -126,17 +126,15 @@ fn table3_shape_coarse_fine_helps_knn() {
     let q = make_queries(op, &test, N, BATCH, 10);
     let t_on = run_cell_pim(&mut on, op, &q).throughput;
     let t_off = run_cell_pim(&mut off, op, &q).throughput;
-    assert!(
-        t_on > t_off,
-        "ℓ1-anchored filtering must beat ℓ2-on-PIM: {t_on:.2e} !> {t_off:.2e}"
-    );
+    assert!(t_on > t_off, "ℓ1-anchored filtering must beat ℓ2-on-PIM: {t_on:.2e} !> {t_off:.2e}");
 }
 
 #[test]
 fn table2_shape_throughput_config_uses_fewer_rounds() {
     let warm = wl::uniform::<3>(N, 11);
     let machine = MachineConfig::with_modules(MODULES);
-    let mut thr = PimZdTree::build(&warm, PimZdConfig::throughput_optimized(N as u64, MODULES), machine);
+    let mut thr =
+        PimZdTree::build(&warm, PimZdConfig::throughput_optimized(N as u64, MODULES), machine);
     let mut skw = PimZdTree::build(&warm, PimZdConfig::skew_resistant(MODULES), machine);
     let q = wl::knn_queries(&warm, BATCH, 12);
     let _ = thr.batch_contains(&q);

@@ -17,18 +17,10 @@ fn l0_replicates_when_it_outgrows_the_cache() {
     // Low θ_L0 → large L0; tiny LLC → must replicate (§3.1).
     let mut cfg = PimZdConfig::skew_resistant(16);
     cfg.theta_l0 = 64;
-    let small = PimZdTree::build_with_cpu(
-        &pts,
-        cfg,
-        MachineConfig::with_modules(16),
-        CpuConfig::xeon(),
-    );
-    let replicated = PimZdTree::build_with_cpu(
-        &pts,
-        cfg,
-        MachineConfig::with_modules(16),
-        tiny_cpu(),
-    );
+    let small =
+        PimZdTree::build_with_cpu(&pts, cfg, MachineConfig::with_modules(16), CpuConfig::xeon());
+    let replicated =
+        PimZdTree::build_with_cpu(&pts, cfg, MachineConfig::with_modules(16), tiny_cpu());
     assert!(
         replicated.space_bytes() > small.space_bytes(),
         "replicated L0 must add space: {} !> {}",
@@ -144,8 +136,7 @@ fn skew_resistant_pulls_under_concentration() {
     let _ = skw.batch_contains(&hot);
     let s_skw = skw.last_op_stats().clone();
 
-    let mut thr =
-        PimZdTree::build(&pts, PimZdConfig::throughput_optimized(40_000, 64), machine);
+    let mut thr = PimZdTree::build(&pts, PimZdConfig::throughput_optimized(40_000, 64), machine);
     let _ = thr.batch_contains(&hot);
     let s_thr = thr.last_op_stats().clone();
 

@@ -3,7 +3,7 @@
 //! update schedules.
 
 use pim_memsim::{CpuConfig, CpuMeter};
-use pim_zd_tree_repro::{workloads, Aabb, MachineConfig, Metric, PimZdConfig, Point, PimZdTree};
+use pim_zd_tree_repro::{workloads, Aabb, MachineConfig, Metric, PimZdConfig, PimZdTree, Point};
 use pim_zdtree_base::ZdTree;
 
 fn meter() -> CpuMeter {
@@ -110,8 +110,7 @@ fn equivalence_survives_update_schedule() {
         let b = oracle.batch_delete(&del, &mut m);
         assert_eq!(a, b, "delete count diverged in round {round}");
         // Rebuild the live multiset.
-        let removed: std::collections::HashSet<[u32; 3]> =
-            del.iter().map(|p| p.coords).collect();
+        let removed: std::collections::HashSet<[u32; 3]> = del.iter().map(|p| p.coords).collect();
         let mut budget: std::collections::HashMap<[u32; 3], usize> = Default::default();
         for p in &del {
             *budget.entry(p.coords).or_insert(0) += 1;

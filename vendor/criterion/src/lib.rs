@@ -1,0 +1,224 @@
+//! Minimal vendored `criterion`.
+//!
+//! Provides the API subset the workspace benches use — benchmark groups,
+//! `bench_function`, `iter`, `iter_batched`, throughput annotation — backed
+//! by a plain wall-clock timing loop (median of `sample_size` samples, with
+//! a short warmup). No statistical analysis, plots, or baselines; good
+//! enough to compare before/after within one machine, which is all the
+//! benches are used for here.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (prevents const-folding the benchmarked input).
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation attached to a group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// One setup per iteration (large inputs).
+    LargeInput,
+    /// Small batches (treated identically here).
+    SmallInput,
+    /// Per-iteration setup (treated identically here).
+    PerIteration,
+}
+
+/// A benchmark identifier (`group/function/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter display.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Anything usable as a `bench_function` id.
+pub trait IntoBenchmarkId {
+    /// The display id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup.
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut b);
+        b.samples.sort_unstable();
+        let median = b.samples.get(b.samples.len() / 2).copied().unwrap_or_default();
+        let label = format!("{}/{}", self.name, id.into_id());
+        match self.throughput {
+            Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+                let rate = n as f64 / median.as_secs_f64();
+                println!("{label:<50} {median:>12.3?}/iter  {rate:>14.0} elem/s");
+            }
+            Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+                let rate = n as f64 / median.as_secs_f64() / (1 << 20) as f64;
+                println!("{label:<50} {median:>12.3?}/iter  {rate:>10.1} MiB/s");
+            }
+            _ => println!("{label:<50} {median:>12.3?}/iter"),
+        }
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group {name}");
+        BenchmarkGroup { name, sample_size: 20, throughput: None, _criterion: self }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(100));
+        let mut runs = 0u32;
+        g.bench_function("noop", |b| b.iter(|| runs += 1));
+        g.bench_function(BenchmarkId::new("id", 7), |b| {
+            b.iter_batched(|| 5u64, |x| x * 2, BatchSize::LargeInput)
+        });
+        g.finish();
+        assert!(runs >= 2);
+    }
+}

@@ -1,0 +1,154 @@
+//! Minimal vendored `rand_chacha`: a genuine ChaCha block function driving
+//! [`rand::RngCore`]. Deterministic and statistically strong; **not**
+//! stream-compatible with the crates.io implementation (which this
+//! workspace never relies on — only on determinism per seed).
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha with `R` double-rounds (8 rounds ⇒ `R = 4`).
+#[derive(Clone, Debug)]
+pub struct ChaChaRng<const R: usize> {
+    /// Key + constants + counter + nonce state (RFC 7539 layout).
+    state: [u32; 16],
+    /// Current keystream block.
+    buf: [u32; 16],
+    /// Next unread word of `buf` (16 = exhausted).
+    idx: usize,
+}
+
+/// The 8-round variant (what the workspace seeds workloads with).
+pub type ChaCha8Rng = ChaChaRng<4>;
+/// The 12-round variant.
+pub type ChaCha12Rng = ChaChaRng<6>;
+/// The 20-round variant.
+pub type ChaCha20Rng = ChaChaRng<10>;
+
+#[inline(always)]
+fn quarter(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl<const R: usize> ChaChaRng<R> {
+    fn refill(&mut self) {
+        let mut w = self.state;
+        for _ in 0..R {
+            // Column round.
+            quarter(&mut w, 0, 4, 8, 12);
+            quarter(&mut w, 1, 5, 9, 13);
+            quarter(&mut w, 2, 6, 10, 14);
+            quarter(&mut w, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter(&mut w, 0, 5, 10, 15);
+            quarter(&mut w, 1, 6, 11, 12);
+            quarter(&mut w, 2, 7, 8, 13);
+            quarter(&mut w, 3, 4, 9, 14);
+        }
+        for (b, (wi, si)) in self.buf.iter_mut().zip(w.iter().zip(&self.state)) {
+            *b = wi.wrapping_add(*si);
+        }
+        // 64-bit block counter in words 12..14.
+        let ctr = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+        self.state[12] = ctr as u32;
+        self.state[13] = (ctr >> 32) as u32;
+        self.idx = 0;
+    }
+}
+
+impl<const R: usize> SeedableRng for ChaChaRng<R> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; 16];
+        // "expand 32-byte k" constants.
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for i in 0..8 {
+            state[4 + i] = u32::from_le_bytes(seed[4 * i..4 * i + 4].try_into().unwrap());
+        }
+        // Counter and nonce start at zero.
+        Self { state, buf: [0; 16], idx: 16 }
+    }
+}
+
+impl<const R: usize> RngCore for ChaChaRng<R> {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn chacha20_matches_rfc7539_block_one() {
+        // RFC 7539 §2.3.2 test vector: key 00.01...1f, nonce
+        // 00:00:00:09:00:00:00:4a:00:00:00:00, counter 1. Our nonce is
+        // fixed at zero, so patch state directly to check the block fn.
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let mut rng = ChaCha20Rng::from_seed(key);
+        rng.state[12] = 1;
+        rng.state[13] = 0x0900_0000;
+        rng.state[14] = 0x4a00_0000;
+        rng.state[15] = 0;
+        rng.refill();
+        assert_eq!(rng.buf[0], 0xe4e7_f110);
+        assert_eq!(rng.buf[15], 0x4e3c_50a2);
+    }
+
+    #[test]
+    fn uniform_range_sanity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[rng.random_range(0..10usize)] += 1;
+        }
+        for c in counts {
+            assert!((700..1300).contains(&c), "suspiciously non-uniform: {counts:?}");
+        }
+    }
+}

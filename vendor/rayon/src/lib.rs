@@ -1,0 +1,210 @@
+//! Minimal vendored `rayon` facade.
+//!
+//! Exposes the API subset this workspace uses — [`join`], `par_iter`,
+//! `par_iter_mut`, `into_par_iter`, `par_sort_unstable_by_key`, `map_init` —
+//! with **identical semantics but sequential std-iterator execution** (plus
+//! a bounded thread budget for `join`, which degrades to sequential on
+//! single-core hosts). All simulation *accounting* in this workspace is
+//! deterministic by design and never depends on scheduling, so swapping the
+//! real rayon back in changes wall-clock time only.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+fn thread_budget() -> &'static AtomicUsize {
+    static BUDGET: OnceLock<AtomicUsize> = OnceLock::new();
+    BUDGET.get_or_init(|| {
+        let n = std::thread::available_parallelism().map_or(1, |n| n.get());
+        AtomicUsize::new(n.saturating_sub(1))
+    })
+}
+
+fn try_acquire_thread() -> bool {
+    let b = thread_budget();
+    let mut cur = b.load(Ordering::Relaxed);
+    while cur > 0 {
+        match b.compare_exchange_weak(cur, cur - 1, Ordering::Acquire, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(c) => cur = c,
+        }
+    }
+    false
+}
+
+fn release_thread() {
+    thread_budget().fetch_add(1, Ordering::Release);
+}
+
+/// Runs both closures, potentially in parallel (bounded by the machine's
+/// core count), and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if try_acquire_thread() {
+        let out = std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            (ra, hb.join())
+        });
+        release_thread();
+        match out {
+            (ra, Ok(rb)) => (ra, rb),
+            (_, Err(p)) => std::panic::resume_unwind(p),
+        }
+    } else {
+        (a(), b())
+    }
+}
+
+/// Number of threads the facade may use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+pub mod prelude {
+    //! `use rayon::prelude::*;` — parallel-iterator entry points.
+
+    /// `par_iter`/`par_iter_mut` over slices (and anything derefing to one).
+    pub trait ParallelSlice<T> {
+        /// Parallel shared iteration (sequential in this facade).
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Parallel exclusive iteration (sequential in this facade).
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        #[inline]
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        #[inline]
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+    }
+
+    /// `into_par_iter` over owning collections and ranges.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item;
+        /// Underlying iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Consumes `self` into a (sequential) "parallel" iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = std::vec::IntoIter<T>;
+        #[inline]
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl<T> IntoParallelIterator for std::ops::Range<T>
+    where
+        std::ops::Range<T>: Iterator<Item = T>,
+    {
+        type Item = T;
+        type Iter = std::ops::Range<T>;
+        #[inline]
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    /// Rayon-specific adaptors missing from `std::iter::Iterator`.
+    pub trait ParallelIteratorExt: Iterator + Sized {
+        /// Maps with a per-worker scratch value built by `init` (one worker
+        /// here, so `init` runs once).
+        #[inline]
+        fn map_init<I, S, F, R>(self, init: I, mut f: F) -> impl Iterator<Item = R>
+        where
+            I: Fn() -> S,
+            F: FnMut(&mut S, Self::Item) -> R,
+        {
+            let mut scratch = init();
+            self.map(move |item| f(&mut scratch, item))
+        }
+
+        /// Hint ignored by the sequential facade.
+        #[inline]
+        fn with_min_len(self, _len: usize) -> Self {
+            self
+        }
+    }
+
+    impl<I: Iterator> ParallelIteratorExt for I {}
+
+    /// Parallel in-place sorts (sequential in this facade).
+    pub trait ParallelSliceSort<T> {
+        /// Unstable sort by key.
+        fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F);
+        /// Unstable sort by comparator.
+        fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, f: F);
+        /// Unstable natural-order sort.
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord;
+    }
+
+    impl<T> ParallelSliceSort<T> for [T] {
+        #[inline]
+        fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
+            self.sort_unstable_by_key(f)
+        }
+        #[inline]
+        fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, f: F) {
+            self.sort_unstable_by(f)
+        }
+        #[inline]
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord,
+        {
+            self.sort_unstable()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+
+    #[test]
+    fn nested_join_does_not_deadlock() {
+        fn sum(lo: u64, hi: u64) -> u64 {
+            if hi - lo < 100 {
+                (lo..hi).sum()
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                let (a, b) = super::join(|| sum(lo, mid), || sum(mid, hi));
+                a + b
+            }
+        }
+        assert_eq!(sum(0, 10_000), (0..10_000u64).sum());
+    }
+
+    #[test]
+    fn par_iter_chain_compiles_and_agrees() {
+        let v = vec![1u64, 2, 3, 4];
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let mut sorted = [(3, 'c'), (1, 'a'), (2, 'b')];
+        sorted.par_sort_unstable_by_key(|(k, _)| *k);
+        assert_eq!(sorted[0].1, 'a');
+        let with_scratch: Vec<u64> = v.into_par_iter().map_init(|| 10u64, |s, x| *s + x).collect();
+        assert_eq!(with_scratch, vec![11, 12, 13, 14]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Minimal vendored `serde`.
+//!
+//! The real serde separates data model from format; this workspace only
+//! ever serializes to JSON (JSONL journals and measurement lines), so the
+//! vendored [`Serialize`] writes JSON text directly. The derive macro
+//! (re-exported from the vendored `serde_derive`) supports named-field
+//! structs, unit enums, and `#[serde(skip)]`. [`Deserialize`] is a marker
+//! trait — readers parse into `serde_json::Value` instead.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialize `self` as JSON text.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn json_write(&self, out: &mut String);
+}
+
+/// Marker for types the real serde could deserialize (vendored readers go
+/// through `serde_json::Value`).
+pub trait Deserialize<'de>: Sized {}
+
+/// Escapes and appends a JSON string literal.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn json_write(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Serialize for bool {
+    fn json_write(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for f64 {
+    fn json_write(&self, out: &mut String) {
+        if self.is_finite() {
+            // `{:?}` prints the shortest representation that round-trips;
+            // its exponent form (`1e-7`) is valid JSON.
+            out.push_str(&format!("{self:?}"));
+        } else {
+            // JSON has no NaN/Inf; mirror serde_json's lossy `null`.
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn json_write(&self, out: &mut String) {
+        (*self as f64).json_write(out)
+    }
+}
+
+impl Serialize for str {
+    fn json_write(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn json_write(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn json_write(&self, out: &mut String) {
+        (**self).json_write(out)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn json_write(&self, out: &mut String) {
+        match self {
+            Some(v) => v.json_write(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn json_write(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.json_write(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn json_write(&self, out: &mut String) {
+        self.as_slice().json_write(out)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn json_write(&self, out: &mut String) {
+        self.as_slice().json_write(out)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn json_write(&self, out: &mut String) {
+        out.push('[');
+        self.0.json_write(out);
+        out.push(',');
+        self.1.json_write(out);
+        out.push(']');
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn json_write(&self, out: &mut String) {
+        out.push('[');
+        self.0.json_write(out);
+        out.push(',');
+        self.1.json_write(out);
+        out.push(',');
+        self.2.json_write(out);
+        out.push(']');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json<T: Serialize>(v: T) -> String {
+        let mut s = String::new();
+        v.json_write(&mut s);
+        s
+    }
+
+    #[test]
+    fn primitives_encode() {
+        assert_eq!(json(42u64), "42");
+        assert_eq!(json(-3i32), "-3");
+        assert_eq!(json(true), "true");
+        assert_eq!(json(1.5f64), "1.5");
+        assert_eq!(json(f64::NAN), "null");
+        assert_eq!(json("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json(vec![1u32, 2, 3]), "[1,2,3]");
+        assert_eq!(json((1u32, "x")), "[1,\"x\"]");
+        assert_eq!(json(Option::<u32>::None), "null");
+    }
+}

@@ -1,0 +1,193 @@
+//! Minimal vendored `serde_derive`.
+//!
+//! Supports exactly the shapes this workspace serializes: non-generic
+//! structs with named fields and unit-variant enums, plus the
+//! `#[serde(skip)]` field attribute. The generated `Serialize` impl writes
+//! JSON directly through the vendored `serde::Serialize::json_write`;
+//! `Deserialize` is a marker impl (nothing in the workspace deserializes
+//! typed values — journals are read back via `serde_json::Value`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed derive input: item name plus either fields or variants.
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    /// Named struct fields, in declaration order, minus `#[serde(skip)]`.
+    Struct(Vec<String>),
+    /// Unit enum variants.
+    Enum(Vec<String>),
+}
+
+/// Returns whether an attribute token group means `#[serde(skip)]`.
+fn is_serde_skip(group: &proc_macro::Group) -> bool {
+    let mut toks = group.stream().into_iter();
+    match (toks.next(), toks.next()) {
+        (Some(TokenTree::Ident(i)), Some(TokenTree::Group(inner))) => {
+            i.to_string() == "serde"
+                && inner
+                    .stream()
+                    .into_iter()
+                    .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    let mut kind_word = String::new();
+    while let Some(t) = toks.next() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                toks.next(); // the [...] group
+            }
+            TokenTree::Ident(i) => {
+                let s = i.to_string();
+                if s == "pub" {
+                    if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        toks.next();
+                    }
+                } else if s == "struct" || s == "enum" {
+                    kind_word = s;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    let body = loop {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("vendored serde_derive does not support generic types ({name})")
+            }
+            Some(_) => continue,
+            None => panic!("serde_derive: no braced body on {name} (tuple/unit items unsupported)"),
+        }
+    };
+
+    if kind_word == "struct" {
+        Item { name, kind: ItemKind::Struct(parse_named_fields(body.stream())) }
+    } else {
+        Item { name, kind: ItemKind::Enum(parse_unit_variants(body.stream())) }
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // One field: attrs, visibility, name, ':', type, ','.
+        let mut skip = false;
+        let name = loop {
+            match toks.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = toks.next() {
+                        skip |= is_serde_skip(&g);
+                    }
+                }
+                Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                    if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        toks.next();
+                    }
+                }
+                Some(TokenTree::Ident(i)) => break i.to_string(),
+                Some(other) => panic!("serde_derive: unexpected token in fields: {other}"),
+                None => return fields,
+            }
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected ':' after field {name}, got {other:?}"),
+        }
+        // Consume the type: everything up to a ',' at angle-bracket depth 0.
+        let mut depth = 0i32;
+        loop {
+            match toks.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => break,
+                Some(_) => {}
+                None => break,
+            }
+        }
+        if !skip {
+            fields.push(name);
+        }
+    }
+}
+
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut toks = body.into_iter();
+    while let Some(t) = toks.next() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                toks.next();
+            }
+            TokenTree::Ident(i) => variants.push(i.to_string()),
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            TokenTree::Group(_) => {
+                panic!("vendored serde_derive supports unit enum variants only")
+            }
+            other => panic!("serde_derive: unexpected token in enum body: {other}"),
+        }
+    }
+    variants
+}
+
+/// Derives the vendored `serde::Serialize` (direct JSON writing).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let mut code = String::from("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    code.push_str("out.push(',');\n");
+                }
+                code.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\");\nserde::Serialize::json_write(&self.{f}, out);\n"
+                ));
+            }
+            code.push_str("out.push('}');");
+            code
+        }
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => out.push_str(\"\\\"{v}\\\"\"),"))
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn json_write(&self, out: &mut String) {{\n{body}\n}}\n}}"
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("serde_derive: generated Deserialize impl parses")
+}
