@@ -16,6 +16,10 @@ pub struct BenchArgs {
     pub seed: u64,
     /// Round-trace output path (JSONL); `None` disables tracing.
     pub trace: Option<String>,
+    /// Worker threads for the host-side executor; `None` defers to
+    /// `RAYON_NUM_THREADS`, then to the machine's available parallelism.
+    /// Results are identical at any setting — only wall-clock changes.
+    pub threads: Option<usize>,
 }
 
 impl Default for BenchArgs {
@@ -27,14 +31,23 @@ impl Default for BenchArgs {
             positional: None,
             seed: 2026,
             trace: None,
+            threads: None,
         }
     }
 }
 
 impl BenchArgs {
     /// Parses `--points N --batch N --modules N --seed N --trace PATH
-    /// [positional]`.
+    /// --threads N [positional]`, then pins the global thread pool to
+    /// `--threads` when given.
     pub fn parse() -> Self {
+        let out = Self::parse_without_pool_init();
+        out.init_thread_pool();
+        out
+    }
+
+    /// [`parse`] minus the global-pool side effect, for tests.
+    pub fn parse_without_pool_init() -> Self {
         let mut out = Self::default();
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -53,11 +66,25 @@ impl BenchArgs {
                     }
                 }
                 "--trace" => out.trace = args.next(),
+                "--threads" => out.threads = args.next().and_then(|s| s.parse().ok()),
                 other if !other.starts_with("--") => out.positional = Some(other.to_string()),
                 _ => {}
             }
         }
         out
+    }
+
+    /// Sizes the global executor from `--threads`. Must run before the first
+    /// parallel call; a late (ignored) request only costs wall-clock, never
+    /// correctness, so we warn rather than abort.
+    pub fn init_thread_pool(&self) {
+        if let Some(n) = self.threads {
+            if rayon::ThreadPoolBuilder::new().num_threads(n).build_global().is_err() {
+                eprintln!(
+                    "warning: --threads {n} ignored; the global thread pool was already built"
+                );
+            }
+        }
     }
 }
 

@@ -205,6 +205,9 @@ impl<const D: usize> PimZdTree<D> {
         t.sys.accounting = false;
         t.meter.enabled = false;
 
+        // Parallel encode + sort; the (key, coords) total key makes the
+        // unstable sort's output canonical at any thread count, so the
+        // carved layout — and every downstream journal — is deterministic.
         let mut items: Vec<Keyed<D>> =
             points.par_iter().map(|p| (ZKey::<D>::encode(p), *p)).collect();
         items.par_sort_unstable_by_key(|(k, p)| (*k, p.coords));

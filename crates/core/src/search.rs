@@ -83,10 +83,14 @@ impl<const D: usize> PimZdTree<D> {
             4 * D as u64 * ZKey::<D>::COORD_BITS as u64
         };
         self.meter.work(pts.len() as u64 * per_key);
+        // Parallel encode: pure per-point, collected at input indices, so
+        // the key vector is identical at any thread count. The simulated
+        // cost was charged above, independent of host parallelism.
+        use rayon::prelude::*;
         if self.cfg.toggles.fast_zorder {
-            pts.iter().map(ZKey::<D>::encode).collect()
+            pts.par_iter().map(ZKey::<D>::encode).collect()
         } else {
-            pts.iter().map(ZKey::<D>::encode_naive).collect()
+            pts.par_iter().map(ZKey::<D>::encode_naive).collect()
         }
     }
 

@@ -189,8 +189,12 @@ impl<M: Send> PimSystem<M> {
 
         let per_module_sent: Vec<u64> = tasks.iter().map(|t| t.wire_bytes()).collect();
 
-        // Run all module handlers in parallel; collect (reply, ctx) in
-        // module order so the simulation stays deterministic.
+        // Run all module handlers in parallel. Determinism audit: `collect`
+        // places each `(reply, ctx)` at its module index regardless of which
+        // worker finished first, and everything order-sensitive below — the
+        // f64 max/sum folds, `per_module_recv`, the traced cycle vector —
+        // iterates that index-ordered Vec sequentially. A journal written at
+        // 16 threads is byte-identical to one written at 1.
         let results: Vec<(Vec<R>, PimCtx)> = self
             .modules
             .par_iter_mut()
@@ -273,6 +277,8 @@ impl<M: Send> PimSystem<M> {
     {
         let bytes = item.wire_bytes();
         let p = self.modules.len();
+        // Same determinism contract as `run_round`: ctxs land in module
+        // order, and the accounting folds below run sequentially over them.
         let ctxs: Vec<PimCtx> = self
             .modules
             .par_iter_mut()

@@ -151,6 +151,8 @@ fn fill<const D: usize>(
         kind: PkNodeKind::Internal { dim, split, left: base + 1, right: base + 1 + ln as PkNodeId },
     });
     if lp.len() + rp.len() >= PAR_CUTOFF {
+        // Each side writes a disjoint, pre-sized arena slice at ids fixed
+        // by `count_nodes` — layout is thread-count independent.
         rayon::join(
             || fill(la, lp, base + 1, leaf_cap),
             || fill(ra, rp, base + 1 + ln as PkNodeId, leaf_cap),

@@ -424,6 +424,11 @@ mod tests {
 /// Parallel, unmetered batch queries (rayon). These are for *functional*
 /// use of the baseline as a library or oracle — measurement runs use the
 /// sequential metered variants so the cost accounting stays deterministic.
+///
+/// Determinism audit: `collect` writes each reply at its query's input
+/// index, the `map_init` scratch is a *disabled* meter (no observable
+/// state), and each per-query closure reads only `&self` — so the output
+/// is identical at any thread count.
 impl<const D: usize> ZdTree<D> {
     /// Parallel batch kNN (unmetered).
     pub fn par_batch_knn(

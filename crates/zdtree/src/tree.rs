@@ -39,7 +39,9 @@ pub struct ZdTree<const D: usize> {
 }
 
 /// Encodes and sorts a batch: the standard preprocessing of every operation.
-/// Sorting is by (key, point) so duplicate keys have a canonical order.
+/// Sorting is by (key, point) so duplicate keys have a canonical order —
+/// with that total key, even the *unstable* parallel sort yields one
+/// canonical permutation at any thread count.
 pub(crate) fn keyed_sorted<const D: usize>(points: &[Point<D>]) -> Vec<Keyed<D>> {
     let mut items: Vec<Keyed<D>> = points.par_iter().map(|p| (ZKey::<D>::encode(p), *p)).collect();
     items.par_sort_unstable_by_key(|(k, p)| (*k, p.coords));

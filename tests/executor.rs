@@ -1,0 +1,149 @@
+//! Executor regression and stress tests (vendor/rayon).
+//!
+//! The budget-leak regression: the pre-pool facade skipped its
+//! `release_thread` bookkeeping when `join`'s first closure panicked. The
+//! executor now returns the job budget with an RAII guard dropped on every
+//! path, including unwinds — these tests panic in `a`, in `b`, and in both,
+//! then assert the pool is quiescent *and still usable*.
+//!
+//! The stress shape from the issue: nested `join` at depth ≥ 3 inside a
+//! `par_iter` with far more tasks than threads, checked for deadlock
+//! freedom (including on a 1-thread pool, where `join` must run everything
+//! inline or steal it back), correct results, and a restored budget.
+
+use rayon::prelude::*;
+use rayon::ThreadPool;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The panic payload as a string, for asserting *which* panic propagated.
+fn payload_str(p: &(dyn std::any::Any + Send)) -> &str {
+    p.downcast_ref::<&str>()
+        .copied()
+        .or_else(|| p.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("<non-string payload>")
+}
+
+#[test]
+fn panic_in_first_closure_propagates_and_restores_budget() {
+    let pool = ThreadPool::new(2);
+    let err =
+        catch_unwind(AssertUnwindSafe(|| pool.install(|| rayon::join(|| panic!("boom-a"), || 7))))
+            .expect_err("panic must propagate out of join");
+    assert_eq!(payload_str(&*err), "boom-a");
+    assert_eq!(pool.outstanding_jobs(), 0, "budget leaked on `a` panic");
+
+    // The regression's real symptom: the pool wedged afterwards.
+    assert_eq!(pool.install(|| rayon::join(|| 1, || 2)), (1, 2));
+    assert_eq!(pool.outstanding_jobs(), 0);
+}
+
+#[test]
+fn panic_in_second_closure_propagates_and_restores_budget() {
+    let pool = ThreadPool::new(2);
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        pool.install(|| rayon::join(|| 7, || -> u32 { panic!("boom-b") }))
+    }))
+    .expect_err("panic must propagate out of join");
+    assert_eq!(payload_str(&*err), "boom-b");
+    assert_eq!(pool.outstanding_jobs(), 0, "budget leaked on `b` panic");
+    assert_eq!(pool.install(|| rayon::join(|| 3, || 4)), (3, 4));
+}
+
+#[test]
+fn double_panic_propagates_first_closure_and_restores_budget() {
+    let pool = ThreadPool::new(2);
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        pool.install(|| rayon::join(|| -> u32 { panic!("boom-a") }, || -> u32 { panic!("boom-b") }))
+    }))
+    .expect_err("panic must propagate out of join");
+    // Both closures panicked; `a`'s payload wins (the documented order).
+    assert_eq!(payload_str(&*err), "boom-a");
+    assert_eq!(pool.outstanding_jobs(), 0, "budget leaked on double panic");
+    assert_eq!(pool.install(|| rayon::join(|| 5, || 6)), (5, 6));
+}
+
+#[test]
+fn panic_inside_par_iter_propagates_and_restores_budget() {
+    let pool = ThreadPool::new(3);
+    let v: Vec<u64> = (0..500).collect();
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        pool.install(|| {
+            v.par_iter()
+                .with_min_len(1)
+                .map(|&x| if x == 313 { panic!("boom-item") } else { x })
+                .collect::<Vec<u64>>()
+        })
+    }))
+    .expect_err("item panic must propagate out of collect");
+    assert_eq!(payload_str(&*err), "boom-item");
+    assert_eq!(pool.outstanding_jobs(), 0, "budget leaked on collect panic");
+    let ok: Vec<u64> = pool.install(|| v.par_iter().map(|&x| x + 1).collect());
+    assert_eq!(ok[499], 500);
+}
+
+/// A depth-`d` binary join tree under every item — the issue's stress shape.
+fn nested_sum(x: u64, depth: u32) -> u64 {
+    if depth == 0 {
+        x
+    } else {
+        let (a, b) = rayon::join(|| nested_sum(x, depth - 1), || nested_sum(x + 1, depth - 1));
+        a + b
+    }
+}
+
+#[test]
+fn nested_join_inside_par_iter_with_oversubscription() {
+    // 400 tasks on 2 threads, each task a join tree of depth 4 (≥ 3), so the
+    // deques constantly hold stolen-back and cross-stolen jobs.
+    let expected: Vec<u64> = (0..400u64).map(|x| nested_sum_seq(x, 4)).collect();
+    for threads in [1usize, 2, 8] {
+        let pool = ThreadPool::new(threads);
+        let tasks: Vec<u64> = (0..400).collect();
+        let got: Vec<u64> =
+            pool.install(|| tasks.par_iter().with_min_len(1).map(|&x| nested_sum(x, 4)).collect());
+        assert_eq!(got, expected, "wrong results at {threads} threads");
+        assert_eq!(pool.outstanding_jobs(), 0, "budget leaked at {threads} threads");
+    }
+}
+
+/// Sequential twin of [`nested_sum`] for the expected values.
+fn nested_sum_seq(x: u64, depth: u32) -> u64 {
+    if depth == 0 {
+        x
+    } else {
+        nested_sum_seq(x, depth - 1) + nested_sum_seq(x + 1, depth - 1)
+    }
+}
+
+#[test]
+fn global_pool_join_panic_propagates_from_external_thread() {
+    // Through the lazily built global pool (an external thread injecting):
+    // same propagation and budget contract as explicit pools.
+    let err =
+        catch_unwind(AssertUnwindSafe(|| rayon::join(|| -> u32 { panic!("boom-global") }, || 7)))
+            .expect_err("panic must propagate through the injected job");
+    assert_eq!(payload_str(&*err), "boom-global");
+    assert_eq!(rayon::debug_outstanding_jobs(), 0);
+    assert_eq!(rayon::join(|| 1, || 2), (1, 2));
+}
+
+#[test]
+fn deep_recursion_on_one_thread_does_not_deadlock() {
+    // A 1-thread pool must complete arbitrarily nested joins by running or
+    // stealing back every child itself.
+    let pool = ThreadPool::new(1);
+    let total: u64 = pool.install(|| {
+        fn sum(lo: u64, hi: u64) -> u64 {
+            if hi - lo <= 8 {
+                (lo..hi).sum()
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                let (a, b) = rayon::join(|| sum(lo, mid), || sum(mid, hi));
+                a + b
+            }
+        }
+        sum(0, 100_000)
+    });
+    assert_eq!(total, (0..100_000u64).sum());
+    assert_eq!(pool.outstanding_jobs(), 0);
+}

@@ -1,0 +1,114 @@
+//! Property tests: the parallel batch query paths vs a sequential oracle.
+//!
+//! `par_batch_knn` / `par_batch_box_count` / `par_batch_box_fetch` /
+//! `par_batch_contains` execute on the real work-stealing pool; each
+//! property compares them against a brute-force scan of the input multiset
+//! under all three metrics. Inputs are drawn from a tiny coordinate cube so
+//! duplicate points are common, and `k` ranges past the tree size — the two
+//! edge cases where a wrong tie rule or off-by-one would hide.
+//!
+//! The CI matrix runs this file under `RAYON_NUM_THREADS` 1 and 4, so the
+//! oracle equality is itself checked under two schedules.
+
+use pim_geom::{Aabb, Metric, Point};
+use pim_zdtree_base::ZdTree;
+use proptest::prelude::*;
+
+const METRICS: [Metric; 3] = [Metric::L1, Metric::L2, Metric::Linf];
+
+/// Points in a 8×8×8 cube: collisions (duplicates) arrive quickly.
+fn tiny_point() -> impl Strategy<Value = Point<3>> {
+    (0u32..8, 0u32..8, 0u32..8).prop_map(|(x, y, z)| Point::new([x, y, z]))
+}
+
+fn tiny_points(max: usize) -> impl Strategy<Value = Vec<Point<3>>> {
+    proptest::collection::vec(tiny_point(), 1..max)
+}
+
+/// Brute-force kNN over the stored multiset: every stored copy competes,
+/// ties resolved by (distance, coordinates) — the tree's documented rule.
+fn knn_oracle(data: &[Point<3>], q: &Point<3>, k: usize, metric: Metric) -> Vec<(u64, Point<3>)> {
+    let mut all: Vec<(u64, Point<3>)> = data.iter().map(|p| (metric.cmp_dist(q, p), *p)).collect();
+    all.sort_unstable_by_key(|(d, p)| (*d, p.coords));
+    all.truncate(k);
+    all
+}
+
+/// A box spanned by two random corners (normalized per dimension).
+fn aabb_from(a: Point<3>, b: Point<3>) -> Aabb<3> {
+    let lo =
+        [a.coords[0].min(b.coords[0]), a.coords[1].min(b.coords[1]), a.coords[2].min(b.coords[2])];
+    let hi =
+        [a.coords[0].max(b.coords[0]), a.coords[1].max(b.coords[1]), a.coords[2].max(b.coords[2])];
+    Aabb::new(Point::new(lo), Point::new(hi))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Parallel batch kNN ≡ brute force, all metrics, k from 0 past |tree|.
+    #[test]
+    fn par_batch_knn_matches_brute_force(
+        data in tiny_points(40),
+        queries in tiny_points(6),
+        k in 0usize..64,
+        leaf_cap in 1usize..6,
+    ) {
+        let tree = ZdTree::build(&data, leaf_cap);
+        prop_assert_eq!(tree.len(), data.len());
+        for metric in METRICS {
+            let got = tree.par_batch_knn(&queries, k, metric);
+            for (q, res) in queries.iter().zip(&got) {
+                let want = knn_oracle(&data, q, k, metric);
+                prop_assert_eq!(res.len(), want.len().min(k));
+                prop_assert_eq!(res, &want, "kNN diverged under {:?}", metric);
+            }
+        }
+    }
+
+    /// Parallel BoxCount and BoxFetch ≡ brute-force membership scans; fetch
+    /// returns exactly the multiset the count claims.
+    #[test]
+    fn par_batch_box_queries_match_brute_force(
+        data in tiny_points(48),
+        corners in proptest::collection::vec((tiny_point(), tiny_point()), 1..8),
+        leaf_cap in 1usize..6,
+    ) {
+        let tree = ZdTree::build(&data, leaf_cap);
+        let boxes: Vec<Aabb<3>> = corners.into_iter().map(|(a, b)| aabb_from(a, b)).collect();
+
+        let counts = tree.par_batch_box_count(&boxes);
+        let fetched = tree.par_batch_box_fetch(&boxes);
+        prop_assert_eq!(counts.len(), boxes.len());
+        prop_assert_eq!(fetched.len(), boxes.len());
+
+        for ((b, count), hits) in boxes.iter().zip(&counts).zip(&fetched) {
+            let want_count = data.iter().filter(|p| b.contains(p)).count() as u64;
+            prop_assert_eq!(*count, want_count);
+            prop_assert_eq!(hits.len() as u64, want_count, "fetch disagrees with count");
+            // Compare as multisets: the tree returns Morton order, the
+            // oracle input order.
+            let mut got: Vec<[u32; 3]> = hits.iter().map(|p| p.coords).collect();
+            let mut want: Vec<[u32; 3]> =
+                data.iter().filter(|p| b.contains(p)).map(|p| p.coords).collect();
+            got.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// Parallel membership ≡ linear scan, probing both present and absent
+    /// points.
+    #[test]
+    fn par_batch_contains_matches_brute_force(
+        data in tiny_points(40),
+        probes in tiny_points(20),
+        leaf_cap in 1usize..6,
+    ) {
+        let tree = ZdTree::build(&data, leaf_cap);
+        let got = tree.par_batch_contains(&probes);
+        for (p, present) in probes.iter().zip(&got) {
+            prop_assert_eq!(*present, data.contains(p));
+        }
+    }
+}

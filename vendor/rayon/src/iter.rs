@@ -1,0 +1,481 @@
+//! Index-preserving parallel iterators.
+//!
+//! The model is rayon's producer/consumer split reduced to what this
+//! workspace needs: a [`Producer`] knows its exact length, can split itself
+//! at an index, and can drain sequentially once it is small enough. Every
+//! combinator (`map`, `map_init`, `enumerate`, `zip`, `with_min_len`) is
+//! itself a producer, and [`ParallelIterator::collect`] recursively splits
+//! the chain with [`crate::join`], each leaf writing its items into the
+//! *slots of the output that correspond to its input indices*.
+//!
+//! That slot discipline is the determinism contract the simulator builds
+//! on: `collect` returns items in input order — never completion order —
+//! so results are bit-identical at any thread count, provided the mapped
+//! closures are pure per item. `map_init` scratch state is per *chunk*
+//! (chunk boundaries depend on the pool size), so scratch must not leak
+//! into outputs — the workspace only uses it for disabled cost meters.
+
+use std::mem::{ManuallyDrop, MaybeUninit};
+
+/// A splittable, exactly-sized source of items.
+// Producers are transient splitting state, not containers; `is_empty`
+// would never be called.
+#[allow(clippy::len_without_is_empty)]
+pub trait Producer: Sized + Send {
+    /// Item produced.
+    type Item: Send;
+    /// Sequential drain of one chunk.
+    type SeqIter: Iterator<Item = Self::Item>;
+
+    /// Exact number of items.
+    fn len(&self) -> usize;
+    /// Splits into `[0, index)` and `[index, len)`.
+    fn split_at(self, index: usize) -> (Self, Self);
+    /// Drains this chunk sequentially.
+    fn into_seq(self) -> Self::SeqIter;
+    /// Smallest chunk worth splitting off (see `with_min_len`).
+    fn min_len(&self) -> usize {
+        1
+    }
+}
+
+/// Combinators + order-preserving collection, available on every producer.
+pub trait ParallelIterator: Producer {
+    /// Maps each item through `f` (cloned per chunk).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Clone + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Maps with per-chunk scratch state built by `init`.
+    fn map_init<S, R, I, F>(self, init: I, f: F) -> MapInit<Self, I, F>
+    where
+        I: Fn() -> S + Clone + Send,
+        F: FnMut(&mut S, Self::Item) -> R + Clone + Send,
+        R: Send,
+    {
+        MapInit { base: self, init, f }
+    }
+
+    /// Pairs each item with its global index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self, offset: 0 }
+    }
+
+    /// Zips with another producer, truncating to the shorter.
+    fn zip<B: Producer>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Floors the chunk size used when splitting.
+    fn with_min_len(self, min: usize) -> MinLen<Self> {
+        MinLen { base: self, min: min.max(1) }
+    }
+
+    /// Collects into `C`, preserving input order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+}
+
+impl<P: Producer> ParallelIterator for P {}
+
+/// Order-preserving parallel collection target.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds `Self` from a producer, in input order.
+    fn from_par_iter<P: Producer<Item = T>>(producer: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: Producer<Item = T>>(producer: P) -> Self {
+        collect_vec(producer)
+    }
+}
+
+/// Leaf chunk size: ~4 chunks per pool thread, floored by `with_min_len`.
+/// Chunking affects scheduling granularity only — outputs land in input
+/// slots regardless.
+fn chunk_size(len: usize, min_len: usize) -> usize {
+    let pieces = 4 * crate::current_num_threads();
+    (len / pieces.max(1)).max(min_len).max(1)
+}
+
+fn collect_vec<P: Producer>(producer: P) -> Vec<P::Item> {
+    let len = producer.len();
+    let mut slots: Vec<MaybeUninit<P::Item>> = Vec::with_capacity(len);
+    slots.resize_with(len, MaybeUninit::uninit);
+    let chunk = chunk_size(len, producer.min_len());
+    fill_slots(producer, &mut slots, chunk);
+    // Safety: `fill_slots` wrote every slot exactly once (it asserts each
+    // leaf filled its whole sub-slice). On panic inside a chunk the written
+    // items leak rather than double-drop: `Vec<MaybeUninit<_>>` never drops
+    // its elements.
+    let mut slots = ManuallyDrop::new(slots);
+    unsafe { Vec::from_raw_parts(slots.as_mut_ptr() as *mut P::Item, len, slots.capacity()) }
+}
+
+fn fill_slots<P: Producer>(producer: P, slots: &mut [MaybeUninit<P::Item>], chunk: usize) {
+    let len = producer.len();
+    debug_assert_eq!(len, slots.len());
+    if len <= chunk {
+        let mut wrote = 0;
+        for item in producer.into_seq() {
+            slots[wrote].write(item);
+            wrote += 1;
+        }
+        assert_eq!(wrote, len, "producer drained fewer items than its reported length");
+    } else {
+        let mid = len / 2;
+        let (left, right) = producer.split_at(mid);
+        let (slots_l, slots_r) = slots.split_at_mut(mid);
+        crate::join(|| fill_slots(left, slots_l, chunk), || fill_slots(right, slots_r, chunk));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------
+
+/// Shared-slice source (`par_iter`).
+pub struct SliceParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> Producer for SliceParIter<'a, T> {
+    type Item = &'a T;
+    type SeqIter = std::slice::Iter<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(index);
+        (Self { slice: l }, Self { slice: r })
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.iter()
+    }
+}
+
+/// Exclusive-slice source (`par_iter_mut`).
+pub struct SliceParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> Producer for SliceParIterMut<'a, T> {
+    type Item = &'a mut T;
+    type SeqIter = std::slice::IterMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at_mut(index);
+        (Self { slice: l }, Self { slice: r })
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.iter_mut()
+    }
+}
+
+/// Owning source (`Vec::into_par_iter`). Splits move the tail into a fresh
+/// allocation — cheap for the header-sized payloads this workspace scatters.
+pub struct VecParIter<T> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> Producer for VecParIter<T> {
+    type Item = T;
+    type SeqIter = std::vec::IntoIter<T>;
+
+    fn len(&self) -> usize {
+        self.vec.len()
+    }
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let tail = self.vec.split_off(index);
+        (self, Self { vec: tail })
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        self.vec.into_iter()
+    }
+}
+
+/// Integer-range source (`Range::into_par_iter`).
+pub struct RangeParIter<T> {
+    range: std::ops::Range<T>,
+}
+
+macro_rules! impl_range_producer {
+    ($($t:ty),*) => {$(
+        impl Producer for RangeParIter<$t> {
+            type Item = $t;
+            type SeqIter = std::ops::Range<$t>;
+
+            fn len(&self) -> usize {
+                self.range.end.saturating_sub(self.range.start) as usize
+            }
+            fn split_at(self, index: usize) -> (Self, Self) {
+                let mid = self.range.start + index as $t;
+                (
+                    Self { range: self.range.start..mid },
+                    Self { range: mid..self.range.end },
+                )
+            }
+            fn into_seq(self) -> Self::SeqIter {
+                self.range
+            }
+        }
+    )*};
+}
+
+impl_range_producer!(u32, u64, usize);
+
+// ---------------------------------------------------------------------
+// Adaptors
+// ---------------------------------------------------------------------
+
+/// See [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+/// Sequential tail of [`Map`].
+pub struct MapSeq<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I: Iterator, R, F: FnMut(I::Item) -> R> Iterator for MapSeq<I, F> {
+    type Item = R;
+    fn next(&mut self) -> Option<R> {
+        self.base.next().map(&mut self.f)
+    }
+}
+
+impl<P, R, F> Producer for Map<P, F>
+where
+    P: Producer,
+    R: Send,
+    F: Fn(P::Item) -> R + Clone + Send,
+{
+    type Item = R;
+    type SeqIter = MapSeq<P::SeqIter, F>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (Self { base: l, f: self.f.clone() }, Self { base: r, f: self.f })
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        MapSeq { base: self.base.into_seq(), f: self.f }
+    }
+    fn min_len(&self) -> usize {
+        self.base.min_len()
+    }
+}
+
+/// See [`ParallelIterator::map_init`].
+pub struct MapInit<P, I, F> {
+    base: P,
+    init: I,
+    f: F,
+}
+
+/// Sequential tail of [`MapInit`]: one scratch value per chunk.
+pub struct MapInitSeq<It, S, F> {
+    base: It,
+    scratch: S,
+    f: F,
+}
+
+impl<It: Iterator, S, R, F: FnMut(&mut S, It::Item) -> R> Iterator for MapInitSeq<It, S, F> {
+    type Item = R;
+    fn next(&mut self) -> Option<R> {
+        let item = self.base.next()?;
+        Some((self.f)(&mut self.scratch, item))
+    }
+}
+
+impl<P, S, R, I, F> Producer for MapInit<P, I, F>
+where
+    P: Producer,
+    I: Fn() -> S + Clone + Send,
+    F: FnMut(&mut S, P::Item) -> R + Clone + Send,
+    R: Send,
+{
+    type Item = R;
+    type SeqIter = MapInitSeq<P::SeqIter, S, F>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Self { base: l, init: self.init.clone(), f: self.f.clone() },
+            Self { base: r, init: self.init, f: self.f },
+        )
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        let scratch = (self.init)();
+        MapInitSeq { base: self.base.into_seq(), scratch, f: self.f }
+    }
+    fn min_len(&self) -> usize {
+        self.base.min_len()
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<P> {
+    base: P,
+    offset: usize,
+}
+
+/// Sequential tail of [`Enumerate`], counting from a split-adjusted offset.
+pub struct EnumerateSeq<I> {
+    base: I,
+    next_index: usize,
+}
+
+impl<I: Iterator> Iterator for EnumerateSeq<I> {
+    type Item = (usize, I::Item);
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.base.next()?;
+        let index = self.next_index;
+        self.next_index += 1;
+        Some((index, item))
+    }
+}
+
+impl<P: Producer> Producer for Enumerate<P> {
+    type Item = (usize, P::Item);
+    type SeqIter = EnumerateSeq<P::SeqIter>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (Self { base: l, offset: self.offset }, Self { base: r, offset: self.offset + index })
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        EnumerateSeq { base: self.base.into_seq(), next_index: self.offset }
+    }
+    fn min_len(&self) -> usize {
+        self.base.min_len()
+    }
+}
+
+/// See [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Producer, B: Producer> Producer for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    type SeqIter = std::iter::Zip<A::SeqIter, B::SeqIter>;
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(index);
+        let (bl, br) = self.b.split_at(index);
+        (Self { a: al, b: bl }, Self { a: ar, b: br })
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+    fn min_len(&self) -> usize {
+        self.a.min_len().max(self.b.min_len())
+    }
+}
+
+/// See [`ParallelIterator::with_min_len`].
+pub struct MinLen<P> {
+    base: P,
+    min: usize,
+}
+
+impl<P: Producer> Producer for MinLen<P> {
+    type Item = P::Item;
+    type SeqIter = P::SeqIter;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (Self { base: l, min: self.min }, Self { base: r, min: self.min })
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        self.base.into_seq()
+    }
+    fn min_len(&self) -> usize {
+        self.base.min_len().max(self.min)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Entry traits
+// ---------------------------------------------------------------------
+
+/// `par_iter` / `par_iter_mut` over slices (and anything derefing to one).
+pub trait ParallelSlice<T> {
+    /// Parallel shared iteration.
+    fn par_iter(&self) -> SliceParIter<'_, T>;
+    /// Parallel exclusive iteration.
+    fn par_iter_mut(&mut self) -> SliceParIterMut<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    #[inline]
+    fn par_iter(&self) -> SliceParIter<'_, T> {
+        SliceParIter { slice: self }
+    }
+    #[inline]
+    fn par_iter_mut(&mut self) -> SliceParIterMut<'_, T> {
+        SliceParIterMut { slice: self }
+    }
+}
+
+/// `into_par_iter` over owning collections and ranges.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Producer this converts into.
+    type Producer: Producer<Item = Self::Item>;
+    /// Consumes `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Producer;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Producer = VecParIter<T>;
+    #[inline]
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { vec: self }
+    }
+}
+
+macro_rules! impl_range_into_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Producer = RangeParIter<$t>;
+            #[inline]
+            fn into_par_iter(self) -> RangeParIter<$t> {
+                RangeParIter { range: self }
+            }
+        }
+    )*};
+}
+
+impl_range_into_par!(u32, u64, usize);

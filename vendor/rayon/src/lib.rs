@@ -1,176 +1,174 @@
-//! Minimal vendored `rayon` facade.
+//! Minimal vendored `rayon` with a real work-stealing executor.
 //!
 //! Exposes the API subset this workspace uses — [`join`], `par_iter`,
-//! `par_iter_mut`, `into_par_iter`, `par_sort_unstable_by_key`, `map_init` —
-//! with **identical semantics but sequential std-iterator execution** (plus
-//! a bounded thread budget for `join`, which degrades to sequential on
-//! single-core hosts). All simulation *accounting* in this workspace is
-//! deterministic by design and never depends on scheduling, so swapping the
-//! real rayon back in changes wall-clock time only.
+//! `par_iter_mut`, `into_par_iter`, `par_sort_unstable_by_key`, `map_init`,
+//! [`ThreadPool`], [`ThreadPoolBuilder`] — executing on a bounded
+//! work-stealing thread pool (per-worker LIFO deques, FIFO injector,
+//! steal-while-waiting `join`, see [`registry`]).
+//!
+//! **Determinism contract.** Parallelism changes wall-clock time only:
+//! `collect` writes each item into the output slot of its *input index*
+//! (never completion order), `join` returns `(a, b)` positionally, and the
+//! parallel sorts pick every boundary from the data alone — so with pure
+//! per-item closures, results are bit-identical at any thread count,
+//! including 1. `tests/parallel_determinism.rs` at the workspace root holds
+//! the whole simulator to exactly this.
+//!
+//! Thread count: [`ThreadPoolBuilder::build_global`] (the bench harness's
+//! `--threads` flag), else `RAYON_NUM_THREADS`, else available parallelism.
+//! Tests comparing schedules use explicit [`ThreadPool`]s and
+//! [`ThreadPool::install`].
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+mod iter;
+mod registry;
+mod sort;
 
-fn thread_budget() -> &'static AtomicUsize {
-    static BUDGET: OnceLock<AtomicUsize> = OnceLock::new();
-    BUDGET.get_or_init(|| {
-        let n = std::thread::available_parallelism().map_or(1, |n| n.get());
-        AtomicUsize::new(n.saturating_sub(1))
-    })
-}
+use registry::Registry;
+use std::sync::Arc;
 
-fn try_acquire_thread() -> bool {
-    let b = thread_budget();
-    let mut cur = b.load(Ordering::Relaxed);
-    while cur > 0 {
-        match b.compare_exchange_weak(cur, cur - 1, Ordering::Acquire, Ordering::Relaxed) {
-            Ok(_) => return true,
-            Err(c) => cur = c,
-        }
-    }
-    false
-}
-
-fn release_thread() {
-    thread_budget().fetch_add(1, Ordering::Release);
-}
-
-/// Runs both closures, potentially in parallel (bounded by the machine's
-/// core count), and returns both results.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+/// Runs both closures, in parallel when a worker is free, and returns both
+/// results positionally. Panics in either closure propagate after *both*
+/// have resolved; the job budget is restored by RAII even on unwind.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
     B: FnOnce() -> RB + Send,
     RA: Send,
     RB: Send,
 {
-    if try_acquire_thread() {
-        let out = std::thread::scope(|s| {
-            let hb = s.spawn(b);
-            let ra = a();
-            (ra, hb.join())
-        });
-        release_thread();
-        match out {
-            (ra, Ok(rb)) => (ra, rb),
-            (_, Err(p)) => std::panic::resume_unwind(p),
+    match registry::current_worker() {
+        Some((index, reg)) => {
+            // Safety: a worker's registry outlives every frame on its stack.
+            let reg = unsafe { &*reg };
+            registry::join_in_worker(reg, index, oper_a, oper_b)
         }
-    } else {
-        (a(), b())
+        None => {
+            let reg = Arc::clone(registry::global_registry());
+            registry::in_registry(&reg, move || join(oper_a, oper_b))
+        }
     }
 }
 
-/// Number of threads the facade may use.
+/// Number of threads in the current pool: the pool this thread belongs to
+/// when called from inside [`ThreadPool::install`], else the global pool
+/// (building it on first use).
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    match registry::current_worker() {
+        // Safety: a worker's registry outlives every frame on its stack.
+        Some((_, reg)) => unsafe { (*reg).n_threads },
+        None => registry::global_registry().n_threads,
+    }
+}
+
+/// Jobs pushed but not yet finished in the current (or global) pool. Zero
+/// when quiescent — the executor regression tests assert the budget is
+/// restored even after panicking jobs.
+pub fn debug_outstanding_jobs() -> usize {
+    match registry::current_worker() {
+        // Safety: as in [`current_num_threads`].
+        Some((_, reg)) => unsafe { (*reg).outstanding_jobs() },
+        None => registry::global_registry().outstanding_jobs(),
+    }
+}
+
+/// Configures the global pool before first use.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error from [`ThreadPoolBuilder::build_global`]: the global pool already
+/// exists (some parallel work already ran, or it was built twice).
+#[derive(Debug)]
+pub struct GlobalPoolAlreadyBuilt;
+
+impl std::fmt::Display for GlobalPoolAlreadyBuilt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "the global thread pool has already been initialized")
+    }
+}
+
+impl std::error::Error for GlobalPoolAlreadyBuilt {}
+
+impl ThreadPoolBuilder {
+    /// An unconfigured builder (thread count from `RAYON_NUM_THREADS`, else
+    /// the machine).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count explicitly (`0` keeps the default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Installs the configuration as the process-global pool.
+    pub fn build_global(self) -> Result<(), GlobalPoolAlreadyBuilt> {
+        match self.num_threads {
+            // Nothing to pin down — the lazy default already honours the
+            // environment.
+            None => Ok(()),
+            Some(n) => registry::init_global(n).map_err(|()| GlobalPoolAlreadyBuilt),
+        }
+    }
+}
+
+/// An explicitly sized pool, independent of the global one. Used by the
+/// determinism tests to run identical workloads at 1, 2, and 8 threads
+/// within a single process.
+pub struct ThreadPool {
+    registry: Arc<Registry>,
+}
+
+impl ThreadPool {
+    /// Builds a pool with `num_threads` workers (min 1).
+    pub fn new(num_threads: usize) -> Self {
+        Self { registry: Registry::new(num_threads) }
+    }
+
+    /// Runs `op` inside this pool: every `join`/`par_iter` reached from it
+    /// schedules on this pool's workers. Blocks until `op` returns.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        registry::in_registry(&self.registry, op)
+    }
+
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.registry.n_threads
+    }
+
+    /// Jobs pushed but not yet finished on this pool (see
+    /// [`debug_outstanding_jobs`]).
+    pub fn outstanding_jobs(&self) -> usize {
+        self.registry.outstanding_jobs()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Workers drain remaining queues, then exit and release their Arcs.
+        self.registry.terminate();
+    }
 }
 
 pub mod prelude {
     //! `use rayon::prelude::*;` — parallel-iterator entry points.
-
-    /// `par_iter`/`par_iter_mut` over slices (and anything derefing to one).
-    pub trait ParallelSlice<T> {
-        /// Parallel shared iteration (sequential in this facade).
-        fn par_iter(&self) -> std::slice::Iter<'_, T>;
-        /// Parallel exclusive iteration (sequential in this facade).
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
-    }
-
-    impl<T> ParallelSlice<T> for [T] {
-        #[inline]
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.iter()
-        }
-        #[inline]
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-            self.iter_mut()
-        }
-    }
-
-    /// `into_par_iter` over owning collections and ranges.
-    pub trait IntoParallelIterator {
-        /// Element type.
-        type Item;
-        /// Underlying iterator type.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Consumes `self` into a (sequential) "parallel" iterator.
-        fn into_par_iter(self) -> Self::Iter;
-    }
-
-    impl<T> IntoParallelIterator for Vec<T> {
-        type Item = T;
-        type Iter = std::vec::IntoIter<T>;
-        #[inline]
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    impl<T> IntoParallelIterator for std::ops::Range<T>
-    where
-        std::ops::Range<T>: Iterator<Item = T>,
-    {
-        type Item = T;
-        type Iter = std::ops::Range<T>;
-        #[inline]
-        fn into_par_iter(self) -> Self::Iter {
-            self
-        }
-    }
-
-    /// Rayon-specific adaptors missing from `std::iter::Iterator`.
-    pub trait ParallelIteratorExt: Iterator + Sized {
-        /// Maps with a per-worker scratch value built by `init` (one worker
-        /// here, so `init` runs once).
-        #[inline]
-        fn map_init<I, S, F, R>(self, init: I, mut f: F) -> impl Iterator<Item = R>
-        where
-            I: Fn() -> S,
-            F: FnMut(&mut S, Self::Item) -> R,
-        {
-            let mut scratch = init();
-            self.map(move |item| f(&mut scratch, item))
-        }
-
-        /// Hint ignored by the sequential facade.
-        #[inline]
-        fn with_min_len(self, _len: usize) -> Self {
-            self
-        }
-    }
-
-    impl<I: Iterator> ParallelIteratorExt for I {}
-
-    /// Parallel in-place sorts (sequential in this facade).
-    pub trait ParallelSliceSort<T> {
-        /// Unstable sort by key.
-        fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F);
-        /// Unstable sort by comparator.
-        fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, f: F);
-        /// Unstable natural-order sort.
-        fn par_sort_unstable(&mut self)
-        where
-            T: Ord;
-    }
-
-    impl<T> ParallelSliceSort<T> for [T] {
-        #[inline]
-        fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
-            self.sort_unstable_by_key(f)
-        }
-        #[inline]
-        fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, f: F) {
-            self.sort_unstable_by(f)
-        }
-        #[inline]
-        fn par_sort_unstable(&mut self)
-        where
-            T: Ord,
-        {
-            self.sort_unstable()
-        }
-    }
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, ParallelIterator, ParallelSlice, Producer,
+    };
+    pub use crate::sort::ParallelSliceSort;
 }
+
+pub use iter::{
+    Enumerate, IntoParallelIterator, Map, MapInit, MinLen, ParallelIterator, ParallelSlice,
+    Producer, RangeParIter, SliceParIter, SliceParIterMut, VecParIter, Zip,
+};
+pub use sort::ParallelSliceSort;
 
 #[cfg(test)]
 mod tests {
@@ -206,5 +204,63 @@ mod tests {
         assert_eq!(sorted[0].1, 'a');
         let with_scratch: Vec<u64> = v.into_par_iter().map_init(|| 10u64, |s, x| *s + x).collect();
         assert_eq!(with_scratch, vec![11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn collect_preserves_input_order_at_scale() {
+        let n = 100_000usize;
+        let v: Vec<usize> = (0..n).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x * 3).collect();
+        assert!(out.iter().enumerate().all(|(i, &x)| x == i * 3));
+    }
+
+    #[test]
+    fn par_iter_mut_zip_enumerate_matches_sequential() {
+        let mut state = vec![0u64; 10_000];
+        let tasks: Vec<u64> = (0..10_000u64).rev().collect();
+        let replies: Vec<u64> = state
+            .par_iter_mut()
+            .zip(tasks.into_par_iter())
+            .enumerate()
+            .map(|(i, (s, t))| {
+                *s = t;
+                i as u64 + t
+            })
+            .collect();
+        assert!(replies.iter().all(|&r| r == 9_999));
+        assert_eq!(state[0], 9_999);
+        assert_eq!(state[9_999], 0);
+    }
+
+    #[test]
+    fn par_sort_matches_std_sort_with_duplicates() {
+        let mut a: Vec<u64> =
+            (0..50_000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) % 997).collect();
+        let mut b = a.clone();
+        a.par_sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn par_sort_by_key_is_thread_count_invariant() {
+        let data: Vec<(u64, u64)> =
+            (0..30_000u64).map(|i| (i.wrapping_mul(0x2545F4914F6CDD1D) % 251, i)).collect();
+        let sort = || {
+            let mut v = data.clone();
+            v.par_sort_unstable_by_key(|&(k, x)| (k, x));
+            v
+        };
+        let one = super::ThreadPool::new(1).install(sort);
+        let four = super::ThreadPool::new(4).install(sort);
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn install_runs_on_the_pool() {
+        let pool = super::ThreadPool::new(3);
+        let inside = pool.install(super::current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(pool.outstanding_jobs(), 0);
     }
 }

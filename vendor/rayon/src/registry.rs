@@ -1,0 +1,431 @@
+//! The work-stealing executor behind the facade.
+//!
+//! A [`Registry`] owns `n` worker threads, one LIFO deque per worker plus a
+//! FIFO injector for jobs arriving from outside the pool. Parallelism is
+//! expressed entirely through [`join`]: the caller pushes the second closure
+//! onto its own deque, runs the first inline, then either pops the second
+//! back (nobody stole it) or *steals other work* while waiting for the thief
+//! to finish — a worker waiting on a latch never blocks the pool, which is
+//! what makes arbitrarily nested `join`s deadlock-free even with one thread.
+//!
+//! Jobs are type-erased pointers to [`StackJob`]s living on the stack of the
+//! `join`/[`in_registry`] caller; the caller never returns before the job's
+//! latch is set, so the erased pointer cannot dangle. Panics inside either
+//! closure are caught, carried through the latch, and re-thrown at the join
+//! point; an RAII [`BudgetGuard`] returns the job budget even on unwind (the
+//! pre-pool facade leaked its thread budget on exactly that path).
+
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Worker stack size: tree builds recurse on worker stacks.
+const WORKER_STACK_BYTES: usize = 8 << 20;
+/// Spin iterations before a waiter yields (join) or sleeps (worker loop).
+const SPIN_TRIES: usize = 32;
+/// Condvar poll period — an upper bound on wakeup latency if a notification
+/// races with a worker going to sleep.
+const SLEEP_POLL: Duration = Duration::from_millis(2);
+
+// ---------------------------------------------------------------------
+// Type-erased jobs
+// ---------------------------------------------------------------------
+
+/// An erased pointer to a [`StackJob`] somewhere below us on a stack.
+pub(crate) struct JobRef {
+    ptr: *const (),
+    exec: unsafe fn(*const (), &Registry),
+}
+
+// Safety: a JobRef is only created from a StackJob whose closure is `Send`,
+// and the job executes on exactly one thread.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Identity of the underlying job (used by `join` to recognise its own
+    /// unstolen child at the top of the deque).
+    pub(crate) fn tag(&self) -> *const () {
+        self.ptr
+    }
+
+    /// Runs the job. Safety: the referenced `StackJob` must still be alive
+    /// and not yet executed.
+    unsafe fn execute(self, registry: &Registry) {
+        unsafe { (self.exec)(self.ptr, registry) }
+    }
+}
+
+/// A closure + result slot + completion latch, allocated on the caller's
+/// stack and kept alive until the latch is set.
+pub(crate) struct StackJob<F, R> {
+    f: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+    pub(crate) latch: Latch,
+}
+
+// Safety: the closure moves to the executing thread (F: Send) and the result
+// moves back (R: Send); the latch orders the two accesses.
+unsafe impl<F: Send, R: Send> Sync for StackJob<F, R> {}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(f: F) -> Self {
+        Self { f: UnsafeCell::new(Some(f)), result: UnsafeCell::new(None), latch: Latch::new() }
+    }
+
+    /// Erases this job. Safety: the caller must keep `self` alive until the
+    /// latch is set (i.e. must wait on the latch before returning).
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef { ptr: self as *const Self as *const (), exec: execute_stack_job::<F, R> }
+    }
+
+    /// Takes the result after the latch is set, re-throwing a captured panic.
+    pub(crate) fn unwrap_result(&self) -> R {
+        debug_assert!(self.latch.probe());
+        // Safety: latch set ⇒ the executing thread is done with the slot and
+        // we are the only reader.
+        let res = unsafe { (*self.result.get()).take() };
+        match res.expect("job finished without storing a result") {
+            Ok(r) => r,
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+}
+
+unsafe fn execute_stack_job<F, R>(ptr: *const (), registry: &Registry)
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    let job = unsafe { &*(ptr as *const StackJob<F, R>) };
+    {
+        // The guard returns the budget even if the closure unwinds, and is
+        // dropped *before* the latch fires — a waiter observing completion
+        // must never see the budget still held.
+        let _budget = BudgetGuard(registry);
+        let f = unsafe { (*job.f.get()).take() }.expect("job executed twice");
+        let result = panic::catch_unwind(AssertUnwindSafe(f));
+        unsafe { *job.result.get() = Some(result) };
+    }
+    job.latch.set();
+}
+
+// ---------------------------------------------------------------------
+// Latches and sleep
+// ---------------------------------------------------------------------
+
+/// A one-shot completion flag: lock-free probing for steal-loops, plus a
+/// mutex/condvar pair so external threads can block on it.
+pub(crate) struct Latch {
+    done: AtomicBool,
+    lock: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new() -> Self {
+        Self { done: AtomicBool::new(false), lock: Mutex::new(false), cv: Condvar::new() }
+    }
+
+    pub(crate) fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    fn set(&self) {
+        self.done.store(true, Ordering::Release);
+        let mut flag = self.lock.lock().unwrap();
+        *flag = true;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until set (external threads only — workers steal instead).
+    pub(crate) fn wait(&self) {
+        let mut flag = self.lock.lock().unwrap();
+        while !*flag {
+            flag = self.cv.wait(flag).unwrap();
+        }
+    }
+}
+
+/// Wakeup channel for idle workers. The generation counter closes the
+/// notify/sleep race exactly; the poll timeout is belt-and-braces.
+struct Sleep {
+    generation: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Sleep {
+    fn new() -> Self {
+        Self { generation: Mutex::new(0), cv: Condvar::new() }
+    }
+
+    fn notify(&self) {
+        *self.generation.lock().unwrap() += 1;
+        self.cv.notify_all();
+    }
+
+    fn current(&self) -> u64 {
+        *self.generation.lock().unwrap()
+    }
+
+    fn sleep(&self, seen: u64) {
+        let gen = self.generation.lock().unwrap();
+        let _ = self.cv.wait_timeout_while(gen, SLEEP_POLL, |g| *g == seen).unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------
+// The registry
+// ---------------------------------------------------------------------
+
+/// A pool of `n` workers with their deques. Created once per
+/// [`crate::ThreadPool`] (or lazily for the global pool) and kept alive by
+/// the worker threads' `Arc`s.
+pub(crate) struct Registry {
+    queues: Vec<Mutex<VecDeque<JobRef>>>,
+    injector: Mutex<VecDeque<JobRef>>,
+    sleep: Sleep,
+    shutdown: AtomicBool,
+    /// Pushed-but-unfinished jobs — the "budget" regression tests assert this
+    /// returns to zero even when jobs panic.
+    outstanding: AtomicUsize,
+    pub(crate) n_threads: usize,
+}
+
+thread_local! {
+    /// `(worker index, owning registry)` for pool threads, `None` elsewhere.
+    static WORKER: Cell<Option<(usize, *const Registry)>> = const { Cell::new(None) };
+}
+
+pub(crate) fn current_worker() -> Option<(usize, *const Registry)> {
+    WORKER.with(|w| w.get())
+}
+
+impl Registry {
+    pub(crate) fn new(n_threads: usize) -> Arc<Registry> {
+        let n = n_threads.max(1);
+        let registry = Arc::new(Registry {
+            queues: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            sleep: Sleep::new(),
+            shutdown: AtomicBool::new(false),
+            outstanding: AtomicUsize::new(0),
+            n_threads: n,
+        });
+        for index in 0..n {
+            let reg = Arc::clone(&registry);
+            std::thread::Builder::new()
+                .name(format!("pim-rayon-{index}"))
+                .stack_size(WORKER_STACK_BYTES)
+                .spawn(move || worker_loop(reg, index))
+                .expect("failed to spawn pool worker");
+        }
+        registry
+    }
+
+    pub(crate) fn outstanding_jobs(&self) -> usize {
+        self.outstanding.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn terminate(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.sleep.notify();
+    }
+
+    fn push_local(&self, me: usize, job: JobRef) {
+        self.outstanding.fetch_add(1, Ordering::Relaxed);
+        self.queues[me].lock().unwrap().push_back(job);
+        self.sleep.notify();
+    }
+
+    pub(crate) fn inject(&self, job: JobRef) {
+        self.outstanding.fetch_add(1, Ordering::Relaxed);
+        self.injector.lock().unwrap().push_back(job);
+        self.sleep.notify();
+    }
+
+    /// Pops the caller's own newest job if it is still `tag` (LIFO), i.e.
+    /// nobody stole it.
+    fn take_local_if(&self, me: usize, tag: *const ()) -> Option<JobRef> {
+        let mut q = self.queues[me].lock().unwrap();
+        if q.back().is_some_and(|j| j.tag() == tag) {
+            q.pop_back()
+        } else {
+            None
+        }
+    }
+
+    /// Own deque (newest first), then the injector, then steals oldest-first
+    /// from the other workers.
+    fn take_work(&self, me: usize) -> Option<JobRef> {
+        if let Some(j) = self.queues[me].lock().unwrap().pop_back() {
+            return Some(j);
+        }
+        if let Some(j) = self.injector.lock().unwrap().pop_front() {
+            return Some(j);
+        }
+        for offset in 1..self.n_threads {
+            let victim = (me + offset) % self.n_threads;
+            if let Some(j) = self.queues[victim].lock().unwrap().pop_front() {
+                return Some(j);
+            }
+        }
+        None
+    }
+
+    /// Runs one job; the job's own RAII guard (see [`execute_stack_job`])
+    /// returns the budget even if it unwinds.
+    fn execute_job(&self, job: JobRef) {
+        // Safety: jobs in the queues are alive (their owners wait on the
+        // latch) and not yet executed (queues hand each ref out once).
+        unsafe { job.execute(self) }
+    }
+}
+
+/// RAII budget return — drops even when the job panics.
+struct BudgetGuard<'a>(&'a Registry);
+
+impl Drop for BudgetGuard<'_> {
+    fn drop(&mut self) {
+        self.0.outstanding.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn worker_loop(registry: Arc<Registry>, me: usize) {
+    WORKER.with(|w| w.set(Some((me, Arc::as_ptr(&registry)))));
+    let mut idle_spins = 0usize;
+    while !registry.shutdown.load(Ordering::Relaxed) {
+        if let Some(job) = registry.take_work(me) {
+            registry.execute_job(job);
+            idle_spins = 0;
+        } else if idle_spins < SPIN_TRIES {
+            std::hint::spin_loop();
+            idle_spins += 1;
+        } else {
+            let seen = registry.sleep.current();
+            // Re-check under the freshly read generation so a push between
+            // our last `take_work` and `sleep` cannot be missed.
+            if let Some(job) = registry.take_work(me) {
+                registry.execute_job(job);
+                idle_spins = 0;
+            } else {
+                registry.sleep.sleep(seen);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------
+
+static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+
+/// Thread count for the lazily built global pool: `RAYON_NUM_THREADS` if set
+/// and positive, else the machine's available parallelism.
+fn default_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+pub(crate) fn global_registry() -> &'static Arc<Registry> {
+    GLOBAL.get_or_init(|| Registry::new(default_num_threads()))
+}
+
+/// Installs `size` as the global pool's thread count. Fails if the global
+/// pool already exists.
+pub(crate) fn init_global(size: usize) -> Result<(), ()> {
+    let mut fresh = false;
+    GLOBAL.get_or_init(|| {
+        fresh = true;
+        Registry::new(size)
+    });
+    if fresh {
+        Ok(())
+    } else {
+        Err(())
+    }
+}
+
+/// Runs `f` inside `registry`: directly if the current thread already is one
+/// of its workers, otherwise injected as a job while this thread blocks.
+pub(crate) fn in_registry<R, F>(registry: &Arc<Registry>, f: F) -> R
+where
+    R: Send,
+    F: FnOnce() -> R + Send,
+{
+    if let Some((_, current)) = current_worker() {
+        if std::ptr::eq(current, Arc::as_ptr(registry)) {
+            return f();
+        }
+    }
+    let job = StackJob::new(f);
+    // Safety: we wait on the latch below, keeping `job` alive throughout.
+    let job_ref = unsafe { job.as_job_ref() };
+    registry.inject(job_ref);
+    job.latch.wait();
+    job.unwrap_result()
+}
+
+/// `join` on a thread that is a worker of `registry`.
+pub(crate) fn join_in_worker<A, B, RA, RB>(
+    registry: &Registry,
+    me: usize,
+    oper_a: A,
+    oper_b: B,
+) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let job_b = StackJob::new(oper_b);
+    // Safety: we do not return before `job_b`'s latch is set (either we run
+    // it inline or we wait for the thief), so the erased ref stays valid.
+    let ref_b = unsafe { job_b.as_job_ref() };
+    let tag_b = ref_b.tag();
+    registry.push_local(me, ref_b);
+
+    // Run `a` inline, holding any panic until `b` is resolved — unwinding
+    // earlier would free the stack slot a thief may still be writing to.
+    let result_a = panic::catch_unwind(AssertUnwindSafe(oper_a));
+
+    if let Some(job) = registry.take_local_if(me, tag_b) {
+        // Nobody stole `b`: run it inline.
+        registry.execute_job(job);
+    } else {
+        // Stolen: make ourselves useful until the thief finishes.
+        let mut spins = 0usize;
+        while !job_b.latch.probe() {
+            if let Some(other) = registry.take_work(me) {
+                registry.execute_job(other);
+                spins = 0;
+            } else if spins < SPIN_TRIES {
+                std::hint::spin_loop();
+                spins += 1;
+            } else {
+                std::thread::yield_now();
+                spins = 0;
+            }
+        }
+    }
+
+    match result_a {
+        Ok(ra) => (ra, job_b.unwrap_result()),
+        Err(payload) => {
+            // `b` is resolved (latch set) — drop its result, propagate `a`.
+            let _ = panic::catch_unwind(AssertUnwindSafe(|| job_b.unwrap_result()));
+            panic::resume_unwind(payload)
+        }
+    }
+}

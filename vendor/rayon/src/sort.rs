@@ -1,0 +1,153 @@
+//! Parallel unstable sorts with a thread-count-invariant result.
+//!
+//! Algorithm: recursive halving down to a fixed cutoff (`sort_unstable_by`
+//! per leaf), then parallel two-way merges that split on a pivot with binary
+//! search. Every boundary — leaf cutoffs, merge pivots, tie placement —
+//! depends only on the *data*, never on the pool size, so the output is a
+//! deterministic function of the input at any thread count. Ties always take
+//! the left run first, which makes the merge phase stable even though leaf
+//! sorts are not.
+//!
+//! The merge moves elements bitwise through a `MaybeUninit` buffer. No user
+//! code runs while elements are logically duplicated between slice and
+//! buffer (comparator calls happen before each move, copies back are plain
+//! `memcpy`), so a panicking comparator unwinds with the source slice still
+//! fully initialized — buffered copies leak, nothing double-drops.
+
+use crate::join;
+use std::cmp::Ordering;
+use std::mem::MaybeUninit;
+
+/// Below this many elements a leaf sorts sequentially.
+const SEQ_SORT_CUTOFF: usize = 4096;
+/// Below this many elements a merge runs sequentially.
+const SEQ_MERGE_CUTOFF: usize = 4096;
+
+/// Parallel in-place unstable sorts over slices.
+pub trait ParallelSliceSort<T> {
+    /// Unstable parallel sort by key.
+    fn par_sort_unstable_by_key<K: Ord, F: Fn(&T) -> K + Sync>(&mut self, f: F);
+    /// Unstable parallel sort by comparator.
+    fn par_sort_unstable_by<F: Fn(&T, &T) -> Ordering + Sync>(&mut self, f: F);
+    /// Unstable parallel natural-order sort.
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+}
+
+impl<T: Send + Sync> ParallelSliceSort<T> for [T] {
+    fn par_sort_unstable_by_key<K: Ord, F: Fn(&T) -> K + Sync>(&mut self, f: F) {
+        par_sort_by(self, &|a, b| f(a).cmp(&f(b)));
+    }
+    fn par_sort_unstable_by<F: Fn(&T, &T) -> Ordering + Sync>(&mut self, f: F) {
+        par_sort_by(self, &f);
+    }
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        par_sort_by(self, &T::cmp);
+    }
+}
+
+fn par_sort_by<T: Send + Sync, C: Fn(&T, &T) -> Ordering + Sync>(v: &mut [T], cmp: &C) {
+    if v.len() <= SEQ_SORT_CUTOFF {
+        v.sort_unstable_by(|a, b| cmp(a, b));
+        return;
+    }
+    let len = v.len();
+    let mut buf: Vec<MaybeUninit<T>> = Vec::with_capacity(len);
+    buf.resize_with(len, MaybeUninit::uninit);
+    sort_rec(v, &mut buf, cmp);
+    // `buf` holds bitwise copies already moved back into `v`; dropping the
+    // Vec frees the allocation without dropping elements.
+}
+
+fn sort_rec<T: Send + Sync, C: Fn(&T, &T) -> Ordering + Sync>(
+    v: &mut [T],
+    buf: &mut [MaybeUninit<T>],
+    cmp: &C,
+) {
+    if v.len() <= SEQ_SORT_CUTOFF {
+        v.sort_unstable_by(|a, b| cmp(a, b));
+        return;
+    }
+    let mid = v.len() / 2;
+    {
+        let (vl, vr) = v.split_at_mut(mid);
+        let (bl, br) = buf.split_at_mut(mid);
+        join(|| sort_rec(vl, bl, cmp), || sort_rec(vr, br, cmp));
+    }
+    {
+        let (a, b) = v.split_at(mid);
+        par_merge(a, b, buf, cmp);
+    }
+    // Safety: the merge wrote all `v.len()` slots of `buf`; this moves them
+    // back over the originals in one memcpy (no user code in between).
+    unsafe {
+        std::ptr::copy_nonoverlapping(buf.as_ptr() as *const T, v.as_mut_ptr(), v.len());
+    }
+}
+
+/// Merges sorted runs `a` and `b` into `out`, ties taking `a` first. Large
+/// merges split around a pivot so both halves proceed in parallel.
+fn par_merge<T: Send + Sync, C: Fn(&T, &T) -> Ordering + Sync>(
+    a: &[T],
+    b: &[T],
+    out: &mut [MaybeUninit<T>],
+    cmp: &C,
+) {
+    debug_assert_eq!(a.len() + b.len(), out.len());
+    if out.len() <= SEQ_MERGE_CUTOFF {
+        seq_merge(a, b, out, cmp);
+        return;
+    }
+    let (am, bm) = if a.len() >= b.len() {
+        // Pivot a[am] goes right; strictly-smaller b elements go left, so
+        // b's equals stay right of every equal a element.
+        let am = a.len() / 2;
+        let bm = b.partition_point(|x| cmp(x, &a[am]) == Ordering::Less);
+        (am, bm)
+    } else {
+        // Pivot b[bm] goes right; a elements ≤ pivot go left — same
+        // "a wins ties" rule as the sequential merge.
+        let bm = b.len() / 2;
+        let am = a.partition_point(|x| cmp(x, &b[bm]) != Ordering::Greater);
+        (am, bm)
+    };
+    let (al, ar) = a.split_at(am);
+    let (bl, br) = b.split_at(bm);
+    let (ol, or_) = out.split_at_mut(am + bm);
+    join(|| par_merge(al, bl, ol, cmp), || par_merge(ar, br, or_, cmp));
+}
+
+fn seq_merge<T, C: Fn(&T, &T) -> Ordering + Sync>(
+    a: &[T],
+    b: &[T],
+    out: &mut [MaybeUninit<T>],
+    cmp: &C,
+) {
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        let take_a = if i == a.len() {
+            false
+        } else if j == b.len() {
+            true
+        } else {
+            cmp(&a[i], &b[j]) != Ordering::Greater
+        };
+        let src = if take_a {
+            let s = &a[i];
+            i += 1;
+            s
+        } else {
+            let s = &b[j];
+            j += 1;
+            s
+        };
+        // Safety: a bitwise move into the buffer; the original slot is
+        // overwritten by the copy-back in `sort_rec` before anything could
+        // drop it twice.
+        slot.write(unsafe { std::ptr::read(src) });
+    }
+}
