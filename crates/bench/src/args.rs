@@ -66,7 +66,22 @@ impl BenchArgs {
                     }
                 }
                 "--trace" => out.trace = args.next(),
-                "--threads" => out.threads = args.next().and_then(|s| s.parse().ok()),
+                // Silently falling back to the default pool size would let a
+                // run the user believes is pinned use every core, so a bad or
+                // missing value is fatal rather than ignored.
+                "--threads" => match args.next() {
+                    Some(v) => match v.parse() {
+                        Ok(n) => out.threads = Some(n),
+                        Err(_) => {
+                            eprintln!("error: --threads expects a thread count, got {v:?}");
+                            std::process::exit(2);
+                        }
+                    },
+                    None => {
+                        eprintln!("error: --threads requires a value");
+                        std::process::exit(2);
+                    }
+                },
                 other if !other.starts_with("--") => out.positional = Some(other.to_string()),
                 _ => {}
             }

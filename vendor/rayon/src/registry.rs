@@ -113,43 +113,41 @@ where
         let result = panic::catch_unwind(AssertUnwindSafe(f));
         unsafe { *job.result.get() = Some(result) };
     }
+    // Last touch of the job: after this store the owner may free it. Blocked
+    // external waiters are woken through registry-owned memory only.
     job.latch.set();
+    registry.notify_job_done();
 }
 
 // ---------------------------------------------------------------------
 // Latches and sleep
 // ---------------------------------------------------------------------
 
-/// A one-shot completion flag: lock-free probing for steal-loops, plus a
-/// mutex/condvar pair so external threads can block on it.
+/// A one-shot completion flag, probed lock-free by steal-loops.
+///
+/// Deliberately *just* an atomic: the latch lives inside a [`StackJob`] on
+/// the waiter's stack, and the instant a waiter observes `done` it may take
+/// the result and pop that frame. The `set` store therefore has to be the
+/// executing thread's final access to the job's memory — any wakeup
+/// machinery (mutex, condvar) must live in memory that outlives the job,
+/// i.e. the [`Registry`] (see [`Registry::wait_for_latch`]).
 pub(crate) struct Latch {
     done: AtomicBool,
-    lock: Mutex<bool>,
-    cv: Condvar,
 }
 
 impl Latch {
     fn new() -> Self {
-        Self { done: AtomicBool::new(false), lock: Mutex::new(false), cv: Condvar::new() }
+        Self { done: AtomicBool::new(false) }
     }
 
     pub(crate) fn probe(&self) -> bool {
         self.done.load(Ordering::Acquire)
     }
 
+    /// SeqCst pairs with the `external_waiters` handshake in
+    /// [`Registry::wait_for_latch`]/[`Registry::notify_job_done`].
     fn set(&self) {
-        self.done.store(true, Ordering::Release);
-        let mut flag = self.lock.lock().unwrap();
-        *flag = true;
-        self.cv.notify_all();
-    }
-
-    /// Blocks until set (external threads only — workers steal instead).
-    pub(crate) fn wait(&self) {
-        let mut flag = self.lock.lock().unwrap();
-        while !*flag {
-            flag = self.cv.wait(flag).unwrap();
-        }
+        self.done.store(true, Ordering::SeqCst);
     }
 }
 
@@ -191,6 +189,13 @@ pub(crate) struct Registry {
     queues: Vec<Mutex<VecDeque<JobRef>>>,
     injector: Mutex<VecDeque<JobRef>>,
     sleep: Sleep,
+    /// Wakeups for external (non-worker) threads blocked in
+    /// [`Registry::wait_for_latch`]. Registry-owned so job completion never
+    /// has to touch a latch's memory after its `done` store.
+    job_done: Sleep,
+    /// External threads currently blocked in [`Registry::wait_for_latch`] —
+    /// lets [`Registry::notify_job_done`] skip the mutex when nobody waits.
+    external_waiters: AtomicUsize,
     shutdown: AtomicBool,
     /// Pushed-but-unfinished jobs — the "budget" regression tests assert this
     /// returns to zero even when jobs panic.
@@ -214,6 +219,8 @@ impl Registry {
             queues: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
             injector: Mutex::new(VecDeque::new()),
             sleep: Sleep::new(),
+            job_done: Sleep::new(),
+            external_waiters: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             outstanding: AtomicUsize::new(0),
             n_threads: n,
@@ -279,6 +286,34 @@ impl Registry {
         None
     }
 
+    /// Wakes external threads blocked in [`wait_for_latch`]. Called by
+    /// [`execute_stack_job`] *after* the latch's `done` store — only registry
+    /// memory is touched once a job is marked complete.
+    ///
+    /// [`wait_for_latch`]: Registry::wait_for_latch
+    fn notify_job_done(&self) {
+        if self.external_waiters.load(Ordering::SeqCst) > 0 {
+            self.job_done.notify();
+        }
+    }
+
+    /// Blocks the calling (non-worker) thread until `latch` is set.
+    ///
+    /// The SeqCst waiter-count/`done` handshake guarantees the setter either
+    /// sees our registration (and notifies) or we see `done` on the re-probe;
+    /// [`Sleep`]'s poll timeout backstops the remaining notify/sleep window.
+    pub(crate) fn wait_for_latch(&self, latch: &Latch) {
+        self.external_waiters.fetch_add(1, Ordering::SeqCst);
+        while !latch.probe() {
+            let seen = self.job_done.current();
+            if latch.probe() {
+                break;
+            }
+            self.job_done.sleep(seen);
+        }
+        self.external_waiters.fetch_sub(1, Ordering::SeqCst);
+    }
+
     /// Runs one job; the job's own RAII guard (see [`execute_stack_job`])
     /// returns the budget even if it unwinds.
     fn execute_job(&self, job: JobRef) {
@@ -300,10 +335,15 @@ impl Drop for BudgetGuard<'_> {
 fn worker_loop(registry: Arc<Registry>, me: usize) {
     WORKER.with(|w| w.set(Some((me, Arc::as_ptr(&registry)))));
     let mut idle_spins = 0usize;
-    while !registry.shutdown.load(Ordering::Relaxed) {
+    // Shutdown is only honoured once `take_work` comes up empty, so jobs
+    // already queued at terminate time still run and their waiters wake —
+    // the drain guarantee `ThreadPool::drop` documents.
+    loop {
         if let Some(job) = registry.take_work(me) {
             registry.execute_job(job);
             idle_spins = 0;
+        } else if registry.shutdown.load(Ordering::Relaxed) {
+            break;
         } else if idle_spins < SPIN_TRIES {
             std::hint::spin_loop();
             idle_spins += 1;
@@ -372,7 +412,7 @@ where
     // Safety: we wait on the latch below, keeping `job` alive throughout.
     let job_ref = unsafe { job.as_job_ref() };
     registry.inject(job_ref);
-    job.latch.wait();
+    registry.wait_for_latch(&job.latch);
     job.unwrap_result()
 }
 
