@@ -20,6 +20,12 @@ pub struct BenchArgs {
     /// `RAYON_NUM_THREADS`, then to the machine's available parallelism.
     /// Results are identical at any setting — only wall-clock changes.
     pub threads: Option<usize>,
+    /// Seed of the fault-injection plan (defaults to `seed`; only
+    /// meaningful with a nonzero `--fault-rate`).
+    pub fault_seed: Option<u64>,
+    /// Uniform fault rate (see `pim_sim::FaultConfig::uniform`); 0 keeps
+    /// the fault plane entirely off the hot path.
+    pub fault_rate: f64,
 }
 
 impl Default for BenchArgs {
@@ -32,21 +38,23 @@ impl Default for BenchArgs {
             seed: 2026,
             trace: None,
             threads: None,
+            fault_seed: None,
+            fault_rate: 0.0,
         }
     }
 }
 
 impl BenchArgs {
     /// Parses `--points N --batch N --modules N --seed N --trace PATH
-    /// --threads N [positional]`, then pins the global thread pool to
-    /// `--threads` when given.
+    /// --threads N --fault-seed N --fault-rate R [positional]`, then pins
+    /// the global thread pool to `--threads` when given.
     pub fn parse() -> Self {
         let out = Self::parse_without_pool_init();
         out.init_thread_pool();
         out
     }
 
-    /// [`parse`] minus the global-pool side effect, for tests.
+    /// [`parse`](Self::parse) minus the global-pool side effect, for tests.
     pub fn parse_without_pool_init() -> Self {
         let mut out = Self::default();
         let mut args = std::env::args().skip(1);
@@ -66,6 +74,25 @@ impl BenchArgs {
                     }
                 }
                 "--trace" => out.trace = args.next(),
+                "--fault-seed" => {
+                    if let Some(v) = args.next().and_then(|s| s.parse().ok()) {
+                        out.fault_seed = Some(v);
+                    }
+                }
+                // Like --threads, a malformed rate is fatal: a silently
+                // dropped fault rate would report a fault-free run as a
+                // robustness result.
+                "--fault-rate" => match args.next().map(|v| (v.parse::<f64>(), v)) {
+                    Some((Ok(r), _)) if (0.0..=1.0).contains(&r) => out.fault_rate = r,
+                    Some((_, v)) => {
+                        eprintln!("error: --fault-rate expects a rate in [0, 1], got {v:?}");
+                        std::process::exit(2);
+                    }
+                    None => {
+                        eprintln!("error: --fault-rate requires a value");
+                        std::process::exit(2);
+                    }
+                },
                 // Silently falling back to the default pool size would let a
                 // run the user believes is pinned use every core, so a bad or
                 // missing value is fatal rather than ignored.
@@ -87,6 +114,17 @@ impl BenchArgs {
             }
         }
         out
+    }
+
+    /// The fault-injection plan these args describe: `None` at rate 0
+    /// (fault plane fully off the hot path), otherwise a uniform plan
+    /// seeded by `--fault-seed` (defaulting to `--seed`).
+    pub fn fault_plan(&self) -> Option<pim_sim::FaultPlan> {
+        if self.fault_rate == 0.0 {
+            return None;
+        }
+        let seed = self.fault_seed.unwrap_or(self.seed);
+        Some(pim_sim::FaultPlan::new(pim_sim::FaultConfig::uniform(self.fault_rate, seed)))
     }
 
     /// Sizes the global executor from `--threads`. Must run before the first

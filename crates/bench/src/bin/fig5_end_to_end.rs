@@ -44,6 +44,7 @@ fn run_dataset(ds: Dataset, args: &BenchArgs) {
     let cfg = PimZdConfig::throughput_optimized(args.points as u64, args.modules);
     let mut pim =
         PimRunner::new(&warm, cfg, MachineConfig::with_modules(args.modules), "PIM-zd-tree");
+    pim.attach_fault_plan_if_requested(args);
     let mut pkd = CpuRunner::pkd(&warm);
     let mut zd = CpuRunner::zd(&warm);
 

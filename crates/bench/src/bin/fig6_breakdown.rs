@@ -23,6 +23,7 @@ fn main() {
     let mut pim =
         PimRunner::new(&warm, cfg, MachineConfig::with_modules(args.modules), "PIM-zd-tree");
     pim.attach_trace_if_requested(&args);
+    pim.attach_fault_plan_if_requested(&args);
 
     let ops = [
         OpKind::Insert,

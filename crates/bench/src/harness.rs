@@ -172,6 +172,22 @@ impl PimRunner {
         }
     }
 
+    /// Attaches the fault-injection plan described by `--fault-rate` /
+    /// `--fault-seed` (a no-op at the default rate 0). Runs *after* the
+    /// build so construction is always fault-free; measured operations then
+    /// retry, salvage, and re-home as needed — results are unchanged, only
+    /// time and traffic grow.
+    pub fn attach_fault_plan_if_requested(&mut self, args: &crate::BenchArgs) {
+        if let Some(plan) = args.fault_plan() {
+            eprintln!(
+                "fault plane: rate {} seed {}",
+                args.fault_rate,
+                args.fault_seed.unwrap_or(args.seed)
+            );
+            self.index.set_fault_plan(Some(plan));
+        }
+    }
+
     /// Writes the journal (if attached) to its path. Prints a one-line
     /// confirmation so figure binaries stay self-describing.
     pub fn flush_trace(&self) {

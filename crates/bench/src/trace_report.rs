@@ -12,11 +12,20 @@
 
 use pim_sim::RoundRecord;
 
+/// Indices into [`TraceRow::fault_counts`], in `FaultKind` order.
+const FAULT_KINDS: [&str; 6] =
+    ["ExecFault", "ReplyDrop", "ReplyCorrupt", "Straggler", "Death", "Salvage"];
+
 /// The per-round fields the summary consumes (a journal line, parsed).
 #[derive(Clone, Debug, Default)]
 pub struct TraceRow {
     /// Phase label ("" when the round ran outside any labelled phase).
     pub phase: String,
+    /// True for `Salvage`-kind rounds (recovery DMA reads of dead modules).
+    pub is_salvage: bool,
+    /// Injected fault / recovery events this round, counted by kind:
+    /// `[exec, drop, corrupt, straggler, death, salvage]`.
+    pub fault_counts: [u64; 6],
     /// Per-round PIM seconds (max-over-modules core time).
     pub pim_s: f64,
     /// Channel transfer seconds.
@@ -39,8 +48,17 @@ pub struct TraceRow {
 
 impl From<&RoundRecord> for TraceRow {
     fn from(r: &RoundRecord) -> Self {
+        let mut fault_counts = [0u64; 6];
+        for f in &r.faults {
+            let name = format!("{:?}", f.kind);
+            if let Some(i) = FAULT_KINDS.iter().position(|k| *k == name) {
+                fault_counts[i] += 1;
+            }
+        }
         TraceRow {
             phase: r.phase.clone(),
+            is_salvage: matches!(r.kind, pim_sim::RoundKind::Salvage),
+            fault_counts,
             pim_s: r.breakdown.pim_s,
             comm_s: r.breakdown.comm_s,
             overhead_s: r.breakdown.overhead_s,
@@ -65,8 +83,19 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<TraceRow>, String> {
         let v = serde_json::from_str(line).map_err(|e| format!("line {}: {e:?}", i + 1))?;
         let f = |key: &str| v.get("breakdown").and_then(|b| b.get(key)).and_then(|x| x.as_f64());
         let u = |key: &str| v.get(key).and_then(|x| x.as_u64());
+        let mut fault_counts = [0u64; 6];
+        if let Some(faults) = v.get("faults").and_then(|x| x.as_array()) {
+            for ev in faults {
+                let kind = ev.get("kind").and_then(|k| k.as_str()).unwrap_or("");
+                if let Some(i) = FAULT_KINDS.iter().position(|k| *k == kind) {
+                    fault_counts[i] += 1;
+                }
+            }
+        }
         rows.push(TraceRow {
             phase: v.get("phase").and_then(|p| p.as_str()).unwrap_or("").to_string(),
+            is_salvage: v.get("kind").and_then(|k| k.as_str()) == Some("Salvage"),
+            fault_counts,
             pim_s: f("pim_s").ok_or_else(|| format!("line {}: missing breakdown.pim_s", i + 1))?,
             comm_s: f("comm_s").unwrap_or(0.0),
             overhead_s: f("overhead_s").unwrap_or(0.0),
@@ -107,6 +136,14 @@ pub struct PhaseSummary {
     /// Cycle-weighted imbalance: Σ max-cycles over Σ mean-cycles, so tiny
     /// management rounds barely move it (mirrors `SimStats::agg_imbalance`).
     pub agg_imbalance: f64,
+    /// Injected fault / recovery events, by kind (see [`TraceRow::fault_counts`]).
+    pub fault_counts: [u64; 6],
+    /// Rounds with at least one fault event attached.
+    pub faulted_rounds: u64,
+    /// `Salvage`-kind rounds (one per dead-module memory rescue).
+    pub salvage_rounds: u64,
+    /// Bytes DMA'd out of dead modules by the phase's salvage rounds.
+    pub salvage_bytes: u64,
 }
 
 impl PhaseSummary {
@@ -149,6 +186,16 @@ pub fn summarize(rows: &[TraceRow]) -> Vec<PhaseSummary> {
         s.replies += row.replies;
         if row.mean_cycles > 0.0 {
             s.worst_imbalance = s.worst_imbalance.max(row.max_cycles as f64 / row.mean_cycles);
+        }
+        for (k, n) in row.fault_counts.iter().enumerate() {
+            s.fault_counts[k] += n;
+        }
+        if row.fault_counts.iter().any(|&n| n > 0) {
+            s.faulted_rounds += 1;
+        }
+        if row.is_salvage {
+            s.salvage_rounds += 1;
+            s.salvage_bytes += row.pim_to_cpu_bytes;
         }
         sums_max[idx] += row.max_cycles;
         sums_mean[idx] += row.mean_cycles;
@@ -234,6 +281,68 @@ pub fn render(summaries: &[PhaseSummary]) -> String {
         )
         .unwrap();
     }
+
+    // Recovery table — only when the run actually saw faults, so fault-free
+    // journals render byte-identically to the pre-fault-plane output.
+    let any_faults =
+        summaries.iter().any(|s| s.fault_counts.iter().any(|&n| n > 0) || s.salvage_rounds > 0);
+    if any_faults {
+        writeln!(out, "\n== Fault injection & recovery (detection → retry → degrade) ==\n")
+            .unwrap();
+        writeln!(
+            out,
+            "{:<22} {:>8} {:>6} {:>6} {:>8} {:>6} {:>6} {:>6} {:>12}",
+            "phase", "flt rnds", "exec", "drop", "corrupt", "strag", "death", "salv", "salvage KiB"
+        )
+        .unwrap();
+        writeln!(out, "{}", "-".repeat(88)).unwrap();
+        let mut tot = [0u64; 6];
+        let (mut tot_rounds, mut tot_salv_rounds, mut tot_salv_bytes) = (0u64, 0u64, 0u64);
+        for s in summaries {
+            let c = &s.fault_counts;
+            if c.iter().all(|&n| n == 0) && s.salvage_rounds == 0 {
+                continue;
+            }
+            writeln!(
+                out,
+                "{:<22} {:>8} {:>6} {:>6} {:>8} {:>6} {:>6} {:>6} {:>12.1}",
+                s.phase,
+                s.faulted_rounds,
+                c[0],
+                c[1],
+                c[2],
+                c[3],
+                c[4],
+                s.salvage_rounds,
+                s.salvage_bytes as f64 / 1024.0,
+            )
+            .unwrap();
+            for (k, n) in c.iter().enumerate() {
+                tot[k] += n;
+            }
+            tot_rounds += s.faulted_rounds;
+            tot_salv_rounds += s.salvage_rounds;
+            tot_salv_bytes += s.salvage_bytes;
+        }
+        writeln!(out, "{}", "-".repeat(88)).unwrap();
+        writeln!(
+            out,
+            "{:<22} {:>8} {:>6} {:>6} {:>8} {:>6} {:>6} {:>6} {:>12.1}",
+            "total",
+            tot_rounds,
+            tot[0],
+            tot[1],
+            tot[2],
+            tot[3],
+            tot[4],
+            tot_salv_rounds,
+            tot_salv_bytes as f64 / 1024.0,
+        )
+        .unwrap();
+        writeln!(out, "\n(exec/drop/corrupt retry in place; death triggers salvage + re-homing")
+            .unwrap();
+        writeln!(out, " onto survivors — see ARCHITECTURE.md §5 for the failure model)").unwrap();
+    }
     out
 }
 
@@ -253,6 +362,8 @@ mod tests {
             replies: 4,
             max_cycles: maxc,
             mean_cycles: meanc,
+            is_salvage: false,
+            fault_counts: [0; 6],
         }
     }
 
@@ -299,6 +410,7 @@ mod tests {
             sum_cycles: 9,
             cycle_hist: [0; pim_sim::trace::HIST_BUCKETS],
             stragglers: vec![1],
+            faults: vec![],
         });
         let rows = parse_jsonl(&journal.to_jsonl()).unwrap();
         assert_eq!(rows.len(), 1);
@@ -313,5 +425,62 @@ mod tests {
     #[test]
     fn parse_rejects_malformed_lines() {
         assert!(parse_jsonl("not json\n").is_err());
+    }
+
+    #[test]
+    fn fault_free_journals_render_no_recovery_table() {
+        let rendered = render(&summarize(&[row("search", 1.0, 0.1, 0.1, 4, 2.0)]));
+        assert!(!rendered.contains("Fault injection"), "no faults → no recovery table");
+    }
+
+    #[test]
+    fn fault_events_aggregate_into_the_recovery_table() {
+        let mut faulted = row("insert", 1.0, 0.1, 0.1, 4, 2.0);
+        faulted.fault_counts = [2, 1, 0, 3, 1, 1]; // exec, drop, -, strag, death, salvage
+        let mut salvage = row("insert", 0.0, 0.2, 0.0, 0, 0.0);
+        salvage.is_salvage = true;
+        salvage.pim_to_cpu_bytes = 4096;
+        let s = summarize(&[faulted, salvage, row("knn", 0.5, 0.1, 0.0, 2, 1.0)]);
+        let ins = s.iter().find(|p| p.phase == "insert").unwrap();
+        assert_eq!(ins.fault_counts, [2, 1, 0, 3, 1, 1]);
+        assert_eq!(ins.faulted_rounds, 1);
+        assert_eq!(ins.salvage_rounds, 1);
+        assert_eq!(ins.salvage_bytes, 4096);
+        let rendered = render(&s);
+        assert!(rendered.contains("Fault injection & recovery"));
+        assert!(rendered.contains("salvage KiB"));
+        // The fault-free knn phase stays out of the recovery table body.
+        let table = rendered.split("Fault injection").nth(1).unwrap();
+        assert!(!table.contains("knn"));
+    }
+
+    #[test]
+    fn journal_fault_events_survive_the_jsonl_roundtrip() {
+        use pim_sim::{FaultEvent, FaultKind, JournalSink, RoundBreakdown, TraceSink};
+        let (mut sink, journal) = JournalSink::new();
+        sink.record(pim_sim::RoundRecord {
+            round: 3,
+            phase: "insert".into(),
+            kind: pim_sim::RoundKind::Execute,
+            breakdown: RoundBreakdown { pim_s: 0.1, comm_s: 0.1, overhead_s: 0.0 },
+            cpu_to_pim_bytes: 10,
+            pim_to_cpu_bytes: 10,
+            tasks: 1,
+            replies: 1,
+            active_modules: 1,
+            max_cycles: 1,
+            mean_cycles: 1.0,
+            sum_cycles: 1,
+            cycle_hist: [0; pim_sim::trace::HIST_BUCKETS],
+            stragglers: vec![],
+            faults: vec![
+                FaultEvent { module: 2, attempt: 0, kind: FaultKind::ExecFault },
+                FaultEvent { module: 2, attempt: 1, kind: FaultKind::Death },
+            ],
+        });
+        let rows = parse_jsonl(&journal.to_jsonl()).unwrap();
+        assert_eq!(rows[0].fault_counts, [1, 0, 0, 0, 1, 0]);
+        let rendered = render(&summarize(&rows));
+        assert!(rendered.contains("Fault injection & recovery"));
     }
 }

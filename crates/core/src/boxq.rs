@@ -147,6 +147,9 @@ impl<const D: usize> PimZdTree<D> {
                     if st.visited.contains(&meta) {
                         continue;
                     }
+                    // Directory-authoritative routing (the frontier ref's
+                    // module hint goes stale across a recovery migration).
+                    let module = self.dir.metas.get(&meta).map_or(module, |e| e.module);
                     tasks[module as usize].push(BoxTask {
                         qid: qid as u32,
                         meta,
@@ -160,7 +163,7 @@ impl<const D: usize> PimZdTree<D> {
                 break;
             }
             let replies: Vec<Vec<BoxReply<D>>> =
-                self.sys.execute_round(tasks, |_, m, ctx, t| handle_box(m, ctx, t));
+                self.robust_round(tasks, |_, m, ctx, t| handle_box(m, ctx, t));
             for reply in replies.into_iter().flatten() {
                 let st = &mut states[reply.qid as usize];
                 for m in reply.covered {

@@ -4,7 +4,9 @@
 //! directory, the simulated PIM machine, and the host cost meter. The
 //! operation orchestrators (`search`, `insert`, `knn`, `boxq`) live in their
 //! own modules; this file provides what they share: measurement scaffolding,
-//! management rounds, and the pull half of push-pull search.
+//! management rounds, the pull half of push-pull search, and the robust
+//! round layer (fault detection → bounded replay → recovery; see
+//! ARCHITECTURE.md §"Fault & recovery").
 
 use crate::config::{Layer, PimZdConfig};
 use crate::frag::{Fragment, HostSink, MetaId};
@@ -12,7 +14,7 @@ use crate::meta::Directory;
 use crate::module::{handle_mgmt, MgmtReply, MgmtTask, ModuleState};
 use crate::stats::OpStats;
 use pim_memsim::{CpuConfig, CpuMeter, CpuModel, CpuStats};
-use pim_sim::{MachineConfig, PimSystem};
+use pim_sim::{hash_place, FaultLog, FaultPlan, MachineConfig, PimCtx, PimSystem, Wire};
 use rustc_hash::FxHashMap;
 
 /// Host virtual-address region of the L0 fragment.
@@ -181,7 +183,173 @@ impl<const D: usize> PimZdTree<D> {
 
     /// Executes one management round with per-module task lists.
     pub(crate) fn mgmt_round(&mut self, tasks: Vec<Vec<MgmtTask<D>>>) -> Vec<Vec<MgmtReply<D>>> {
-        self.sys.execute_round(tasks, handle_mgmt)
+        self.robust_round(tasks, handle_mgmt)
+    }
+
+    // -----------------------------------------------------------------
+    // Robust rounds: detection → bounded replay → graceful degradation
+    // -----------------------------------------------------------------
+
+    /// Executes one round with fault detection and recovery.
+    ///
+    /// With the fault plane inactive this is exactly
+    /// [`PimSystem::execute_round`] — no clones, no extra rounds, so
+    /// fault-free accounting stays byte-identical. Otherwise each wave's
+    /// task buffers are cloned before dispatch; a module whose validated
+    /// replies never arrive has fail-stopped (the simulator retried
+    /// transients internally and declared the survivor dead), so its tasks
+    /// are replayed on other modules after [`Self::recover_modules`]
+    /// repairs the directory. Replay is safe because round attempts are
+    /// all-or-nothing: a task whose reply was lost was never applied.
+    ///
+    /// Replies are reassembled at each task's *original* `(module,
+    /// position)` slot, so callers that match replies positionally (e.g.
+    /// the split flows) are oblivious to replays and reroutes.
+    pub(crate) fn robust_round<T, R>(
+        &mut self,
+        tasks: Vec<Vec<T>>,
+        handler: impl Fn(usize, &mut ModuleState<D>, &mut PimCtx, Vec<T>) -> Vec<R> + Sync + Copy,
+    ) -> Vec<Vec<R>>
+    where
+        T: Reroutable<D, Reply = R> + Wire + Send + Clone,
+        R: Wire + Send,
+    {
+        if !self.sys.fault_plane_active() {
+            return self.sys.execute_round(tasks, handler);
+        }
+        let p = self.sys.n_modules();
+        let mut tasks = tasks;
+        tasks.resize_with(p, Vec::new);
+        let mut out: Vec<Vec<Option<R>>> =
+            tasks.iter().map(|row| row.iter().map(|_| None).collect()).collect();
+        let mut work: Vec<Vec<(T, (usize, usize))>> = tasks
+            .into_iter()
+            .enumerate()
+            .map(|(m, row)| row.into_iter().enumerate().map(|(j, t)| (t, (m, j))).collect())
+            .collect();
+        loop {
+            // Detection → recovery: repair deaths from previous waves (or
+            // from broadcasts / earlier ops) before dispatching.
+            let newly = self.sys.take_newly_dead();
+            if !newly.is_empty() {
+                self.recover_modules(&newly);
+            }
+            // Re-route entries parked on dead modules (stale caller routing
+            // or the previous wave's losses).
+            for m in 0..p {
+                if self.sys.is_dead(m) && !work[m].is_empty() {
+                    for (mut t, slot) in std::mem::take(&mut work[m]) {
+                        match t.reroute(self) {
+                            Route::To(nm) => {
+                                debug_assert!(!self.sys.is_dead(nm as usize));
+                                work[nm as usize].push((t, slot));
+                            }
+                            Route::Void(r) => out[slot.0][slot.1] = Some(r),
+                        }
+                    }
+                }
+            }
+            if work.iter().all(Vec::is_empty) {
+                break;
+            }
+            // A fail-stop loses the module's task buffer mid-round, so the
+            // wave is dispatched from clones and the originals kept for
+            // replay.
+            let send: Vec<Vec<T>> =
+                work.iter().map(|row| row.iter().map(|(t, _)| t.clone()).collect()).collect();
+            let replies = self.sys.execute_round(send, handler);
+            let mut survived: Vec<Vec<(T, (usize, usize))>> = (0..p).map(|_| Vec::new()).collect();
+            let mut any_lost = false;
+            for (m, (row, reps)) in work.into_iter().zip(replies).enumerate() {
+                if row.is_empty() {
+                    continue;
+                }
+                if reps.is_empty() {
+                    // No validated reply arrived: the module fail-stopped.
+                    // Park its tasks; the next iteration re-homes them.
+                    any_lost = true;
+                    survived[m] = row;
+                    continue;
+                }
+                assert_eq!(reps.len(), row.len(), "module handlers reply 1:1");
+                for ((_, slot), r) in row.into_iter().zip(reps) {
+                    out[slot.0][slot.1] = Some(r);
+                }
+            }
+            work = survived;
+            if !any_lost {
+                break;
+            }
+        }
+        // Deaths in the final wave (typically of modules idle this round)
+        // are repaired eagerly so the next round starts consistent.
+        let pending = self.sys.take_newly_dead();
+        if !pending.is_empty() {
+            self.recover_modules(&pending);
+        }
+        out.into_iter()
+            .map(|row| row.into_iter().map(|o| o.expect("every task resolved")).collect())
+            .collect()
+    }
+
+    /// Graceful degradation after fail-stop: salvages each dead module's
+    /// resident master fragments over host DMA (the fail-stop axiom keeps
+    /// MRAM readable, see `pim_sim::fault`), re-homes them on surviving
+    /// modules via [`Self::place_module`], repairs the directory, purges
+    /// cache registrations lost with the module, and re-installs the moved
+    /// fragments — itself a robust round, since recovery can be hit by
+    /// further faults.
+    fn recover_modules(&mut self, dead: &[u32]) {
+        let mut rescued: Vec<Fragment<D>> = Vec::new();
+        for &d in dead {
+            let frags = self.sys.salvage(d as usize, |m| {
+                let mut frags: Vec<Fragment<D>> =
+                    std::mem::take(&mut m.masters).into_values().collect();
+                // The DMA read covers the whole resident image; caches are
+                // not worth re-homing — they can be rebuilt from masters.
+                let bytes: u64 = frags.iter().map(Fragment::bytes).sum::<u64>()
+                    + m.caches.values().map(Fragment::structure_bytes).sum::<u64>();
+                m.caches.clear();
+                frags.sort_unstable_by_key(|f| f.meta);
+                (frags, bytes)
+            });
+            rescued.extend(frags);
+        }
+        // Cache copies hosted on the dead modules died with them.
+        for e in self.dir.metas.values_mut() {
+            e.cached_on.retain(|m| !dead.contains(m));
+        }
+        let mut installs = self.task_matrix::<MgmtTask<D>>();
+        for mut f in rescued {
+            // Only re-home fragments the directory still routes to a dead
+            // module; anything else is a stale copy pending a drop.
+            let authoritative =
+                self.dir.metas.get(&f.meta).is_some_and(|e| dead.contains(&e.module));
+            if !authoritative {
+                continue;
+            }
+            let target = self.place_module(f.meta);
+            f.master_module = target;
+            self.dir.get_mut(f.meta).module = target;
+            installs[target as usize].push(MgmtTask::InstallMaster(f));
+        }
+        if !installs.iter().all(Vec::is_empty) {
+            self.robust_round(installs, handle_mgmt);
+        }
+    }
+
+    /// Hash placement that skips fail-stopped modules. Identical to
+    /// [`hash_place`] while every module is alive, so fault-free placement
+    /// stays byte-compatible with earlier revisions.
+    pub(crate) fn place_module(&self, id: MetaId) -> u32 {
+        place_live(self.cfg.placement_seed, id, self.sys.dead_mask())
+    }
+
+    /// The module currently hosting `meta`'s master (directory-
+    /// authoritative; [`RemoteRef`](crate::frag::RemoteRef) module fields
+    /// are advisory and may go stale after a recovery migration).
+    pub(crate) fn master_module(&self, meta: MetaId) -> u32 {
+        self.dir.get(meta).module
     }
 
     /// Builds an empty per-module task matrix.
@@ -252,6 +420,35 @@ impl<const D: usize> PimZdTree<D> {
         out
     }
 
+    // -----------------------------------------------------------------
+    // Fault-plane control (public API)
+    // -----------------------------------------------------------------
+
+    /// Attaches (or with `None` detaches) a fault-injection plan to the
+    /// simulated machine (see `pim_sim::fault`). Starts a fresh failure
+    /// experiment: dead-module markers and the fault log are cleared.
+    /// Injection only applies to accounted rounds, so warmup/build phases
+    /// run fault-free.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.sys.set_fault_plan(plan);
+    }
+
+    /// Lifetime fault/recovery counters of the simulated machine.
+    pub fn fault_log(&self) -> &FaultLog {
+        self.sys.fault_log()
+    }
+
+    /// Scripted fail-stop of one module (test/bench hook). Detection and
+    /// recovery happen at the next round the index executes.
+    pub fn kill_module(&mut self, module: usize) {
+        self.sys.kill_module(module);
+    }
+
+    /// Number of modules still alive.
+    pub fn n_live_modules(&self) -> usize {
+        self.sys.n_live()
+    }
+
     /// Re-checks whether L0 still fits in the LLC; flips the replication
     /// flag (and charges the replication broadcast) when it first overflows.
     pub(crate) fn update_l0_replication(&mut self) {
@@ -263,6 +460,128 @@ impl<const D: usize> PimZdTree<D> {
             self.sys.broadcast(ReplBytes(l0_bytes), |_, _, ctx, b| {
                 ctx.mem(b.0);
             });
+        }
+    }
+}
+
+/// Hash placement probing past fail-stopped modules (a free function so
+/// call sites holding partial borrows of the tree can still place). With
+/// no dead modules this is exactly [`hash_place`].
+pub(crate) fn place_live(seed: u64, id: MetaId, dead: &[bool]) -> u32 {
+    let p = dead.len();
+    let mut m = hash_place(seed, id, p);
+    let mut probes = 0;
+    while dead[m] {
+        m = (m + 1) % p;
+        probes += 1;
+        assert!(probes <= p, "all PIM modules have fail-stopped; index unrecoverable");
+    }
+    m as u32
+}
+
+/// Where a task goes when its target module fail-stopped before the task
+/// committed.
+pub(crate) enum Route<R> {
+    /// Replay on this (live) module.
+    To(u32),
+    /// The task is moot after the failure; this reply stands in at its
+    /// original position so positional reply matching stays aligned.
+    Void(R),
+}
+
+/// A round task the robust layer can re-home after a module death. The
+/// directory is authoritative for routing; embedded `RemoteRef` module
+/// fields are advisory hints that may go stale across a recovery.
+pub(crate) trait Reroutable<const D: usize>: Sized {
+    /// Reply type the round's handler produces for this task.
+    type Reply;
+    /// Picks a new destination after recovery repaired the directory.
+    fn reroute(&mut self, tree: &mut PimZdTree<D>) -> Route<Self::Reply>;
+}
+
+impl<const D: usize> Reroutable<D> for crate::module::SearchTask<D> {
+    type Reply = crate::module::SearchReply<D>;
+    fn reroute(&mut self, tree: &mut PimZdTree<D>) -> Route<Self::Reply> {
+        Route::To(tree.master_module(self.meta))
+    }
+}
+
+impl<const D: usize> Reroutable<D> for crate::module::InsertTask<D> {
+    type Reply = crate::module::InsertReply;
+    fn reroute(&mut self, tree: &mut PimZdTree<D>) -> Route<Self::Reply> {
+        Route::To(tree.master_module(self.meta))
+    }
+}
+
+impl<const D: usize> Reroutable<D> for crate::module::DeleteTask<D> {
+    type Reply = crate::module::DeleteReply<D>;
+    fn reroute(&mut self, tree: &mut PimZdTree<D>) -> Route<Self::Reply> {
+        Route::To(tree.master_module(self.meta))
+    }
+}
+
+impl<const D: usize> Reroutable<D> for crate::module::KnnTask<D> {
+    type Reply = crate::module::KnnReply<D>;
+    fn reroute(&mut self, tree: &mut PimZdTree<D>) -> Route<Self::Reply> {
+        Route::To(tree.master_module(self.meta))
+    }
+}
+
+impl<const D: usize> Reroutable<D> for crate::module::BoxTask<D> {
+    type Reply = crate::module::BoxReply<D>;
+    fn reroute(&mut self, tree: &mut PimZdTree<D>) -> Route<Self::Reply> {
+        Route::To(tree.master_module(self.meta))
+    }
+}
+
+impl<const D: usize> Reroutable<D> for MgmtTask<D> {
+    type Reply = MgmtReply<D>;
+    fn reroute(&mut self, tree: &mut PimZdTree<D>) -> Route<Self::Reply> {
+        match self {
+            MgmtTask::InstallMaster(f) => {
+                // The destination died before the install committed:
+                // re-place on a survivor and repoint the directory (the
+                // split flows register entries before installing).
+                let target = tree.place_module(f.meta);
+                f.master_module = target;
+                if tree.dir.metas.contains_key(&f.meta) {
+                    tree.dir.get_mut(f.meta).module = target;
+                }
+                Route::To(target)
+            }
+            // The cached copy — or a stale master already pending a drop —
+            // died with its host; the task is moot. (Recovery only re-homes
+            // fragments the directory still routes to the dead module, so a
+            // dropped-in-flight master is never resurrected.)
+            MgmtTask::InstallCache(_) | MgmtTask::DropCache(_) | MgmtTask::DropMaster(_) => {
+                Route::Void(MgmtReply::Ack)
+            }
+            MgmtTask::Pull(m) | MgmtTask::PullStructure(m) => Route::To(tree.master_module(*m)),
+            // Counter syncs write absolute values, so reaching the re-homed
+            // master — possibly in addition to a copy of this task that
+            // already ran there — is idempotent. A void reply covers a
+            // parent that dissolved concurrently.
+            MgmtTask::SyncChild { parent, .. } => match tree.dir.metas.get(parent) {
+                Some(e) => Route::To(e.module),
+                None => Route::Void(MgmtReply::Ack),
+            },
+            // Splices no-op when the child ref is already gone
+            // (`ReplaceOutcome::NotFound`), so replaying a cache-host copy
+            // against the master is safe.
+            MgmtTask::ReplaceChild { parent, .. } => match tree.dir.metas.get(parent) {
+                Some(e) => Route::To(e.module),
+                None => Route::Void(MgmtReply::ReplaceStatus { parent: *parent, collapsed: None }),
+            },
+            MgmtTask::SplitRoot { meta, new_ids, .. } => {
+                // Re-place split children headed for modules that died
+                // after placement.
+                for (id, module) in new_ids.iter_mut() {
+                    if tree.sys.is_dead(*module as usize) {
+                        *module = tree.place_module(*id);
+                    }
+                }
+                Route::To(tree.master_module(*meta))
+            }
         }
     }
 }

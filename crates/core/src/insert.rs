@@ -17,7 +17,6 @@ use crate::module::{
 };
 use crate::search::QueryEnd;
 use pim_geom::Point;
-use pim_sim::hash_place;
 use rustc_hash::FxHashMap;
 
 impl<const D: usize> PimZdTree<D> {
@@ -85,7 +84,7 @@ impl<const D: usize> PimZdTree<D> {
                 let module = self.dir.get(meta).module as usize;
                 tasks[module].push(InsertTask { meta, items });
             }
-            let replies = self.sys.execute_round(tasks, |_, m, ctx, t| handle_insert(m, ctx, t));
+            let replies = self.robust_round(tasks, |_, m, ctx, t| handle_insert(m, ctx, t));
             for r in replies.into_iter().flatten() {
                 let e = self.dir.get_mut(r.meta);
                 e.pending_delta += r.added as i64;
@@ -158,7 +157,7 @@ impl<const D: usize> PimZdTree<D> {
                 let module = self.dir.get(meta).module as usize;
                 tasks[module].push(DeleteTask { meta, items });
             }
-            let replies = self.sys.execute_round(tasks, |_, m, ctx, t| handle_delete(m, ctx, t));
+            let replies = self.robust_round(tasks, |_, m, ctx, t| handle_delete(m, ctx, t));
             let mut splices: Vec<(Option<MetaId>, MetaId, Option<RemoteRef<D>>)> = Vec::new();
             let mut urgent_syncs: Vec<MetaId> = Vec::new();
             for r in replies.into_iter().flatten() {
@@ -400,7 +399,7 @@ impl<const D: usize> PimZdTree<D> {
         let p = self.sys.n_modules();
         for (parent_idx, side, child_idx) in demote {
             let id = self.dir.next_id();
-            let module = hash_place(self.cfg.placement_seed, id, p) as u32;
+            let module = crate::host::place_live(self.cfg.placement_seed, id, self.sys.dead_mask());
             let mut frag = l0.extract_subtree(child_idx, id, module);
             // L0 carries no chunk directory; demoted fragments get one.
             frag.dir_bits = self.cfg.chunk_dir_bits();
@@ -590,13 +589,20 @@ impl<const D: usize> PimZdTree<D> {
             if cands.is_empty() {
                 return;
             }
-            let p = self.sys.n_modules();
+
             let mut tasks: Vec<Vec<MgmtTask<D>>> = self.task_matrix();
             for &m in &cands {
                 let ids: Vec<(MetaId, u32)> = (0..2)
                     .map(|_| {
                         let id = self.dir.next_id();
-                        (id, hash_place(self.cfg.placement_seed, id, p) as u32)
+                        (
+                            id,
+                            crate::host::place_live(
+                                self.cfg.placement_seed,
+                                id,
+                                self.sys.dead_mask(),
+                            ),
+                        )
                     })
                     .collect();
                 let module = self.dir.get(m).module as usize;
@@ -733,13 +739,20 @@ impl<const D: usize> PimZdTree<D> {
             if cands.is_empty() {
                 return;
             }
-            let p = self.sys.n_modules();
+
             let mut tasks: Vec<Vec<MgmtTask<D>>> = self.task_matrix();
             for &m in &cands {
                 let ids: Vec<(MetaId, u32)> = (0..2)
                     .map(|_| {
                         let id = self.dir.next_id();
-                        (id, hash_place(self.cfg.placement_seed, id, p) as u32)
+                        (
+                            id,
+                            crate::host::place_live(
+                                self.cfg.placement_seed,
+                                id,
+                                self.sys.dead_mask(),
+                            ),
+                        )
                     })
                     .collect();
                 let module = self.dir.get(m).module as usize;

@@ -213,17 +213,20 @@ impl<const D: usize> PimZdTree<D> {
                 break;
             }
 
-            // Push phase (Alg. 1 steps 3–4).
+            // Push phase (Alg. 1 steps 3–4). The directory routes each hop:
+            // a ref's embedded module field goes stale once recovery
+            // migrates a master (fault-free, the two always agree).
             let mut tasks: Vec<Vec<SearchTask<D>>> = self.task_matrix();
             for (qid, r) in &pending {
-                tasks[r.module as usize].push(SearchTask {
+                let module = self.dir.metas.get(&r.meta).map_or(r.module, |e| e.module);
+                tasks[module as usize].push(SearchTask {
                     qid: *qid,
                     key: keys[*qid as usize],
                     meta: r.meta,
                     want_anchor,
                 });
             }
-            let replies: Vec<Vec<SearchReply<D>>> = self.sys.execute_round(tasks, handle_search);
+            let replies: Vec<Vec<SearchReply<D>>> = self.robust_round(tasks, handle_search);
 
             pending = Vec::new();
             for reply in replies.into_iter().flatten() {

@@ -12,6 +12,7 @@
 //! theory (§5): *bounded ratio* (Definition 1) and the *expansion constant*
 //! (Definition 2).
 
+#![deny(missing_docs)]
 #![allow(clippy::needless_range_loop)] // idiomatic for [T; D] const-generic arrays
 
 pub mod aabb;

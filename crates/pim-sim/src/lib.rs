@@ -24,9 +24,12 @@
 //! PIM time (max per-module core time per round), and communication time
 //! (channel transfer + mux/call overheads).
 
+#![deny(missing_docs)]
+
 pub mod config;
 pub mod ctx;
 pub mod energy;
+pub mod fault;
 pub mod placement;
 pub mod stats;
 pub mod system;
@@ -36,6 +39,7 @@ pub mod wire;
 pub use config::MachineConfig;
 pub use ctx::PimCtx;
 pub use energy::{EnergyEstimate, EnergyModel};
+pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultLog, FaultPlan};
 pub use placement::hash_place;
 pub use stats::{LoadStats, RoundBreakdown, SimStats};
 pub use system::PimSystem;

@@ -19,9 +19,10 @@
 
 use crate::config::MachineConfig;
 use crate::ctx::PimCtx;
+use crate::fault::{AttemptOutcome, FaultEvent, FaultKind, FaultLog, FaultPlan, ModuleFate};
 use crate::stats::{LoadStats, RoundBreakdown, SimStats};
 use crate::trace::{summarize_cycles, NullSink, RoundKind, RoundRecord, TraceSink};
-use crate::wire::Wire;
+use crate::wire::{checksum64, validate_checksum, Wire};
 use rayon::prelude::*;
 
 /// A simulated PIM machine with module state `M`.
@@ -51,12 +52,23 @@ pub struct PimSystem<M> {
     trace_round: u64,
     /// Active phase labels, innermost last; records carry their `/`-join.
     phase_stack: Vec<String>,
+    /// Fault-injection oracle; `None` keeps the fault plane entirely off
+    /// the round hot path.
+    plan: Option<FaultPlan>,
+    /// Per-module fail-stop markers. A dead module's handler never runs
+    /// again; its state stays resident for [`Self::salvage`].
+    dead: Vec<bool>,
+    /// Modules declared dead since the last [`Self::take_newly_dead`].
+    newly_dead: Vec<u32>,
+    /// Lifetime fault/recovery counters.
+    fault_log: FaultLog,
 }
 
 impl<M: Send> PimSystem<M> {
     /// Builds a machine whose module `i` starts as `init(i)`.
     pub fn new(cfg: MachineConfig, init: impl FnMut(usize) -> M) -> Self {
         let modules: Vec<M> = (0..cfg.n_modules).map(init).collect();
+        let p = modules.len();
         Self {
             cfg,
             modules,
@@ -65,6 +77,10 @@ impl<M: Send> PimSystem<M> {
             sink: Box::new(NullSink),
             trace_round: 0,
             phase_stack: Vec::new(),
+            plan: None,
+            dead: vec![false; p],
+            newly_dead: Vec::new(),
+            fault_log: FaultLog::default(),
         }
     }
 
@@ -137,6 +153,113 @@ impl<M: Send> PimSystem<M> {
         self.stats = SimStats::default();
     }
 
+    /// Attaches (or with `None` detaches) a fault-injection plan. This
+    /// starts a fresh failure experiment: dead-module markers and the
+    /// fault log are cleared. Injection only applies to *accounted*
+    /// rounds — warmup/build phases run fault-free by construction.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.plan = plan;
+        self.dead = vec![false; self.modules.len()];
+        self.newly_dead.clear();
+        self.fault_log = FaultLog::default();
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.plan.as_ref()
+    }
+
+    /// Lifetime fault/recovery counters.
+    pub fn fault_log(&self) -> &FaultLog {
+        &self.fault_log
+    }
+
+    /// Whether `module` has fail-stopped.
+    pub fn is_dead(&self, module: usize) -> bool {
+        self.dead[module]
+    }
+
+    /// Per-module fail-stop markers (`true` = dead), indexed by module.
+    pub fn dead_mask(&self) -> &[bool] {
+        &self.dead
+    }
+
+    /// Number of modules still alive.
+    pub fn n_live(&self) -> usize {
+        self.dead.iter().filter(|&&d| !d).count()
+    }
+
+    /// Drains the list of modules declared dead since the last drain
+    /// (sorted, deduplicated). The host's robust layer calls this after
+    /// every round to trigger recovery.
+    pub fn take_newly_dead(&mut self) -> Vec<u32> {
+        let mut out = std::mem::take(&mut self.newly_dead);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Scripted fail-stop of one module (test/bench hook): the module is
+    /// marked dead exactly as if the fault plan had drawn its death.
+    pub fn kill_module(&mut self, module: usize) {
+        if !self.dead[module] {
+            self.dead[module] = true;
+            self.newly_dead.push(module as u32);
+            self.fault_log.deaths += 1;
+        }
+    }
+
+    /// One host-side DMA read of a (typically dead) module's memory.
+    ///
+    /// `f` inspects the module state and returns `(result, bytes_read)`;
+    /// the bytes are charged as PIM→CPU channel traffic plus one transfer
+    /// call and a mux switch, and the round is journaled as
+    /// [`RoundKind::Salvage`]. This models the fail-stop axiom that a dead
+    /// core's MRAM stays host-readable (see `pim_sim::fault`).
+    pub fn salvage<R>(&mut self, module: usize, f: impl FnOnce(&mut M) -> (R, u64)) -> R {
+        let (out, bytes) = f(&mut self.modules[module]);
+        if self.accounting {
+            let breakdown = RoundBreakdown {
+                pim_s: 0.0,
+                comm_s: self.cfg.transfer_time_s(bytes, bytes),
+                overhead_s: self.cfg.mux_switch_s
+                    + self.cfg.call_overhead_s() / self.cfg.host_threads as f64,
+            };
+            let p = self.modules.len();
+            self.stats.n_modules = p;
+            self.stats.record(breakdown, LoadStats { max_cycles: 0, mean_cycles: 0.0 }, 0, bytes);
+            self.fault_log.salvages += 1;
+            self.fault_log.salvaged_bytes += bytes;
+            let round = self.trace_round;
+            self.trace_round += 1;
+            if self.sink.enabled() {
+                let (cycle_hist, stragglers) = summarize_cycles(&[]);
+                self.sink.record(RoundRecord {
+                    round,
+                    phase: self.current_phase(),
+                    kind: RoundKind::Salvage,
+                    breakdown,
+                    cpu_to_pim_bytes: 0,
+                    pim_to_cpu_bytes: bytes,
+                    tasks: 0,
+                    replies: 0,
+                    active_modules: 0,
+                    max_cycles: 0,
+                    mean_cycles: 0.0,
+                    sum_cycles: 0,
+                    cycle_hist,
+                    stragglers,
+                    faults: vec![FaultEvent {
+                        module: module as u32,
+                        attempt: 0,
+                        kind: FaultKind::Salvage,
+                    }],
+                });
+            }
+        }
+        out
+    }
+
     /// Executes one BSP round. `tasks[i]` is scattered to module `i`;
     /// modules with an empty task list do not run (no transfer call, no
     /// cycles). Returns `replies[i]` from each module.
@@ -176,6 +299,15 @@ impl<M: Send> PimSystem<M> {
         let p = self.modules.len();
         assert!(tasks.len() <= p, "scattered {} task buffers onto {} modules", tasks.len(), p);
         tasks.resize_with(p, Vec::new);
+
+        // The fault plane has a dedicated path so the common case below
+        // stays exactly the pre-fault code (same float operations in the
+        // same order — accounting is byte-identical when no plan is
+        // attached, and when an attached plan has all-zero rates the
+        // faulty path provably degenerates to the same arithmetic).
+        if self.fault_plane_active() {
+            return self.run_round_faulty(tasks, handler, run_all);
+        }
 
         // Task counts are only observable before the buffers move into the
         // parallel scatter; gather them now iff a sink will consume them.
@@ -260,6 +392,266 @@ impl<M: Send> PimSystem<M> {
                     sum_cycles,
                     cycle_hist,
                     stragglers,
+                    faults: Vec::new(),
+                });
+            }
+        }
+
+        results.into_iter().map(|(r, _)| r).collect()
+    }
+
+    /// Whether rounds take the fault-aware path: an active plan is
+    /// attached, or some module has already fail-stopped (scripted kills
+    /// work without a plan). Warmup (`accounting = false`) never injects,
+    /// but must still route around dead modules. The host's robust layer
+    /// branches on this to decide whether a round needs retry/recovery
+    /// scaffolding (task cloning, provenance tracking) at all.
+    pub fn fault_plane_active(&self) -> bool {
+        self.dead.iter().any(|&d| d)
+            || (self.accounting && self.plan.as_ref().is_some_and(|pl| pl.config().is_active()))
+    }
+
+    /// Per-module fates for one round, drawn sequentially (thread-count
+    /// independent). `participating[i]` is whether the host scattered work
+    /// to module `i` (or the round is `run_all`).
+    fn draw_fates(&mut self, round: u64, participating: &[bool]) -> Vec<ModuleFate> {
+        let plan = if self.accounting { self.plan.as_ref() } else { None };
+        let fates: Vec<ModuleFate> = participating
+            .iter()
+            .enumerate()
+            .map(|(i, &part)| {
+                if self.dead[i] {
+                    ModuleFate::idle()
+                } else if let Some(pl) = plan {
+                    pl.module_fate(round, i as u32, part)
+                } else if part {
+                    ModuleFate { attempts: vec![AttemptOutcome::Ok], success: true, died: false }
+                } else {
+                    ModuleFate::idle()
+                }
+            })
+            .collect();
+        for (i, f) in fates.iter().enumerate() {
+            if f.died {
+                self.dead[i] = true;
+                self.newly_dead.push(i as u32);
+                self.fault_log.deaths += 1;
+            }
+        }
+        fates
+    }
+
+    /// The fault-aware sibling of the hot path in [`Self::run_round`].
+    ///
+    /// Execution model: the round proceeds in *waves*. In wave `a`, every
+    /// module whose fate has an attempt `a` gets its task buffer
+    /// (re-)scattered; modules whose attempt fails cost the host a
+    /// detection timeout and a retry. A module commits its handler exactly
+    /// once — at its successful attempt — or never (atomic attempts), so
+    /// replay never double-applies state. Modules that exhaust retries or
+    /// draw the death fate are marked dead; the host's robust layer drains
+    /// [`Self::take_newly_dead`] and re-routes their lost tasks.
+    fn run_round_faulty<T, R, F>(
+        &mut self,
+        tasks: Vec<Vec<T>>,
+        handler: F,
+        run_all: bool,
+    ) -> Vec<Vec<R>>
+    where
+        T: Wire + Send,
+        R: Wire + Send,
+        F: Fn(usize, &mut M, &mut PimCtx, Vec<T>) -> Vec<R> + Sync,
+    {
+        let p = self.modules.len();
+        let round = self.trace_round;
+        let plan = if self.accounting { self.plan.clone() } else { None };
+        let factor = plan.as_ref().map_or(1.0, |pl| pl.config().straggler_factor.max(1.0));
+        let key = plan.as_ref().map_or(0, |pl| pl.config().seed);
+
+        let participating: Vec<bool> = tasks.iter().map(|t| run_all || !t.is_empty()).collect();
+        if cfg!(debug_assertions) {
+            for (i, t) in tasks.iter().enumerate() {
+                debug_assert!(
+                    t.is_empty() || !self.dead[i],
+                    "host scattered {} tasks to dead module {i}",
+                    t.len()
+                );
+            }
+        }
+        let fates = self.draw_fates(round, &participating);
+
+        let tracing = self.accounting && self.sink.enabled();
+        let n_tasks = if tracing { tasks.iter().map(|t| t.len() as u64).sum::<u64>() } else { 0 };
+
+        let per_module_sent: Vec<u64> = tasks.iter().map(|t| t.wire_bytes()).collect();
+
+        // Same determinism contract as the plain path: results land at
+        // their module index; every fold below is sequential over them.
+        let results: Vec<(Vec<R>, PimCtx)> = self
+            .modules
+            .par_iter_mut()
+            .zip(tasks.into_par_iter())
+            .enumerate()
+            .map(|(i, (m, t))| {
+                let mut ctx = PimCtx::new();
+                let replies =
+                    if fates[i].success { handler(i, m, &mut ctx, t) } else { Vec::new() };
+                (replies, ctx)
+            })
+            .collect();
+
+        let per_module_recv: Vec<u64> = results.iter().map(|(r, _)| r.wire_bytes()).collect();
+
+        if self.accounting {
+            let mut sent = 0u64;
+            let mut recv = 0u64;
+            let mut max_module_bytes = 0u64;
+            let mut send_calls = 0usize;
+            let mut recv_calls = 0usize;
+            let mut base_time = vec![0.0f64; p];
+            let mut eff_cycles = vec![0u64; p];
+            let mut events: Vec<FaultEvent> = Vec::new();
+
+            for i in 0..p {
+                let fate = &fates[i];
+                let ctx = &results[i].1;
+                base_time[i] = ctx.time_s(self.cfg.pim_freq_hz, self.cfg.pim_local_bw);
+                let n_att = fate.attempts.len() as u64;
+                if per_module_sent[i] > 0 {
+                    send_calls += n_att as usize;
+                    self.fault_log.retransmitted_bytes +=
+                        per_module_sent[i] * n_att.saturating_sub(1);
+                }
+                let fetches = fate.attempts.iter().filter(|o| o.fetched_reply()).count() as u64;
+                if per_module_recv[i] > 0 {
+                    recv_calls += fetches as usize;
+                }
+                let m_sent = per_module_sent[i] * n_att;
+                let m_recv = per_module_recv[i] * fetches;
+                sent += m_sent;
+                recv += m_recv;
+                max_module_bytes = max_module_bytes.max(m_sent + m_recv);
+
+                // Cycles: one full execution per executed attempt; the
+                // terminal straggler attempt runs `factor` times slower.
+                let mut mult = 0.0f64;
+                for (a, &o) in fate.attempts.iter().enumerate() {
+                    match o {
+                        AttemptOutcome::Ok
+                        | AttemptOutcome::ReplyDrop
+                        | AttemptOutcome::ReplyCorrupt => mult += 1.0,
+                        AttemptOutcome::Straggler => mult += factor,
+                        AttemptOutcome::ExecFault | AttemptOutcome::Death => {}
+                    }
+                    self.fault_log.count(o);
+                    if o.fetched_reply() {
+                        // Response validation: recompute the transfer
+                        // checksum; a corrupted reply always fails it.
+                        let good = checksum64(key, round, i as u32, per_module_recv[i]);
+                        let got = match (&plan, o) {
+                            (Some(pl), AttemptOutcome::ReplyCorrupt) => {
+                                good ^ pl.corruption_mask(round, i as u32, a as u32)
+                            }
+                            _ => good,
+                        };
+                        let valid =
+                            validate_checksum(key, round, i as u32, per_module_recv[i], got);
+                        debug_assert_eq!(valid, o != AttemptOutcome::ReplyCorrupt);
+                    }
+                    let kind = match o {
+                        AttemptOutcome::Ok | AttemptOutcome::Death => continue,
+                        AttemptOutcome::Straggler => FaultKind::Straggler,
+                        AttemptOutcome::ExecFault => FaultKind::ExecFault,
+                        AttemptOutcome::ReplyDrop => FaultKind::ReplyDrop,
+                        AttemptOutcome::ReplyCorrupt => FaultKind::ReplyCorrupt,
+                    };
+                    events.push(FaultEvent { module: i as u32, attempt: a as u32, kind });
+                }
+                if fate.died {
+                    events.push(FaultEvent {
+                        module: i as u32,
+                        attempt: fate.attempts.len().saturating_sub(1) as u32,
+                        kind: FaultKind::Death,
+                    });
+                }
+                self.fault_log.retries += n_att.saturating_sub(1);
+                eff_cycles[i] = (ctx.cycles as f64 * mult) as u64;
+            }
+
+            let mut max_cycles = 0u64;
+            let mut sum_cycles = 0u64;
+            for &c in &eff_cycles {
+                max_cycles = max_cycles.max(c);
+                sum_cycles += c;
+            }
+            self.stats.total_pim_cycles += sum_cycles;
+
+            // Wave fold: attempt `a` of every still-retrying module
+            // overlaps, so the round's PIM time is the sum over waves of
+            // the slowest member; each wave containing a failure charges
+            // one host detection timeout to overhead.
+            let n_waves = fates.iter().map(|f| f.attempts.len()).max().unwrap_or(0);
+            let mut pim_s = 0.0f64;
+            let mut timeout_waves = 0u64;
+            for w in 0..n_waves {
+                let mut wave_max = 0.0f64;
+                let mut wave_failed = false;
+                for i in 0..p {
+                    if let Some(&o) = fates[i].attempts.get(w) {
+                        let t = match o {
+                            AttemptOutcome::Ok
+                            | AttemptOutcome::ReplyDrop
+                            | AttemptOutcome::ReplyCorrupt => base_time[i],
+                            AttemptOutcome::Straggler => base_time[i] * factor,
+                            AttemptOutcome::ExecFault | AttemptOutcome::Death => 0.0,
+                        };
+                        wave_max = wave_max.max(t);
+                        if !o.is_success() {
+                            wave_failed = true;
+                        }
+                    }
+                }
+                pim_s += wave_max;
+                if wave_failed {
+                    timeout_waves += 1;
+                }
+            }
+            let timeout_s = plan.as_ref().map_or(0.0, |pl| pl.config().timeout_s);
+            self.fault_log.timeout_s += timeout_waves as f64 * timeout_s;
+
+            let calls = send_calls + recv_calls;
+            let overhead = self.cfg.mux_switch_s
+                + calls as f64 * self.cfg.call_overhead_s() / self.cfg.host_threads as f64
+                + timeout_waves as f64 * timeout_s;
+
+            let breakdown = RoundBreakdown {
+                pim_s,
+                comm_s: self.cfg.transfer_time_s(sent + recv, max_module_bytes),
+                overhead_s: overhead,
+            };
+            let load = LoadStats { max_cycles, mean_cycles: sum_cycles as f64 / p as f64 };
+            self.stats.n_modules = p;
+            self.stats.record(breakdown, load, sent, recv);
+
+            self.trace_round += 1;
+            if tracing {
+                let (cycle_hist, stragglers) = summarize_cycles(&eff_cycles);
+                self.sink.record(RoundRecord {
+                    round,
+                    phase: self.current_phase(),
+                    kind: if run_all { RoundKind::ExecuteAll } else { RoundKind::Execute },
+                    breakdown,
+                    cpu_to_pim_bytes: sent,
+                    pim_to_cpu_bytes: recv,
+                    tasks: n_tasks,
+                    replies: results.iter().map(|(r, _)| r.len() as u64).sum(),
+                    active_modules: fates.iter().filter(|f| f.success).count() as u32,
+                    max_cycles,
+                    mean_cycles: sum_cycles as f64 / p as f64,
+                    sum_cycles,
+                    cycle_hist,
+                    stragglers,
+                    faults: events,
                 });
             }
         }
@@ -275,6 +667,9 @@ impl<M: Send> PimSystem<M> {
         T: Wire + Sync,
         F: Fn(usize, &mut M, &mut PimCtx, &T) + Sync,
     {
+        if self.fault_plane_active() {
+            return self.broadcast_faulty(item, handler);
+        }
         let bytes = item.wire_bytes();
         let p = self.modules.len();
         // Same determinism contract as `run_round`: ctxs land in module
@@ -332,6 +727,156 @@ impl<M: Send> PimSystem<M> {
                     sum_cycles,
                     cycle_hist,
                     stragglers,
+                    faults: Vec::new(),
+                });
+            }
+        }
+    }
+
+    /// Fault-aware sibling of [`Self::broadcast`]: dead modules are
+    /// skipped entirely (the host knows the dead set and does not pay to
+    /// reach them); live modules face the same wave/retry machinery as
+    /// [`Self::run_round_faulty`], with delivery failures re-sending the
+    /// broadcast value. A broadcast has no gathered reply, so drop/corrupt
+    /// draws model a lost delivery acknowledgement.
+    fn broadcast_faulty<T, F>(&mut self, item: T, handler: F)
+    where
+        T: Wire + Sync,
+        F: Fn(usize, &mut M, &mut PimCtx, &T) + Sync,
+    {
+        let bytes = item.wire_bytes();
+        let p = self.modules.len();
+        let round = self.trace_round;
+        let plan = if self.accounting { self.plan.clone() } else { None };
+        let factor = plan.as_ref().map_or(1.0, |pl| pl.config().straggler_factor.max(1.0));
+
+        let participating: Vec<bool> = (0..p).map(|i| !self.dead[i]).collect();
+        let fates = self.draw_fates(round, &participating);
+
+        let ctxs: Vec<PimCtx> = self
+            .modules
+            .par_iter_mut()
+            .enumerate()
+            .map(|(i, m)| {
+                let mut ctx = PimCtx::new();
+                if fates[i].success {
+                    handler(i, m, &mut ctx, &item);
+                }
+                ctx
+            })
+            .collect();
+
+        if self.accounting {
+            let mut sent = 0u64;
+            let mut calls = 0u64;
+            let mut base_time = vec![0.0f64; p];
+            let mut eff_cycles = vec![0u64; p];
+            let mut events: Vec<FaultEvent> = Vec::new();
+            for i in 0..p {
+                let fate = &fates[i];
+                base_time[i] = ctxs[i].time_s(self.cfg.pim_freq_hz, self.cfg.pim_local_bw);
+                let n_att = fate.attempts.len() as u64;
+                sent += bytes * n_att;
+                calls += n_att;
+                self.fault_log.retransmitted_bytes += bytes * n_att.saturating_sub(1);
+                self.fault_log.retries += n_att.saturating_sub(1);
+                let mut mult = 0.0f64;
+                for (a, &o) in fate.attempts.iter().enumerate() {
+                    match o {
+                        AttemptOutcome::Ok
+                        | AttemptOutcome::ReplyDrop
+                        | AttemptOutcome::ReplyCorrupt => mult += 1.0,
+                        AttemptOutcome::Straggler => mult += factor,
+                        AttemptOutcome::ExecFault | AttemptOutcome::Death => {}
+                    }
+                    self.fault_log.count(o);
+                    let kind = match o {
+                        AttemptOutcome::Ok | AttemptOutcome::Death => continue,
+                        AttemptOutcome::Straggler => FaultKind::Straggler,
+                        AttemptOutcome::ExecFault => FaultKind::ExecFault,
+                        AttemptOutcome::ReplyDrop => FaultKind::ReplyDrop,
+                        AttemptOutcome::ReplyCorrupt => FaultKind::ReplyCorrupt,
+                    };
+                    events.push(FaultEvent { module: i as u32, attempt: a as u32, kind });
+                }
+                if fate.died {
+                    events.push(FaultEvent {
+                        module: i as u32,
+                        attempt: fate.attempts.len().saturating_sub(1) as u32,
+                        kind: FaultKind::Death,
+                    });
+                }
+                eff_cycles[i] = (ctxs[i].cycles as f64 * mult) as u64;
+            }
+
+            let mut max_cycles = 0u64;
+            let mut sum_cycles = 0u64;
+            for &c in &eff_cycles {
+                max_cycles = max_cycles.max(c);
+                sum_cycles += c;
+            }
+            self.stats.total_pim_cycles += sum_cycles;
+
+            let n_waves = fates.iter().map(|f| f.attempts.len()).max().unwrap_or(0);
+            let mut pim_s = 0.0f64;
+            let mut timeout_waves = 0u64;
+            for w in 0..n_waves {
+                let mut wave_max = 0.0f64;
+                let mut wave_failed = false;
+                for i in 0..p {
+                    if let Some(&o) = fates[i].attempts.get(w) {
+                        let t = match o {
+                            AttemptOutcome::Ok
+                            | AttemptOutcome::ReplyDrop
+                            | AttemptOutcome::ReplyCorrupt => base_time[i],
+                            AttemptOutcome::Straggler => base_time[i] * factor,
+                            AttemptOutcome::ExecFault | AttemptOutcome::Death => 0.0,
+                        };
+                        wave_max = wave_max.max(t);
+                        if !o.is_success() {
+                            wave_failed = true;
+                        }
+                    }
+                }
+                pim_s += wave_max;
+                if wave_failed {
+                    timeout_waves += 1;
+                }
+            }
+            let timeout_s = plan.as_ref().map_or(0.0, |pl| pl.config().timeout_s);
+            self.fault_log.timeout_s += timeout_waves as f64 * timeout_s;
+
+            let overhead = self.cfg.mux_switch_s
+                + calls as f64 * self.cfg.call_overhead_s() / self.cfg.host_threads as f64
+                + timeout_waves as f64 * timeout_s;
+            let breakdown = RoundBreakdown {
+                pim_s,
+                comm_s: self.cfg.transfer_time_s(sent, bytes),
+                overhead_s: overhead,
+            };
+            let load = LoadStats { max_cycles, mean_cycles: sum_cycles as f64 / p as f64 };
+            self.stats.n_modules = p;
+            self.stats.record(breakdown, load, sent, 0);
+
+            self.trace_round += 1;
+            if self.sink.enabled() {
+                let (cycle_hist, stragglers) = summarize_cycles(&eff_cycles);
+                self.sink.record(RoundRecord {
+                    round,
+                    phase: self.current_phase(),
+                    kind: RoundKind::Broadcast,
+                    breakdown,
+                    cpu_to_pim_bytes: sent,
+                    pim_to_cpu_bytes: 0,
+                    tasks: 1,
+                    replies: 0,
+                    active_modules: fates.iter().filter(|f| f.success).count() as u32,
+                    max_cycles,
+                    mean_cycles: sum_cycles as f64 / p as f64,
+                    sum_cycles,
+                    cycle_hist,
+                    stragglers,
+                    faults: events,
                 });
             }
         }
@@ -583,5 +1128,211 @@ mod more_tests {
         assert_eq!(sys.stats().rounds, 0);
         assert_eq!(sys.stats().channel_bytes(), 0);
         assert_eq!(sys.stats().total_pim_cycles, 0);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::fault::FaultConfig;
+
+    fn run_workload(sys: &mut PimSystem<u64>, rounds: u64) {
+        for r in 0..rounds {
+            let p = sys.n_modules();
+            let tasks: Vec<Vec<u32>> = (0..p)
+                .map(|i| if sys.is_dead(i) { vec![] } else { vec![r as u32, i as u32] })
+                .collect();
+            let _ = sys.execute_round(tasks, |_, s, ctx, t| {
+                ctx.op(100 + t.len() as u64 * 7);
+                ctx.mem(32);
+                *s += t.len() as u64;
+                t
+            });
+            sys.broadcast(r, |_, s, ctx, v| {
+                ctx.op(5);
+                *s ^= v;
+            });
+        }
+    }
+
+    #[test]
+    fn zero_rate_plan_is_charge_identical_to_no_plan() {
+        let mut plain = PimSystem::new(MachineConfig::with_modules(8), |_| 0u64);
+        let mut planned = PimSystem::new(MachineConfig::with_modules(8), |_| 0u64);
+        planned.set_fault_plan(Some(FaultPlan::new(FaultConfig::uniform(0.0, 99))));
+        run_workload(&mut plain, 20);
+        run_workload(&mut planned, 20);
+        let (a, b) = (plain.stats(), planned.stats());
+        assert_eq!(a.cpu_to_pim_bytes, b.cpu_to_pim_bytes);
+        assert_eq!(a.pim_to_cpu_bytes, b.pim_to_cpu_bytes);
+        assert_eq!(a.total_pim_cycles, b.total_pim_cycles);
+        assert_eq!(a.pim_s.to_bits(), b.pim_s.to_bits(), "same float ops in the same order");
+        assert_eq!(a.comm_s.to_bits(), b.comm_s.to_bits());
+        assert_eq!(a.overhead_s.to_bits(), b.overhead_s.to_bits());
+        assert_eq!(planned.fault_log().total_faults(), 0);
+    }
+
+    #[test]
+    fn active_plan_is_deterministic() {
+        let mk = || {
+            let mut sys = PimSystem::new(MachineConfig::with_modules(8), |_| 0u64);
+            sys.set_fault_plan(Some(FaultPlan::new(FaultConfig::uniform(0.05, 7))));
+            run_workload(&mut sys, 30);
+            sys
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(a.fault_log(), b.fault_log());
+        assert_eq!(a.stats().pim_s.to_bits(), b.stats().pim_s.to_bits());
+        assert_eq!(a.stats().overhead_s.to_bits(), b.stats().overhead_s.to_bits());
+        assert_eq!(a.stats().cpu_to_pim_bytes, b.stats().cpu_to_pim_bytes);
+        assert!(a.fault_log().total_faults() > 0, "5% over 240 module-rounds must fire");
+    }
+
+    #[test]
+    fn faults_cost_more_than_fault_free() {
+        let mut plain = PimSystem::new(MachineConfig::with_modules(8), |_| 0u64);
+        let mut faulty = PimSystem::new(MachineConfig::with_modules(8), |_| 0u64);
+        faulty.set_fault_plan(Some(FaultPlan::new(FaultConfig {
+            p_death: 0.0,
+            ..FaultConfig::uniform(0.2, 3)
+        })));
+        run_workload(&mut plain, 20);
+        run_workload(&mut faulty, 20);
+        assert!(faulty.stats().cpu_to_pim_bytes > plain.stats().cpu_to_pim_bytes, "retransmits");
+        assert!(faulty.stats().overhead_s > plain.stats().overhead_s, "timeouts");
+        assert!(faulty.fault_log().retries > 0);
+    }
+
+    #[test]
+    fn killed_module_stops_executing_and_is_reported() {
+        let mut sys = PimSystem::new(MachineConfig::with_modules(4), |_| 0u64);
+        sys.kill_module(2);
+        assert!(sys.is_dead(2));
+        assert_eq!(sys.n_live(), 3);
+        assert_eq!(sys.take_newly_dead(), vec![2]);
+        assert!(sys.take_newly_dead().is_empty(), "drain empties the list");
+        // run_all round: dead module's handler must not run.
+        let _ = sys.execute_round_all(Vec::<Vec<u32>>::new(), |_, s, ctx, _| {
+            ctx.op(1);
+            *s += 1;
+            Vec::<u32>::new()
+        });
+        sys.broadcast(9u64, |_, s, ctx, _| {
+            ctx.op(1);
+            *s += 100;
+        });
+        assert_eq!(*sys.peek(2), 0, "dead module state is frozen");
+        assert_eq!(*sys.peek(1), 101);
+    }
+
+    #[test]
+    fn transient_faults_commit_exactly_once() {
+        // Atomic attempts: no matter how many retries a round takes, the
+        // handler's state mutation applies exactly once.
+        let mut sys = PimSystem::new(MachineConfig::with_modules(8), |_| 0u64);
+        sys.set_fault_plan(Some(FaultPlan::new(FaultConfig {
+            p_death: 0.0,
+            max_retries: 20, // high enough that nothing ever dies
+            ..FaultConfig::uniform(0.3, 5)
+        })));
+        for _ in 0..50 {
+            let tasks: Vec<Vec<u32>> = (0..8).map(|_| vec![1]).collect();
+            let _ = sys.execute_round(tasks, |_, s, ctx, t| {
+                ctx.op(10);
+                *s += 1;
+                t
+            });
+        }
+        assert!(sys.fault_log().retries > 0, "30% fault mass must retry sometimes");
+        for i in 0..8 {
+            assert_eq!(*sys.peek(i), 50, "module {i} must commit each round exactly once");
+        }
+    }
+
+    #[test]
+    fn death_draw_eventually_kills_and_replies_go_missing() {
+        let mut sys = PimSystem::new(MachineConfig::with_modules(8), |_| 0u64);
+        sys.set_fault_plan(Some(FaultPlan::new(FaultConfig {
+            p_death: 0.05,
+            ..FaultConfig::disabled(1234)
+        })));
+        let mut saw_missing_reply = false;
+        for r in 0..100u32 {
+            let tasks: Vec<Vec<u32>> =
+                (0..8).map(|i| if sys.is_dead(i) { vec![] } else { vec![r] }).collect();
+            let expected: Vec<bool> = tasks.iter().map(|t| !t.is_empty()).collect();
+            let replies = sys.execute_round(tasks, |_, _, ctx, t| {
+                ctx.op(1);
+                t
+            });
+            for (i, r) in replies.iter().enumerate() {
+                if expected[i] && r.is_empty() {
+                    saw_missing_reply = true; // died this round, before committing
+                }
+            }
+        }
+        assert!(sys.fault_log().deaths > 0, "5% death rate over 100 rounds");
+        assert!(saw_missing_reply, "a death mid-round must surface as a missing reply");
+        assert_eq!(
+            sys.take_newly_dead().len() as u64,
+            sys.fault_log().deaths,
+            "every death is reported exactly once"
+        );
+    }
+
+    #[test]
+    fn salvage_charges_channel_traffic_and_journals() {
+        use crate::trace::JournalSink;
+        let (sink, journal) = JournalSink::new();
+        let mut sys = PimSystem::new(MachineConfig::with_modules(4), |i| i as u64);
+        sys.set_trace_sink(Box::new(sink));
+        sys.kill_module(3);
+        let before = sys.stats().pim_to_cpu_bytes;
+        let got = sys.salvage(3, |m| (*m, 4096));
+        assert_eq!(got, 3, "salvage reads the dead module's resident state");
+        assert_eq!(sys.stats().pim_to_cpu_bytes - before, 4096);
+        assert_eq!(sys.fault_log().salvages, 1);
+        assert_eq!(sys.fault_log().salvaged_bytes, 4096);
+        let recs = journal.snapshot();
+        let rec = recs.last().unwrap();
+        assert_eq!(rec.kind, RoundKind::Salvage);
+        assert_eq!(rec.pim_to_cpu_bytes, 4096);
+        assert_eq!(rec.faults.len(), 1);
+        assert_eq!(rec.faults[0].kind, FaultKind::Salvage);
+    }
+
+    #[test]
+    fn fault_events_land_in_the_journal() {
+        use crate::trace::JournalSink;
+        let (sink, journal) = JournalSink::new();
+        let mut sys = PimSystem::new(MachineConfig::with_modules(8), |_| 0u64);
+        sys.set_trace_sink(Box::new(sink));
+        sys.set_fault_plan(Some(FaultPlan::new(FaultConfig {
+            p_death: 0.0,
+            ..FaultConfig::uniform(0.2, 8)
+        })));
+        run_workload(&mut sys, 10);
+        let recs = journal.snapshot();
+        let n_events: usize = recs.iter().map(|r| r.faults.len()).sum();
+        assert_eq!(n_events as u64, sys.fault_log().total_faults());
+        assert!(n_events > 0);
+    }
+
+    #[test]
+    fn warmup_rounds_never_inject() {
+        let mut sys = PimSystem::new(MachineConfig::with_modules(4), |_| 0u64);
+        sys.set_fault_plan(Some(FaultPlan::new(FaultConfig::uniform(0.9, 2))));
+        sys.accounting = false;
+        for _ in 0..20 {
+            let tasks: Vec<Vec<u32>> = (0..4).map(|_| vec![1]).collect();
+            let _ = sys.execute_round(tasks, |_, s, _, t| {
+                *s += 1;
+                t
+            });
+        }
+        assert_eq!(sys.fault_log().total_faults(), 0, "build/warmup is fault-free");
+        for i in 0..4 {
+            assert_eq!(*sys.peek(i), 20);
+        }
     }
 }

@@ -16,6 +16,7 @@
 //! `/`, so a maintenance round inside a delete batch is labeled
 //! `delete/maintain`.
 
+use crate::fault::FaultEvent;
 use crate::stats::RoundBreakdown;
 use serde::Serialize;
 use std::sync::{Arc, Mutex};
@@ -35,6 +36,8 @@ pub enum RoundKind {
     ExecuteAll,
     /// `broadcast`: one value replicated to all modules.
     Broadcast,
+    /// `salvage`: one DMA read of a dead module's memory during recovery.
+    Salvage,
 }
 
 /// One BSP round, as seen by the accountant.
@@ -43,7 +46,7 @@ pub enum RoundKind {
 /// reproduces the final [`SimStats`](crate::SimStats) exactly (this is a
 /// tested invariant), so a journal is a lossless refinement of the lifetime
 /// counters.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct RoundRecord {
     /// Monotonic round id (survives `reset_stats`).
     pub round: u64,
@@ -77,6 +80,52 @@ pub struct RoundRecord {
     /// Module ids with the most cycles this round, busiest first (at most
     /// [`TOP_STRAGGLERS`]; idle modules never appear).
     pub stragglers: Vec<u32>,
+    /// Fault and recovery events of the round, in module order (empty in
+    /// fault-free rounds, and then omitted from the JSONL encoding so
+    /// fault-free journals are byte-identical to pre-fault-plane ones).
+    pub faults: Vec<FaultEvent>,
+}
+
+// Hand-written (instead of derived) so the `faults` key only appears when
+// the round actually had fault events; every other field matches the
+// derive's output byte for byte.
+impl Serialize for RoundRecord {
+    fn json_write(&self, out: &mut String) {
+        out.push('{');
+        out.push_str("\"round\":");
+        self.round.json_write(out);
+        out.push_str(",\"phase\":");
+        self.phase.json_write(out);
+        out.push_str(",\"kind\":");
+        self.kind.json_write(out);
+        out.push_str(",\"breakdown\":");
+        self.breakdown.json_write(out);
+        out.push_str(",\"cpu_to_pim_bytes\":");
+        self.cpu_to_pim_bytes.json_write(out);
+        out.push_str(",\"pim_to_cpu_bytes\":");
+        self.pim_to_cpu_bytes.json_write(out);
+        out.push_str(",\"tasks\":");
+        self.tasks.json_write(out);
+        out.push_str(",\"replies\":");
+        self.replies.json_write(out);
+        out.push_str(",\"active_modules\":");
+        self.active_modules.json_write(out);
+        out.push_str(",\"max_cycles\":");
+        self.max_cycles.json_write(out);
+        out.push_str(",\"mean_cycles\":");
+        self.mean_cycles.json_write(out);
+        out.push_str(",\"sum_cycles\":");
+        self.sum_cycles.json_write(out);
+        out.push_str(",\"cycle_hist\":");
+        self.cycle_hist.json_write(out);
+        out.push_str(",\"stragglers\":");
+        self.stragglers.json_write(out);
+        if !self.faults.is_empty() {
+            out.push_str(",\"faults\":");
+            self.faults.json_write(out);
+        }
+        out.push('}');
+    }
 }
 
 impl RoundRecord {
@@ -256,14 +305,48 @@ mod tests {
             sum_cycles: 100,
             cycle_hist: [0; HIST_BUCKETS],
             stragglers: vec![1],
+            faults: vec![],
         });
         assert_eq!(journal.len(), 1);
         let line = journal.to_jsonl();
+        assert!(!line.contains("faults"), "fault-free records omit the faults key");
         let v = serde_json::from_str(line.trim()).unwrap();
         assert_eq!(v.get("round").and_then(|x| x.as_u64()), Some(3));
         assert_eq!(v.get("phase").and_then(|x| x.as_str()), Some("insert/maintain"));
         assert_eq!(v.get("kind").and_then(|x| x.as_str()), Some("Execute"));
         let b = v.get("breakdown").unwrap();
         assert_eq!(b.get("comm_s").and_then(|x| x.as_f64()), Some(2e-6));
+    }
+
+    #[test]
+    fn fault_events_serialize_when_present() {
+        use crate::fault::{FaultEvent, FaultKind};
+        let (mut sink, journal) = JournalSink::new();
+        sink.record(RoundRecord {
+            round: 0,
+            phase: "search".into(),
+            kind: RoundKind::Execute,
+            breakdown: RoundBreakdown::default(),
+            cpu_to_pim_bytes: 0,
+            pim_to_cpu_bytes: 0,
+            tasks: 0,
+            replies: 0,
+            active_modules: 0,
+            max_cycles: 0,
+            mean_cycles: 0.0,
+            sum_cycles: 0,
+            cycle_hist: [0; HIST_BUCKETS],
+            stragglers: vec![],
+            faults: vec![
+                FaultEvent { module: 5, attempt: 0, kind: FaultKind::ReplyDrop },
+                FaultEvent { module: 7, attempt: 0, kind: FaultKind::Death },
+            ],
+        });
+        let line = journal.to_jsonl();
+        let v = serde_json::from_str(line.trim()).unwrap();
+        let faults = v.get("faults").and_then(|x| x.as_array()).unwrap();
+        assert_eq!(faults.len(), 2);
+        assert_eq!(faults[0].get("module").and_then(|x| x.as_u64()), Some(5));
+        assert_eq!(faults[1].get("kind").and_then(|x| x.as_str()), Some("Death"));
     }
 }

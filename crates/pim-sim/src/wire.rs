@@ -11,6 +11,41 @@ pub trait Wire {
     fn wire_bytes(&self) -> u64;
 }
 
+/// Keyed checksum over a transfer's framing metadata.
+///
+/// The simulator models transfer *sizes*, not payload bits, so the checksum
+/// covers what exists in the model: the round, the module, and the byte
+/// count, mixed under a key. The fault plane flips bits in a corrupted
+/// reply's checksum; [`validate_checksum`] then rejects it — corruption is
+/// always detected, never silently consumed (the failure model's third
+/// axiom, see `pim_sim::fault`).
+///
+/// ```
+/// use pim_sim::wire::{checksum64, validate_checksum};
+/// let sum = checksum64(0xfeed, 7, 3, 4096);
+/// assert!(validate_checksum(0xfeed, 7, 3, 4096, sum));
+/// assert!(!validate_checksum(0xfeed, 7, 3, 4096, sum ^ 1));
+/// ```
+pub fn checksum64(key: u64, round: u64, module: u32, payload_bytes: u64) -> u64 {
+    let mut z = key
+        .wrapping_mul(0x9e3779b97f4a7c15)
+        .wrapping_add(round)
+        .wrapping_mul(0xbf58476d1ce4e5b9)
+        .wrapping_add(module as u64)
+        .wrapping_mul(0x94d049bb133111eb)
+        .wrapping_add(payload_bytes);
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xbf58476d1ce4e5b9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Recomputes the checksum and compares it to the one that arrived.
+pub fn validate_checksum(key: u64, round: u64, module: u32, payload_bytes: u64, got: u64) -> bool {
+    checksum64(key, round, module, payload_bytes) == got
+}
+
 impl Wire for () {
     fn wire_bytes(&self) -> u64 {
         0
@@ -82,5 +117,18 @@ mod tests {
         assert_eq!((1u32, 2u64).wire_bytes(), 12);
         assert_eq!(Some(7u32).wire_bytes(), 5);
         assert_eq!(Option::<u32>::None.wire_bytes(), 1);
+    }
+
+    #[test]
+    fn checksum_detects_any_field_change() {
+        let sum = checksum64(1, 2, 3, 4);
+        assert!(validate_checksum(1, 2, 3, 4, sum));
+        assert!(!validate_checksum(9, 2, 3, 4, sum));
+        assert!(!validate_checksum(1, 9, 3, 4, sum));
+        assert!(!validate_checksum(1, 2, 9, 4, sum));
+        assert!(!validate_checksum(1, 2, 3, 9, sum));
+        for bit in 0..64 {
+            assert!(!validate_checksum(1, 2, 3, 4, sum ^ (1 << bit)));
+        }
     }
 }

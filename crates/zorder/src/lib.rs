@@ -16,6 +16,8 @@
 //!   and the exact bounding box of a key prefix — the basis of tree node
 //!   bounding boxes.
 
+#![deny(missing_docs)]
+
 pub mod naive;
 pub mod prefix;
 pub mod spread;
@@ -41,6 +43,19 @@ impl<const D: usize> ZKey<D> {
 
     /// Encodes a point with the fast gap-interleave path (2D/3D use magic
     /// masks; other dimensions use the generic spreader).
+    ///
+    /// Integer order on keys is z-order on points, and the fast path always
+    /// agrees with the naive interleave:
+    ///
+    /// ```
+    /// use pim_geom::Point;
+    /// use pim_zorder::ZKey;
+    ///
+    /// let a = ZKey::encode(&Point::new([1u32, 2, 3]));
+    /// let b = ZKey::encode(&Point::new([1u32, 2, 4]));
+    /// assert!(a < b, "z-order follows coordinate order along one axis");
+    /// assert_eq!(a, ZKey::encode_naive(&Point::new([1u32, 2, 3])));
+    /// ```
     #[inline]
     pub fn encode(p: &Point<D>) -> Self {
         let mut key = 0u64;
@@ -63,6 +78,17 @@ impl<const D: usize> ZKey<D> {
     }
 
     /// Decodes the key back to its point.
+    ///
+    /// `decode` inverts [`encode`](Self::encode) exactly for any in-range
+    /// point:
+    ///
+    /// ```
+    /// use pim_geom::Point;
+    /// use pim_zorder::ZKey;
+    ///
+    /// let p = Point::new([123u32, 45_678]);
+    /// assert_eq!(ZKey::<2>::encode(&p).decode(), p);
+    /// ```
     #[inline]
     pub fn decode(self) -> Point<D> {
         let mut coords = [0u32; D];

@@ -14,7 +14,7 @@ pub use pim_zdtree_base as zdtree;
 pub use pim_zorder as zorder;
 
 pub use pim_geom::{Aabb, Metric, Point};
-pub use pim_sim::MachineConfig;
+pub use pim_sim::{FaultConfig, FaultLog, FaultPlan, MachineConfig};
 pub use pim_zd_tree::{PimZdConfig, PimZdTree};
 
 #[cfg(test)]

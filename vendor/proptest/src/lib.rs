@@ -182,7 +182,7 @@ pub mod collection {
     //! Collection strategies.
     use super::{Strategy, TestRng};
 
-    /// Length specification for [`vec`].
+    /// Length specification for [`vec()`](vec()).
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         lo: usize,

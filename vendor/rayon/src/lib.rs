@@ -4,7 +4,7 @@
 //! `par_iter_mut`, `into_par_iter`, `par_sort_unstable_by_key`, `map_init`,
 //! [`ThreadPool`], [`ThreadPoolBuilder`] — executing on a bounded
 //! work-stealing thread pool (per-worker LIFO deques, FIFO injector,
-//! steal-while-waiting `join`, see [`registry`]).
+//! steal-while-waiting `join`, see the private `registry` module).
 //!
 //! **Determinism contract.** Parallelism changes wall-clock time only:
 //! `collect` writes each item into the output slot of its *input index*
