@@ -16,6 +16,15 @@ pub struct BenchArgs {
     pub seed: u64,
     /// Round-trace output path (JSONL); `None` disables tracing.
     pub trace: Option<String>,
+    /// Perf-report output path (versioned JSON, see `perf::SCHEMA`);
+    /// `None` disables the report (and the metrics registry behind it).
+    pub json: Option<String>,
+    /// Host wall-clock profile output path (collapsed stacks); `None`
+    /// keeps the profiler off (one relaxed atomic load per span site).
+    pub profile: Option<String>,
+    /// Metrics-snapshot output path (Prometheus exposition text); `None`
+    /// disables the registry unless `--json` asked for it.
+    pub metrics: Option<String>,
     /// Worker threads for the host-side executor; `None` defers to
     /// `RAYON_NUM_THREADS`, then to the machine's available parallelism.
     /// Results are identical at any setting — only wall-clock changes.
@@ -37,6 +46,9 @@ impl Default for BenchArgs {
             positional: None,
             seed: 2026,
             trace: None,
+            json: None,
+            profile: None,
+            metrics: None,
             threads: None,
             fault_seed: None,
             fault_rate: 0.0,
@@ -46,8 +58,9 @@ impl Default for BenchArgs {
 
 impl BenchArgs {
     /// Parses `--points N --batch N --modules N --seed N --trace PATH
-    /// --threads N --fault-seed N --fault-rate R [positional]`, then pins
-    /// the global thread pool to `--threads` when given.
+    /// --json PATH --profile PATH --metrics PATH --threads N
+    /// --fault-seed N --fault-rate R [positional]`, then pins the global
+    /// thread pool to `--threads` when given.
     pub fn parse() -> Self {
         let out = Self::parse_without_pool_init();
         out.init_thread_pool();
@@ -74,6 +87,9 @@ impl BenchArgs {
                     }
                 }
                 "--trace" => out.trace = args.next(),
+                "--json" => out.json = args.next(),
+                "--profile" => out.profile = args.next(),
+                "--metrics" => out.metrics = args.next(),
                 "--fault-seed" => {
                     if let Some(v) = args.next().and_then(|s| s.parse().ok()) {
                         out.fault_seed = Some(v);

@@ -8,13 +8,14 @@
 //! cargo run --release -p pim-bench --bin dim_sensitivity
 //! ```
 
-use pim_bench::BenchArgs;
+use pim_bench::harness::measurement_from_stats;
+use pim_bench::{BenchArgs, PerfSink};
 use pim_geom::Metric;
 use pim_sim::MachineConfig;
 use pim_workloads as wl;
 use pim_zd_tree::{PimZdConfig, PimZdTree};
 
-fn run<const D: usize>(args: &BenchArgs) -> Vec<(String, f64)> {
+fn run<const D: usize>(args: &BenchArgs, perf: &mut PerfSink) -> Vec<(String, f64)> {
     let warm = wl::uniform::<D>(args.points, args.seed);
     let cfg = PimZdConfig::throughput_optimized(args.points as u64, args.modules);
     let mut t = PimZdTree::build_with_cpu(
@@ -23,34 +24,42 @@ fn run<const D: usize>(args: &BenchArgs) -> Vec<(String, f64)> {
         MachineConfig::with_modules(args.modules),
         pim_bench::harness::scaled_cpu(args.points),
     );
+    t.set_metrics(perf.metrics());
+    let dim = format!("{D}D");
     let mut out = Vec::new();
 
     let ins = wl::point_queries(&warm, args.batch, 4, args.seed ^ 1);
     t.batch_insert(&ins);
+    perf.push(&dim, &measurement_from_stats("PIM-zd-tree", "Insert", t.last_op_stats()));
     out.push(("Insert".into(), t.last_op_stats().throughput()));
 
     let side = wl::box_side_for_expected::<D>(args.points, 10.0);
     let boxes = wl::box_queries(&warm, args.batch / 10, side, args.seed ^ 2);
     let _ = t.batch_box_count(&boxes);
+    perf.push(&dim, &measurement_from_stats("PIM-zd-tree", "BC-10", t.last_op_stats()));
     out.push(("BC-10".into(), t.last_op_stats().throughput()));
     let _ = t.batch_box_fetch(&boxes);
+    perf.push(&dim, &measurement_from_stats("PIM-zd-tree", "BF-10", t.last_op_stats()));
     out.push(("BF-10".into(), t.last_op_stats().throughput()));
 
     let q = wl::knn_queries(&warm, args.batch / 10, args.seed ^ 3);
     let _ = t.batch_knn(&q, 10, Metric::L2);
+    perf.push(&dim, &measurement_from_stats("PIM-zd-tree", "10-NN", t.last_op_stats()));
     out.push(("10-NN".into(), t.last_op_stats().throughput()));
     out
 }
 
 fn main() {
     let args = BenchArgs::parse();
+    let mut perf = PerfSink::new("dim_sensitivity", &args);
     println!("== §7.3 dimension sensitivity ({} pts, {} modules) ==\n", args.points, args.modules);
-    let d2 = run::<2>(&args);
-    let d3 = run::<3>(&args);
+    let d2 = run::<2>(&args, &mut perf);
+    let d3 = run::<3>(&args, &mut perf);
     println!("{:<10} {:>12} {:>12} {:>10}", "op", "2D (Mop/s)", "3D (Mop/s)", "2D/3D");
     println!("{}", "-".repeat(48));
     for ((op, a), (_, b)) in d2.iter().zip(&d3) {
         println!("{:<10} {:>12.2} {:>12.2} {:>9.2}x", op, a / 1e6, b / 1e6, a / b);
     }
     println!("\n(paper: insert 1.02x; box counts 1.49x; box fetch 1.22x; kNN 2.13x)");
+    perf.finish();
 }

@@ -12,12 +12,13 @@
 //! ```
 
 use pim_bench::harness::{make_queries, run_cell_cpu, run_cell_pim, CpuRunner, OpKind, PimRunner};
-use pim_bench::{BenchArgs, Dataset};
+use pim_bench::{BenchArgs, Dataset, PerfSink};
 use pim_sim::{EnergyModel, MachineConfig};
 use pim_zd_tree::PimZdConfig;
 
 fn main() {
     let args = BenchArgs::parse();
+    let mut perf = PerfSink::new("energy_estimate", &args);
     let model = EnergyModel::default();
     println!(
         "== energy estimate per returned element ({} pts, batch {}, {} modules) ==\n",
@@ -27,6 +28,7 @@ fn main() {
     let cfg = PimZdConfig::throughput_optimized(args.points as u64, args.modules);
     let mut pim =
         PimRunner::new(&warm, cfg, MachineConfig::with_modules(args.modules), "PIM-zd-tree");
+    pim.attach_perf(&perf);
     let mut pkd = CpuRunner::pkd(&warm);
     let mut zd = CpuRunner::zd(&warm);
 
@@ -39,6 +41,7 @@ fn main() {
         let q = make_queries(op, &test, args.points, args.batch, args.seed ^ 0xE6);
 
         let m = run_cell_pim(&mut pim, op, &q);
+        perf.push("uniform", &m);
         let s = pim.index.last_op_stats().clone();
         let e = s.energy(&model);
         let t = e.total_j().max(1e-18);
@@ -55,6 +58,7 @@ fn main() {
 
         for (name, runner) in [("Pkd-tree", &mut pkd), ("zd-tree", &mut zd)] {
             let m = run_cell_cpu(runner, op, &q);
+            perf.push("uniform", &m);
             // Baselines: cycles and DRAM bytes only (no PIM, no channel).
             let cycles = (m.cpu_s * 2.2e9 * 22.4) as u64; // eff-thread cycles
             let dram = (m.traffic * m.elements as f64) as u64;
@@ -75,4 +79,5 @@ fn main() {
     }
     println!("(wimpy PIM cores + on-bank access make the PIM index cheaper per");
     println!(" element wherever it also wins on traffic — the paper's energy claim)");
+    perf.finish();
 }

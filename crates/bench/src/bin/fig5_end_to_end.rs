@@ -10,7 +10,7 @@
 //! ```
 
 use pim_bench::harness::{make_queries, run_cell_cpu, run_cell_pim, CpuRunner, OpKind, PimRunner};
-use pim_bench::{report, BenchArgs, Dataset};
+use pim_bench::{report, BenchArgs, Dataset, PerfSink};
 use pim_sim::MachineConfig;
 use pim_zd_tree::PimZdConfig;
 
@@ -26,12 +26,14 @@ fn main() {
         })]
     };
 
+    let mut perf = PerfSink::new("fig5_end_to_end", &args);
     for ds in datasets {
-        run_dataset(ds, &args);
+        run_dataset(ds, &args, &mut perf);
     }
+    perf.finish();
 }
 
-fn run_dataset(ds: Dataset, args: &BenchArgs) {
+fn run_dataset(ds: Dataset, args: &BenchArgs, perf: &mut PerfSink) {
     println!(
         "== Fig. 5 [{}]: warmup {} pts, batch {} ops, {} modules ==\n",
         ds.name(),
@@ -45,6 +47,7 @@ fn run_dataset(ds: Dataset, args: &BenchArgs) {
     let mut pim =
         PimRunner::new(&warm, cfg, MachineConfig::with_modules(args.modules), "PIM-zd-tree");
     pim.attach_fault_plan_if_requested(args);
+    pim.attach_perf(perf);
     let mut pkd = CpuRunner::pkd(&warm);
     let mut zd = CpuRunner::zd(&warm);
 
@@ -62,6 +65,7 @@ fn run_dataset(ds: Dataset, args: &BenchArgs) {
         for m in [&m_pim, &m_pkd, &m_zd] {
             report::row(m);
             report::json_line(m);
+            perf.push(ds.name(), m);
         }
         speedup_pkd.push(m_pim.throughput / m_pkd.throughput);
         speedup_zd.push(m_pim.throughput / m_zd.throughput);

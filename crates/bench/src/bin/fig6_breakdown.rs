@@ -8,12 +8,13 @@
 //! ```
 
 use pim_bench::harness::{make_queries, run_cell_pim, OpKind, PimRunner};
-use pim_bench::{BenchArgs, Dataset};
+use pim_bench::{BenchArgs, Dataset, PerfSink};
 use pim_sim::MachineConfig;
 use pim_zd_tree::PimZdConfig;
 
 fn main() {
     let args = BenchArgs::parse();
+    let mut perf = PerfSink::new("fig6_breakdown", &args);
     println!(
         "== Fig. 6: runtime breakdown (uniform, {} pts, batch {}, {} modules) ==\n",
         args.points, args.batch, args.modules
@@ -24,6 +25,7 @@ fn main() {
         PimRunner::new(&warm, cfg, MachineConfig::with_modules(args.modules), "PIM-zd-tree");
     pim.attach_trace_if_requested(&args);
     pim.attach_fault_plan_if_requested(&args);
+    pim.attach_perf(&perf);
 
     let ops = [
         OpKind::Insert,
@@ -37,6 +39,7 @@ fn main() {
     for op in ops {
         let q = make_queries(op, &test, args.points, args.batch, args.seed ^ 0xF16);
         let m = run_cell_pim(&mut pim, op, &q);
+        perf.push("uniform", &m);
         let t = m.total_s;
         println!(
             "{:<10} {:>7.1}% {:>7.1}% {:>7.1}%   {:>8.2}ms",
@@ -50,4 +53,5 @@ fn main() {
     println!("\n(paper: INSERT is CPU-heavy from batch preprocessing; BF-100 is");
     println!(" communication-heavy from output volume; the rest is PIM-dominated)");
     pim.flush_trace();
+    perf.finish();
 }

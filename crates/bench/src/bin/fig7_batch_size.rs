@@ -16,12 +16,13 @@
 //! the optional positional argument sweeps those instead.
 
 use pim_bench::harness::{make_queries, run_cell_pim, OpKind, PimRunner};
-use pim_bench::{BenchArgs, Dataset};
+use pim_bench::{BenchArgs, Dataset, PerfSink};
 use pim_sim::MachineConfig;
 use pim_zd_tree::PimZdConfig;
 
 fn main() {
     let args = BenchArgs::parse();
+    let mut perf = PerfSink::new("fig7_batch_size", &args);
     let op = match args.positional.as_deref() {
         Some("knn") => OpKind::Knn(10),
         Some("box") => OpKind::BoxCount(10.0),
@@ -46,10 +47,13 @@ fn main() {
         let cfg = PimZdConfig::throughput_optimized(args.points as u64, args.modules);
         let mut pim =
             PimRunner::new(&warm, cfg, MachineConfig::with_modules(args.modules), "PIM-zd-tree");
+        pim.attach_perf(&perf);
         let q = make_queries(op, &test, args.points, batch, args.seed ^ 0xF17);
         let m = run_cell_pim(&mut pim, op, &q);
+        perf.push(&format!("batch={batch}"), &m);
         println!("{:>10} {:>16.2} {:>14.1}", batch, m.throughput / 1e6, m.traffic);
     }
     println!("\n(paper: throughput rises with batch size; traffic/op rises once");
     println!(" batch state exceeds the LLC — there at 200k ops of 50M-scale runs)");
+    perf.finish();
 }

@@ -11,12 +11,13 @@
 //! ```
 
 use pim_bench::harness::{make_queries, run_cell_cpu, run_cell_pim, CpuRunner, OpKind, PimRunner};
-use pim_bench::{BenchArgs, Dataset};
+use pim_bench::{BenchArgs, Dataset, PerfSink};
 use pim_sim::MachineConfig;
 use pim_zd_tree::PimZdConfig;
 
 fn main() {
     let args = BenchArgs::parse();
+    let mut perf = PerfSink::new("fig8_dataset_size", &args);
     // Paper sweep: 20M…300M; scaled by 100x.
     let sizes = [200_000usize, 400_000, 1_000_000, 2_000_000, 3_000_000];
 
@@ -35,6 +36,7 @@ fn main() {
         let cfg = PimZdConfig::throughput_optimized(n as u64, args.modules);
         let mut pim =
             PimRunner::new(&warm, cfg, MachineConfig::with_modules(args.modules), "PIM-zd-tree");
+        pim.attach_perf(&perf);
         let mut pkd = CpuRunner::pkd(&warm);
         let mut zd = CpuRunner::zd(&warm);
 
@@ -43,6 +45,9 @@ fn main() {
         let a = run_cell_pim(&mut pim, op, &q);
         let b = run_cell_cpu(&mut pkd, op, &q);
         let c = run_cell_cpu(&mut zd, op, &q);
+        for m in [&a, &b, &c] {
+            perf.push(&format!("n={n}"), m);
+        }
         println!(
             "{:>10} | {:>11.2} {:>9.0} | {:>11.2} {:>9.0} | {:>11.2} {:>9.0}",
             n,
@@ -55,4 +60,5 @@ fn main() {
         );
     }
     println!("\n(paper: PIM-zd-tree flat; Pkd/zd degrade 1.4x/1.6x with 15x more data)");
+    perf.finish();
 }

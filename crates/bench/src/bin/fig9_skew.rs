@@ -6,7 +6,8 @@
 //! cargo run --release -p pim-bench --bin fig9_skew
 //! ```
 
-use pim_bench::{BenchArgs, Dataset};
+use pim_bench::harness::measurement_from_stats;
+use pim_bench::{BenchArgs, Dataset, PerfSink};
 use pim_geom::Metric;
 use pim_sim::MachineConfig;
 use pim_workloads as wl;
@@ -14,6 +15,7 @@ use pim_zd_tree::{PimZdConfig, PimZdTree};
 
 fn main() {
     let args = BenchArgs::parse();
+    let mut perf = PerfSink::new("fig9_skew", &args);
     let fractions = [0.0, 0.0001, 0.0002, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.02];
 
     println!(
@@ -36,6 +38,8 @@ fn main() {
         machine,
         pim_bench::harness::scaled_cpu(args.points),
     );
+    thr.set_metrics(perf.metrics());
+    skw.set_metrics(perf.metrics());
 
     println!(
         "{:>10} | {:>14} {:>9} | {:>14} {:>9}",
@@ -50,6 +54,9 @@ fn main() {
         let a = thr.last_op_stats().clone();
         let _ = skw.batch_knn(&queries, 1, Metric::L2);
         let b = skw.last_op_stats().clone();
+        let label = format!("varden={f}");
+        perf.push(&label, &measurement_from_stats("thr-opt", "1-NN", &a));
+        perf.push(&label, &measurement_from_stats("skew-res", "1-NN", &b));
         println!(
             "{:>9.2}% | {:>14.2} {:>8.1}x | {:>14.2} {:>8.1}x",
             f * 100.0,
@@ -61,4 +68,5 @@ fn main() {
     }
     println!("\n(paper: skew-resistant fluctuates ≤ 4.1%; throughput-optimized degrades");
     println!(" 10.66x at 2% Varden and is overtaken beyond 0.1%)");
+    perf.finish();
 }

@@ -16,7 +16,7 @@
 //! nonzero rate costs time and traffic but never correctness.
 
 use pim_bench::harness::{make_queries, run_cell_pim, OpKind, PimRunner};
-use pim_bench::{BenchArgs, Dataset};
+use pim_bench::{BenchArgs, Dataset, PerfSink};
 use pim_geom::Point;
 use pim_sim::{FaultConfig, FaultLog, FaultPlan, MachineConfig};
 use pim_zd_tree::PimZdConfig;
@@ -36,6 +36,7 @@ fn run_cell(
     warm: &[Point<3>],
     test: &[Point<3>],
     plan: Option<FaultPlan>,
+    perf: &mut PerfSink,
 ) -> Cell {
     let (rate, factor) = plan
         .as_ref()
@@ -44,13 +45,16 @@ fn run_cell(
     let mut pim =
         PimRunner::new(warm, cfg, MachineConfig::with_modules(args.modules), "PIM-zd-tree");
     pim.index.set_fault_plan(plan);
+    pim.attach_perf(perf);
 
     let ops = [OpKind::Insert, OpKind::BoxCount(100.0), OpKind::Knn(10)];
     let mut total_s = 0.0;
     let mut fingerprint = Vec::new();
+    let cell_label = format!("rate={rate},strag={factor}");
     for op in ops {
         let q = make_queries(op, test, args.points, args.batch, args.seed ^ 0xF16);
         let m = run_cell_pim(&mut pim, op, &q);
+        perf.push(&cell_label, &m);
         total_s += m.total_s;
     }
     // Result fingerprint over all query families (compared across cells).
@@ -82,7 +86,8 @@ fn main() {
         if args.fault_rate > 0.0 { vec![args.fault_rate] } else { vec![0.01, 0.05, 0.10, 0.20] };
     let factors = [2.0, 8.0];
 
-    let base = run_cell(&args, &warm, &test, None);
+    let mut perf = PerfSink::new("fig_robustness", &args);
+    let base = run_cell(&args, &warm, &test, None, &mut perf);
     println!(
         "{:>6} {:>7} {:>10} {:>9}  {:>7} {:>7} {:>7} {:>6} {:>7} {:>11}  results",
         "rate",
@@ -115,7 +120,7 @@ fn main() {
         for &factor in &factors {
             let mut cfg = FaultConfig::uniform(rate, fault_seed);
             cfg.straggler_factor = factor;
-            let cell = run_cell(&args, &warm, &test, Some(FaultPlan::new(cfg)));
+            let cell = run_cell(&args, &warm, &test, Some(FaultPlan::new(cfg)), &mut perf);
             let overhead = 100.0 * (cell.total_s - base.total_s) / base.total_s;
             let ok = cell.fingerprint == base.fingerprint;
             println!(
@@ -137,4 +142,5 @@ fn main() {
     }
     println!("\n(overhead = simulated-time increase over the fault-free run; every cell's");
     println!(" query results are checked byte-identical to the baseline — recovery is exact)");
+    perf.finish();
 }

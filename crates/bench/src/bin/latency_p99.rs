@@ -10,8 +10,8 @@
 //! ```
 
 use pim_bench::harness::{make_queries, run_cell_cpu, run_cell_pim, CpuRunner, OpKind, PimRunner};
-use pim_bench::{BenchArgs, Dataset};
-use pim_sim::MachineConfig;
+use pim_bench::{BenchArgs, Dataset, PerfSink};
+use pim_sim::{MachineConfig, Samples};
 use pim_zd_tree::PimZdConfig;
 
 fn main() {
@@ -25,31 +25,40 @@ fn main() {
     );
     let (warm, test) = Dataset::Osm.warmup_and_test(args.points, args.seed);
     let cfg = PimZdConfig::skew_resistant(args.modules);
+    let mut perf = PerfSink::new("latency_p99", &args);
     let mut pim =
         PimRunner::new(&warm, cfg, MachineConfig::with_modules(args.modules), "PIM-zd-tree");
+    pim.attach_perf(&perf);
     let mut pkd = CpuRunner::pkd(&warm);
     let mut zd = CpuRunner::zd(&warm);
 
-    let mut lat: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let mut lat: [Samples; 3] = [Samples::new(), Samples::new(), Samples::new()];
     for b in 0..n_batches {
         let q = make_queries(OpKind::Knn(1), &test, args.points, per_batch, args.seed + b as u64);
-        lat[0].push(run_cell_pim(&mut pim, OpKind::Knn(1), &q).total_s);
-        lat[1].push(run_cell_cpu(&mut pkd, OpKind::Knn(1), &q).total_s);
-        lat[2].push(run_cell_cpu(&mut zd, OpKind::Knn(1), &q).total_s);
+        let ms = [
+            run_cell_pim(&mut pim, OpKind::Knn(1), &q),
+            run_cell_cpu(&mut pkd, OpKind::Knn(1), &q),
+            run_cell_cpu(&mut zd, OpKind::Knn(1), &q),
+        ];
+        for (l, m) in lat.iter_mut().zip(&ms) {
+            l.push(m.total_s);
+            if b == 0 {
+                perf.push("osm", m);
+            }
+        }
     }
 
     println!("{:<14} {:>10} {:>10} {:>10}", "index", "P50", "P99", "max");
     println!("{}", "-".repeat(48));
     for (name, l) in ["PIM-zd-tree", "Pkd-tree", "zd-tree"].iter().zip(lat.iter_mut()) {
-        l.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let p = |q: f64| l[((l.len() - 1) as f64 * q) as usize];
         println!(
             "{:<14} {:>8.2}ms {:>8.2}ms {:>8.2}ms",
             name,
-            p(0.5) * 1e3,
-            p(0.99) * 1e3,
-            l[l.len() - 1] * 1e3
+            l.quantile(0.5) * 1e3,
+            l.quantile(0.99) * 1e3,
+            l.max() * 1e3
         );
     }
     println!("\n(paper: PIM-zd-tree 32.5ms < Pkd-tree 44.9ms < zd-tree 210ms at full scale)");
+    perf.finish();
 }

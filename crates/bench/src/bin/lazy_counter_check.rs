@@ -8,28 +8,40 @@
 //! cargo run --release -p pim-bench --bin lazy_counter_check
 //! ```
 
-use pim_bench::BenchArgs;
+use pim_bench::harness::measurement_from_stats;
+use pim_bench::{BenchArgs, PerfSink};
 use pim_sim::MachineConfig;
 use pim_workloads as wl;
 use pim_zd_tree::{PimZdConfig, PimZdTree};
 
 fn main() {
     let args = BenchArgs::parse();
+    let mut perf = PerfSink::new("lazy_counter_check", &args);
     let n = args.points.min(100_000);
     println!("== Lemma 3.1: lazy-counter band under a random update schedule ==\n");
 
     let base = wl::uniform::<3>(n, args.seed);
     let cfg = PimZdConfig::skew_resistant(args.modules.min(64));
     let mut t = PimZdTree::build(&base, cfg, MachineConfig::with_modules(args.modules.min(64)));
+    t.set_metrics(perf.metrics());
     let mut live = base.clone();
 
     for round in 0..6 {
         let ins = wl::uniform::<3>(n / 10, args.seed + 100 + round);
         t.batch_insert(&ins);
         live.extend_from_slice(&ins);
+        let round_label = format!("round={round}");
+        perf.push(
+            &round_label,
+            &measurement_from_stats("PIM-zd-tree", "Insert", t.last_op_stats()),
+        );
 
         let del: Vec<_> = live.iter().step_by(7).copied().collect();
         let removed = t.batch_delete(&del);
+        perf.push(
+            &round_label,
+            &measurement_from_stats("PIM-zd-tree", "Delete", t.last_op_stats()),
+        );
         // Reconstruct the expected multiset.
         let mut budget: std::collections::HashMap<[u32; 3], usize> = Default::default();
         for p in &del {
@@ -58,4 +70,5 @@ fn main() {
         );
     }
     println!("\nLemma 3.1 verified: every lazy counter stayed within [T/2, 2T].");
+    perf.finish();
 }

@@ -1,0 +1,124 @@
+//! Perf regression gate over `--json` reports.
+//!
+//! ```text
+//! perf_diff BASELINE NEW [--threshold R]   compare two reports
+//! perf_diff BASELINE_DIR NEW [...]         pick the baseline whose "bench"
+//!                                          field matches NEW's
+//! perf_diff --check-schema FILE...         shape-validate reports only
+//! ```
+//!
+//! Exit status: 0 when the gate passes, 1 on a regression or structural
+//! error (schema/config mismatch, missing cell or metric family), 2 on
+//! usage errors. Structural errors are errors rather than regressions
+//! because they mean the comparison itself is invalid.
+
+use pim_bench::perf::{diff_reports, validate_schema, DEFAULT_THRESHOLD};
+use serde_json::Value;
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Resolves a baseline argument: a file is used as-is; a directory is
+/// searched for the report whose `bench` field matches the new report's.
+fn resolve_baseline(arg: &str, new: &Value) -> Result<(String, Value), String> {
+    if !std::path::Path::new(arg).is_dir() {
+        return Ok((arg.to_string(), load(arg)?));
+    }
+    let bench = new.get("bench").and_then(Value::as_str).ok_or("new report: missing \"bench\"")?;
+    let mut paths: Vec<_> = std::fs::read_dir(arg)
+        .map_err(|e| format!("{arg}: {e}"))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    for p in paths {
+        let path = p.display().to_string();
+        let Ok(v) = load(&path) else { continue };
+        if v.get("bench").and_then(Value::as_str) == Some(bench) {
+            return Ok((path, v));
+        }
+    }
+    Err(format!("{arg}: no baseline with bench {bench:?}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.first().map(String::as_str) == Some("--check-schema") {
+        if args.len() < 2 {
+            eprintln!("usage: perf_diff --check-schema FILE...");
+            std::process::exit(2);
+        }
+        let mut failed = false;
+        for path in &args[1..] {
+            match load(path).and_then(|v| validate_schema(&v).map_err(|e| format!("{path}: {e}"))) {
+                Ok(()) => println!("{path}: ok"),
+                Err(e) => {
+                    eprintln!("{e}");
+                    failed = true;
+                }
+            }
+        }
+        std::process::exit(if failed { 1 } else { 0 });
+    }
+
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => match it.next().map(|v| (v.parse::<f64>(), v)) {
+                Some((Ok(t), _)) if t >= 0.0 => threshold = t,
+                other => {
+                    eprintln!("error: --threshold expects a non-negative ratio, got {other:?}");
+                    std::process::exit(2);
+                }
+            },
+            _ if !a.starts_with("--") => positional.push(a),
+            other => {
+                eprintln!("error: unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let [base_arg, new_arg] = positional.as_slice() else {
+        eprintln!(
+            "usage: perf_diff BASELINE NEW [--threshold R] | perf_diff --check-schema FILE..."
+        );
+        std::process::exit(2);
+    };
+
+    let run = || -> Result<bool, String> {
+        let new = load(new_arg)?;
+        let (base_path, base) = resolve_baseline(base_arg, &new)?;
+        let outcome = diff_reports(&base, &new, threshold)?;
+        println!(
+            "perf_diff: {} vs {new_arg}: {} cells compared (threshold {:.0}%)",
+            base_path,
+            outcome.compared,
+            threshold * 100.0
+        );
+        for line in &outcome.improvements {
+            println!("improved:  {line}");
+        }
+        for line in &outcome.regressions {
+            println!("REGRESSED: {line}");
+        }
+        if outcome.passed() {
+            println!("perf_diff: PASS");
+        } else {
+            println!("perf_diff: FAIL ({} regressions)", outcome.regressions.len());
+        }
+        Ok(outcome.passed())
+    };
+    match run() {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(1),
+        Err(e) => {
+            eprintln!("perf_diff: error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -5,7 +5,8 @@
 //! cargo run --release -p pim-bench --bin table2_configs
 //! ```
 
-use pim_bench::{BenchArgs, Dataset};
+use pim_bench::harness::measurement_from_stats;
+use pim_bench::{BenchArgs, Dataset, PerfSink};
 use pim_geom::{Metric, Point};
 use pim_sim::MachineConfig;
 use pim_workloads as wl;
@@ -13,6 +14,7 @@ use pim_zd_tree::{PimZdConfig, PimZdTree};
 
 fn main() {
     let args = BenchArgs::parse();
+    let mut perf = PerfSink::new("table2_configs", &args);
     println!(
         "== Table 2: configuration properties ({} pts, {} modules) ==\n",
         args.points, args.modules
@@ -31,6 +33,8 @@ fn main() {
             PimZdConfig::skew_resistant(args.modules)
         };
         let mut t = PimZdTree::build(&warm, cfg, MachineConfig::with_modules(args.modules));
+        t.set_metrics(perf.metrics());
+        let preset_name = if preset == 0 { "thr-opt" } else { "skew-res" };
         rows[0].push(format!("{}", cfg.theta_l0));
         rows[1].push(format!("{}", cfg.theta_l1));
         rows[2].push(format!("{:.2}x raw data", t.space_bytes() as f64 / raw_bytes));
@@ -38,6 +42,7 @@ fn main() {
         // Communication per op, in bytes.
         let q: Vec<Point<3>> = wl::knn_queries(&warm, args.batch, args.seed ^ 2);
         let _ = t.batch_contains(&q);
+        perf.push("uniform", &measurement_from_stats(preset_name, "SEARCH", t.last_op_stats()));
         rows[3].push(format!(
             "{:.1} B ({} rnds)",
             t.last_op_stats().channel_bytes as f64 / args.batch as f64,
@@ -46,6 +51,7 @@ fn main() {
 
         let ins = wl::point_queries(&warm, args.batch, 4, args.seed ^ 3);
         t.batch_insert(&ins);
+        perf.push("uniform", &measurement_from_stats(preset_name, "Insert", t.last_op_stats()));
         rows[4].push(format!(
             "{:.1} B ({} rnds)",
             t.last_op_stats().channel_bytes as f64 / args.batch as f64,
@@ -54,6 +60,7 @@ fn main() {
 
         let knn_q: Vec<Point<3>> = wl::knn_queries(&warm, args.batch / 10, args.seed ^ 4);
         let _ = t.batch_knn(&knn_q, 10, Metric::L2);
+        perf.push("uniform", &measurement_from_stats(preset_name, "10-NN", t.last_op_stats()));
         rows[5].push(format!(
             "{:.1} B ({} rnds)",
             t.last_op_stats().channel_bytes as f64 / (args.batch / 10) as f64,
@@ -70,4 +77,5 @@ fn main() {
     }
     println!("\n(Table 2: both configs O(n) space; SEARCH/updates O(1) comm for");
     println!(" throughput-optimized vs O(log_B log_B P) for skew-resistant; kNN +O(k))");
+    perf.finish();
 }

@@ -13,7 +13,7 @@
 //! ```
 
 use pim_bench::harness::{make_queries, run_cell_pim, OpKind, PimRunner};
-use pim_bench::{report, BenchArgs, Dataset};
+use pim_bench::{report, BenchArgs, Dataset, PerfSink};
 use pim_sim::config::TransferApi;
 use pim_sim::MachineConfig;
 use pim_zd_tree::PimZdConfig;
@@ -48,9 +48,10 @@ fn main() {
         args.points, args.batch
     );
     let (warm, test) = Dataset::Uniform.warmup_and_test(args.points, args.seed);
+    let mut perf = PerfSink::new("table3_ablation", &args);
 
     // Measure a configuration: returns per-op-family throughput.
-    let measure = |ab: Ablation| -> Vec<(String, f64)> {
+    let measure = |ab: Ablation, perf: &mut PerfSink| -> Vec<(String, f64)> {
         let mut cfg = PimZdConfig::throughput_optimized(args.points as u64, args.modules);
         let mut machine = MachineConfig::with_modules(args.modules);
         match ab {
@@ -62,10 +63,13 @@ fn main() {
             Ablation::PracticalChunking => cfg.toggles.practical_chunking = false,
         }
         let mut pim = PimRunner::new(&warm, cfg, machine, "PIM-zd-tree");
+        pim.attach_perf(perf);
         let mut out = Vec::new();
         // INSERT.
         let q = make_queries(OpKind::Insert, &test, args.points, args.batch, args.seed ^ 0x73);
-        out.push(("Insert".into(), run_cell_pim(&mut pim, OpKind::Insert, &q).throughput));
+        let m = run_cell_pim(&mut pim, OpKind::Insert, &q);
+        perf.push(ab.name(), &m);
+        out.push(("Insert".into(), m.throughput));
         // BoxCount / BoxFetch / kNN: geometric mean over the three sizes.
         for (label, ops) in [
             (
@@ -82,7 +86,9 @@ fn main() {
                 .iter()
                 .map(|&op| {
                     let q = make_queries(op, &test, args.points, args.batch, args.seed ^ 0x73);
-                    run_cell_pim(&mut pim, op, &q).throughput
+                    let m = run_cell_pim(&mut pim, op, &q);
+                    perf.push(ab.name(), &m);
+                    m.throughput
                 })
                 .collect();
             out.push((label.into(), report::geomean(&ts)));
@@ -90,7 +96,7 @@ fn main() {
         out
     };
 
-    let base = measure(Ablation::None);
+    let base = measure(Ablation::None, &mut perf);
     println!("{:<14} {:>9} {:>9} {:>9} {:>9}", "removed", "Insert", "BoxCount", "BoxFetch", "kNN");
     println!("{}", "-".repeat(56));
     for ab in [
@@ -100,7 +106,7 @@ fn main() {
         Ablation::DirectApi,
         Ablation::PracticalChunking,
     ] {
-        let m = measure(ab);
+        let m = measure(ab, &mut perf);
         let slowdowns: Vec<String> =
             base.iter().zip(&m).map(|((_, b), (_, x))| format!("{:>8.2}x", b / x)).collect();
         println!("{:<14} {}", ab.name(), slowdowns.join(" "));
@@ -109,4 +115,5 @@ fn main() {
     println!(" fast l2 1.58x on kNN; Direct API 1.06–1.09x at large batches.");
     println!(" Dense chunking is this reproduction's extra row: the §6 practical-");
     println!(" chunking jump table, not separately ablated in the paper's Table 3)");
+    perf.finish();
 }

@@ -172,6 +172,12 @@ impl PimRunner {
         }
     }
 
+    /// Attaches the perf sink's metrics registry (a no-op handle when the
+    /// run requested no observability output).
+    pub fn attach_perf(&mut self, sink: &crate::PerfSink) {
+        self.index.set_metrics(sink.metrics());
+    }
+
     /// Attaches the fault-injection plan described by `--fault-rate` /
     /// `--fault-seed` (a no-op at the default rate 0). Runs *after* the
     /// build so construction is always fault-free; measured operations then
@@ -237,20 +243,25 @@ impl PimRunner {
     }
 
     fn to_measurement(&self, op: &str) -> Measurement {
-        let s = self.index.last_op_stats();
-        Measurement {
-            index: self.name.clone(),
-            op: op.to_string(),
-            throughput: s.throughput(),
-            traffic: s.traffic_per_element(),
-            cpu_s: s.breakdown.cpu_s,
-            pim_s: s.breakdown.pim_s,
-            comm_s: s.breakdown.comm_s,
-            total_s: s.breakdown.total_s(),
-            rounds: s.rounds,
-            imbalance: s.worst_imbalance,
-            elements: s.elements,
-        }
+        measurement_from_stats(&self.name, op, self.index.last_op_stats())
+    }
+}
+
+/// Builds a measurement row straight from an index's last-op stats, for
+/// binaries that drive [`PimZdTree`] without a [`PimRunner`].
+pub fn measurement_from_stats(index: &str, op: &str, s: &pim_zd_tree::OpStats) -> Measurement {
+    Measurement {
+        index: index.to_string(),
+        op: op.to_string(),
+        throughput: s.throughput(),
+        traffic: s.traffic_per_element(),
+        cpu_s: s.breakdown.cpu_s,
+        pim_s: s.breakdown.pim_s,
+        comm_s: s.breakdown.comm_s,
+        total_s: s.breakdown.total_s(),
+        rounds: s.rounds,
+        imbalance: s.worst_imbalance,
+        elements: s.elements,
     }
 }
 

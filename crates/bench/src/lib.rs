@@ -13,9 +13,11 @@
 pub mod args;
 pub mod datasets;
 pub mod harness;
+pub mod perf;
 pub mod report;
 pub mod trace_report;
 
 pub use args::BenchArgs;
 pub use datasets::Dataset;
 pub use harness::{Measurement, OpKind};
+pub use perf::PerfSink;

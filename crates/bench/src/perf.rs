@@ -1,0 +1,466 @@
+//! Machine-readable perf baselines and the regression diff gate.
+//!
+//! Every figure/table binary accepts `--json PATH` (write a versioned perf
+//! report), `--metrics PATH` (dump the Prometheus-style metrics snapshot),
+//! and `--profile PATH` (enable the host wall-clock profiler and write a
+//! collapsed-stack file). With none of the flags given, the binaries'
+//! stdout is byte-identical to a build without this module.
+//!
+//! Reports follow schema [`SCHEMA`] and are compared by the `perf_diff`
+//! binary: simulated quantities (throughput, traffic, latency, rounds) are
+//! deterministic per config, so any drift beyond the noise threshold is a
+//! real change in the modelled system, not measurement jitter. Wall-clock
+//! time is recorded (`wall_s`) but never compared.
+
+use crate::harness::Measurement;
+use crate::BenchArgs;
+use serde::Serialize;
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// Report schema identifier; bump when the shape changes incompatibly.
+pub const SCHEMA: &str = "pim-zd-bench/1";
+
+/// Default relative noise threshold of the diff gate.
+pub const DEFAULT_THRESHOLD: f64 = 0.10;
+
+/// One measured (dataset, index, op) cell of a perf report.
+#[derive(Clone, Debug, Serialize)]
+pub struct PerfEntry {
+    /// Dataset label (binaries without a dataset axis use their sweep key).
+    pub dataset: String,
+    /// Index under test.
+    pub index: String,
+    /// Operation label.
+    pub op: String,
+    /// Elements per simulated second.
+    pub throughput: f64,
+    /// Memory-bus bytes per element.
+    pub traffic: f64,
+    /// Host CPU seconds.
+    pub cpu_s: f64,
+    /// PIM execution seconds.
+    pub pim_s: f64,
+    /// Communication + overhead seconds.
+    pub comm_s: f64,
+    /// Batch latency in simulated seconds.
+    pub total_s: f64,
+    /// BSP rounds.
+    pub rounds: u64,
+    /// Elements returned.
+    pub elements: u64,
+}
+
+impl PerfEntry {
+    /// Wraps a harness measurement under a dataset label.
+    pub fn new(dataset: &str, m: &Measurement) -> Self {
+        Self {
+            dataset: dataset.to_string(),
+            index: m.index.clone(),
+            op: m.op.clone(),
+            throughput: m.throughput,
+            traffic: m.traffic,
+            cpu_s: m.cpu_s,
+            pim_s: m.pim_s,
+            comm_s: m.comm_s,
+            total_s: m.total_s,
+            rounds: m.rounds,
+            elements: m.elements,
+        }
+    }
+}
+
+/// Collects measurements and observability artifacts for one binary run and
+/// writes them out at the end. Constructing one with no relevant flags set
+/// is free: no metrics registry is allocated, the profiler stays off, and
+/// [`finish`](Self::finish) writes nothing.
+pub struct PerfSink {
+    bench: &'static str,
+    args: BenchArgs,
+    metrics: pim_sim::Metrics,
+    entries: Vec<PerfEntry>,
+    started: std::time::Instant,
+}
+
+impl PerfSink {
+    /// Creates the sink for a binary named `bench`; reads `--json`,
+    /// `--metrics` and `--profile` from `args`.
+    pub fn new(bench: &'static str, args: &BenchArgs) -> Self {
+        let metrics = if args.json.is_some() || args.metrics.is_some() {
+            pim_sim::Metrics::enabled_new()
+        } else {
+            pim_sim::Metrics::disabled()
+        };
+        if args.profile.is_some() {
+            pim_obs::reset();
+            pim_obs::enable();
+        }
+        Self {
+            bench,
+            args: args.clone(),
+            metrics,
+            entries: Vec::new(),
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// The shared metrics handle (disabled when no output was requested).
+    /// Attach it to every PIM index under test.
+    pub fn metrics(&self) -> pim_sim::Metrics {
+        self.metrics.clone()
+    }
+
+    /// Records one measurement under a dataset (or sweep-point) label.
+    pub fn push(&mut self, dataset: &str, m: &Measurement) {
+        if self.args.json.is_some() {
+            self.entries.push(PerfEntry::new(dataset, m));
+        }
+    }
+
+    /// Writes every requested artifact: the JSON report, the metrics
+    /// snapshot, and the profiler table + collapsed stacks. Errors are
+    /// reported on stderr but never fatal (a failed report write must not
+    /// turn a completed benchmark into a failure).
+    pub fn finish(&self) {
+        if let Some(path) = &self.args.json {
+            let report = self.render_report();
+            match std::fs::write(path, report) {
+                Ok(()) => eprintln!("perf: wrote {} result entries to {path}", self.entries.len()),
+                Err(e) => eprintln!("perf: failed to write {path}: {e}"),
+            }
+        }
+        if let Some(path) = &self.args.metrics {
+            let text = self.metrics.snapshot_text().unwrap_or_default();
+            match std::fs::write(path, &text) {
+                Ok(()) => eprintln!("metrics: wrote snapshot to {path}"),
+                Err(e) => eprintln!("metrics: failed to write {path}: {e}"),
+            }
+        }
+        if let Some(path) = &self.args.profile {
+            pim_obs::disable();
+            let report = pim_obs::report();
+            eprintln!("{}", report.render_table());
+            match std::fs::write(path, report.render_collapsed()) {
+                Ok(()) => eprintln!("profile: wrote collapsed stacks to {path}"),
+                Err(e) => eprintln!("profile: failed to write {path}: {e}"),
+            }
+        }
+    }
+
+    /// Renders the full report document (deterministic key order).
+    pub fn render_report(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"schema\":");
+        SCHEMA.json_write(&mut out);
+        out.push_str(",\"bench\":");
+        self.bench.json_write(&mut out);
+        out.push_str(",\"git_rev\":");
+        git_rev().json_write(&mut out);
+        out.push_str(",\"config\":");
+        self.render_config(&mut out);
+        out.push_str(",\"wall_s\":");
+        self.started.elapsed().as_secs_f64().json_write(&mut out);
+        out.push_str(",\"results\":");
+        self.entries.json_write(&mut out);
+        out.push_str(",\"metrics\":");
+        out.push_str(&self.metrics.snapshot_json().unwrap_or_else(|| "{}".into()));
+        out.push('}');
+        out.push('\n');
+        out
+    }
+
+    fn render_config(&self, out: &mut String) {
+        let a = &self.args;
+        out.push_str(&format!(
+            "{{\"batch\":{},\"fault_rate\":{:?},\"modules\":{},\"points\":{},\"seed\":{}",
+            a.batch, a.fault_rate, a.modules, a.points, a.seed
+        ));
+        out.push_str(",\"positional\":");
+        a.positional.json_write(out);
+        out.push('}');
+    }
+}
+
+/// The current git revision (or `"unknown"` outside a repository).
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+// ---------------------------------------------------------------------
+// Diff gate
+// ---------------------------------------------------------------------
+
+/// Outcome of comparing a new report against a baseline.
+#[derive(Debug, Default)]
+pub struct DiffOutcome {
+    /// Human-readable regression lines; non-empty means the gate fails.
+    pub regressions: Vec<String>,
+    /// Improvements beyond the threshold (informational).
+    pub improvements: Vec<String>,
+    /// Number of (dataset, index, op) cells compared.
+    pub compared: usize,
+}
+
+impl DiffOutcome {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Validates that `v` is a well-formed report of the current [`SCHEMA`].
+/// This is the shape gate CI runs against committed baselines; it asserts
+/// nothing about timing.
+pub fn validate_schema(v: &Value) -> Result<(), String> {
+    let schema = v.get("schema").and_then(Value::as_str).ok_or("missing \"schema\"")?;
+    if schema != SCHEMA {
+        return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
+    }
+    v.get("bench").and_then(Value::as_str).ok_or("missing \"bench\"")?;
+    v.get("git_rev").and_then(Value::as_str).ok_or("missing \"git_rev\"")?;
+    let config = v.get("config").ok_or("missing \"config\"")?;
+    for key in ["points", "batch", "modules", "seed"] {
+        config.get(key).and_then(Value::as_u64).ok_or(format!("config.{key} not integral"))?;
+    }
+    v.get("wall_s").and_then(Value::as_f64).ok_or("missing \"wall_s\"")?;
+    let results = v.get("results").and_then(Value::as_array).ok_or("missing \"results\"")?;
+    for (i, r) in results.iter().enumerate() {
+        for key in ["dataset", "index", "op"] {
+            r.get(key).and_then(Value::as_str).ok_or(format!("results[{i}].{key} not a string"))?;
+        }
+        for key in ["throughput", "traffic", "cpu_s", "pim_s", "comm_s", "total_s"] {
+            r.get(key).and_then(Value::as_f64).ok_or(format!("results[{i}].{key} not a number"))?;
+        }
+        for key in ["rounds", "elements"] {
+            r.get(key).and_then(Value::as_u64).ok_or(format!("results[{i}].{key} not integral"))?;
+        }
+    }
+    match v.get("metrics") {
+        Some(Value::Object(_)) => Ok(()),
+        _ => Err("missing \"metrics\" object".into()),
+    }
+}
+
+fn index_results(v: &Value) -> Result<BTreeMap<String, &Value>, String> {
+    let mut out = BTreeMap::new();
+    for r in v.get("results").and_then(Value::as_array).ok_or("missing \"results\"")? {
+        let key = format!(
+            "{}/{}/{}",
+            r.get("dataset").and_then(Value::as_str).ok_or("entry missing dataset")?,
+            r.get("index").and_then(Value::as_str).ok_or("entry missing index")?,
+            r.get("op").and_then(Value::as_str).ok_or("entry missing op")?,
+        );
+        out.insert(key, r);
+    }
+    Ok(out)
+}
+
+fn num(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key).and_then(Value::as_f64).ok_or(format!("missing metric {key:?}"))
+}
+
+/// Compares `new` against `base` with a relative noise `threshold`.
+///
+/// Structural problems (schema/config mismatch, a baseline cell or metric
+/// absent from the new report) are hard errors: they mean the two runs are
+/// not comparable, or coverage silently shrank. Performance movement beyond
+/// the threshold lands in [`DiffOutcome::regressions`] /
+/// [`DiffOutcome::improvements`].
+pub fn diff_reports(base: &Value, new: &Value, threshold: f64) -> Result<DiffOutcome, String> {
+    validate_schema(base).map_err(|e| format!("baseline: {e}"))?;
+    validate_schema(new).map_err(|e| format!("new report: {e}"))?;
+
+    // Same simulated machine or the numbers mean nothing. (`positional`
+    // may differ: a superset run still covers the baseline's cells.)
+    for key in ["points", "batch", "modules", "seed", "fault_rate"] {
+        let b = base.get("config").and_then(|c| c.get(key)).cloned();
+        let n = new.get("config").and_then(|c| c.get(key)).cloned();
+        if b != n {
+            return Err(format!("config mismatch on {key:?}: baseline {b:?} vs new {n:?}"));
+        }
+    }
+
+    let base_idx = index_results(base)?;
+    let new_idx = index_results(new)?;
+    let mut out = DiffOutcome::default();
+
+    for (key, b) in &base_idx {
+        let n = new_idx
+            .get(key)
+            .ok_or(format!("cell {key} present in baseline but missing from new report"))?;
+        out.compared += 1;
+
+        // Correctness first: the same config must return the same elements.
+        let (be, ne) = (num(b, "elements")?, num(n, "elements")?);
+        if be != ne {
+            out.regressions.push(format!("{key}: elements changed {be} -> {ne}"));
+            continue;
+        }
+        // Higher-is-better vs lower-is-better quantities.
+        for (metric, higher_better) in
+            [("throughput", true), ("traffic", false), ("total_s", false), ("rounds", false)]
+        {
+            let (bv, nv) = (num(b, metric)?, num(n, metric)?);
+            if bv == 0.0 {
+                continue;
+            }
+            let rel = nv / bv - 1.0;
+            let (worse, better) = if higher_better { (-rel, rel) } else { (rel, -rel) };
+            if worse > threshold {
+                out.regressions.push(format!(
+                    "{key}: {metric} regressed {bv:.4e} -> {nv:.4e} ({:+.1}%)",
+                    rel * 100.0
+                ));
+            } else if better > threshold {
+                out.improvements.push(format!(
+                    "{key}: {metric} improved {bv:.4e} -> {nv:.4e} ({:+.1}%)",
+                    rel * 100.0
+                ));
+            }
+        }
+    }
+
+    // A metric family recorded in the baseline must still exist: losing one
+    // means an instrumentation point was dropped.
+    if let (Some(Value::Object(bm)), Some(nm)) = (base.get("metrics"), new.get("metrics")) {
+        for name in bm.keys() {
+            if nm.get(name).is_none() {
+                return Err(format!(
+                    "metric {name:?} present in baseline but missing from new report"
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(throughput: f64, traffic: f64, with_metric: bool) -> Value {
+        let metrics =
+            if with_metric { r#"{"sim_rounds_total{kind=\"execute\"}":12}"# } else { "{}" };
+        let doc = format!(
+            concat!(
+                "{{\"schema\":\"pim-zd-bench/1\",\"bench\":\"fig5_end_to_end\",",
+                "\"git_rev\":\"abc123\",\"config\":{{\"batch\":5000,\"fault_rate\":0.0,",
+                "\"modules\":64,\"points\":50000,\"seed\":2026,\"positional\":null}},",
+                "\"wall_s\":1.5,\"results\":[{{\"dataset\":\"uniform\",",
+                "\"index\":\"PIM-zd-tree\",\"op\":\"Insert\",\"throughput\":{t},",
+                "\"traffic\":{tr},\"cpu_s\":0.1,\"pim_s\":0.2,\"comm_s\":0.3,",
+                "\"total_s\":0.6,\"rounds\":40,\"elements\":5000}}],",
+                "\"metrics\":{m}}}"
+            ),
+            t = throughput,
+            tr = traffic,
+            m = metrics,
+        );
+        serde_json::from_str(&doc).unwrap()
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let a = report(1.0e6, 300.0, true);
+        let d = diff_reports(&a, &a, DEFAULT_THRESHOLD).unwrap();
+        assert!(d.passed());
+        assert_eq!(d.compared, 1);
+        assert!(d.improvements.is_empty());
+    }
+
+    #[test]
+    fn noise_below_threshold_passes() {
+        let base = report(1.0e6, 300.0, false);
+        let new = report(0.95e6, 310.0, false);
+        assert!(diff_reports(&base, &new, DEFAULT_THRESHOLD).unwrap().passed());
+    }
+
+    #[test]
+    fn throughput_drop_is_a_regression() {
+        let base = report(1.0e6, 300.0, false);
+        let new = report(0.8e6, 300.0, false);
+        let d = diff_reports(&base, &new, DEFAULT_THRESHOLD).unwrap();
+        assert!(!d.passed());
+        assert!(d.regressions[0].contains("throughput"), "{:?}", d.regressions);
+    }
+
+    #[test]
+    fn traffic_growth_is_a_regression_and_reduction_an_improvement() {
+        let base = report(1.0e6, 300.0, false);
+        let worse = report(1.0e6, 400.0, false);
+        let better = report(1.0e6, 200.0, false);
+        assert!(!diff_reports(&base, &worse, DEFAULT_THRESHOLD).unwrap().passed());
+        let d = diff_reports(&base, &better, DEFAULT_THRESHOLD).unwrap();
+        assert!(d.passed());
+        assert_eq!(d.improvements.len(), 1);
+    }
+
+    #[test]
+    fn missing_metric_family_is_an_error() {
+        let base = report(1.0e6, 300.0, true);
+        let new = report(1.0e6, 300.0, false);
+        let err = diff_reports(&base, &new, DEFAULT_THRESHOLD).unwrap_err();
+        assert!(err.contains("sim_rounds_total"), "{err}");
+    }
+
+    #[test]
+    fn missing_cell_is_an_error() {
+        let base = report(1.0e6, 300.0, false);
+        let mut doc = serde_json::to_string(&base).unwrap();
+        doc = doc.replace("\"op\":\"Insert\"", "\"op\":\"BC-10\"");
+        let renamed = serde_json::from_str(&doc).unwrap();
+        let err = diff_reports(&base, &renamed, DEFAULT_THRESHOLD).unwrap_err();
+        assert!(err.contains("missing from new report"), "{err}");
+    }
+
+    #[test]
+    fn config_mismatch_is_an_error() {
+        let base = report(1.0e6, 300.0, false);
+        let mut doc = serde_json::to_string(&base).unwrap();
+        doc = doc.replace("\"seed\":2026", "\"seed\":7");
+        let other = serde_json::from_str(&doc).unwrap();
+        assert!(diff_reports(&base, &other, DEFAULT_THRESHOLD).unwrap_err().contains("seed"));
+    }
+
+    #[test]
+    fn schema_validation_rejects_malformed_reports() {
+        assert!(validate_schema(&serde_json::from_str("{}").unwrap()).is_err());
+        let wrong = serde_json::from_str(r#"{"schema":"pim-zd-bench/0"}"#).unwrap();
+        assert!(validate_schema(&wrong).unwrap_err().contains("pim-zd-bench/0"));
+        assert!(validate_schema(&report(1.0, 1.0, true)).is_ok());
+    }
+
+    #[test]
+    fn rendered_report_validates_and_roundtrips() {
+        let args = BenchArgs { json: Some("/dev/null".into()), ..Default::default() };
+        let mut sink = PerfSink::new("unit_test", &args);
+        sink.push(
+            "uniform",
+            &Measurement {
+                index: "PIM-zd-tree".into(),
+                op: "Insert".into(),
+                throughput: 1.25e6,
+                traffic: 301.5,
+                cpu_s: 0.1,
+                pim_s: 0.2,
+                comm_s: 0.3,
+                total_s: 0.6,
+                rounds: 40,
+                imbalance: 1.5,
+                elements: 5000,
+            },
+        );
+        let doc = serde_json::from_str(&sink.render_report()).unwrap();
+        validate_schema(&doc).unwrap();
+        assert_eq!(doc.get("bench").unwrap().as_str(), Some("unit_test"));
+        let cell = &doc.get("results").unwrap().as_array().unwrap()[0];
+        assert_eq!(cell.get("elements").unwrap().as_u64(), Some(5000));
+    }
+}

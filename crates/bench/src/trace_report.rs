@@ -10,11 +10,14 @@
 //! `pim_s` sums the per-round PIM time and `comm_s + overhead_s` sums to
 //! the harness's communication column.
 
-use pim_sim::RoundRecord;
+use pim_sim::{FaultKind, RoundRecord};
 
-/// Indices into [`TraceRow::fault_counts`], in `FaultKind` order.
-const FAULT_KINDS: [&str; 6] =
-    ["ExecFault", "ReplyDrop", "ReplyCorrupt", "Straggler", "Death", "Salvage"];
+/// Index of a journal `kind` string in [`FaultKind::ALL`] order — the one
+/// ordering shared by `fault_counts` arrays, the rendered recovery table,
+/// and the simulator's own journal encoding.
+fn fault_kind_index(name: &str) -> Option<usize> {
+    FaultKind::ALL.iter().position(|k| k.name() == name)
+}
 
 /// The per-round fields the summary consumes (a journal line, parsed).
 #[derive(Clone, Debug, Default)]
@@ -23,9 +26,10 @@ pub struct TraceRow {
     pub phase: String,
     /// True for `Salvage`-kind rounds (recovery DMA reads of dead modules).
     pub is_salvage: bool,
-    /// Injected fault / recovery events this round, counted by kind:
+    /// Injected fault / recovery events this round, counted by kind in
+    /// [`FaultKind::ALL`] order:
     /// `[exec, drop, corrupt, straggler, death, salvage]`.
-    pub fault_counts: [u64; 6],
+    pub fault_counts: [u64; FaultKind::COUNT],
     /// Per-round PIM seconds (max-over-modules core time).
     pub pim_s: f64,
     /// Channel transfer seconds.
@@ -48,10 +52,9 @@ pub struct TraceRow {
 
 impl From<&RoundRecord> for TraceRow {
     fn from(r: &RoundRecord) -> Self {
-        let mut fault_counts = [0u64; 6];
+        let mut fault_counts = [0u64; FaultKind::COUNT];
         for f in &r.faults {
-            let name = format!("{:?}", f.kind);
-            if let Some(i) = FAULT_KINDS.iter().position(|k| *k == name) {
+            if let Some(i) = fault_kind_index(f.kind.name()) {
                 fault_counts[i] += 1;
             }
         }
@@ -83,11 +86,11 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<TraceRow>, String> {
         let v = serde_json::from_str(line).map_err(|e| format!("line {}: {e:?}", i + 1))?;
         let f = |key: &str| v.get("breakdown").and_then(|b| b.get(key)).and_then(|x| x.as_f64());
         let u = |key: &str| v.get(key).and_then(|x| x.as_u64());
-        let mut fault_counts = [0u64; 6];
+        let mut fault_counts = [0u64; FaultKind::COUNT];
         if let Some(faults) = v.get("faults").and_then(|x| x.as_array()) {
             for ev in faults {
                 let kind = ev.get("kind").and_then(|k| k.as_str()).unwrap_or("");
-                if let Some(i) = FAULT_KINDS.iter().position(|k| *k == kind) {
+                if let Some(i) = fault_kind_index(kind) {
                     fault_counts[i] += 1;
                 }
             }
@@ -137,7 +140,7 @@ pub struct PhaseSummary {
     /// management rounds barely move it (mirrors `SimStats::agg_imbalance`).
     pub agg_imbalance: f64,
     /// Injected fault / recovery events, by kind (see [`TraceRow::fault_counts`]).
-    pub fault_counts: [u64; 6],
+    pub fault_counts: [u64; FaultKind::COUNT],
     /// Rounds with at least one fault event attached.
     pub faulted_rounds: u64,
     /// `Salvage`-kind rounds (one per dead-module memory rescue).
@@ -363,7 +366,7 @@ mod tests {
             max_cycles: maxc,
             mean_cycles: meanc,
             is_salvage: false,
-            fault_counts: [0; 6],
+            fault_counts: [0; FaultKind::COUNT],
         }
     }
 

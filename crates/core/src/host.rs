@@ -132,6 +132,23 @@ impl<const D: usize> PimZdTree<D> {
         let host: CpuStats = self.meter.stats();
         let sim = self.sys.stats().since(&sim_before);
         self.last_stats = OpStats::from_deltas(&self.cpu_model, host, sim, batch_ops, elements);
+        if self.sys.metrics().enabled() {
+            // One publish per measured batch, labeled with the op's phase
+            // (`measured` always runs inside the op's `phased` scope). This
+            // is where the memsim cache-model counters enter the registry.
+            let op = self.sys.current_phase();
+            self.sys.metrics().with(|m| {
+                let ol: &[(&str, &str)] = &[("op", &op)];
+                m.add("host_batches_total", ol, 1);
+                m.observe("host_batch_ops", ol, batch_ops);
+                m.add("host_elements_returned_total", ol, elements);
+                m.add("host_work_cycles_total", ol, host.work_cycles);
+                m.add("host_span_cycles_total", ol, host.span_cycles);
+                m.add("host_llc_hits_total", ol, host.llc_hits);
+                m.add("host_llc_misses_total", ol, host.llc_misses);
+                m.add("host_dram_bytes_total", ol, host.dram_bytes);
+            });
+        }
         result
     }
 
@@ -140,8 +157,11 @@ impl<const D: usize> PimZdTree<D> {
     /// maintenance round inside a delete batch reads `delete/maintain`).
     /// This is the index-side counterpart of
     /// [`PimSystem::scoped_phase`](pim_sim::PimSystem::scoped_phase), needed
-    /// because operations borrow the whole tree, not just the system.
-    pub(crate) fn phased<R>(&mut self, label: &str, f: impl FnOnce(&mut Self) -> R) -> R {
+    /// because operations borrow the whole tree, not just the system. The
+    /// label doubles as a wall-clock profiler span, so host profiles nest
+    /// the same way journal phases do.
+    pub(crate) fn phased<R>(&mut self, label: &'static str, f: impl FnOnce(&mut Self) -> R) -> R {
+        let _span = pim_obs::span(label);
         self.sys.push_phase(label);
         let out = f(self);
         self.sys.pop_phase();
@@ -152,6 +172,26 @@ impl<const D: usize> PimZdTree<D> {
     /// [`pim_sim::trace`]); pass `Box::new(pim_sim::NullSink)` to detach.
     pub fn set_trace_sink(&mut self, sink: Box<dyn pim_sim::TraceSink>) {
         self.sys.set_trace_sink(sink);
+    }
+
+    /// Attaches a metrics registry handle (see [`pim_sim::metrics`]): the
+    /// simulated machine publishes per-round counters and the index adds
+    /// host-side ones (cache-model counters per op, batch sizes, splice
+    /// and recovery events). Pass [`pim_sim::Metrics::disabled`] to detach.
+    pub fn set_metrics(&mut self, metrics: pim_sim::Metrics) {
+        self.sys.set_metrics(metrics);
+    }
+
+    /// The attached metrics handle (disabled by default).
+    pub fn metrics(&self) -> &pim_sim::Metrics {
+        self.sys.metrics()
+    }
+
+    /// Cumulative simulator statistics over every *accounted* round (builds
+    /// run unaccounted) — the ground truth the metrics registry must agree
+    /// with.
+    pub fn sim_stats(&self) -> &pim_sim::SimStats {
+        self.sys.stats()
     }
 
     /// A cost sink charging the host meter at the L0 region.
@@ -332,6 +372,13 @@ impl<const D: usize> PimZdTree<D> {
             f.master_module = target;
             self.dir.get_mut(f.meta).module = target;
             installs[target as usize].push(MgmtTask::InstallMaster(f));
+        }
+        if self.sys.metrics().enabled() {
+            let rehomed: u64 = installs.iter().map(|v| v.len() as u64).sum();
+            self.sys.metrics().with(|m| {
+                m.add("host_recoveries_total", &[], dead.len() as u64);
+                m.add("host_rehomed_fragments_total", &[], rehomed);
+            });
         }
         if !installs.iter().all(Vec::is_empty) {
             self.robust_round(installs, handle_mgmt);

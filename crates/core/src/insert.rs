@@ -39,6 +39,7 @@ impl<const D: usize> PimZdTree<D> {
         // Group items per target (semi-sort; Alg. 2 step 2d's dedup falls
         // out of grouping: conflicting creations land in one fragment's
         // merge, which builds each new node once).
+        let group_span = pim_obs::span("group_and_sort");
         self.meter.work(points.len() as u64 * 20);
         let mut l0_items: Vec<Keyed<D>> = Vec::new();
         let mut per_meta: FxHashMap<MetaId, Vec<Keyed<D>>> = FxHashMap::default();
@@ -54,9 +55,11 @@ impl<const D: usize> PimZdTree<D> {
                 }
             }
         }
+        drop(group_span);
 
         // Apply to L0 host-side.
         if !l0_items.is_empty() {
+            let _span = pim_obs::span("l0_merge");
             l0_items.sort_unstable_by_key(|(k, p)| (*k, p.coords));
             self.meter.work(l0_items.len() as u64 * 25);
             if let Some(l0) = self.l0.as_mut() {
@@ -77,6 +80,7 @@ impl<const D: usize> PimZdTree<D> {
 
         // Apply to fragments: one round (Alg. 2 step 3a/3b).
         if !per_meta.is_empty() {
+            let sort_span = pim_obs::span("sort_tasks");
             let mut tasks: Vec<Vec<InsertTask<D>>> = self.task_matrix();
             for (meta, mut items) in per_meta {
                 items.sort_unstable_by_key(|(k, p)| (*k, p.coords));
@@ -84,7 +88,9 @@ impl<const D: usize> PimZdTree<D> {
                 let module = self.dir.get(meta).module as usize;
                 tasks[module].push(InsertTask { meta, items });
             }
+            drop(sort_span);
             let replies = self.robust_round(tasks, |_, m, ctx, t| handle_insert(m, ctx, t));
+            let _span = pim_obs::span("apply_replies");
             for r in replies.into_iter().flatten() {
                 let e = self.dir.get_mut(r.meta);
                 e.pending_delta += r.added as i64;
@@ -115,6 +121,8 @@ impl<const D: usize> PimZdTree<D> {
 
     fn delete_inner(&mut self, points: &[Point<D>]) -> usize {
         let s = self.batch_search_internal(points, 0);
+
+        let group_span = pim_obs::span("group_and_sort");
         self.meter.work(points.len() as u64 * 20);
 
         let mut l0_items: Vec<Keyed<D>> = Vec::new();
@@ -130,10 +138,12 @@ impl<const D: usize> PimZdTree<D> {
                 _ => {}
             }
         }
+        drop(group_span);
 
         let mut removed = 0usize;
 
         if !l0_items.is_empty() {
+            let _span = pim_obs::span("l0_merge");
             l0_items.sort_unstable_by_key(|(k, p)| (*k, p.coords));
             self.meter.work(l0_items.len() as u64 * 25);
             let l0 = self.l0.as_mut().unwrap();
@@ -150,6 +160,7 @@ impl<const D: usize> PimZdTree<D> {
         }
 
         if !per_meta.is_empty() {
+            let sort_span = pim_obs::span("sort_tasks");
             let mut tasks: Vec<Vec<DeleteTask<D>>> = self.task_matrix();
             for (meta, mut items) in per_meta {
                 items.sort_unstable_by_key(|(k, p)| (*k, p.coords));
@@ -157,13 +168,16 @@ impl<const D: usize> PimZdTree<D> {
                 let module = self.dir.get(meta).module as usize;
                 tasks[module].push(DeleteTask { meta, items });
             }
+            drop(sort_span);
             let replies = self.robust_round(tasks, |_, m, ctx, t| handle_delete(m, ctx, t));
+            let reply_span = pim_obs::span("apply_replies");
             let mut splices: Vec<(Option<MetaId>, MetaId, Option<RemoteRef<D>>)> = Vec::new();
             let mut urgent_syncs: Vec<MetaId> = Vec::new();
             for r in replies.into_iter().flatten() {
                 removed += r.removed as usize;
                 self.apply_delete_reply(&r, &mut splices, &mut urgent_syncs);
             }
+            drop(reply_span);
             self.process_splices(splices);
             // Prefix changes must reach parents before the next routing
             // decision (part of Alg. 2's pointer-fixing rounds).
@@ -217,10 +231,13 @@ impl<const D: usize> PimZdTree<D> {
         &mut self,
         mut splices: Vec<(Option<MetaId>, MetaId, Option<RemoteRef<D>>)>,
     ) {
+        let _span = pim_obs::span("process_splices");
         // child → its (unresolved) replacement; grows as cascades surface.
         let mut resolution: FxHashMap<MetaId, Option<RemoteRef<D>>> = FxHashMap::default();
+        let mut spliced = 0u64;
         let mut guard = 0;
         while !splices.is_empty() {
+            spliced += splices.len() as u64;
             guard += 1;
             assert!(guard < 100, "splice cascade failed to converge");
             for (_, child, replacement) in &splices {
@@ -326,6 +343,9 @@ impl<const D: usize> PimZdTree<D> {
                 }
             }
             splices = next;
+        }
+        if spliced > 0 {
+            self.sys.metrics().with(|m| m.add("host_splices_total", &[], spliced));
         }
     }
 

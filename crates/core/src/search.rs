@@ -77,6 +77,7 @@ impl<const D: usize> PimZdTree<D> {
     /// Charges and computes the batch's Morton keys (fast path or the
     /// Table 3 naive path).
     pub(crate) fn encode_batch(&mut self, pts: &[Point<D>]) -> Vec<ZKey<D>> {
+        let _span = pim_obs::span("encode_batch");
         let per_key = if self.cfg.toggles.fast_zorder {
             12 * D as u64
         } else {
@@ -117,6 +118,7 @@ impl<const D: usize> PimZdTree<D> {
         // ---- L0 traversal on the host ----
         let mut pending: Vec<(u32, RemoteRef<D>)> = Vec::new();
         {
+            let _span = pim_obs::span("l0_traverse");
             let l0 = self.l0.as_ref().unwrap();
             let mut sink = Self::l0_sink(&mut self.meter);
             for (qid, &key) in keys.iter().enumerate() {
@@ -228,6 +230,7 @@ impl<const D: usize> PimZdTree<D> {
             }
             let replies: Vec<Vec<SearchReply<D>>> = self.robust_round(tasks, handle_search);
 
+            let _span = pim_obs::span("decode_replies");
             pending = Vec::new();
             for reply in replies.into_iter().flatten() {
                 let qid = reply.qid as usize;

@@ -60,6 +60,18 @@ pub struct CpuStats {
 }
 
 impl CpuStats {
+    /// Fraction of LLC accesses that hit (0 when nothing was touched) —
+    /// the derived view the metrics/perf reports use alongside the raw
+    /// hit/miss counters.
+    pub fn llc_hit_rate(&self) -> f64 {
+        let total = self.llc_hits + self.llc_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.llc_hits as f64 / total as f64
+        }
+    }
+
     /// Component-wise sum.
     pub fn merge(&self, other: &CpuStats) -> CpuStats {
         CpuStats {
@@ -253,5 +265,12 @@ mod tests {
         let mut meter = CpuMeter::new(small_cfg());
         meter.stream_bytes(1234);
         assert_eq!(meter.stats().dram_bytes, 1234);
+    }
+
+    #[test]
+    fn hit_rate_is_hits_over_accesses() {
+        assert_eq!(CpuStats::default().llc_hit_rate(), 0.0, "no accesses, no rate");
+        let s = CpuStats { llc_hits: 3, llc_misses: 1, ..Default::default() };
+        assert_eq!(s.llc_hit_rate(), 0.75);
     }
 }

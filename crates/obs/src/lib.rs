@@ -1,0 +1,347 @@
+//! Host-side wall-clock span profiler.
+//!
+//! The simulator attributes *simulated* time (CPU/PIM/Comm, Fig. 6); this
+//! crate attributes *real* host wall-clock, so the two can be compared —
+//! a hot path that the model says is cheap but the profiler says is slow
+//! is a modelling bug or a host implementation problem, and either way is
+//! where the next perf PR should look.
+//!
+//! # Model
+//!
+//! [`span`] opens an RAII scope on the current thread; nested spans build
+//! a `;`-separated path (`insert;sort`), mirroring how the simulator's
+//! `scoped_phase` labels nest with `/`. Each thread accumulates
+//! `(total, self, calls)` per path — monotonic [`Instant`] clock, no
+//! syscalls beyond the two clock reads per span — and [`report`] merges
+//! all threads' trees by path.
+//!
+//! Profiling is **globally off by default**: a span taken while disabled
+//! is a no-op guard whose construction is one relaxed atomic load, so
+//! instrumented hot paths cost nothing in normal runs (the same
+//! zero-cost-off bar the trace and metrics layers meet). Benches flip it
+//! on with `--profile <path>` (see `pim-bench`), which calls [`enable`]
+//! before the workload and writes [`Report::render_table`] plus
+//! [`Report::render_collapsed`] — the latter is the standard
+//! collapsed-stack format (`path;leaf <value>`) that flamegraph tooling
+//! consumes directly.
+//!
+//! Unlike the metrics registry, output is wall-clock and therefore *not*
+//! deterministic across runs or thread counts; only structure (the set of
+//! paths) is. Nothing in the repro's accounting reads these numbers.
+
+#![deny(missing_docs)]
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// One thread's span-path accumulator, shared with the global registry.
+type ThreadStats = Arc<Mutex<BTreeMap<String, PathStat>>>;
+
+/// All threads' accumulators, registered on each thread's first span.
+static THREADS: OnceLock<Mutex<Vec<ThreadStats>>> = OnceLock::new();
+
+fn threads() -> &'static Mutex<Vec<ThreadStats>> {
+    THREADS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Accumulated timing of one span path on one thread (merged across
+/// threads in a [`Report`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PathStat {
+    /// Nanoseconds inside the span, children included.
+    pub total_ns: u64,
+    /// Nanoseconds inside the span minus time inside child spans.
+    pub self_ns: u64,
+    /// Times the span was entered.
+    pub calls: u64,
+}
+
+struct Frame {
+    label: &'static str,
+    start: Instant,
+    child_ns: u64,
+}
+
+struct ThreadState {
+    stack: Vec<Frame>,
+    sink: ThreadStats,
+    registered: bool,
+}
+
+impl ThreadState {
+    fn new() -> Self {
+        ThreadState {
+            stack: Vec::new(),
+            sink: Arc::new(Mutex::new(BTreeMap::new())),
+            registered: false,
+        }
+    }
+}
+
+thread_local! {
+    static TL: RefCell<ThreadState> = RefCell::new(ThreadState::new());
+}
+
+/// Turns profiling on process-wide. Spans opened before this call stay
+/// no-ops; spans opened after accumulate. Idempotent.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns profiling off process-wide (already-open guards still record on
+/// drop, keeping every thread's stack balanced).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether spans currently record.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Discards all accumulated spans on every thread (for back-to-back
+/// measurements in one process; tests use it for isolation).
+pub fn reset() {
+    for sink in threads().lock().unwrap().iter() {
+        sink.lock().unwrap().clear();
+    }
+}
+
+/// Opens a scoped wall-clock span named `label` on the current thread;
+/// the span closes (and records) when the returned guard drops. While
+/// profiling is disabled this returns an inert guard at the cost of one
+/// atomic load.
+#[inline]
+pub fn span(label: &'static str) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard { active: false };
+    }
+    TL.with(|tl| {
+        let mut st = tl.borrow_mut();
+        if !st.registered {
+            st.registered = true;
+            threads().lock().unwrap().push(Arc::clone(&st.sink));
+        }
+        st.stack.push(Frame { label, start: Instant::now(), child_ns: 0 });
+    });
+    SpanGuard { active: true }
+}
+
+/// RAII guard of one open span (see [`span`]).
+#[must_use = "the span closes when the guard drops; drop it at the end of the scope"]
+pub struct SpanGuard {
+    active: bool,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        // try_with: a guard may drop during thread teardown after the
+        // thread-local is gone; losing that one span beats aborting.
+        let _ = TL.try_with(|tl| {
+            let mut st = tl.borrow_mut();
+            let Some(frame) = st.stack.pop() else { return };
+            let elapsed = frame.start.elapsed().as_nanos() as u64;
+            let mut path = String::new();
+            for f in &st.stack {
+                path.push_str(f.label);
+                path.push(';');
+            }
+            path.push_str(frame.label);
+            if let Some(parent) = st.stack.last_mut() {
+                parent.child_ns += elapsed;
+            }
+            let sink = Arc::clone(&st.sink);
+            drop(st);
+            let mut map = sink.lock().unwrap();
+            let e = map.entry(path).or_default();
+            e.total_ns += elapsed;
+            e.self_ns += elapsed.saturating_sub(frame.child_ns);
+            e.calls += 1;
+        });
+    }
+}
+
+/// A merged snapshot of every thread's span tree, keyed by `;`-joined
+/// path.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Per-path totals summed over threads, sorted by path.
+    pub paths: BTreeMap<String, PathStat>,
+}
+
+/// Merges all threads' accumulated spans into one [`Report`]. Open spans
+/// are not included — take the report after the workload's guards have
+/// dropped.
+pub fn report() -> Report {
+    let mut paths: BTreeMap<String, PathStat> = BTreeMap::new();
+    for sink in threads().lock().unwrap().iter() {
+        for (path, s) in sink.lock().unwrap().iter() {
+            let e = paths.entry(path.clone()).or_default();
+            e.total_ns += s.total_ns;
+            e.self_ns += s.self_ns;
+            e.calls += s.calls;
+        }
+    }
+    Report { paths }
+}
+
+impl Report {
+    /// Human-readable self/total table, heaviest total first (path order
+    /// breaks ties so equal-weight rows render stably).
+    pub fn render_table(&self) -> String {
+        let mut rows: Vec<(&String, &PathStat)> = self.paths.iter().collect();
+        rows.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
+        let width = rows.iter().map(|(p, _)| p.len()).max().unwrap_or(4).max(4);
+        let mut out =
+            format!("{:<width$}  {:>10}  {:>12}  {:>12}\n", "span", "calls", "total_ms", "self_ms");
+        for (path, s) in rows {
+            out.push_str(&format!(
+                "{:<width$}  {:>10}  {:>12.3}  {:>12.3}\n",
+                path,
+                s.calls,
+                s.total_ns as f64 / 1e6,
+                s.self_ns as f64 / 1e6,
+            ));
+        }
+        out
+    }
+
+    /// Collapsed-stack (flamegraph) output: one `path self_ns` line per
+    /// span path, sorted by path. Feed to `flamegraph.pl` / `inferno`
+    /// as-is; self-time per line is exactly what stack collapsing expects.
+    pub fn render_collapsed(&self) -> String {
+        let mut out = String::new();
+        for (path, s) in &self.paths {
+            if s.self_ns > 0 {
+                out.push_str(&format!("{path} {}\n", s.self_ns));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    // The profiler is process-global state; tests serialize on this.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn isolated() -> MutexGuard<'static, ()> {
+        let g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        enable();
+        g
+    }
+
+    fn spin_ns(ns: u64) {
+        let start = Instant::now();
+        while (start.elapsed().as_nanos() as u64) < ns {
+            std::hint::spin_loop();
+        }
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = isolated();
+        disable();
+        {
+            let _s = span("never");
+        }
+        enable();
+        assert!(!report().paths.contains_key("never"));
+    }
+
+    #[test]
+    fn nested_spans_build_paths_and_split_self_time() {
+        let _g = isolated();
+        {
+            let _a = span("outer");
+            spin_ns(200_000);
+            {
+                let _b = span("inner");
+                spin_ns(200_000);
+            }
+        }
+        let r = report();
+        let outer = r.paths.get("outer").copied().unwrap();
+        let inner = r.paths.get("outer;inner").copied().unwrap();
+        assert_eq!(outer.calls, 1);
+        assert_eq!(inner.calls, 1);
+        assert!(outer.total_ns >= inner.total_ns + 200_000, "outer includes inner + own spin");
+        assert!(
+            outer.self_ns <= outer.total_ns - inner.total_ns,
+            "inner's time is excluded from outer's self time"
+        );
+    }
+
+    #[test]
+    fn sibling_calls_accumulate() {
+        let _g = isolated();
+        for _ in 0..3 {
+            let _s = span("repeat");
+            spin_ns(50_000);
+        }
+        let s = report().paths.get("repeat").copied().unwrap();
+        assert_eq!(s.calls, 3);
+        assert!(s.total_ns >= 150_000);
+        assert_eq!(s.total_ns, s.self_ns, "leaf span: self == total");
+    }
+
+    #[test]
+    fn threads_merge_by_path() {
+        let _g = isolated();
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let _s = span("worker");
+                    spin_ns(50_000);
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        let s = report().paths.get("worker").copied().unwrap();
+        assert_eq!(s.calls, 2, "both threads' spans merge under one path");
+    }
+
+    #[test]
+    fn renders_contain_every_path() {
+        let _g = isolated();
+        {
+            let _a = span("alpha");
+            spin_ns(10_000);
+            let _b = span("beta");
+            spin_ns(10_000);
+        }
+        let r = report();
+        let table = r.render_table();
+        assert!(table.contains("alpha"), "{table}");
+        assert!(table.contains("alpha;beta"), "{table}");
+        let collapsed = r.render_collapsed();
+        let line = collapsed.lines().find(|l| l.starts_with("alpha;beta ")).unwrap();
+        let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(v > 0, "collapsed lines carry self-nanoseconds");
+    }
+
+    #[test]
+    fn reset_clears_accumulators() {
+        let _g = isolated();
+        {
+            let _s = span("gone");
+            spin_ns(1_000);
+        }
+        reset();
+        assert!(report().paths.is_empty());
+    }
+}

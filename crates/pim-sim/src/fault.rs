@@ -296,6 +296,38 @@ pub enum FaultKind {
     Salvage,
 }
 
+impl FaultKind {
+    /// Number of kinds (the width of any per-kind count array).
+    pub const COUNT: usize = 6;
+
+    /// Every kind, in declaration order — the single source of truth for
+    /// fault-kind ordering. Journal columns, report tables, and metric
+    /// labels all index by position in this array.
+    pub const ALL: [FaultKind; FaultKind::COUNT] = [
+        FaultKind::ExecFault,
+        FaultKind::ReplyDrop,
+        FaultKind::ReplyCorrupt,
+        FaultKind::Straggler,
+        FaultKind::Death,
+        FaultKind::Salvage,
+    ];
+
+    /// The kind's stable wire name — exactly the string the journal's
+    /// `kind` field carries. The match is exhaustive, so adding a variant
+    /// without extending [`Self::ALL`] fails the `all_is_exhaustive` test
+    /// and consumers never see an unnamed kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::ExecFault => "ExecFault",
+            FaultKind::ReplyDrop => "ReplyDrop",
+            FaultKind::ReplyCorrupt => "ReplyCorrupt",
+            FaultKind::Straggler => "Straggler",
+            FaultKind::Death => "Death",
+            FaultKind::Salvage => "Salvage",
+        }
+    }
+}
+
 /// One injected fault or recovery action, as recorded in a
 /// [`RoundRecord`](crate::trace::RoundRecord)'s `faults` list.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize)]
@@ -464,5 +496,24 @@ mod tests {
         assert_eq!(log.reply_corruptions, 1);
         assert_eq!(log.stragglers, 1);
         assert_eq!(log.total_faults(), 4);
+    }
+
+    #[test]
+    fn all_is_exhaustive() {
+        // `ALL` and `name()` are what the journal readers index by; both
+        // must stay in lock-step with the enum and with the serialized
+        // (derive) spelling of each variant.
+        assert_eq!(FaultKind::ALL.len(), FaultKind::COUNT);
+        for (i, k) in FaultKind::ALL.iter().enumerate() {
+            assert_eq!(
+                FaultKind::ALL.iter().position(|x| x == k),
+                Some(i),
+                "duplicate kind in ALL"
+            );
+            assert_eq!(format!("{k:?}"), k.name(), "wire name must match the derive spelling");
+            let mut json = String::new();
+            k.json_write(&mut json);
+            assert_eq!(json, format!("{:?}", k.name()), "journal string must match name()");
+        }
     }
 }

@@ -30,6 +30,7 @@ pub mod config;
 pub mod ctx;
 pub mod energy;
 pub mod fault;
+pub mod metrics;
 pub mod placement;
 pub mod stats;
 pub mod system;
@@ -40,6 +41,7 @@ pub use config::MachineConfig;
 pub use ctx::PimCtx;
 pub use energy::{EnergyEstimate, EnergyModel};
 pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultLog, FaultPlan};
+pub use metrics::{log2_bucket, quantile_sorted, Histogram, Metrics, MetricsRegistry, Samples};
 pub use placement::hash_place;
 pub use stats::{LoadStats, RoundBreakdown, SimStats};
 pub use system::PimSystem;

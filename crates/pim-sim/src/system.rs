@@ -20,6 +20,7 @@
 use crate::config::MachineConfig;
 use crate::ctx::PimCtx;
 use crate::fault::{AttemptOutcome, FaultEvent, FaultKind, FaultLog, FaultPlan, ModuleFate};
+use crate::metrics::Metrics;
 use crate::stats::{LoadStats, RoundBreakdown, SimStats};
 use crate::trace::{summarize_cycles, NullSink, RoundKind, RoundRecord, TraceSink};
 use crate::wire::{checksum64, validate_checksum, Wire};
@@ -48,6 +49,8 @@ pub struct PimSystem<M> {
     pub accounting: bool,
     /// Trace receiver; [`NullSink`] (disabled) by default.
     sink: Box<dyn TraceSink>,
+    /// Metrics registry handle; disabled (no registry) by default.
+    metrics: Metrics,
     /// Monotonic id of the next accounted round (never reset).
     trace_round: u64,
     /// Active phase labels, innermost last; records carry their `/`-join.
@@ -75,6 +78,7 @@ impl<M: Send> PimSystem<M> {
             stats: SimStats::default(),
             accounting: true,
             sink: Box::new(NullSink),
+            metrics: Metrics::disabled(),
             trace_round: 0,
             phase_stack: Vec::new(),
             plan: None,
@@ -88,6 +92,21 @@ impl<M: Send> PimSystem<M> {
     /// [`RoundRecord`] to it. Pass `Box::new(NullSink)` to detach.
     pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
         self.sink = sink;
+    }
+
+    /// Attaches a metrics registry handle; every subsequent *accounted*
+    /// round publishes counters into it (see ARCHITECTURE.md §2 for the
+    /// exact hook points). Pass [`Metrics::disabled`] to detach. Like the
+    /// trace sink, a detached handle keeps the round hot path free of any
+    /// metrics work beyond one branch.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
+    }
+
+    /// The attached metrics handle (disabled unless [`Self::set_metrics`]
+    /// enabled one).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// Opens a phase label for the dynamic extent of `f`: rounds executed
@@ -232,6 +251,11 @@ impl<M: Send> PimSystem<M> {
             self.fault_log.salvaged_bytes += bytes;
             let round = self.trace_round;
             self.trace_round += 1;
+            if self.metrics.enabled() {
+                let ev = FaultEvent { module: module as u32, attempt: 0, kind: FaultKind::Salvage };
+                self.meter_round("salvage", &breakdown, 0, bytes, 0, 0, &[], &[], &[ev], 0);
+                self.metrics.with(|m| m.add("sim_salvaged_bytes_total", &[], bytes));
+            }
             if self.sink.enabled() {
                 let (cycle_hist, stragglers) = summarize_cycles(&[]);
                 self.sink.record(RoundRecord {
@@ -258,6 +282,65 @@ impl<M: Send> PimSystem<M> {
             }
         }
         out
+    }
+
+    /// Publishes one accounted round into the metrics registry. Called
+    /// only from the sequential accounting blocks (after `stats.record`),
+    /// so feed order — and therefore every snapshot — is independent of
+    /// host thread count. No-op when the handle is disabled.
+    ///
+    /// `module_cycles[i]` is module `i`'s charged cycles this round
+    /// (effective cycles on the fault path, i.e. including retry/straggler
+    /// multipliers, so the busy-cycle counters sum to
+    /// `SimStats::total_pim_cycles` exactly). `per_module_tasks` may be
+    /// empty when the round has no per-module task buffers (broadcasts).
+    #[allow(clippy::too_many_arguments)]
+    fn meter_round(
+        &self,
+        kind: &'static str,
+        breakdown: &RoundBreakdown,
+        sent: u64,
+        recv: u64,
+        n_tasks: u64,
+        max_cycles: u64,
+        module_cycles: &[u64],
+        per_module_tasks: &[u64],
+        events: &[FaultEvent],
+        retries: u64,
+    ) {
+        if !self.metrics.enabled() {
+            return;
+        }
+        let phase = self.current_phase();
+        self.metrics.with(|m| {
+            let ph: &[(&str, &str)] = &[("phase", &phase)];
+            m.add("sim_rounds_total", &[("kind", kind)], 1);
+            m.add("sim_cpu_to_pim_bytes_total", ph, sent);
+            m.add("sim_pim_to_cpu_bytes_total", ph, recv);
+            m.add("sim_tasks_total", ph, n_tasks);
+            m.add_f("sim_pim_seconds_total", ph, breakdown.pim_s);
+            m.add_f("sim_comm_seconds_total", ph, breakdown.comm_s);
+            m.add_f("sim_overhead_seconds_total", ph, breakdown.overhead_s);
+            m.observe("sim_round_max_cycles", ph, max_cycles);
+            for (i, &c) in module_cycles.iter().enumerate() {
+                let t = per_module_tasks.get(i).copied().unwrap_or(0);
+                // Idle modules are skipped to keep series cardinality at
+                // "modules ever used", not "modules × rounds".
+                if c == 0 && t == 0 {
+                    continue;
+                }
+                let id = i.to_string();
+                let ml: &[(&str, &str)] = &[("module_id", &id)];
+                m.add("sim_module_busy_cycles_total", ml, c);
+                m.add("sim_module_tasks_total", ml, t);
+            }
+            if retries > 0 {
+                m.add("sim_retries_total", &[], retries);
+            }
+            for e in events {
+                m.add("sim_faults_total", &[("kind", e.kind.name())], 1);
+            }
+        });
     }
 
     /// Executes one BSP round. `tasks[i]` is scattered to module `i`;
@@ -310,9 +393,13 @@ impl<M: Send> PimSystem<M> {
         }
 
         // Task counts are only observable before the buffers move into the
-        // parallel scatter; gather them now iff a sink will consume them.
+        // parallel scatter; gather them now iff a sink or the metrics
+        // registry will consume them.
         let tracing = self.accounting && self.sink.enabled();
-        let (n_tasks, n_active) = if tracing {
+        let metered = self.accounting && self.metrics.enabled();
+        let per_module_tasks: Vec<u64> =
+            if metered { tasks.iter().map(|t| t.len() as u64).collect() } else { Vec::new() };
+        let (n_tasks, n_active) = if tracing || metered {
             let active = if run_all { p } else { tasks.iter().filter(|t| !t.is_empty()).count() };
             (tasks.iter().map(|t| t.len() as u64).sum::<u64>(), active as u32)
         } else {
@@ -374,8 +461,12 @@ impl<M: Send> PimSystem<M> {
 
             let round = self.trace_round;
             self.trace_round += 1;
+            let cycles: Vec<u64> = if tracing || metered {
+                results.iter().map(|(_, c)| c.cycles).collect()
+            } else {
+                Vec::new()
+            };
             if tracing {
-                let cycles: Vec<u64> = results.iter().map(|(_, c)| c.cycles).collect();
                 let (cycle_hist, stragglers) = summarize_cycles(&cycles);
                 self.sink.record(RoundRecord {
                     round,
@@ -394,6 +485,20 @@ impl<M: Send> PimSystem<M> {
                     stragglers,
                     faults: Vec::new(),
                 });
+            }
+            if metered {
+                self.meter_round(
+                    if run_all { "execute_all" } else { "execute" },
+                    &breakdown,
+                    sent,
+                    recv,
+                    n_tasks,
+                    max_cycles,
+                    &cycles,
+                    &per_module_tasks,
+                    &[],
+                    0,
+                );
             }
         }
 
@@ -481,7 +586,11 @@ impl<M: Send> PimSystem<M> {
         let fates = self.draw_fates(round, &participating);
 
         let tracing = self.accounting && self.sink.enabled();
-        let n_tasks = if tracing { tasks.iter().map(|t| t.len() as u64).sum::<u64>() } else { 0 };
+        let metered = self.accounting && self.metrics.enabled();
+        let per_module_tasks: Vec<u64> =
+            if metered { tasks.iter().map(|t| t.len() as u64).collect() } else { Vec::new() };
+        let n_tasks =
+            if tracing || metered { tasks.iter().map(|t| t.len() as u64).sum::<u64>() } else { 0 };
 
         let per_module_sent: Vec<u64> = tasks.iter().map(|t| t.wire_bytes()).collect();
 
@@ -503,6 +612,7 @@ impl<M: Send> PimSystem<M> {
         let per_module_recv: Vec<u64> = results.iter().map(|(r, _)| r.wire_bytes()).collect();
 
         if self.accounting {
+            let retries_before = self.fault_log.retries;
             let mut sent = 0u64;
             let mut recv = 0u64;
             let mut max_module_bytes = 0u64;
@@ -634,6 +744,20 @@ impl<M: Send> PimSystem<M> {
             self.stats.record(breakdown, load, sent, recv);
 
             self.trace_round += 1;
+            if metered {
+                self.meter_round(
+                    if run_all { "execute_all" } else { "execute" },
+                    &breakdown,
+                    sent,
+                    recv,
+                    n_tasks,
+                    max_cycles,
+                    &eff_cycles,
+                    &per_module_tasks,
+                    &events,
+                    self.fault_log.retries - retries_before,
+                );
+            }
             if tracing {
                 let (cycle_hist, stragglers) = summarize_cycles(&eff_cycles);
                 self.sink.record(RoundRecord {
@@ -730,6 +854,21 @@ impl<M: Send> PimSystem<M> {
                     faults: Vec::new(),
                 });
             }
+            if self.metrics.enabled() {
+                let cycles: Vec<u64> = ctxs.iter().map(|c| c.cycles).collect();
+                self.meter_round(
+                    "broadcast",
+                    &breakdown,
+                    sent,
+                    0,
+                    1,
+                    max_cycles,
+                    &cycles,
+                    &[],
+                    &[],
+                    0,
+                );
+            }
         }
     }
 
@@ -767,6 +906,7 @@ impl<M: Send> PimSystem<M> {
             .collect();
 
         if self.accounting {
+            let retries_before = self.fault_log.retries;
             let mut sent = 0u64;
             let mut calls = 0u64;
             let mut base_time = vec![0.0f64; p];
@@ -859,6 +999,20 @@ impl<M: Send> PimSystem<M> {
             self.stats.record(breakdown, load, sent, 0);
 
             self.trace_round += 1;
+            if self.metrics.enabled() {
+                self.meter_round(
+                    "broadcast",
+                    &breakdown,
+                    sent,
+                    0,
+                    1,
+                    max_cycles,
+                    &eff_cycles,
+                    &[],
+                    &events,
+                    self.fault_log.retries - retries_before,
+                );
+            }
             if self.sink.enabled() {
                 let (cycle_hist, stragglers) = summarize_cycles(&eff_cycles);
                 self.sink.record(RoundRecord {

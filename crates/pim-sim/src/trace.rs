@@ -143,9 +143,7 @@ impl RoundRecord {
 pub fn summarize_cycles(cycles: &[u64]) -> ([u32; HIST_BUCKETS], Vec<u32>) {
     let mut hist = [0u32; HIST_BUCKETS];
     for &c in cycles {
-        let bucket =
-            if c == 0 { 0 } else { (64 - c.leading_zeros() as usize).min(HIST_BUCKETS - 1) };
-        hist[bucket] += 1;
+        hist[crate::metrics::log2_bucket(c, HIST_BUCKETS)] += 1;
     }
     let mut busy: Vec<(u64, u32)> =
         cycles.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (c, i as u32)).collect();

@@ -1,0 +1,124 @@
+//! Observability invariants of the metrics registry.
+//!
+//! Two contracts are held here:
+//!
+//! 1. **Thread-count invariance** — every metric is fed from the simulator's
+//!    sequential accounting blocks, so the full snapshot (exposition text
+//!    and JSON) must be *byte-identical* at 1, 2, and 8 executor threads,
+//!    exactly like the trace journal in `parallel_determinism.rs`.
+//! 2. **Registry ↔ `SimStats` consistency** — the registry is a second
+//!    view of the same accounting, not an estimate: round counts and byte
+//!    counters must agree exactly, per-module busy cycles must sum to the
+//!    machine total, and the float second-sums must agree to rounding.
+
+use pim_zd_tree_repro::sim::Metrics;
+use pim_zd_tree_repro::{workloads, MachineConfig, Metric, PimZdConfig, PimZdTree};
+
+const SEED: u64 = 2026;
+const N: usize = 6_000;
+const MODULES: usize = 16;
+
+/// Seeded mini workload covering every metered path: insert (splices via
+/// delete), delete, contains, kNN, box count/fetch. Returns the tree with
+/// its metrics handle still attached.
+fn run_workload() -> (PimZdTree<3>, Metrics) {
+    let pts = workloads::uniform::<3>(N, SEED);
+    let cfg = PimZdConfig::skew_resistant(MODULES);
+    let mut t = PimZdTree::build(&pts, cfg, MachineConfig::with_modules(MODULES));
+    let metrics = Metrics::enabled_new();
+    t.set_metrics(metrics.clone());
+
+    let extra = workloads::uniform::<3>(800, SEED + 1);
+    t.batch_insert(&extra);
+    let _ = t.batch_delete(&pts[..400]);
+
+    let probes = workloads::knn_queries(&pts, 300, SEED + 2);
+    let _ = t.batch_contains(&probes);
+    let _ = t.batch_knn(&probes[..150], 4, Metric::L2);
+
+    let side = workloads::box_side_for_expected::<3>(N, 30.0);
+    let boxes = workloads::box_queries(&pts, 200, side, SEED + 3);
+    let _ = t.batch_box_count(&boxes);
+    let _ = t.batch_box_fetch(&boxes[..100]);
+    (t, metrics)
+}
+
+fn snapshots() -> (String, String) {
+    let (_, metrics) = run_workload();
+    (metrics.snapshot_text().unwrap(), metrics.snapshot_json().unwrap())
+}
+
+#[test]
+fn metrics_snapshots_are_byte_identical_at_1_2_and_8_threads() {
+    let (base_text, base_json) = rayon::ThreadPool::new(1).install(snapshots);
+    assert!(base_text.contains("# TYPE sim_rounds_total counter"), "{base_text}");
+    assert!(base_text.contains("host_batches_total"), "host feeds missing:\n{base_text}");
+
+    for threads in [2usize, 8] {
+        let pool = rayon::ThreadPool::new(threads);
+        assert_eq!(pool.current_num_threads(), threads);
+        let (text, json) = pool.install(snapshots);
+        assert_eq!(text, base_text, "metrics text snapshot diverged at {threads} threads");
+        assert_eq!(json, base_json, "metrics JSON snapshot diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn registry_agrees_with_sim_stats() {
+    let (t, metrics) = run_workload();
+    let stats = t.sim_stats().clone();
+
+    metrics
+        .with(|m| {
+            // Exact integer counters.
+            assert_eq!(m.counter_sum("sim_rounds_total"), stats.rounds);
+            assert_eq!(m.counter_sum("sim_cpu_to_pim_bytes_total"), stats.cpu_to_pim_bytes);
+            assert_eq!(m.counter_sum("sim_pim_to_cpu_bytes_total"), stats.pim_to_cpu_bytes);
+            // Per-module busy cycles partition the machine total exactly.
+            assert_eq!(m.counter_sum("sim_module_busy_cycles_total"), stats.total_pim_cycles);
+
+            // Float sums: the registry groups by phase, `SimStats` adds in
+            // round order, so allow only summation-order rounding.
+            let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1.0);
+            assert!(close(m.counter_sum_f("sim_pim_seconds_total"), stats.pim_s));
+            assert!(close(m.counter_sum_f("sim_comm_seconds_total"), stats.comm_s));
+            assert!(close(m.counter_sum_f("sim_overhead_seconds_total"), stats.overhead_s));
+
+            // Host-side feeds fired for each batched op family.
+            for op in ["insert", "delete", "search", "knn", "box_count", "box_fetch"] {
+                assert_eq!(
+                    m.counter("host_batches_total", &[("op", op)]),
+                    Some(1),
+                    "missing host batch counter for {op}"
+                );
+            }
+            // The fault-free workload must not invent fault metrics.
+            assert_eq!(m.counter_sum("sim_faults_total"), 0);
+            assert_eq!(m.counter_sum("sim_retries_total"), 0);
+        })
+        .expect("metrics handle is enabled");
+}
+
+#[test]
+fn detached_run_records_nothing_and_changes_no_results() {
+    // The same workload with metrics never attached must produce the same
+    // query results (observability is passive) — spot-check via stats.
+    let (a, metrics) = run_workload();
+    let pts = workloads::uniform::<3>(N, SEED);
+    let cfg = PimZdConfig::skew_resistant(MODULES);
+    let mut b = PimZdTree::build(&pts, cfg, MachineConfig::with_modules(MODULES));
+    let extra = workloads::uniform::<3>(800, SEED + 1);
+    b.batch_insert(&extra);
+    let _ = b.batch_delete(&pts[..400]);
+    let probes = workloads::knn_queries(&pts, 300, SEED + 2);
+    let _ = b.batch_contains(&probes);
+    let _ = b.batch_knn(&probes[..150], 4, Metric::L2);
+    let side = workloads::box_side_for_expected::<3>(N, 30.0);
+    let boxes = workloads::box_queries(&pts, 200, side, SEED + 3);
+    let _ = b.batch_box_count(&boxes);
+    let _ = b.batch_box_fetch(&boxes[..100]);
+
+    assert!(!b.metrics().enabled());
+    assert_eq!(format!("{:?}", a.sim_stats()), format!("{:?}", b.sim_stats()));
+    assert!(metrics.with(|m| m.n_series()).unwrap() > 10, "metered run recorded families");
+}
