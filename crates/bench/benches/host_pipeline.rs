@@ -1,0 +1,180 @@
+//! Criterion microbenchmarks for the host batch pipeline's hot phases —
+//! the three places this repo replaced allocation- or comparison-heavy
+//! code with radix/pooled equivalents:
+//!
+//! * `sort`: parallel LSD radix sort vs the `sort_unstable_by_key` it
+//!   replaced, on duplicate-heavy Morton-keyed batches.
+//! * `grouping`: counting sort on the dense meta id + per-run small sorts
+//!   vs the per-batch `FxHashMap<meta, Vec<_>>` it replaced.
+//! * `round_dispatch`: a full query batch through `robust_round` at fault
+//!   rate 0 (zero-copy fast path) and 0.05 (copy-on-fault).
+//!
+//! CI runs this in quick mode (`HOST_PIPELINE_QUICK=1`: smaller batches,
+//! fewer samples) as a smoke check; numbers for the PR's speedup claims
+//! live in EXPERIMENTS.md.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pim_bench::harness::scaled_cpu;
+use pim_geom::{Aabb, Point};
+use pim_sim::{FaultConfig, FaultPlan, MachineConfig};
+use pim_workloads as wl;
+use pim_zd_tree::{PimZdConfig, PimZdTree};
+use pim_zorder::sort::par_radix_sort_keyed;
+use pim_zorder::ZKey;
+use rustc_hash::FxHashMap;
+
+/// Quick mode trades resolution for CI wall-clock.
+fn quick() -> bool {
+    std::env::var_os("HOST_PIPELINE_QUICK").is_some()
+}
+
+fn batch_n() -> usize {
+    if quick() {
+        20_000
+    } else {
+        100_000
+    }
+}
+
+fn samples() -> usize {
+    if quick() {
+        3
+    } else {
+        20
+    }
+}
+
+/// Duplicate-heavy keyed batch: uniform points quantized so equal Morton
+/// keys recur, matching the per-fragment merge inputs.
+fn keyed_batch(n: usize) -> Vec<(ZKey<3>, Point<3>)> {
+    wl::uniform::<3>(n, 7)
+        .into_iter()
+        .map(|p| {
+            let q = Point::new([p.coords[0] & !0xfff, p.coords[1] & !0xfff, p.coords[2] & !0xfff]);
+            (ZKey::<3>::encode(&q), q)
+        })
+        .collect()
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let n = batch_n();
+    let input = keyed_batch(n);
+    let mut g = c.benchmark_group("host_pipeline_sort");
+    g.sample_size(samples());
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function(BenchmarkId::new("radix", n), |b| {
+        b.iter_batched(
+            || input.clone(),
+            |mut v| {
+                par_radix_sort_keyed(&mut v, |e| e.0 .0, |a, b| a.1.coords.cmp(&b.1.coords));
+                v
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.bench_function(BenchmarkId::new("comparison", n), |b| {
+        b.iter_batched(
+            || input.clone(),
+            |mut v| {
+                v.sort_unstable_by_key(|(k, p)| (*k, p.coords));
+                v
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_grouping(c: &mut Criterion) {
+    // (meta, key) pairs as routed by insert_inner: many metas, skewed sizes.
+    let n = batch_n();
+    let input: Vec<(u32, u64)> =
+        keyed_batch(n).into_iter().map(|(k, _)| (((k.0 >> 40) % 512) as u32, k.0)).collect();
+    let mut g = c.benchmark_group("host_pipeline_grouping");
+    g.sample_size(samples());
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function(BenchmarkId::new("counting_sort", n), |b| {
+        b.iter_batched(
+            || input.clone(),
+            |v| {
+                // Mirrors insert_inner: histogram over dense meta ids,
+                // stable scatter, then z-order each contiguous run.
+                let bound = 512usize;
+                let mut cursor = vec![0u32; bound + 1];
+                for (m, _) in v.iter() {
+                    cursor[*m as usize] += 1;
+                }
+                let mut acc32 = 0u32;
+                for c in cursor.iter_mut() {
+                    let n = *c;
+                    *c = acc32;
+                    acc32 += n;
+                }
+                let mut grouped = vec![0u64; v.len()];
+                for &(m, k) in v.iter() {
+                    let c = &mut cursor[m as usize];
+                    grouped[*c as usize] = k;
+                    *c += 1;
+                }
+                let mut acc = 0usize;
+                let mut prev = 0usize;
+                for c in cursor.iter().take(bound + 1) {
+                    let end = *c as usize;
+                    if end > prev {
+                        grouped[prev..end].sort_unstable();
+                        acc ^= black_box(end - prev);
+                        prev = end;
+                    }
+                }
+                acc
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.bench_function(BenchmarkId::new("hashmap", n), |b| {
+        b.iter_batched(
+            || input.clone(),
+            |v| {
+                let mut per_meta: FxHashMap<u32, Vec<u64>> = FxHashMap::default();
+                for (m, k) in v {
+                    per_meta.entry(m).or_default().push(k);
+                }
+                let mut acc = 0usize;
+                for (_, mut items) in per_meta {
+                    items.sort_unstable();
+                    acc ^= black_box(items.len());
+                }
+                acc
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_round_dispatch(c: &mut Criterion) {
+    let warm = wl::uniform::<3>(50_000, 2026);
+    let boxes: Vec<Aabb<3>> =
+        wl::box_queries(&warm, 500, wl::box_side_for_expected::<3>(50_000, 10.0), 2026);
+    let mut g = c.benchmark_group("host_pipeline_round_dispatch");
+    g.sample_size(samples());
+    for rate in [0.0, 0.05] {
+        let cfg = PimZdConfig::throughput_optimized(50_000, 64);
+        let mut index = PimZdTree::build_with_cpu(
+            &warm,
+            cfg,
+            MachineConfig::with_modules(64),
+            scaled_cpu(50_000),
+        );
+        if rate > 0.0 {
+            index.set_fault_plan(Some(FaultPlan::new(FaultConfig::uniform(rate, 2026))));
+        }
+        g.bench_function(BenchmarkId::new("box_count", format!("fault_{rate}")), |b| {
+            b.iter(|| black_box(index.batch_box_count(black_box(&boxes))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sort, bench_grouping, bench_round_dispatch);
+criterion_main!(benches);

@@ -7,6 +7,11 @@
 //! perf_diff --check-schema FILE...         shape-validate reports only
 //! ```
 //!
+//! `--host-time` additionally prints the host wall-clock delta between the
+//! two reports' `wall_s` fields. It is **advisory only** — wall-clock is
+//! machine- and load-dependent, so it never affects the exit status; the
+//! gate stays over simulated (deterministic) metrics.
+//!
 //! Exit status: 0 when the gate passes, 1 on a regression or structural
 //! error (schema/config mismatch, missing cell or metric family), 2 on
 //! usage errors. Structural errors are errors rather than regressions
@@ -65,6 +70,7 @@ fn main() {
     }
 
     let mut threshold = DEFAULT_THRESHOLD;
+    let mut host_time = false;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -76,6 +82,7 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--host-time" => host_time = true,
             _ if !a.starts_with("--") => positional.push(a),
             other => {
                 eprintln!("error: unknown flag {other:?}");
@@ -85,7 +92,7 @@ fn main() {
     }
     let [base_arg, new_arg] = positional.as_slice() else {
         eprintln!(
-            "usage: perf_diff BASELINE NEW [--threshold R] | perf_diff --check-schema FILE..."
+            "usage: perf_diff BASELINE NEW [--threshold R] [--host-time] | perf_diff --check-schema FILE..."
         );
         std::process::exit(2);
     };
@@ -105,6 +112,22 @@ fn main() {
         }
         for line in &outcome.regressions {
             println!("REGRESSED: {line}");
+        }
+        if host_time {
+            // Advisory: wall-clock depends on the machine the report was
+            // captured on, so this prints but never gates.
+            match (
+                base.get("wall_s").and_then(Value::as_f64),
+                new.get("wall_s").and_then(Value::as_f64),
+            ) {
+                (Some(b), Some(n)) if b > 0.0 => {
+                    println!(
+                        "host-time (advisory): wall_s {b:.3} -> {n:.3} ({:+.1}%)",
+                        (n - b) / b * 100.0
+                    );
+                }
+                _ => println!("host-time (advisory): wall_s missing from one or both reports"),
+            }
         }
         if outcome.passed() {
             println!("perf_diff: PASS");

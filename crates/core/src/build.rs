@@ -205,12 +205,12 @@ impl<const D: usize> PimZdTree<D> {
         t.sys.accounting = false;
         t.meter.enabled = false;
 
-        // Parallel encode + sort; the (key, coords) total key makes the
-        // unstable sort's output canonical at any thread count, so the
-        // carved layout — and every downstream journal — is deterministic.
+        // Parallel encode + radix sort; the (key, coords) total key makes
+        // the sort's output canonical at any thread count, so the carved
+        // layout — and every downstream journal — is deterministic.
         let mut items: Vec<Keyed<D>> =
             points.par_iter().map(|p| (ZKey::<D>::encode(p), *p)).collect();
-        items.par_sort_unstable_by_key(|(k, p)| (*k, p.coords));
+        crate::frag::sort_keyed(&mut items);
 
         let mut tmp: Vec<TmpNode<D>> = Vec::with_capacity(2 * items.len() / cfg.leaf_cap + 4);
         let root = build_tmp(&mut tmp, &items, cfg.leaf_cap);

@@ -24,6 +24,17 @@ pub type MetaId = u64;
 /// A point paired with its Morton key.
 pub type Keyed<const D: usize> = (ZKey<D>, Point<D>);
 
+/// Sorts keyed points into canonical `(key, coords)` order.
+///
+/// Delegates to the thread-count-invariant radix primitive
+/// ([`pim_zorder::sort::par_radix_sort_keyed`]); the `(key, coords)` key is
+/// total (Morton encoding is injective), so the output value sequence is
+/// identical to `sort_unstable_by_key(|(k, p)| (*k, p.coords))` — the
+/// comparison sort this replaces on every hot path.
+pub fn sort_keyed<const D: usize>(items: &mut [Keyed<D>]) {
+    pim_zorder::sort::par_radix_sort_keyed(items, |e| e.0 .0, |a, b| a.1.coords.cmp(&b.1.coords));
+}
+
 /// Bytes of one binary-node record in PIM local memory / on the wire.
 pub const BNODE_BYTES: u64 = 40;
 /// Bytes of a remote reference.
@@ -727,7 +738,7 @@ impl<const D: usize> Fragment<D> {
                                 (self.try_collect_local(&l), self.try_collect_local(&r))
                             {
                                 a.extend(b);
-                                a.sort_unstable_by_key(|(k, p)| (*k, p.coords));
+                                sort_keyed(&mut a);
                                 self.release_child(&l);
                                 self.release_child(&r);
                                 let pre = set_prefix(&a);

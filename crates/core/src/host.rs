@@ -17,6 +17,66 @@ use pim_memsim::{CpuConfig, CpuMeter, CpuModel, CpuStats};
 use pim_sim::{hash_place, FaultLog, FaultPlan, MachineConfig, PimCtx, PimSystem, Wire};
 use rustc_hash::FxHashMap;
 
+/// Recycled per-operation host buffers (clear-not-drop).
+///
+/// One entry per element type, each holding a stack of spare structures:
+/// `pools` stores task/reply matrices (`Vec<Vec<T>>`), `flats` stores flat
+/// scratch vectors (`Vec<T>`). Taking pops a spare (or allocates the first
+/// time); putting clears contents but keeps every row's capacity, so a
+/// 2048-module machine allocates its per-module row `Vec`s once per task
+/// type instead of once per operation. Purely a host-side wall-clock
+/// optimization: simulated metrics never observe where a buffer came from.
+#[derive(Default)]
+pub(crate) struct RoundBuffers {
+    pools: FxHashMap<std::any::TypeId, Box<dyn std::any::Any + Send>>,
+    flats: FxHashMap<std::any::TypeId, Box<dyn std::any::Any + Send>>,
+}
+
+impl RoundBuffers {
+    fn stack<T: Send + 'static>(&mut self) -> &mut Vec<Vec<Vec<T>>> {
+        self.pools
+            .entry(std::any::TypeId::of::<T>())
+            .or_insert_with(|| Box::new(Vec::<Vec<Vec<T>>>::new()))
+            .downcast_mut()
+            .expect("matrix pool entries are keyed by their element TypeId")
+    }
+
+    fn flat_stack<T: Send + 'static>(&mut self) -> &mut Vec<Vec<T>> {
+        self.flats
+            .entry(std::any::TypeId::of::<T>())
+            .or_insert_with(|| Box::new(Vec::<Vec<T>>::new()))
+            .downcast_mut()
+            .expect("flat pool entries are keyed by their element TypeId")
+    }
+
+    /// A matrix of `p` empty rows, recycled when a spare is pooled.
+    pub(crate) fn take_matrix<T: Send + 'static>(&mut self, p: usize) -> Vec<Vec<T>> {
+        let mut m = self.stack::<T>().pop().unwrap_or_default();
+        debug_assert!(m.iter().all(Vec::is_empty), "pooled matrices are stored cleared");
+        m.resize_with(p, Vec::new);
+        m
+    }
+
+    /// Returns a matrix to the pool, clearing rows but keeping capacity.
+    pub(crate) fn put_matrix<T: Send + 'static>(&mut self, mut m: Vec<Vec<T>>) {
+        for row in &mut m {
+            row.clear();
+        }
+        self.stack::<T>().push(m);
+    }
+
+    /// An empty flat scratch vector, recycled when a spare is pooled.
+    pub(crate) fn take_vec<T: Send + 'static>(&mut self) -> Vec<T> {
+        self.flat_stack::<T>().pop().unwrap_or_default()
+    }
+
+    /// Returns a flat scratch vector to the pool, cleared.
+    pub(crate) fn put_vec<T: Send + 'static>(&mut self, mut v: Vec<T>) {
+        v.clear();
+        self.flat_stack::<T>().push(v);
+    }
+}
+
 /// Host virtual-address region of the L0 fragment.
 pub(crate) const L0_REGION: u64 = 1 << 44;
 /// Base of the staging region where pulled fragments land.
@@ -45,6 +105,11 @@ pub struct PimZdTree<const D: usize> {
     /// Set once L0 outgrows the LLC: its structure counts as replicated on
     /// every module (space + broadcast-on-update accounting, §3.1).
     pub(crate) l0_replicated: bool,
+    /// Recycled per-op buffers (task matrices, robust-round scratch,
+    /// grouping scratch): the host hot path is allocation-free in steady
+    /// state. Simulated costs never observe the pool — it only changes
+    /// where host-side `Vec`s come from.
+    pub(crate) bufs: RoundBuffers,
 }
 
 impl<const D: usize> PimZdTree<D> {
@@ -69,6 +134,7 @@ impl<const D: usize> PimZdTree<D> {
             last_stats: OpStats::default(),
             staging_next: STAGING_REGION,
             l0_replicated: false,
+            bufs: RoundBuffers::default(),
         }
     }
 
@@ -233,40 +299,52 @@ impl<const D: usize> PimZdTree<D> {
     /// Executes one round with fault detection and recovery.
     ///
     /// With the fault plane inactive this is exactly
-    /// [`PimSystem::execute_round`] — no clones, no extra rounds, so
-    /// fault-free accounting stays byte-identical. Otherwise each wave's
-    /// task buffers are cloned before dispatch; a module whose validated
-    /// replies never arrive has fail-stopped (the simulator retried
-    /// transients internally and declared the survivor dead), so its tasks
-    /// are replayed on other modules after [`Self::recover_modules`]
-    /// repairs the directory. Replay is safe because round attempts are
-    /// all-or-nothing: a task whose reply was lost was never applied.
+    /// [`PimSystem::execute_round`] — dispatched before any retry
+    /// scaffolding (slot matrices, clones) is even touched, so the
+    /// fault-free path does zero extra work and its accounting stays
+    /// byte-identical. Otherwise rounds proceed in waves over pooled
+    /// scratch, with **copy-on-fault** dispatch: fault fates are a pure
+    /// function of `(seed, round, module, attempt)`, so the plan is
+    /// consulted *before* each wave and only the task rows of modules that
+    /// will actually fail it are cloned — every other row moves into the
+    /// round, as on the fast path. A module whose validated replies never
+    /// arrive has fail-stopped (the simulator retried transients internally
+    /// and declared the survivor dead), so its kept originals are replayed
+    /// on other modules after [`Self::recover_modules`] repairs the
+    /// directory. Replay is safe because round attempts are all-or-nothing:
+    /// a task whose reply was lost was never applied.
     ///
     /// Replies are reassembled at each task's *original* `(module,
     /// position)` slot, so callers that match replies positionally (e.g.
     /// the split flows) are oblivious to replays and reroutes.
     pub(crate) fn robust_round<T, R>(
         &mut self,
-        tasks: Vec<Vec<T>>,
+        mut tasks: Vec<Vec<T>>,
         handler: impl Fn(usize, &mut ModuleState<D>, &mut PimCtx, Vec<T>) -> Vec<R> + Sync + Copy,
     ) -> Vec<Vec<R>>
     where
-        T: Reroutable<D, Reply = R> + Wire + Send + Clone,
-        R: Wire + Send,
+        T: Reroutable<D, Reply = R> + Wire + Send + Clone + 'static,
+        R: Wire + Send + 'static,
     {
         if !self.sys.fault_plane_active() {
-            return self.sys.execute_round(tasks, handler);
+            let out = self.sys.execute_round_in(&mut tasks, handler);
+            self.bufs.put_matrix(tasks);
+            return out;
         }
         let p = self.sys.n_modules();
-        let mut tasks = tasks;
         tasks.resize_with(p, Vec::new);
-        let mut out: Vec<Vec<Option<R>>> =
-            tasks.iter().map(|row| row.iter().map(|_| None).collect()).collect();
-        let mut work: Vec<Vec<(T, (usize, usize))>> = tasks
-            .into_iter()
-            .enumerate()
-            .map(|(m, row)| row.into_iter().enumerate().map(|(j, t)| (t, (m, j))).collect())
-            .collect();
+        // Pooled scratch: reply slots, per-row task provenance, and the
+        // wave's send matrix (all cleared-not-dropped on return).
+        let mut out: Vec<Vec<Option<R>>> = self.bufs.take_matrix(p);
+        let mut slots: Vec<Vec<(usize, usize)>> = self.bufs.take_matrix(p);
+        let mut send: Vec<Vec<T>> = self.bufs.take_matrix(p);
+        for (m, row) in tasks.iter().enumerate() {
+            out[m].resize_with(row.len(), || None);
+            slots[m].extend((0..row.len()).map(|j| (m, j)));
+        }
+        // The originals; `work[m]` and `slots[m]` stay index-aligned until
+        // module `m`'s replies land (or its entries are re-homed).
+        let mut work = tasks;
         loop {
             // Detection → recovery: repair deaths from previous waves (or
             // from broadcasts / earlier ops) before dispatching.
@@ -278,11 +356,14 @@ impl<const D: usize> PimZdTree<D> {
             // or the previous wave's losses).
             for m in 0..p {
                 if self.sys.is_dead(m) && !work[m].is_empty() {
-                    for (mut t, slot) in std::mem::take(&mut work[m]) {
+                    let row = std::mem::take(&mut work[m]);
+                    let row_slots = std::mem::take(&mut slots[m]);
+                    for (mut t, slot) in row.into_iter().zip(row_slots) {
                         match t.reroute(self) {
                             Route::To(nm) => {
                                 debug_assert!(!self.sys.is_dead(nm as usize));
-                                work[nm as usize].push((t, slot));
+                                work[nm as usize].push(t);
+                                slots[nm as usize].push(slot);
                             }
                             Route::Void(r) => out[slot.0][slot.1] = Some(r),
                         }
@@ -292,31 +373,45 @@ impl<const D: usize> PimZdTree<D> {
             if work.iter().all(Vec::is_empty) {
                 break;
             }
-            // A fail-stop loses the module's task buffer mid-round, so the
-            // wave is dispatched from clones and the originals kept for
-            // replay.
-            let send: Vec<Vec<T>> =
-                work.iter().map(|row| row.iter().map(|(t, _)| t.clone()).collect()).collect();
-            let replies = self.sys.execute_round(send, handler);
-            let mut survived: Vec<Vec<(T, (usize, usize))>> = (0..p).map(|_| Vec::new()).collect();
+            // Copy-on-fault: a fail-stop loses the module's task buffer
+            // mid-round, so rows whose module the plan fails this wave are
+            // dispatched from clones with the originals kept for replay.
+            // Every other row — all of them, at fault rate 0 with a dead
+            // module elsewhere — moves into the round, zero-copy.
+            let round = self.sys.next_round_id();
+            for m in 0..p {
+                if work[m].is_empty() {
+                    continue;
+                }
+                if self.sys.predict_round_failure(round, m as u32) {
+                    send[m].extend(work[m].iter().cloned());
+                } else {
+                    send[m] = std::mem::take(&mut work[m]);
+                }
+            }
+            let replies = self.sys.execute_round_in(&mut send, handler);
             let mut any_lost = false;
-            for (m, (row, reps)) in work.into_iter().zip(replies).enumerate() {
-                if row.is_empty() {
+            for (m, reps) in replies.into_iter().enumerate() {
+                if slots[m].is_empty() {
                     continue;
                 }
                 if reps.is_empty() {
                     // No validated reply arrived: the module fail-stopped.
-                    // Park its tasks; the next iteration re-homes them.
+                    // Its originals were kept (the plan predicted this
+                    // failure); the next iteration re-homes them.
+                    assert!(
+                        !work[m].is_empty(),
+                        "module {m} failed a wave the fault plan predicted it would survive"
+                    );
                     any_lost = true;
-                    survived[m] = row;
                     continue;
                 }
-                assert_eq!(reps.len(), row.len(), "module handlers reply 1:1");
-                for ((_, slot), r) in row.into_iter().zip(reps) {
+                assert_eq!(reps.len(), slots[m].len(), "module handlers reply 1:1");
+                work[m].clear();
+                for (slot, r) in slots[m].drain(..).zip(reps) {
                     out[slot.0][slot.1] = Some(r);
                 }
             }
-            work = survived;
             if !any_lost {
                 break;
             }
@@ -327,9 +422,15 @@ impl<const D: usize> PimZdTree<D> {
         if !pending.is_empty() {
             self.recover_modules(&pending);
         }
-        out.into_iter()
-            .map(|row| row.into_iter().map(|o| o.expect("every task resolved")).collect())
-            .collect()
+        let result: Vec<Vec<R>> = out
+            .iter_mut()
+            .map(|row| row.drain(..).map(|o| o.expect("every task resolved")).collect())
+            .collect();
+        self.bufs.put_matrix(out);
+        self.bufs.put_matrix(slots);
+        self.bufs.put_matrix(send);
+        self.bufs.put_matrix(work);
+        result
     }
 
     /// Graceful degradation after fail-stop: salvages each dead module's
@@ -399,9 +500,15 @@ impl<const D: usize> PimZdTree<D> {
         self.dir.get(meta).module
     }
 
-    /// Builds an empty per-module task matrix.
-    pub(crate) fn task_matrix<T>(&self) -> Vec<Vec<T>> {
-        (0..self.sys.n_modules()).map(|_| Vec::new()).collect()
+    /// An empty per-module task matrix, recycled from the buffer pool.
+    ///
+    /// The matrix flows into a round (usually via [`Self::robust_round`],
+    /// which returns it to the pool); its row capacities survive the trip,
+    /// so steady-state operations stop allocating one `Vec` per module per
+    /// op.
+    pub(crate) fn task_matrix<T: Send + 'static>(&mut self) -> Vec<Vec<T>> {
+        let p = self.sys.n_modules();
+        self.bufs.take_matrix(p)
     }
 
     /// Pulls the master fragments of `metas` to the host in one round,

@@ -38,11 +38,14 @@ impl<const D: usize> PimZdTree<D> {
 
         // Group items per target (semi-sort; Alg. 2 step 2d's dedup falls
         // out of grouping: conflicting creations land in one fragment's
-        // merge, which builds each new node once).
+        // merge, which builds each new node once). Routing is flat: items
+        // land in pooled scratch tagged with their target meta; grouping
+        // happens by sort + run detection below, with no per-meta hash map
+        // or per-meta `Vec` allocations.
         let group_span = pim_obs::span("group_and_sort");
         self.meter.work(points.len() as u64 * 20);
-        let mut l0_items: Vec<Keyed<D>> = Vec::new();
-        let mut per_meta: FxHashMap<MetaId, Vec<Keyed<D>>> = FxHashMap::default();
+        let mut l0_items: Vec<Keyed<D>> = self.bufs.take_vec();
+        let mut frag_items: Vec<(MetaId, Keyed<D>)> = self.bufs.take_vec();
         for (qid, end) in s.ends.iter().enumerate() {
             self.touch_query_state(qid, false);
             let item = (s.keys[qid], points[qid]);
@@ -51,7 +54,7 @@ impl<const D: usize> PimZdTree<D> {
                     l0_items.push(item)
                 }
                 QueryEnd::FragLeaf { meta, .. } | QueryEnd::FragDiverge { meta } => {
-                    per_meta.entry(*meta).or_default().push(item)
+                    frag_items.push((*meta, item))
                 }
             }
         }
@@ -60,7 +63,7 @@ impl<const D: usize> PimZdTree<D> {
         // Apply to L0 host-side.
         if !l0_items.is_empty() {
             let _span = pim_obs::span("l0_merge");
-            l0_items.sort_unstable_by_key(|(k, p)| (*k, p.coords));
+            crate::frag::sort_keyed(&mut l0_items);
             self.meter.work(l0_items.len() as u64 * 25);
             if let Some(l0) = self.l0.as_mut() {
                 let mut sink = Self::l0_sink(&mut self.meter);
@@ -77,17 +80,56 @@ impl<const D: usize> PimZdTree<D> {
                 ));
             }
         }
+        self.bufs.put_vec(l0_items);
 
         // Apply to fragments: one round (Alg. 2 step 3a/3b).
-        if !per_meta.is_empty() {
+        if !frag_items.is_empty() {
             let sort_span = pim_obs::span("sort_tasks");
-            let mut tasks: Vec<Vec<InsertTask<D>>> = self.task_matrix();
-            for (meta, mut items) in per_meta {
-                items.sort_unstable_by_key(|(k, p)| (*k, p.coords));
-                self.meter.work(items.len() as u64 * 25);
-                let module = self.dir.get(meta).module as usize;
-                tasks[module].push(InsertTask { meta, items });
+            // Group by a counting sort on the meta id (dense directory
+            // index): one histogram pass, one stable scatter. Runs come
+            // out meta-ascending with items in input order; each run is
+            // then z-ordered independently — runs average a few dozen
+            // items, where the small-slice path of `sort_keyed` beats any
+            // global pass over the batch.
+            let bound = self.dir.id_bound() as usize;
+            let mut cursor: Vec<u32> = self.bufs.take_vec();
+            cursor.resize(bound + 1, 0);
+            for (meta, _) in frag_items.iter() {
+                cursor[*meta as usize] += 1;
             }
+            let mut acc = 0u32;
+            for c in cursor.iter_mut() {
+                let n = *c;
+                *c = acc;
+                acc += n;
+            }
+            let mut grouped: Vec<Keyed<D>> = self.bufs.take_vec();
+            // Placeholder value; the scatter writes every slot exactly once.
+            grouped.resize(frag_items.len(), frag_items[0].1);
+            for &(meta, item) in frag_items.iter() {
+                let c = &mut cursor[meta as usize];
+                grouped[*c as usize] = item;
+                *c += 1;
+            }
+            // After the scatter `cursor[m]` is the end of m's run; starts
+            // are recovered by walking metas in order (runs are contiguous
+            // and untouched entries carry the previous run's end forward).
+            let mut tasks: Vec<Vec<InsertTask<D>>> = self.task_matrix();
+            let mut prev = 0usize;
+            for (m, end) in cursor.iter().enumerate().take(bound + 1) {
+                let end = *end as usize;
+                if end > prev {
+                    let run = &mut grouped[prev..end];
+                    crate::frag::sort_keyed(run);
+                    self.meter.work(run.len() as u64 * 25);
+                    let meta = m as MetaId;
+                    let module = self.dir.get(meta).module as usize;
+                    tasks[module].push(InsertTask { meta, items: run.to_vec() });
+                    prev = end;
+                }
+            }
+            self.bufs.put_vec(cursor);
+            self.bufs.put_vec(grouped);
             drop(sort_span);
             let replies = self.robust_round(tasks, |_, m, ctx, t| handle_insert(m, ctx, t));
             let _span = pim_obs::span("apply_replies");
@@ -100,6 +142,7 @@ impl<const D: usize> PimZdTree<D> {
                 }
             }
         }
+        self.bufs.put_vec(frag_items);
 
         self.n_points += points.len();
         self.maintain();
@@ -144,7 +187,7 @@ impl<const D: usize> PimZdTree<D> {
 
         if !l0_items.is_empty() {
             let _span = pim_obs::span("l0_merge");
-            l0_items.sort_unstable_by_key(|(k, p)| (*k, p.coords));
+            crate::frag::sort_keyed(&mut l0_items);
             self.meter.work(l0_items.len() as u64 * 25);
             let l0 = self.l0.as_mut().unwrap();
             let mut sink = Self::l0_sink(&mut self.meter);
@@ -163,7 +206,7 @@ impl<const D: usize> PimZdTree<D> {
             let sort_span = pim_obs::span("sort_tasks");
             let mut tasks: Vec<Vec<DeleteTask<D>>> = self.task_matrix();
             for (meta, mut items) in per_meta {
-                items.sort_unstable_by_key(|(k, p)| (*k, p.coords));
+                crate::frag::sort_keyed(&mut items);
                 self.meter.work(items.len() as u64 * 25);
                 let module = self.dir.get(meta).module as usize;
                 tasks[module].push(DeleteTask { meta, items });

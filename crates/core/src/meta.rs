@@ -71,6 +71,13 @@ impl<const D: usize> Directory<D> {
         id
     }
 
+    /// Exclusive upper bound on every id ever handed out. Ids are dense
+    /// small integers, so batch grouping sizes its counting-sort scratch
+    /// by this instead of hashing.
+    pub fn id_bound(&self) -> MetaId {
+        self.next_id
+    }
+
     /// Inserts an entry.
     pub fn insert(&mut self, info: MetaInfo<D>) {
         if let Some(p) = info.parent {

@@ -346,7 +346,21 @@ impl<M: Send> PimSystem<M> {
     /// Executes one BSP round. `tasks[i]` is scattered to module `i`;
     /// modules with an empty task list do not run (no transfer call, no
     /// cycles). Returns `replies[i]` from each module.
-    pub fn execute_round<T, R, F>(&mut self, tasks: Vec<Vec<T>>, handler: F) -> Vec<Vec<R>>
+    pub fn execute_round<T, R, F>(&mut self, mut tasks: Vec<Vec<T>>, handler: F) -> Vec<Vec<R>>
+    where
+        T: Wire + Send,
+        R: Wire + Send,
+        F: Fn(usize, &mut M, &mut PimCtx, Vec<T>) -> Vec<R> + Sync,
+    {
+        self.run_round(&mut tasks, handler, false)
+    }
+
+    /// Like [`Self::execute_round`], but borrows the task matrix instead of
+    /// consuming it: each row is taken (left empty) by the scatter, and the
+    /// outer `Vec` survives for the caller to recycle. This is what the
+    /// host's `RoundBuffers` pool builds on — per-op matrix allocations
+    /// become clear-and-reuse.
+    pub fn execute_round_in<T, R, F>(&mut self, tasks: &mut Vec<Vec<T>>, handler: F) -> Vec<Vec<R>>
     where
         T: Wire + Send,
         R: Wire + Send,
@@ -359,18 +373,18 @@ impl<M: Send> PimSystem<M> {
     /// module, even those with no input (used for broadcast application,
     /// e.g. replicating L0 updates). Modules without input still pay no
     /// CPU→PIM transfer, but their work and replies are charged.
-    pub fn execute_round_all<T, R, F>(&mut self, tasks: Vec<Vec<T>>, handler: F) -> Vec<Vec<R>>
+    pub fn execute_round_all<T, R, F>(&mut self, mut tasks: Vec<Vec<T>>, handler: F) -> Vec<Vec<R>>
     where
         T: Wire + Send,
         R: Wire + Send,
         F: Fn(usize, &mut M, &mut PimCtx, Vec<T>) -> Vec<R> + Sync,
     {
-        self.run_round(tasks, handler, true)
+        self.run_round(&mut tasks, handler, true)
     }
 
     fn run_round<T, R, F>(
         &mut self,
-        mut tasks: Vec<Vec<T>>,
+        tasks: &mut Vec<Vec<T>>,
         handler: F,
         run_all: bool,
     ) -> Vec<Vec<R>>
@@ -417,9 +431,10 @@ impl<M: Send> PimSystem<M> {
         let results: Vec<(Vec<R>, PimCtx)> = self
             .modules
             .par_iter_mut()
-            .zip(tasks.into_par_iter())
+            .zip(tasks.par_iter_mut())
             .enumerate()
-            .map(|(i, (m, t))| {
+            .map(|(i, (m, tr))| {
+                let t = std::mem::take(tr);
                 let mut ctx = PimCtx::new();
                 let replies =
                     if run_all || !t.is_empty() { handler(i, m, &mut ctx, t) } else { Vec::new() };
@@ -516,6 +531,32 @@ impl<M: Send> PimSystem<M> {
             || (self.accounting && self.plan.as_ref().is_some_and(|pl| pl.config().is_active()))
     }
 
+    /// The round id the **next** accounted round will draw its fault fates
+    /// with. Fates are a pure function of `(plan seed, round, module,
+    /// attempt)`, so a caller holding this id can predict the outcome of a
+    /// dispatch it is about to make — see [`Self::predict_round_failure`].
+    pub fn next_round_id(&self) -> u64 {
+        self.trace_round
+    }
+
+    /// Whether a live module that participates in round `round` (the value
+    /// of [`Self::next_round_id`] at dispatch time) will fail it — i.e.
+    /// produce no validated reply — per the attached fault plan.
+    ///
+    /// Mirrors the `draw_fates` logic exactly: the plan is only consulted
+    /// for accounted rounds, and with no plan attached a live participating
+    /// module always succeeds (scripted kills only mark modules dead
+    /// *between* rounds). The host's robust layer uses this to clone only
+    /// the task rows that will actually be lost this wave; a wrong
+    /// prediction here would either leak clones (harmless) or lose tasks
+    /// (caught by the robust layer's reply-count assertion).
+    pub fn predict_round_failure(&self, round: u64, module: u32) -> bool {
+        if !self.accounting {
+            return false;
+        }
+        self.plan.as_ref().is_some_and(|pl| !pl.module_fate(round, module, true).success)
+    }
+
     /// Per-module fates for one round, drawn sequentially (thread-count
     /// independent). `participating[i]` is whether the host scattered work
     /// to module `i` (or the round is `run_all`).
@@ -558,7 +599,7 @@ impl<M: Send> PimSystem<M> {
     /// [`Self::take_newly_dead`] and re-routes their lost tasks.
     fn run_round_faulty<T, R, F>(
         &mut self,
-        tasks: Vec<Vec<T>>,
+        tasks: &mut [Vec<T>],
         handler: F,
         run_all: bool,
     ) -> Vec<Vec<R>>
@@ -599,9 +640,10 @@ impl<M: Send> PimSystem<M> {
         let results: Vec<(Vec<R>, PimCtx)> = self
             .modules
             .par_iter_mut()
-            .zip(tasks.into_par_iter())
+            .zip(tasks.par_iter_mut())
             .enumerate()
-            .map(|(i, (m, t))| {
+            .map(|(i, (m, tr))| {
+                let t = std::mem::take(tr);
                 let mut ctx = PimCtx::new();
                 let replies =
                     if fates[i].success { handler(i, m, &mut ctx, t) } else { Vec::new() };

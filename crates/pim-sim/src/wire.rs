@@ -7,6 +7,16 @@
 
 /// Size of a value as serialized into a host⇄PIM transfer buffer.
 pub trait Wire {
+    /// Wire size shared by **every** value of this type, when one exists.
+    ///
+    /// `Some(n)` promises `wire_bytes()` returns `n` for all values, which
+    /// lets containers skip the per-element walk: `Vec<u32>` reports
+    /// `len * 4` in O(1) instead of iterating — and wire sizing runs on
+    /// every metered round. Types with value-dependent sizes (task structs
+    /// carrying `Vec`s, `Option`) keep the `None` default and are summed
+    /// element by element as before.
+    const FIXED: Option<u64> = None;
+
     /// Number of bytes this value occupies on the wire.
     fn wire_bytes(&self) -> u64;
 }
@@ -47,6 +57,8 @@ pub fn validate_checksum(key: u64, round: u64, module: u32, payload_bytes: u64, 
 }
 
 impl Wire for () {
+    const FIXED: Option<u64> = Some(0);
+
     fn wire_bytes(&self) -> u64 {
         0
     }
@@ -55,6 +67,8 @@ impl Wire for () {
 macro_rules! prim_wire {
     ($($t:ty),*) => {
         $(impl Wire for $t {
+            const FIXED: Option<u64> = Some(core::mem::size_of::<$t>() as u64);
+
             #[inline]
             fn wire_bytes(&self) -> u64 {
                 core::mem::size_of::<$t>() as u64
@@ -64,10 +78,24 @@ macro_rules! prim_wire {
 }
 prim_wire!(u8, u16, u32, u64, i8, i16, i32, i64, usize, f32, f64);
 
+/// Sum of two element-wise fixed sizes, when both exist (const contexts
+/// can't use `Option::zip`/`map` yet).
+const fn fixed_sum(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a + b),
+        _ => None,
+    }
+}
+
 impl<T: Wire> Wire for Vec<T> {
     #[inline]
     fn wire_bytes(&self) -> u64 {
-        self.iter().map(Wire::wire_bytes).sum()
+        match T::FIXED {
+            // O(1) for fixed-size elements — rows of primitive replies and
+            // key/coordinate pairs dominate metered rounds.
+            Some(per) => self.len() as u64 * per,
+            None => self.iter().map(Wire::wire_bytes).sum(),
+        }
     }
 }
 
@@ -80,6 +108,8 @@ impl<T: Wire> Wire for Option<T> {
 }
 
 impl<A: Wire, B: Wire> Wire for (A, B) {
+    const FIXED: Option<u64> = fixed_sum(A::FIXED, B::FIXED);
+
     #[inline]
     fn wire_bytes(&self) -> u64 {
         self.0.wire_bytes() + self.1.wire_bytes()
@@ -87,6 +117,8 @@ impl<A: Wire, B: Wire> Wire for (A, B) {
 }
 
 impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    const FIXED: Option<u64> = fixed_sum(fixed_sum(A::FIXED, B::FIXED), C::FIXED);
+
     #[inline]
     fn wire_bytes(&self) -> u64 {
         self.0.wire_bytes() + self.1.wire_bytes() + self.2.wire_bytes()
@@ -94,6 +126,8 @@ impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
 }
 
 impl<T: Wire> Wire for &T {
+    const FIXED: Option<u64> = T::FIXED;
+
     #[inline]
     fn wire_bytes(&self) -> u64 {
         (*self).wire_bytes()
@@ -117,6 +151,27 @@ mod tests {
         assert_eq!((1u32, 2u64).wire_bytes(), 12);
         assert_eq!(Some(7u32).wire_bytes(), 5);
         assert_eq!(Option::<u32>::None.wire_bytes(), 1);
+    }
+
+    #[test]
+    fn fixed_size_fast_path_agrees_with_elementwise_sum() {
+        // Fixed where every value has one size...
+        assert_eq!(<u32 as Wire>::FIXED, Some(4));
+        assert_eq!(<(u64, u32) as Wire>::FIXED, Some(12));
+        assert_eq!(<(u8, u16, u32) as Wire>::FIXED, Some(7));
+        assert_eq!(<&u64 as Wire>::FIXED, Some(8));
+        assert_eq!(<() as Wire>::FIXED, Some(0));
+        // ...None where sizes are value-dependent.
+        assert_eq!(<Vec<u32> as Wire>::FIXED, None);
+        assert_eq!(<Option<u32> as Wire>::FIXED, None);
+
+        // The O(1) Vec path must report exactly what iteration would.
+        let v: Vec<(u64, u32)> = vec![(1, 2), (3, 4), (5, 6)];
+        assert_eq!(v.wire_bytes(), v.iter().map(Wire::wire_bytes).sum::<u64>());
+        assert_eq!(v.wire_bytes(), 36);
+        // Nested: the outer Vec's elements are variable-size, so it sums.
+        let nested: Vec<Vec<u32>> = vec![vec![1], vec![2, 3]];
+        assert_eq!(nested.wire_bytes(), 12);
     }
 
     #[test]

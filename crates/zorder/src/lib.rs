@@ -20,6 +20,7 @@
 
 pub mod naive;
 pub mod prefix;
+pub mod sort;
 pub mod spread;
 
 use pim_geom::{coord_bits_for_dim, Point};

@@ -1,0 +1,377 @@
+//! Thread-count-invariant parallel LSD radix sort over 64-bit keys.
+//!
+//! The host hot path (Alg. 2 of the paper: encode → sort by z-order → group
+//! per fragment → scatter) sorts `(ZKey, Point)` pairs on every batch. A
+//! Morton key is a dense `u64`, so an 8-digit least-significant-first radix
+//! sort beats the comparison sort it replaces while touching each element a
+//! bounded number of times — and, unlike a work-stealing merge sort, its
+//! output is a pure function of the input:
+//!
+//! * Histograms are computed over **fixed-size** chunks (`CHUNK` elements),
+//!   never over per-thread ranges, so bucket offsets — and therefore every
+//!   element's final slot — are identical at any thread count. Parallelism
+//!   only changes which worker scatters which chunk.
+//! * Each pass is stable, so equal keys keep their input order across
+//!   passes; a caller-supplied tiebreak is applied afterwards, and only
+//!   inside runs of equal keys.
+//! * Passes whose digit is constant across the whole input are skipped (one
+//!   shared pre-pass computes all eight global histograms), so keys that use
+//!   fewer than 64 bits — every `ZKey<D>` — pay only for the bytes they
+//!   occupy.
+//!
+//! Inputs at or below [`SMALL_SORT`] fall back to a sequential comparison
+//! sort; both paths produce the same permutation of values whenever
+//! `(key, tiebreak)` is a total order (callers in the index sort by
+//! `(ZKey, coords)`, which is total because Morton encoding is injective).
+
+use rayon::prelude::*;
+use std::cmp::Ordering;
+use std::mem::MaybeUninit;
+
+/// Inputs of at most this many elements use a sequential comparison sort:
+/// below this size the radix passes cost more than they save. The cutoff is
+/// a pure performance knob — both paths yield the same value sequence.
+pub const SMALL_SORT: usize = 1024;
+
+/// Histogram/scatter chunk size. Fixed (never derived from the thread
+/// count) so bucket offsets are thread-count-invariant; see module docs.
+const CHUNK: usize = 1 << 14;
+
+/// Number of 8-bit digits in a `u64` key.
+const DIGITS: usize = 8;
+
+/// Buckets per digit.
+const RADIX: usize = 256;
+
+/// A raw destination pointer shared by the scatter workers.
+///
+/// Chunks write to disjoint index ranges (each bucket slot is claimed by
+/// exactly one (chunk, bucket-offset) pair), so concurrent writers never
+/// alias; the wrapper only exists to let the pointer cross thread
+/// boundaries.
+#[derive(Clone, Copy)]
+struct ScatterPtr<T>(*mut MaybeUninit<T>);
+
+// SAFETY: the pointer is only written through, at indices proven disjoint
+// per worker by the exclusive-prefix-sum construction in `radix_pass`.
+unsafe impl<T: Send> Send for ScatterPtr<T> {}
+unsafe impl<T: Send> Sync for ScatterPtr<T> {}
+
+impl<T> ScatterPtr<T> {
+    /// Writes `val` at index `i`.
+    ///
+    /// # Safety
+    /// `i` must be in bounds of the wrapped allocation and not concurrently
+    /// written by another worker. (Methods also keep closure captures on the
+    /// whole wrapper rather than its raw-pointer field, which edition-2021
+    /// disjoint capture would otherwise pull out, losing Send/Sync.)
+    unsafe fn write(&self, i: usize, val: T) {
+        unsafe { self.0.add(i).write(MaybeUninit::new(val)) };
+    }
+
+    /// Reborrows `[s, e)` as an exclusive subslice.
+    ///
+    /// # Safety
+    /// `[s, e)` must be in bounds, fully initialized, and disjoint from
+    /// every range handed to other workers for the borrow's lifetime.
+    #[allow(clippy::mut_from_ref)] // aliasing ruled out by the caller contract
+    unsafe fn slice_mut(&self, s: usize, e: usize) -> &mut [T] {
+        unsafe { std::slice::from_raw_parts_mut(self.0.add(s).cast::<T>(), e - s) }
+    }
+}
+
+#[inline]
+fn digit(k: u64, d: u32) -> usize {
+    ((k >> (8 * d)) & 0xFF) as usize
+}
+
+/// Sorts `v` by `key(v[i])` ascending, then by `tiebreak` inside each run
+/// of equal keys. Deterministic and identical at any thread count.
+///
+/// Equivalent to `v.sort_unstable_by(|a, b|
+/// key(a).cmp(&key(b)).then_with(|| tiebreak(a, b)))` whenever that
+/// composite comparison is a total order (elements comparing equal under it
+/// must be identical values — true for `(ZKey, coords)` pairs because
+/// Morton encoding is a bijection on grid points).
+///
+/// ```
+/// use pim_zorder::sort::par_radix_sort_keyed;
+///
+/// let mut v = vec![(3u64, 1u32), (1, 2), (3, 0), (2, 9)];
+/// par_radix_sort_keyed(&mut v, |e| e.0, |a, b| a.1.cmp(&b.1));
+/// assert_eq!(v, [(1, 2), (2, 9), (3, 0), (3, 1)]);
+/// ```
+pub fn par_radix_sort_keyed<T, K, C>(v: &mut [T], key: K, tiebreak: C)
+where
+    T: Copy + Send + Sync,
+    K: Fn(&T) -> u64 + Sync,
+    C: Fn(&T, &T) -> Ordering + Sync,
+{
+    if v.len() <= SMALL_SORT {
+        v.sort_unstable_by(|a, b| key(a).cmp(&key(b)).then_with(|| tiebreak(a, b)));
+        return;
+    }
+    par_radix_sort_stable_by_u64(v, &key);
+    sort_equal_key_runs(v, &key, &tiebreak);
+}
+
+/// Stable sort of `v` by `key(v[i])` ascending: elements with equal keys
+/// keep their input order. Deterministic and identical at any thread count.
+///
+/// This is the composable building block behind [`par_radix_sort_keyed`]:
+/// chaining stable passes sorts by a composite key, least-significant field
+/// first (e.g. sort by Morton key, then stably by fragment id, to group by
+/// fragment with each group internally in z-order).
+pub fn par_radix_sort_stable_by_u64<T, K>(v: &mut [T], key: K)
+where
+    T: Copy + Send + Sync,
+    K: Fn(&T) -> u64 + Sync,
+{
+    let n = v.len();
+    if n <= SMALL_SORT {
+        // A stable sort (not `_unstable`) keeps the stability contract on
+        // the fallback path, so both paths agree even with duplicate keys.
+        v.sort_by_key(|a| key(a));
+        return;
+    }
+    let key = &key;
+    let n_chunks = n.div_ceil(CHUNK);
+
+    // Pre-pass: all eight global histograms in one parallel sweep over the
+    // (still unpermuted) input. Global counts are permutation-invariant, so
+    // this single sweep decides pass-skipping for every later pass; the
+    // per-chunk counts additionally seed the first pass's offsets.
+    let locals: Vec<Box<[[u32; RADIX]; DIGITS]>> = (0..n_chunks)
+        .into_par_iter()
+        .map(|c| {
+            let mut h: Box<[[u32; RADIX]; DIGITS]> = Box::new([[0; RADIX]; DIGITS]);
+            for e in &v[c * CHUNK..n.min((c + 1) * CHUNK)] {
+                let k = key(e);
+                for (d, row) in h.iter_mut().enumerate() {
+                    row[digit(k, d as u32)] += 1;
+                }
+            }
+            h
+        })
+        .collect();
+    let mut global = [[0u64; RADIX]; DIGITS];
+    for l in &locals {
+        for (d, row) in l.iter().enumerate() {
+            for (b, c) in row.iter().enumerate() {
+                global[d][b] += u64::from(*c);
+            }
+        }
+    }
+    let retained: Vec<u32> = (0..DIGITS as u32)
+        .filter(|&d| global[d as usize].iter().filter(|&&c| c > 0).count() > 1)
+        .collect();
+    if retained.is_empty() {
+        return; // every key equal: already stably "sorted"
+    }
+
+    // Ping-pong scatter buffer. Every pass writes each destination index
+    // exactly once (bucket counts sum to n), so after a pass the
+    // destination is fully initialized.
+    let mut buf: Vec<MaybeUninit<T>> = vec![MaybeUninit::uninit(); n];
+    let mut in_buf = false; // which buffer currently holds the data
+    for (pass, &d) in retained.iter().enumerate() {
+        let hists: Vec<[u32; RADIX]> = if pass == 0 {
+            locals.iter().map(|l| l[d as usize]).collect()
+        } else {
+            // The array was permuted by the previous pass, so per-chunk
+            // counts must be recomputed for this digit.
+            let (src, _) = split_src_dst(v, &mut buf, in_buf);
+            (0..n_chunks)
+                .into_par_iter()
+                .map(|c| {
+                    let mut h = [0u32; RADIX];
+                    for e in &src[c * CHUNK..n.min((c + 1) * CHUNK)] {
+                        h[digit(key(e), d)] += 1;
+                    }
+                    h
+                })
+                .collect()
+        };
+        let (src, dst) = split_src_dst(v, &mut buf, in_buf);
+        radix_pass(src, dst, &hists, |e| digit(key(e), d));
+        in_buf = !in_buf;
+    }
+    if in_buf {
+        // Data ended in the scratch buffer: copy it home. SAFETY: the last
+        // pass initialized every element of `buf`.
+        v.par_iter_mut()
+            .zip(buf.par_iter())
+            .map(|(e, s)| *e = unsafe { s.assume_init() })
+            .collect::<Vec<()>>();
+    }
+}
+
+/// Views the ping-pong pair as `(source, destination)` for one pass.
+///
+/// When `in_buf` is false the data lives in `v` and scatters into `buf`;
+/// when true it lives in `buf` (fully initialized by the previous pass) and
+/// scatters back into `v`.
+fn split_src_dst<'a, T: Copy>(
+    v: &'a mut [T],
+    buf: &'a mut [MaybeUninit<T>],
+    in_buf: bool,
+) -> (&'a [T], &'a mut [MaybeUninit<T>]) {
+    if in_buf {
+        // SAFETY: `in_buf` is only true after a completed pass wrote all of
+        // `buf`, and `&mut [T]` -> `&mut [MaybeUninit<T>]` is a layout-
+        // compatible reinterpretation.
+        unsafe {
+            let src: &[T] = &*(std::ptr::from_ref::<[MaybeUninit<T>]>(buf) as *const [T]);
+            let dst: &mut [MaybeUninit<T>] =
+                &mut *(std::ptr::from_mut::<[T]>(v) as *mut [MaybeUninit<T>]);
+            (src, dst)
+        }
+    } else {
+        (v, buf)
+    }
+}
+
+/// One stable counting-scatter pass: `hists[c][b]` counts digit `b` in
+/// chunk `c` of `src`; elements land in `dst` grouped by digit, chunks in
+/// order within each digit, input order within each (chunk, digit).
+fn radix_pass<T, F>(src: &[T], dst: &mut [MaybeUninit<T>], hists: &[[u32; RADIX]], dig: F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> usize + Sync,
+{
+    let n = src.len();
+    let n_chunks = hists.len();
+    // Exclusive prefix sum in (digit, chunk) order: all of bucket 0 (chunk
+    // 0's slice first, then chunk 1's, ...) precedes all of bucket 1. The
+    // traversal order is what makes the pass stable, and it depends only on
+    // the fixed chunk geometry — not on the executor.
+    let mut offs: Vec<[usize; RADIX]> = vec![[0; RADIX]; n_chunks];
+    let mut running = 0usize;
+    for b in 0..RADIX {
+        for (c, h) in hists.iter().enumerate() {
+            offs[c][b] = running;
+            running += h[b] as usize;
+        }
+    }
+    debug_assert_eq!(running, n);
+    let dst = ScatterPtr(dst.as_mut_ptr());
+    let dig = &dig;
+    let offs = &offs;
+    (0..n_chunks)
+        .into_par_iter()
+        .map(move |c| {
+            let mut off = offs[c];
+            for e in &src[c * CHUNK..n.min((c + 1) * CHUNK)] {
+                let b = dig(e);
+                // SAFETY: `off[b]` walks this chunk's private slice of
+                // bucket `b` (exclusive prefix sums are disjoint across
+                // (chunk, bucket) pairs and sum to n), so every write
+                // targets a distinct in-bounds index.
+                unsafe { dst.write(off[b], *e) };
+                off[b] += 1;
+            }
+        })
+        .collect::<Vec<()>>();
+}
+
+/// Sorts each maximal run of equal-`key` elements by `tiebreak`.
+///
+/// Runs are detected sequentially (a single O(n) scan) and sorted in
+/// parallel; runs are disjoint subslices, so the workers never alias.
+fn sort_equal_key_runs<T, K, C>(v: &mut [T], key: &K, tiebreak: &C)
+where
+    T: Copy + Send + Sync,
+    K: Fn(&T) -> u64 + Sync,
+    C: Fn(&T, &T) -> Ordering + Sync,
+{
+    let mut runs: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < v.len() {
+        let k = key(&v[i]);
+        let mut j = i + 1;
+        while j < v.len() && key(&v[j]) == k {
+            j += 1;
+        }
+        if j - i > 1 {
+            runs.push((i, j));
+        }
+        i = j;
+    }
+    match runs.as_slice() {
+        [] => {}
+        &[(s, e)] => v[s..e].sort_unstable_by(tiebreak),
+        _ => {
+            let base = ScatterPtr(v.as_mut_ptr().cast::<MaybeUninit<T>>());
+            runs.into_par_iter()
+                .map(move |(s, e)| {
+                    // SAFETY: runs are disjoint, in-bounds index ranges of
+                    // `v`, and `v` itself is mutably borrowed for the whole
+                    // scatter, so each worker has exclusive access to its
+                    // subslice.
+                    unsafe { base.slice_mut(s, e) }.sort_unstable_by(tiebreak);
+                })
+                .collect::<Vec<()>>();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn reference<T: Copy>(v: &mut [T], key: impl Fn(&T) -> u64, tb: impl Fn(&T, &T) -> Ordering) {
+        v.sort_by(|a, b| key(a).cmp(&key(b)).then_with(|| tb(a, b)));
+    }
+
+    #[test]
+    fn matches_comparison_sort_across_sizes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for n in [0usize, 1, 2, 100, SMALL_SORT, SMALL_SORT + 1, 10_000, 100_000] {
+            // Duplicate-heavy: keys drawn from a small space.
+            let mut v: Vec<(u64, u32)> =
+                (0..n).map(|i| (rng.random_range(0..64u64), i as u32)).collect();
+            let mut want = v.clone();
+            reference(&mut want, |e| e.0, |a, b| a.1.cmp(&b.1));
+            par_radix_sort_keyed(&mut v, |e| e.0, |a, b| a.1.cmp(&b.1));
+            assert_eq!(v, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn stable_variant_preserves_input_order_of_equal_keys() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        for n in [100usize, SMALL_SORT + 1, 50_000] {
+            let mut v: Vec<(u64, u32)> =
+                (0..n).map(|i| (rng.random_range(0..16u64), i as u32)).collect();
+            let mut want = v.clone();
+            want.sort_by_key(|e| e.0); // std stable sort
+            par_radix_sort_stable_by_u64(&mut v, |e| e.0);
+            assert_eq!(v, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn full_width_and_sparse_keys() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        // Full 64-bit keys (no skippable digit) and keys constant in every
+        // digit but one (seven skipped passes).
+        for mask in [u64::MAX, 0xFF00] {
+            let mut v: Vec<(u64, u32)> =
+                (0..30_000).map(|i| (rng.random::<u64>() & mask, i as u32)).collect();
+            let mut want = v.clone();
+            reference(&mut want, |e| e.0, |a, b| a.1.cmp(&b.1));
+            par_radix_sort_keyed(&mut v, |e| e.0, |a, b| a.1.cmp(&b.1));
+            assert_eq!(v, want, "mask={mask:#x}");
+        }
+    }
+
+    #[test]
+    fn all_keys_equal_is_stable_identity() {
+        let mut v: Vec<(u64, u32)> = (0..20_000).map(|i| (42, i as u32)).collect();
+        let want = v.clone();
+        par_radix_sort_stable_by_u64(&mut v, |e| e.0);
+        assert_eq!(v, want);
+    }
+}

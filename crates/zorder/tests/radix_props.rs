@@ -1,0 +1,124 @@
+//! Property tests: `par_radix_sort_keyed` must be observationally identical
+//! to the comparison sort it replaced — `sort_unstable_by_key` on
+//! `(ZKey, coords)`, the exact ordering the host batch pipeline relied on
+//! before the radix path — across dimension classes, duplicate-heavy key
+//! distributions, and thread counts. Byte-identical figure output depends
+//! on this equivalence, so the inputs deliberately straddle the small-slice
+//! comparison fallback and force long equal-key runs.
+
+use pim_geom::Point;
+use pim_zorder::sort::{par_radix_sort_keyed, SMALL_SORT};
+use pim_zorder::ZKey;
+use proptest::prelude::*;
+
+/// Encodes raw coordinates into the `(key, point)` pairs the pipeline sorts.
+fn keyed<const D: usize>(coords: &[[u32; D]]) -> Vec<(ZKey<D>, Point<D>)> {
+    coords
+        .iter()
+        .map(|&c| {
+            let p = Point::new(c);
+            (ZKey::<D>::encode(&p), p)
+        })
+        .collect()
+}
+
+/// The radix path under test, invoked exactly as the host pipeline does.
+fn radix<const D: usize>(v: &mut [(ZKey<D>, Point<D>)]) {
+    par_radix_sort_keyed(v, |e| e.0 .0, |a, b| a.1.coords.cmp(&b.1.coords));
+}
+
+/// The pre-radix reference ordering.
+fn reference<const D: usize>(v: &mut [(ZKey<D>, Point<D>)]) {
+    v.sort_unstable_by_key(|(k, p)| (*k, p.coords));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// 2D, duplicate-heavy (tiny coordinate domain → long equal-key runs),
+    /// sizes straddling the comparison-sort fallback threshold.
+    #[test]
+    fn matches_reference_2d_duplicate_heavy(
+        coords in proptest::collection::vec((0..6u32, 0..6u32), 0..3 * SMALL_SORT),
+    ) {
+        let raw: Vec<[u32; 2]> = coords.iter().map(|&(x, y)| [x, y]).collect();
+        let mut a = keyed(&raw);
+        let mut b = a.clone();
+        radix(&mut a);
+        reference(&mut b);
+        prop_assert_eq!(a, b);
+    }
+
+    /// 3D — the pipeline's production dimension — mixing a duplicate-prone
+    /// low range with occasional full-range outliers so some radix digits
+    /// are constant (pass-skipping) and others are not.
+    #[test]
+    fn matches_reference_3d_mixed_range(
+        coords in proptest::collection::vec(
+            (0..16u32, 0..16u32, 0..1u32 << 21),
+            0..3 * SMALL_SORT,
+        ),
+    ) {
+        let raw: Vec<[u32; 3]> = coords.iter().map(|&(x, y, z)| [x, y, z]).collect();
+        let mut a = keyed(&raw);
+        let mut b = a.clone();
+        radix(&mut a);
+        reference(&mut b);
+        prop_assert_eq!(a, b);
+    }
+
+    /// 4D takes the generic spreader; keys are sparse in the high bits.
+    #[test]
+    fn matches_reference_4d_duplicate_heavy(
+        coords in proptest::collection::vec(
+            (0..4u32, 0..4u32, 0..4u32, 0..4u32),
+            0..3 * SMALL_SORT,
+        ),
+    ) {
+        let raw: Vec<[u32; 4]> = coords.iter().map(|&(a, b, c, d)| [a, b, c, d]).collect();
+        let mut a = keyed(&raw);
+        let mut b = a.clone();
+        radix(&mut a);
+        reference(&mut b);
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// The sorted output must not depend on the worker count: the per-chunk
+/// histogram layout fixes every element's destination before any thread
+/// runs. Byte-identical journals at `--threads 1` and `--threads 8` rest
+/// on this.
+#[test]
+fn output_is_thread_count_invariant() {
+    let mut rng = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    // Duplicate-heavy 3D input, larger than several scatter chunks.
+    let raw: Vec<[u32; 3]> = (0..40_000)
+        .map(|_| {
+            let r = next();
+            [(r & 31) as u32, ((r >> 5) & 31) as u32, ((r >> 10) & 0xffff) as u32]
+        })
+        .collect();
+    let input = keyed(&raw);
+
+    let sorted: Vec<Vec<(ZKey<3>, Point<3>)>> = [1usize, 2, 8]
+        .iter()
+        .map(|&n| {
+            let pool = rayon::ThreadPool::new(n);
+            let mut v = input.clone();
+            pool.install(|| radix(&mut v));
+            v
+        })
+        .collect();
+
+    let mut reference = input;
+    self::reference(&mut reference);
+    for (n, s) in [1usize, 2, 8].iter().zip(&sorted) {
+        assert_eq!(s, &reference, "radix sort diverged at {n} threads");
+    }
+}
