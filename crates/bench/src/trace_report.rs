@@ -299,7 +299,7 @@ pub fn render(summaries: &[PhaseSummary]) -> String {
         )
         .unwrap();
         writeln!(out, "{}", "-".repeat(88)).unwrap();
-        let mut tot = [0u64; 6];
+        let mut tot = [0u64; FaultKind::COUNT];
         let (mut tot_rounds, mut tot_salv_rounds, mut tot_salv_bytes) = (0u64, 0u64, 0u64);
         for s in summaries {
             let c = &s.fault_counts;
@@ -439,13 +439,13 @@ mod tests {
     #[test]
     fn fault_events_aggregate_into_the_recovery_table() {
         let mut faulted = row("insert", 1.0, 0.1, 0.1, 4, 2.0);
-        faulted.fault_counts = [2, 1, 0, 3, 1, 1]; // exec, drop, -, strag, death, salvage
+        faulted.fault_counts = [2, 1, 0, 3, 1, 1, 0]; // exec, drop, -, strag, death, salvage, crash
         let mut salvage = row("insert", 0.0, 0.2, 0.0, 0, 0.0);
         salvage.is_salvage = true;
         salvage.pim_to_cpu_bytes = 4096;
         let s = summarize(&[faulted, salvage, row("knn", 0.5, 0.1, 0.0, 2, 1.0)]);
         let ins = s.iter().find(|p| p.phase == "insert").unwrap();
-        assert_eq!(ins.fault_counts, [2, 1, 0, 3, 1, 1]);
+        assert_eq!(ins.fault_counts, [2, 1, 0, 3, 1, 1, 0]);
         assert_eq!(ins.faulted_rounds, 1);
         assert_eq!(ins.salvage_rounds, 1);
         assert_eq!(ins.salvage_bytes, 4096);
@@ -482,7 +482,7 @@ mod tests {
             ],
         });
         let rows = parse_jsonl(&journal.to_jsonl()).unwrap();
-        assert_eq!(rows[0].fault_counts, [1, 0, 0, 0, 1, 0]);
+        assert_eq!(rows[0].fault_counts, [1, 0, 0, 0, 1, 0, 0]);
         let rendered = render(&summarize(&rows));
         assert!(rendered.contains("Fault injection & recovery"));
     }

@@ -14,13 +14,44 @@ use std::fmt::Write as _;
 pub struct DumpOptions {
     /// Maximum tree depth rendered (deeper subtrees are summarized).
     pub max_depth: usize,
-    /// Maximum total lines emitted.
+    /// Maximum tree-body lines emitted (the one-line header and, when
+    /// lines were actually suppressed, the trailing truncation notice are
+    /// not counted). Every body line — node, depth-elision summary, and
+    /// dangling-meta marker alike — is charged against this budget.
     pub max_lines: usize,
 }
 
 impl Default for DumpOptions {
     fn default() -> Self {
         Self { max_depth: 6, max_lines: 200 }
+    }
+}
+
+/// Line accounting for one dump: the budget consumed so far and whether
+/// any line was suppressed by it. The truncation notice is emitted only
+/// when something was *actually* dropped — an output that exactly fills
+/// the budget is complete, not truncated.
+struct DumpState {
+    lines: usize,
+    truncated: bool,
+}
+
+impl DumpState {
+    /// Emits one body line if the budget allows, recording suppression
+    /// otherwise. Returns whether the line was written.
+    fn emit(
+        &mut self,
+        opts: &DumpOptions,
+        out: &mut String,
+        line: std::fmt::Arguments<'_>,
+    ) -> bool {
+        if self.lines >= opts.max_lines {
+            self.truncated = true;
+            return false;
+        }
+        let _ = writeln!(out, "{line}");
+        self.lines += 1;
+        true
     }
 }
 
@@ -46,9 +77,9 @@ impl<const D: usize> PimZdTree<D> {
                 masters.insert(*id, f);
             }
         }
-        let mut lines = 0usize;
-        self.dump_node(l0, l0.root, 0, &masters, &opts, &mut lines, &mut out);
-        if lines >= opts.max_lines {
+        let mut st = DumpState { lines: 0, truncated: false };
+        self.dump_node(l0, l0.root, 0, &masters, &opts, &mut st, &mut out);
+        if st.truncated {
             let _ = writeln!(out, "… (truncated at {} lines)", opts.max_lines);
         }
         out
@@ -62,10 +93,13 @@ impl<const D: usize> PimZdTree<D> {
         depth: usize,
         masters: &FxHashMap<MetaId, &Fragment<D>>,
         opts: &DumpOptions,
-        lines: &mut usize,
+        st: &mut DumpState,
         out: &mut String,
     ) {
-        if *lines >= opts.max_lines {
+        if st.lines >= opts.max_lines {
+            // Called with a node to render and no budget left: content is
+            // being dropped, which is what the trailing notice reports.
+            st.truncated = true;
             return;
         }
         let node = frag.node(idx);
@@ -87,47 +121,48 @@ impl<const D: usize> PimZdTree<D> {
         };
         match &node.kind {
             BKind::Leaf { points } => {
-                let _ = writeln!(
+                st.emit(
+                    opts,
                     out,
-                    "{indent}leaf[{}b] {} pts  ({place})",
-                    node.prefix.len,
-                    points.len()
+                    format_args!(
+                        "{indent}leaf[{}b] {} pts  ({place})",
+                        node.prefix.len,
+                        points.len()
+                    ),
                 );
-                *lines += 1;
             }
             BKind::LeafStub => {
-                let _ = writeln!(out, "{indent}stub[{}b]  ({place})", node.prefix.len);
-                *lines += 1;
+                st.emit(opts, out, format_args!("{indent}stub[{}b]  ({place})", node.prefix.len));
             }
             BKind::Internal { left, right } => {
-                let _ = writeln!(
+                st.emit(
+                    opts,
                     out,
-                    "{indent}node[{}b] sc={}  ({place})",
-                    node.prefix.len, node.count
+                    format_args!("{indent}node[{}b] sc={}  ({place})", node.prefix.len, node.count),
                 );
-                *lines += 1;
                 if depth + 1 > opts.max_depth {
-                    let _ = writeln!(out, "{indent}  … subtree elided (depth limit)");
-                    *lines += 1;
+                    st.emit(opts, out, format_args!("{indent}  … subtree elided (depth limit)"));
                     return;
                 }
                 for child in [left, right] {
                     match child {
                         ChildRef::Local(c) => {
-                            self.dump_node(frag, *c, depth + 1, masters, opts, lines, out)
+                            self.dump_node(frag, *c, depth + 1, masters, opts, st, out)
                         }
                         ChildRef::Remote(r) => {
                             if let Some(cf) = masters.get(&r.meta) {
-                                self.dump_node(cf, cf.root, depth + 1, masters, opts, lines, out);
+                                self.dump_node(cf, cf.root, depth + 1, masters, opts, st, out);
                             } else {
-                                let _ = writeln!(
+                                st.emit(
+                                    opts,
                                     out,
-                                    "{}<dangling meta{} on m{}>",
-                                    "  ".repeat(depth + 1),
-                                    r.meta,
-                                    r.module
+                                    format_args!(
+                                        "{}<dangling meta{} on m{}>",
+                                        "  ".repeat(depth + 1),
+                                        r.meta,
+                                        r.module
+                                    ),
                                 );
-                                *lines += 1;
                             }
                         }
                     }
@@ -144,16 +179,51 @@ mod tests {
     use pim_sim::MachineConfig;
     use pim_workloads::uniform;
 
-    #[test]
-    fn dump_renders_placements_and_respects_limits() {
+    fn sample_tree() -> PimZdTree<3> {
         let pts = uniform::<3>(5_000, 1);
         let cfg = PimZdConfig::skew_resistant(16);
-        let t = PimZdTree::build(&pts, cfg, MachineConfig::with_modules(16));
-        let s = t.dump(DumpOptions { max_depth: 4, max_lines: 60 });
+        PimZdTree::build(&pts, cfg, MachineConfig::with_modules(16))
+    }
+
+    #[test]
+    fn dump_renders_placements_and_respects_limits() {
+        let t = sample_tree();
+        let s = t.dump(DumpOptions { max_depth: 4, max_lines: 30 });
         assert!(s.contains("PimZdTree: 5000 points"));
         assert!(s.contains("L0/host"), "root region must be host-resident:\n{s}");
         assert!(s.contains("meta"), "fragments must be annotated");
-        assert!(s.lines().count() <= 63, "line budget respected");
+        // Exact accounting: 1 header + exactly max_lines body lines + the
+        // truncation notice (this dump is larger than 30 body lines).
+        assert!(s.contains("truncated at 30 lines"));
+        assert_eq!(s.lines().count(), 32, "header + 30 body lines + notice:\n{s}");
+    }
+
+    #[test]
+    fn exactly_fitting_dump_has_no_truncation_notice() {
+        let t = sample_tree();
+        // Measure the full dump, then re-render with the budget set to its
+        // exact body size: nothing is suppressed, so no notice may appear.
+        let full = t.dump(DumpOptions { max_depth: 4, max_lines: usize::MAX });
+        assert!(!full.contains("truncated"), "unlimited budget never truncates");
+        let body_lines = full.lines().count() - 1; // minus header
+        let exact = t.dump(DumpOptions { max_depth: 4, max_lines: body_lines });
+        assert_eq!(exact, full, "exact-fit render must be identical, with no notice");
+        // One line less: now the notice must appear, and the budget holds.
+        let clipped = t.dump(DumpOptions { max_depth: 4, max_lines: body_lines - 1 });
+        assert!(clipped.contains(&format!("truncated at {} lines", body_lines - 1)));
+        assert_eq!(clipped.lines().count(), 1 + (body_lines - 1) + 1);
+    }
+
+    #[test]
+    fn depth_elision_lines_respect_the_budget() {
+        let t = sample_tree();
+        // A depth limit of 0 makes the root an elision point; every render
+        // must still respect max_lines exactly.
+        for max_lines in [1, 2, 3] {
+            let s = t.dump(DumpOptions { max_depth: 0, max_lines });
+            let body = s.lines().count() - 1 - usize::from(s.contains("truncated"));
+            assert!(body <= max_lines, "body {body} > budget {max_lines}:\n{s}");
+        }
     }
 
     #[test]

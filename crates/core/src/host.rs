@@ -110,6 +110,21 @@ pub struct PimZdTree<const D: usize> {
     /// state. Simulated costs never observe the pool — it only changes
     /// where host-side `Vec`s come from.
     pub(crate) bufs: RoundBuffers,
+    /// Number of applied mutation batches (insert/delete). Checkpoints
+    /// record the epoch of the frozen view they capture; WAL records carry
+    /// the epoch their batch produces, so replay-to-consistent-point is
+    /// "apply every record with `epoch > checkpoint.epoch`, in order".
+    /// Bumped only at batch boundaries — mid-batch state is never epoch-
+    /// visible, which is what makes a checkpoint a consistent frozen view
+    /// even if one is requested while a batch is logically in flight.
+    pub(crate) epoch: u64,
+    /// Write-ahead log of applied batches; `None` = durability off (the
+    /// default — query-only workloads and most tests never pay for it).
+    pub(crate) wal: Option<crate::wal::Wal>,
+    /// The host CPU parameters the meter/model were built from, retained
+    /// so checkpoints can serialize them and restores can rebuild the
+    /// meter with identical geometry.
+    pub(crate) cpu_cfg: CpuConfig,
 }
 
 impl<const D: usize> PimZdTree<D> {
@@ -135,6 +150,39 @@ impl<const D: usize> PimZdTree<D> {
             staging_next: STAGING_REGION,
             l0_replicated: false,
             bufs: RoundBuffers::default(),
+            epoch: 0,
+            wal: None,
+            cpu_cfg,
+        }
+    }
+
+    /// Number of mutation batches applied so far (see the `epoch` field's
+    /// docs; checkpoints and WAL records are ordered by it).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Attaches a write-ahead log: every subsequent `batch_insert` /
+    /// `batch_delete` appends its points *before* applying them, so a host
+    /// crash at any batch boundary loses nothing that was acknowledged.
+    /// Returns the previous log, if any (detach by passing a fresh one and
+    /// dropping the result, or via [`Self::take_wal`]).
+    pub fn set_wal(&mut self, wal: crate::wal::Wal) -> Option<crate::wal::Wal> {
+        self.wal.replace(wal)
+    }
+
+    /// Detaches and returns the write-ahead log.
+    pub fn take_wal(&mut self) -> Option<crate::wal::Wal> {
+        self.wal.take()
+    }
+
+    /// Logs a mutation batch before it is applied (no-op with no WAL
+    /// attached). An append failure aborts: applying a batch the log did
+    /// not durably record would silently void the recovery guarantee.
+    pub(crate) fn wal_append(&mut self, op: crate::wal::WalOp, points: &[pim_geom::Point<D>]) {
+        if let Some(w) = self.wal.as_mut() {
+            w.append::<D>(self.epoch + 1, op, points)
+                .expect("WAL append failed; refusing to apply an unlogged batch");
         }
     }
 

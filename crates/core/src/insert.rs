@@ -25,12 +25,14 @@ impl<const D: usize> PimZdTree<D> {
         if points.is_empty() {
             return;
         }
+        self.wal_append(crate::wal::WalOp::Insert, points);
         self.phased("insert", |t| {
             t.measured(points.len() as u64, |t| {
                 t.insert_inner(points);
                 ((), points.len() as u64)
             })
         });
+        self.epoch += 1;
     }
 
     fn insert_inner(&mut self, points: &[Point<D>]) {
@@ -154,12 +156,15 @@ impl<const D: usize> PimZdTree<D> {
         if points.is_empty() {
             return 0;
         }
-        self.phased("delete", |t| {
+        self.wal_append(crate::wal::WalOp::Delete, points);
+        let removed = self.phased("delete", |t| {
             t.measured(points.len() as u64, |t| {
                 let removed = t.delete_inner(points);
                 (removed, points.len() as u64)
             })
-        })
+        });
+        self.epoch += 1;
+        removed
     }
 
     fn delete_inner(&mut self, points: &[Point<D>]) -> usize {

@@ -78,9 +78,13 @@ impl<const D: usize> PimZdTree<D> {
         metric: Metric,
     ) -> Vec<Vec<(u64, Point<D>)>> {
         let n = queries.len();
-        if k == 0 || self.l0.is_none() {
-            return vec![Vec::new(); n];
-        }
+        // Empty tree or k = 0: every query answers with no neighbors. The
+        // root is captured here so no later step needs to touch `self.l0`
+        // unguarded.
+        let l0_root = match self.l0.as_ref() {
+            Some(l0) if k > 0 => l0.root,
+            _ => return vec![Vec::new(); n],
+        };
         let two_stage = self.cfg.toggles.coarse_fine_knn && metric.needs_multiplication();
         let coarse = if two_stage { Metric::L1 } else { metric };
 
@@ -95,7 +99,7 @@ impl<const D: usize> PimZdTree<D> {
                     Some(a) if a.meta == 0 => Target::L0(a.node),
                     Some(a) => Target::Frag { meta: a.meta, module: a.module, node: a.node },
                     // No anchor (tiny tree): start at the root.
-                    None => Target::L0(self.l0.as_ref().unwrap().root),
+                    None => Target::L0(l0_root),
                 };
                 QState {
                     q: queries[qid],
@@ -181,7 +185,14 @@ impl<const D: usize> PimZdTree<D> {
         radius: u64,
         metric: Metric,
     ) -> Target<D> {
-        let l0 = self.l0.as_ref().unwrap();
+        // kNN on an empty tree returns before reaching this step; the hop
+        // fallback keeps the path structurally panic-free regardless.
+        let Some(l0) = self.l0.as_ref() else {
+            return match hops.first() {
+                Some(r) => Target::Frag { meta: r.meta, module: r.module, node: u32::MAX },
+                None => Target::L0(u32::MAX),
+            };
+        };
         let mut best = Target::L0(l0.root);
         if radius == u64::MAX {
             return best;
@@ -251,7 +262,8 @@ impl<const D: usize> PimZdTree<D> {
                     }
                     match t {
                         Target::L0(node) => {
-                            let l0 = self.l0.as_ref().unwrap();
+                            // No L0 (empty tree): nothing to visit there.
+                            let Some(l0) = self.l0.as_ref() else { continue };
                             let mut sink = Self::l0_sink(&mut self.meter);
                             let mut remote = Vec::new();
                             match st.ball {

@@ -40,6 +40,7 @@
 
 pub mod boxq;
 pub mod build;
+pub mod checkpoint;
 pub mod config;
 pub mod dump;
 pub mod frag;
@@ -51,8 +52,11 @@ pub mod meta;
 pub mod module;
 pub mod search;
 pub mod stats;
+pub mod wal;
 
+pub use checkpoint::DurabilityError;
 pub use config::{Layer, PimZdConfig, Toggles};
 pub use frag::{BKind, BNode, ChildRef, Fragment, MetaId, RemoteRef};
 pub use host::PimZdTree;
 pub use stats::{OpBreakdown, OpStats};
+pub use wal::{Wal, WalOp, WalReadMode, WalRecord};

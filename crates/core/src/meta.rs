@@ -78,6 +78,14 @@ impl<const D: usize> Directory<D> {
         self.next_id
     }
 
+    /// Rebuilds a directory from checkpointed entries and the id cursor.
+    /// Restoring `next_id` (not just the entries) matters: ids must never
+    /// be reissued, or a replayed batch would mint a meta id that collides
+    /// with one the pre-crash run already placed.
+    pub(crate) fn from_parts(metas: FxHashMap<MetaId, MetaInfo<D>>, next_id: MetaId) -> Self {
+        Self { metas, next_id }
+    }
+
     /// Inserts an entry.
     pub fn insert(&mut self, info: MetaInfo<D>) {
         if let Some(p) = info.parent {

@@ -119,7 +119,11 @@ impl<const D: usize> PimZdTree<D> {
         let mut pending: Vec<(u32, RemoteRef<D>)> = Vec::new();
         {
             let _span = pim_obs::span("l0_traverse");
-            let l0 = self.l0.as_ref().unwrap();
+            // Structurally panic-free duplicate of the guard above: an
+            // empty tree answers every query with `QueryEnd::Empty`.
+            let Some(l0) = self.l0.as_ref() else {
+                return BatchSearch { keys, ends, anchors, hops };
+            };
             let mut sink = Self::l0_sink(&mut self.meter);
             for (qid, &key) in keys.iter().enumerate() {
                 if !l0.root_node().prefix.covers(key) {

@@ -156,6 +156,79 @@ impl CacheSim {
         self.misses = 0;
         self.writebacks = 0;
     }
+
+    /// Exports the full cache state — per-way lines in set-major order plus
+    /// the LRU clock and lifetime counters — for host checkpoints. The LLC
+    /// contents are host state like any other: restoring them cold instead
+    /// of warm would shift every post-restore hit/miss count and break the
+    /// byte-identity of replayed host metrics.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            ways: self
+                .sets
+                .iter()
+                .flat_map(|set| set.iter())
+                .map(|w| CacheWaySnapshot {
+                    tag: w.tag,
+                    last_use: w.last_use,
+                    valid: w.valid,
+                    dirty: w.dirty,
+                })
+                .collect(),
+            clock: self.clock,
+            hits: self.hits,
+            misses: self.misses,
+            writebacks: self.writebacks,
+        }
+    }
+
+    /// Rebuilds a cache from a snapshot under the given geometry. Returns
+    /// `None` when the snapshot's way count disagrees with the geometry —
+    /// the caller (the checkpoint layer) turns that into a typed error.
+    pub fn from_snapshot(cfg: CacheConfig, snap: &CacheSnapshot) -> Option<Self> {
+        let expect = cfg.num_sets() as usize * cfg.ways;
+        if snap.ways.len() != expect {
+            return None;
+        }
+        let mut sim = Self::new(cfg);
+        for (i, w) in snap.ways.iter().enumerate() {
+            sim.sets[i / cfg.ways][i % cfg.ways] =
+                Way { tag: w.tag, last_use: w.last_use, valid: w.valid, dirty: w.dirty };
+        }
+        sim.clock = snap.clock;
+        sim.hits = snap.hits;
+        sim.misses = snap.misses;
+        sim.writebacks = snap.writebacks;
+        Some(sim)
+    }
+}
+
+/// One way's state in a [`CacheSnapshot`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheWaySnapshot {
+    /// Line tag.
+    pub tag: u64,
+    /// LRU use stamp.
+    pub last_use: u64,
+    /// Whether the way holds a line.
+    pub valid: bool,
+    /// Whether the line is dirty (writeback on eviction).
+    pub dirty: bool,
+}
+
+/// Full restorable state of a [`CacheSim`] (see [`CacheSim::snapshot`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Every way, set-major (`set * ways + way`).
+    pub ways: Vec<CacheWaySnapshot>,
+    /// Monotonic LRU clock.
+    pub clock: u64,
+    /// Lifetime hit count.
+    pub hits: u64,
+    /// Lifetime miss count.
+    pub misses: u64,
+    /// Lifetime writeback count.
+    pub writebacks: u64,
 }
 
 #[cfg(test)]

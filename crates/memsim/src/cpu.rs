@@ -198,6 +198,35 @@ impl CpuMeter {
     pub fn cache(&self) -> &CacheSim {
         &self.cache
     }
+
+    /// Exports the meter's full restorable state (counters + warm cache)
+    /// for host checkpoints.
+    pub fn snapshot(&self) -> MeterSnapshot {
+        MeterSnapshot { stats: self.stats, cache: self.cache.snapshot(), enabled: self.enabled }
+    }
+
+    /// Rebuilds a meter from a snapshot under the given CPU parameters.
+    /// Returns `None` on a geometry mismatch (see
+    /// [`CacheSim::from_snapshot`]).
+    pub fn from_snapshot(cfg: CpuConfig, snap: &MeterSnapshot) -> Option<Self> {
+        Some(Self {
+            cache: CacheSim::from_snapshot(cfg.llc, &snap.cache)?,
+            stats: snap.stats,
+            line_bytes: cfg.llc.line_bytes,
+            enabled: snap.enabled,
+        })
+    }
+}
+
+/// Full restorable state of a [`CpuMeter`] (see [`CpuMeter::snapshot`]).
+#[derive(Clone, Debug)]
+pub struct MeterSnapshot {
+    /// Accumulated counters of the current measured phase.
+    pub stats: CpuStats,
+    /// The warm LLC contents.
+    pub cache: crate::cache::CacheSnapshot,
+    /// Whether charging was on.
+    pub enabled: bool,
 }
 
 #[cfg(test)]

@@ -18,5 +18,5 @@
 pub mod cache;
 pub mod cpu;
 
-pub use cache::{CacheConfig, CacheSim};
-pub use cpu::{CpuConfig, CpuMeter, CpuModel, CpuStats};
+pub use cache::{CacheConfig, CacheSim, CacheSnapshot, CacheWaySnapshot};
+pub use cpu::{CpuConfig, CpuMeter, CpuModel, CpuStats, MeterSnapshot};

@@ -294,11 +294,18 @@ pub enum FaultKind {
     Death,
     /// Host salvaged a dead module's memory.
     Salvage,
+    /// The host process itself died at a batch boundary and came back via
+    /// checkpoint restore + WAL replay. Unlike the module-side kinds this
+    /// is never drawn by a [`FaultPlan`] — the crash harness in tests kills
+    /// the host deliberately, and the recovery path records the event
+    /// (`FaultLog::host_crashes`) when replay finds work past the
+    /// checkpoint epoch.
+    HostCrash,
 }
 
 impl FaultKind {
     /// Number of kinds (the width of any per-kind count array).
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
 
     /// Every kind, in declaration order — the single source of truth for
     /// fault-kind ordering. Journal columns, report tables, and metric
@@ -310,6 +317,7 @@ impl FaultKind {
         FaultKind::Straggler,
         FaultKind::Death,
         FaultKind::Salvage,
+        FaultKind::HostCrash,
     ];
 
     /// The kind's stable wire name — exactly the string the journal's
@@ -324,6 +332,7 @@ impl FaultKind {
             FaultKind::Straggler => "Straggler",
             FaultKind::Death => "Death",
             FaultKind::Salvage => "Salvage",
+            FaultKind::HostCrash => "HostCrash",
         }
     }
 }
@@ -363,10 +372,16 @@ pub struct FaultLog {
     pub salvages: u64,
     /// Bytes DMA'd out of dead modules during salvage.
     pub salvaged_bytes: u64,
+    /// Host-process crashes recovered from (checkpoint restore + WAL
+    /// replay that found batches past the checkpoint epoch).
+    pub host_crashes: u64,
 }
 
 impl FaultLog {
-    /// Total injected fault events (excludes recovery actions).
+    /// Total injected *module-side* fault events — exactly the events that
+    /// land in round journals, so journal readers can reconcile counts.
+    /// Host crashes are excluded: the host isn't alive to journal its own
+    /// death, and recovery is counted in [`Self::host_crashes`] instead.
     pub fn total_faults(&self) -> u64 {
         self.exec_faults + self.reply_drops + self.reply_corruptions + self.stragglers + self.deaths
     }

@@ -44,6 +44,6 @@ pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultLog, FaultPlan};
 pub use metrics::{log2_bucket, quantile_sorted, Histogram, Metrics, MetricsRegistry, Samples};
 pub use placement::hash_place;
 pub use stats::{LoadStats, RoundBreakdown, SimStats};
-pub use system::PimSystem;
+pub use system::{PimSystem, SimCounters};
 pub use trace::{Journal, JournalSink, NullSink, RoundKind, RoundRecord, TraceSink};
-pub use wire::Wire;
+pub use wire::{checksum_bytes, Dec, Enc, ShortRead, Wire};

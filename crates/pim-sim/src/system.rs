@@ -67,6 +67,23 @@ pub struct PimSystem<M> {
     fault_log: FaultLog,
 }
 
+/// The simulator counters a checkpoint must carry (see
+/// [`PimSystem::export_counters`]). Module *state* travels separately —
+/// the host serializes its own `ModuleState` payloads — this is the
+/// machine-side bookkeeping around them.
+#[derive(Clone, Debug)]
+pub struct SimCounters {
+    /// Lifetime stats, including the per-round imbalance history that
+    /// `SimStats::since` windows over.
+    pub stats: SimStats,
+    /// Id of the next accounted round.
+    pub trace_round: u64,
+    /// Lifetime fault/recovery counters.
+    pub fault_log: FaultLog,
+    /// Per-module fail-stop markers.
+    pub dead: Vec<bool>,
+}
+
 impl<M: Send> PimSystem<M> {
     /// Builds a machine whose module `i` starts as `init(i)`.
     pub fn new(cfg: MachineConfig, init: impl FnMut(usize) -> M) -> Self {
@@ -191,6 +208,47 @@ impl<M: Send> PimSystem<M> {
     /// Lifetime fault/recovery counters.
     pub fn fault_log(&self) -> &FaultLog {
         &self.fault_log
+    }
+
+    /// Restorable simulator counters: everything a host-process restart
+    /// must re-establish so post-restore rounds are byte-identical to the
+    /// uninterrupted run (round ids drive fault draws and journal records;
+    /// stats drive `since`-window deltas).
+    pub fn export_counters(&self) -> SimCounters {
+        SimCounters {
+            stats: self.stats.clone(),
+            trace_round: self.trace_round,
+            fault_log: self.fault_log.clone(),
+            dead: self.dead.clone(),
+        }
+    }
+
+    /// Reinstates counters exported by [`Self::export_counters`] — the one
+    /// sanctioned rewind of the otherwise-monotonic `trace_round`, sound
+    /// only because it runs in a *fresh process* restoring a checkpoint:
+    /// the rounds past the snapshot never happened in this lifetime, and
+    /// WAL replay is about to re-execute them under their original ids.
+    /// Sinks, metrics handles, and the fault plan are process-local
+    /// attachments and are left untouched. Panics if the dead-mask width
+    /// disagrees with the machine (that is a config mismatch the
+    /// checkpoint layer rejects earlier with a typed error).
+    pub fn import_counters(&mut self, c: SimCounters) {
+        assert_eq!(c.dead.len(), self.modules.len(), "dead mask width must match the machine");
+        self.stats = c.stats;
+        self.trace_round = c.trace_round;
+        self.fault_log = c.fault_log;
+        self.dead = c.dead;
+        self.newly_dead.clear();
+    }
+
+    /// Records one recovered host crash (see [`FaultKind::HostCrash`]):
+    /// called by the durability layer when WAL replay finds batches past
+    /// the checkpoint epoch. Deliberately *not* journaled or metered — the
+    /// crash happened between process lifetimes, and the byte-identity
+    /// contract requires the replayed rounds to reproduce the original
+    /// journal exactly, with no extra records.
+    pub fn record_host_crash(&mut self) {
+        self.fault_log.host_crashes += 1;
     }
 
     /// Whether `module` has fail-stopped.

@@ -1,0 +1,234 @@
+//! Crash-restart recovery reproduces the oracle byte-for-byte.
+//!
+//! The acceptance criterion for the durability layer: a seeded workload
+//! interrupted at a batch boundary and recovered via checkpoint + WAL
+//! replay must produce **byte-identical** query results, trace journals,
+//! and metrics snapshots to an uninterrupted oracle run — at 1, 2, and 8
+//! rayon threads. The only permitted divergence is the recovery marker
+//! itself: `FaultLog::host_crashes`, which is deliberately excluded from
+//! journals, metrics, and `total_faults()`.
+
+use pim_zd_tree_repro::sim::trace::JournalSink;
+use pim_zd_tree_repro::sim::Metrics;
+use pim_zd_tree_repro::{
+    workloads, MachineConfig, Metric, PimZdConfig, PimZdTree, Point, Wal, WalReadMode,
+};
+use std::path::PathBuf;
+
+const SEED: u64 = 4047;
+const N: usize = 4_000;
+const MODULES: usize = 8;
+
+/// The seeded mutation schedule: checkpoint after `CKPT` batches, crash
+/// after `CRASH`, finish at `BATCHES.len()`.
+const CKPT: usize = 2;
+const CRASH: usize = 4;
+
+enum Op {
+    Insert(u64, usize),
+    Delete(usize, usize),
+}
+
+fn batches() -> Vec<(bool, Vec<Point<3>>)> {
+    let base = workloads::uniform::<3>(N, SEED);
+    let schedule = [
+        Op::Insert(SEED + 10, 300),
+        Op::Delete(0, 200),
+        Op::Insert(SEED + 11, 250),
+        Op::Delete(500, 150),
+        Op::Insert(SEED + 12, 200),
+        Op::Delete(900, 100),
+    ];
+    schedule
+        .iter()
+        .map(|op| match op {
+            Op::Insert(seed, n) => (true, workloads::uniform::<3>(*n, *seed)),
+            Op::Delete(off, n) => (false, base[*off..off + n].to_vec()),
+        })
+        .collect()
+}
+
+fn fresh_tree() -> PimZdTree<3> {
+    let pts = workloads::uniform::<3>(N, SEED);
+    let cfg = PimZdConfig::skew_resistant(MODULES);
+    PimZdTree::build(&pts, cfg, MachineConfig::with_modules(MODULES))
+}
+
+fn apply(t: &mut PimZdTree<3>, batch: &(bool, Vec<Point<3>>)) {
+    if batch.0 {
+        t.batch_insert(&batch.1);
+    } else {
+        t.batch_delete(&batch.1);
+    }
+}
+
+/// Everything observable after the post-checkpoint phase, byte-comparable.
+#[derive(Debug, PartialEq, Eq)]
+struct Artifacts {
+    journal_jsonl: String,
+    metrics_text: String,
+    results: Vec<u64>,
+    epoch: u64,
+    len: usize,
+}
+
+/// Attaches fresh observers, applies `tail` batches, runs the query mix,
+/// and collects the artifacts. Both the oracle and the recovered tree go
+/// through this exact function, so any divergence is state, not harness.
+fn observe(mut t: PimZdTree<3>, tail: &[(bool, Vec<Point<3>>)]) -> (Artifacts, u64) {
+    let (sink, journal) = JournalSink::new();
+    t.set_trace_sink(Box::new(sink));
+    t.set_metrics(Metrics::enabled_new());
+
+    for b in tail {
+        apply(&mut t, b);
+    }
+
+    let mut results: Vec<u64> = Vec::new();
+    let probes = workloads::uniform::<3>(400, SEED + 99);
+    results.extend(t.batch_contains(&probes).iter().map(|&b| b as u64));
+    for (d, p) in t.batch_knn(&probes[..200], 4, Metric::L2).iter().flatten() {
+        results.push(d ^ u64::from(p.coords[0]));
+    }
+    let side = workloads::box_side_for_expected::<3>(N, 25.0);
+    let boxes = workloads::box_queries(&probes, 150, side, SEED + 98);
+    results.extend(t.batch_box_count(&boxes));
+
+    let art = Artifacts {
+        journal_jsonl: journal.to_jsonl(),
+        metrics_text: t.metrics().snapshot_text().expect("metrics were attached"),
+        results,
+        epoch: t.epoch(),
+        len: t.len(),
+    };
+    (art, t.fault_log().host_crashes)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pzd-durability-{}-{name}", std::process::id()))
+}
+
+/// One full scenario at the current thread count: oracle vs crash+recover.
+fn run_scenario(tag: &str) -> Artifacts {
+    let all = batches();
+    let ckpt_path = tmp(&format!("{tag}.ckpt"));
+    let wal_path = tmp(&format!("{tag}.wal"));
+
+    // Oracle: uninterrupted run, observed from the checkpoint epoch on.
+    let mut oracle = fresh_tree();
+    for b in &all[..CKPT] {
+        apply(&mut oracle, b);
+    }
+    let (want, oracle_crashes) = observe(oracle, &all[CKPT..]);
+    assert_eq!(oracle_crashes, 0, "the oracle never crashes");
+    assert_eq!(want.epoch, all.len() as u64);
+
+    // Crashing run: checkpoint at the same epoch, log every later batch,
+    // then die between batch boundaries by dropping the tree.
+    let mut victim = fresh_tree();
+    for b in &all[..CKPT] {
+        apply(&mut victim, b);
+    }
+    victim.checkpoint_to(&ckpt_path).expect("checkpoint");
+    victim.set_wal(Wal::create::<3>(&wal_path).expect("create wal"));
+    for b in &all[CKPT..CRASH] {
+        apply(&mut victim, b);
+    }
+    drop(victim); // host crash: everything volatile is gone
+
+    // Recovery: restore the checkpoint, attach fresh observers *before*
+    // replay so replayed batches journal exactly like the oracle's, replay
+    // the WAL, then continue the remaining schedule.
+    let mut revived = PimZdTree::<3>::restore_from(&ckpt_path).expect("restore");
+    assert_eq!(revived.epoch(), CKPT as u64);
+    let (sink, journal) = JournalSink::new();
+    revived.set_trace_sink(Box::new(sink));
+    revived.set_metrics(Metrics::enabled_new());
+    let replayed = revived.replay_wal(&wal_path, WalReadMode::Recovery).expect("replay");
+    assert_eq!(replayed, (CRASH - CKPT) as u64, "every logged batch replays");
+    assert_eq!(revived.epoch(), CRASH as u64);
+    assert_eq!(revived.fault_log().host_crashes, 1, "recovery is recorded once");
+
+    // Continue the remaining schedule and queries on the same observers.
+    let mut results: Vec<u64> = Vec::new();
+    for b in &all[CRASH..] {
+        apply(&mut revived, b);
+    }
+    let probes = workloads::uniform::<3>(400, SEED + 99);
+    results.extend(revived.batch_contains(&probes).iter().map(|&b| b as u64));
+    for (d, p) in revived.batch_knn(&probes[..200], 4, Metric::L2).iter().flatten() {
+        results.push(d ^ u64::from(p.coords[0]));
+    }
+    let side = workloads::box_side_for_expected::<3>(N, 25.0);
+    let boxes = workloads::box_queries(&probes, 150, side, SEED + 98);
+    results.extend(revived.batch_box_count(&boxes));
+
+    let got = Artifacts {
+        journal_jsonl: journal.to_jsonl(),
+        metrics_text: revived.metrics().snapshot_text().expect("metrics were attached"),
+        results,
+        epoch: revived.epoch(),
+        len: revived.len(),
+    };
+
+    assert_eq!(got.epoch, want.epoch, "recovered run ends at the oracle epoch");
+    assert_eq!(got.len, want.len, "recovered run holds the oracle point count");
+    assert_eq!(got.results, want.results, "query results diverged after recovery");
+    assert_eq!(got.journal_jsonl, want.journal_jsonl, "trace journal diverged after recovery");
+    assert_eq!(got.metrics_text, want.metrics_text, "metrics diverged after recovery");
+
+    let _ = std::fs::remove_file(&ckpt_path);
+    let _ = std::fs::remove_file(&wal_path);
+    want
+}
+
+#[test]
+fn crash_recovery_is_byte_identical_across_thread_counts() {
+    let baseline = rayon::ThreadPool::new(1).install(|| run_scenario("t1"));
+    assert!(!baseline.journal_jsonl.is_empty(), "workload must journal rounds");
+    for threads in [2usize, 8] {
+        let pool = rayon::ThreadPool::new(threads);
+        let tag = format!("t{threads}");
+        let run = pool.install(|| run_scenario(&tag));
+        assert_eq!(run, baseline, "durability artifacts diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn recover_reattaches_the_wal_and_keeps_logging() {
+    let all = batches();
+    let ckpt_path = tmp("reattach.ckpt");
+    let wal_path = tmp("reattach.wal");
+
+    let mut victim = fresh_tree();
+    for b in &all[..CKPT] {
+        apply(&mut victim, b);
+    }
+    victim.checkpoint_to(&ckpt_path).expect("checkpoint");
+    victim.set_wal(Wal::create::<3>(&wal_path).expect("create wal"));
+    for b in &all[CKPT..CRASH] {
+        apply(&mut victim, b);
+    }
+    drop(victim);
+
+    // recover() = restore + replay + torn-tail truncation + re-append.
+    let (mut revived, replayed) = PimZdTree::<3>::recover(&ckpt_path, &wal_path).expect("recover");
+    assert_eq!(replayed, (CRASH - CKPT) as u64);
+    assert_eq!(revived.epoch(), CRASH as u64);
+
+    // New batches land in the same log; a second crash recovers them too.
+    for b in &all[CRASH..] {
+        apply(&mut revived, b);
+    }
+    let want_len = revived.len();
+    drop(revived);
+
+    let (again, replayed2) = PimZdTree::<3>::recover(&ckpt_path, &wal_path).expect("re-recover");
+    assert_eq!(replayed2, (all.len() - CKPT) as u64, "full log replays from the checkpoint");
+    assert_eq!(again.epoch(), all.len() as u64);
+    assert_eq!(again.len(), want_len);
+    assert_eq!(again.fault_log().host_crashes, 1, "one recovery event per restore");
+
+    let _ = std::fs::remove_file(&ckpt_path);
+    let _ = std::fs::remove_file(&wal_path);
+}

@@ -1,0 +1,82 @@
+//! Regression tests: every batch operation on an empty tree must return
+//! empty results instead of panicking — whether the tree was born empty
+//! (built over no points) or emptied by deleting everything.
+
+use pim_zd_tree_repro::{workloads, Aabb, MachineConfig, Metric, PimZdConfig, PimZdTree, Point};
+
+fn empty_tree() -> PimZdTree<3> {
+    let cfg = PimZdConfig::skew_resistant(8);
+    PimZdTree::build(&[], cfg, MachineConfig::with_modules(8))
+}
+
+fn assert_all_queries_empty(t: &mut PimZdTree<3>) {
+    let pts = workloads::uniform::<3>(32, 7);
+    assert!(t.is_empty());
+    assert!(t.batch_contains(&pts).iter().all(|&f| !f), "contains: all absent");
+    for k in [0, 1, 5] {
+        let knn = t.batch_knn(&pts, k, Metric::L2);
+        assert_eq!(knn.len(), pts.len());
+        assert!(knn.iter().all(Vec::is_empty), "kNN (k={k}): all empty");
+        let knn1 = t.batch_knn(&pts, k, Metric::L1);
+        assert!(knn1.iter().all(Vec::is_empty), "kNN ℓ1 (k={k}): all empty");
+    }
+    let boxes = [Aabb::universe(), Aabb::new(Point::new([1, 1, 1]), Point::new([9, 9, 9]))];
+    assert_eq!(t.batch_box_count(&boxes), vec![0, 0]);
+    assert!(t.batch_box_fetch(&boxes).iter().all(Vec::is_empty));
+    assert_eq!(t.batch_delete(&pts), 0, "deleting from empty removes nothing");
+    assert!(t.space_bytes() == 0, "empty tree stores nothing");
+}
+
+#[test]
+fn born_empty_tree_answers_everything_empty() {
+    let mut t = empty_tree();
+    assert_all_queries_empty(&mut t);
+}
+
+#[test]
+fn empty_input_batches_are_no_ops() {
+    let mut t = empty_tree();
+    t.batch_insert(&[]);
+    assert_eq!(t.batch_delete(&[]), 0);
+    assert!(t.batch_contains(&[]).is_empty());
+    assert!(t.batch_knn(&[], 3, Metric::L2).is_empty());
+    assert!(t.batch_box_count(&[]).is_empty());
+    assert!(t.batch_box_fetch(&[]).is_empty());
+    assert_eq!(t.epoch(), 0, "empty batches do not advance the epoch");
+}
+
+#[test]
+fn deleted_to_empty_tree_answers_everything_empty() {
+    let pts = workloads::uniform::<3>(400, 3);
+    let cfg = PimZdConfig::throughput_optimized(400, 8);
+    let mut t = PimZdTree::build(&pts, cfg, MachineConfig::with_modules(8));
+    assert_eq!(t.len(), 400);
+    assert_eq!(t.batch_delete(&pts), 400);
+    assert_all_queries_empty(&mut t);
+}
+
+#[test]
+fn emptied_tree_accepts_new_inserts() {
+    let pts = workloads::uniform::<3>(300, 5);
+    let cfg = PimZdConfig::skew_resistant(8);
+    let mut t = PimZdTree::build(&pts, cfg, MachineConfig::with_modules(8));
+    assert_eq!(t.batch_delete(&pts), 300);
+    assert_all_queries_empty(&mut t);
+    t.batch_insert(&pts[..50]);
+    assert_eq!(t.len(), 50);
+    assert!(t.batch_contains(&pts[..50]).iter().all(|&f| f));
+    let knn = t.batch_knn(&pts[..4], 1, Metric::L2);
+    for (q, res) in pts[..4].iter().zip(&knn) {
+        assert_eq!(res[0].1, *q, "inserted point is its own nearest neighbor");
+    }
+}
+
+#[test]
+fn insert_into_born_empty_tree_works() {
+    let mut t = empty_tree();
+    let pts = workloads::uniform::<3>(64, 9);
+    t.batch_insert(&pts);
+    assert_eq!(t.len(), 64);
+    assert!(t.batch_contains(&pts).iter().all(|&f| f));
+    assert_eq!(t.batch_box_count(&[Aabb::universe()]), vec![64]);
+}
