@@ -8,6 +8,12 @@
 //!   vs the per-batch `FxHashMap<meta, Vec<_>>` it replaced.
 //! * `round_dispatch`: a full query batch through `robust_round` at fault
 //!   rate 0 (zero-copy fast path) and 0.05 (copy-on-fault).
+//! * `encode`: the per-batch `ZEncoder` (runtime-dispatched BMI2
+//!   `pdep`/`pext` where available) vs the per-point `ZKey::encode` path it
+//!   replaced in `encode_batch`.
+//! * `fine_filter`: the SoA lane kernel + bounded max-heap
+//!   (`soa::fine_select`) vs the AoS map → sort → dedup → truncate it
+//!   replaced in kNN step 5.
 //!
 //! CI runs this in quick mode (`HOST_PIPELINE_QUICK=1`: smaller batches,
 //! fewer samples) as a smoke check; numbers for the PR's speedup claims
@@ -15,12 +21,14 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pim_bench::harness::scaled_cpu;
+use pim_geom::Metric;
 use pim_geom::{Aabb, Point};
 use pim_sim::{FaultConfig, FaultPlan, MachineConfig};
 use pim_workloads as wl;
+use pim_zd_tree::soa::{fine_select, CoordBlock};
 use pim_zd_tree::{PimZdConfig, PimZdTree};
 use pim_zorder::sort::par_radix_sort_keyed;
-use pim_zorder::ZKey;
+use pim_zorder::{ZEncoder, ZKey};
 use rustc_hash::FxHashMap;
 
 /// Quick mode trades resolution for CI wall-clock.
@@ -176,5 +184,71 @@ fn bench_round_dispatch(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_sort, bench_grouping, bench_round_dispatch);
+fn bench_encode(c: &mut Criterion) {
+    let n = batch_n();
+    let pts = wl::uniform::<3>(n, 11);
+    let mut g = c.benchmark_group("host_pipeline_encode");
+    g.sample_size(samples());
+    g.throughput(Throughput::Elements(n as u64));
+    // New path: one codec resolution per batch, then the dispatched slice
+    // kernel (BMI2 `pdep` on capable hardware, portable otherwise).
+    g.bench_function(BenchmarkId::new("codec_batch", n), |b| {
+        b.iter(|| {
+            let enc = ZEncoder::<3>::new();
+            let mut keys = Vec::new();
+            enc.encode_batch(black_box(&pts), &mut keys);
+            black_box(keys)
+        })
+    });
+    // Old path: per-point magic-mask encode.
+    g.bench_function(BenchmarkId::new("per_point", n), |b| {
+        b.iter(|| {
+            let keys: Vec<ZKey<3>> = black_box(&pts).iter().map(ZKey::encode).collect();
+            black_box(keys)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fine_filter(c: &mut Criterion) {
+    // Candidate-set size matches a generous kNN step-4 sphere collection.
+    let n = batch_n() / 2;
+    let cands = wl::uniform::<3>(n, 13);
+    let q = cands[n / 2];
+    let block: CoordBlock<3> = cands.iter().fold(CoordBlock::new(), |mut b, p| {
+        b.push(p);
+        b
+    });
+    let k = 16usize;
+    let mut g = c.benchmark_group("host_pipeline_fine_filter");
+    g.sample_size(samples());
+    g.throughput(Throughput::Elements(n as u64));
+    // New path: lane-major distance kernel streaming into a bounded
+    // max-heap — no full materialization, no full sort.
+    g.bench_function(BenchmarkId::new("soa_kbest", n), |b| {
+        b.iter(|| black_box(fine_select(black_box(&block), &q, Metric::L2, k)))
+    });
+    // Old path: evaluate every distance into an AoS vector, full sort,
+    // dedup, truncate.
+    g.bench_function(BenchmarkId::new("sort_dedup_truncate", n), |b| {
+        b.iter(|| {
+            let mut fine: Vec<(u64, Point<3>)> =
+                black_box(&cands).iter().map(|p| (Metric::L2.cmp_dist(&q, p), *p)).collect();
+            fine.sort_unstable_by_key(|(d, p)| (*d, p.coords));
+            fine.dedup();
+            fine.truncate(k);
+            black_box(fine)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sort,
+    bench_grouping,
+    bench_round_dispatch,
+    bench_encode,
+    bench_fine_filter
+);
 criterion_main!(benches);

@@ -8,9 +8,11 @@
 //! ```
 //!
 //! `--host-time` additionally prints the host wall-clock delta between the
-//! two reports' `wall_s` fields. It is **advisory only** — wall-clock is
-//! machine- and load-dependent, so it never affects the exit status; the
-//! gate stays over simulated (deterministic) metrics.
+//! two reports' `wall_s` fields, plus — when a report carries the
+//! profiler's `host_spans` object (`--profile` runs) — the `encode_batch`
+//! and `fine_filter` kernel self-time deltas. All of it is **advisory
+//! only** — wall-clock is machine- and load-dependent, so it never affects
+//! the exit status; the gate stays over simulated (deterministic) metrics.
 //!
 //! Exit status: 0 when the gate passes, 1 on a regression or structural
 //! error (schema/config mismatch, missing cell or metric family), 2 on
@@ -127,6 +129,26 @@ fn main() {
                     );
                 }
                 _ => println!("host-time (advisory): wall_s missing from one or both reports"),
+            }
+            // Kernel self-time from the host profiler (`--profile` runs
+            // record a "host_spans" object). Same advisory-only contract.
+            for span in ["encode_batch", "fine_filter"] {
+                let get = |v: &Value| {
+                    v.get("host_spans").and_then(|h| h.get(span)).and_then(Value::as_f64)
+                };
+                match (get(&base), get(&new)) {
+                    (Some(b), Some(n)) if b > 0.0 => println!(
+                        "host-time (advisory): {span} self {:.3}ms -> {:.3}ms ({:+.1}%)",
+                        b * 1e3,
+                        n * 1e3,
+                        (n - b) / b * 100.0
+                    ),
+                    (_, Some(n)) => println!(
+                        "host-time (advisory): {span} self {:.3}ms (no baseline span)",
+                        n * 1e3
+                    ),
+                    _ => {}
+                }
             }
         }
         if outcome.passed() {

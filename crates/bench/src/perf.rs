@@ -160,6 +160,10 @@ impl PerfSink {
         self.render_config(&mut out);
         out.push_str(",\"wall_s\":");
         self.started.elapsed().as_secs_f64().json_write(&mut out);
+        if pim_obs::is_enabled() {
+            out.push_str(",\"host_spans\":");
+            render_host_spans(&mut out);
+        }
         out.push_str(",\"results\":");
         self.entries.json_write(&mut out);
         out.push_str(",\"metrics\":");
@@ -179,6 +183,30 @@ impl PerfSink {
         a.positional.json_write(out);
         out.push('}');
     }
+}
+
+/// Renders the host profiler's per-span self-time (seconds, summed over
+/// every path ending in the span label) as a JSON object. Only emitted
+/// when `--profile` enabled the profiler, so unprofiled runs keep
+/// byte-stable reports; `perf_diff --host-time` reads the `encode_batch`
+/// and `fine_filter` keys for its advisory kernel self-time lines.
+fn render_host_spans(out: &mut String) {
+    let report = pim_obs::report();
+    let mut spans: BTreeMap<String, u64> = BTreeMap::new();
+    for (path, s) in &report.paths {
+        let leaf = path.rsplit(';').next().unwrap_or(path).to_string();
+        *spans.entry(leaf).or_default() += s.self_ns;
+    }
+    out.push('{');
+    for (i, (leaf, ns)) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        leaf.as_str().json_write(out);
+        out.push(':');
+        (*ns as f64 / 1e9).json_write(out);
+    }
+    out.push('}');
 }
 
 /// The current git revision (or `"unknown"` outside a repository).

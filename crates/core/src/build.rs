@@ -70,7 +70,7 @@ impl<const D: usize> Carver<'_, D> {
     fn carve_l0(&mut self, idx: usize, l0: &mut Fragment<D>) -> u32 {
         let n = &self.tmp[idx];
         let kind = match &n.kind {
-            TmpKind::Leaf(pts) => BKind::Leaf { points: pts.clone() },
+            TmpKind::Leaf(pts) => BKind::Leaf { points: crate::soa::PointSet::from_slice(pts) },
             TmpKind::Internal(l, r) => {
                 let lr = self.l0_child(*l, l0);
                 let rr = self.l0_child(*r, l0);
@@ -141,7 +141,7 @@ impl<const D: usize> Carver<'_, D> {
     ) -> u32 {
         let n = &self.tmp[idx];
         let kind = match &n.kind {
-            TmpKind::Leaf(pts) => BKind::Leaf { points: pts.clone() },
+            TmpKind::Leaf(pts) => BKind::Leaf { points: crate::soa::PointSet::from_slice(pts) },
             TmpKind::Internal(l, r) => {
                 let mut slot = [ChildRef::Local(0); 2];
                 for (i, &c) in [*l, *r].iter().enumerate() {

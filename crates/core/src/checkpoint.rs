@@ -173,12 +173,6 @@ fn dec_prefix<const D: usize>(d: &mut Dec) -> Result<Prefix<D>, ShortRead> {
     Ok(Prefix { key, len })
 }
 
-fn enc_point<const D: usize>(e: &mut Enc, p: &Point<D>) {
-    for &c in &p.coords {
-        e.u32(c);
-    }
-}
-
 fn dec_point<const D: usize>(d: &mut Dec) -> Result<Point<D>, ShortRead> {
     let mut coords = [0u32; D];
     for c in coords.iter_mut() {
@@ -227,10 +221,12 @@ fn enc_node<const D: usize>(e: &mut Enc, n: &BNode<D>) {
         BKind::Leaf { points } => {
             e.u8(1);
             e.u32(points.len() as u32);
-            for (k, p) in points {
-                e.u64(k.0);
-                enc_point(e, p);
-            }
+            // Fused SoA write: hand the key column and coordinate lanes to
+            // the wire layer, which interleaves them per point. Byte layout
+            // (u64 key LE, then D little-endian u32 coords) is unchanged
+            // from the AoS loop this replaces — PZDCKPT1 stays pinned.
+            let lanes: Vec<&[u32]> = (0..D).map(|j| points.lane(j)).collect();
+            e.keyed_points(points.keys(), &lanes);
         }
         BKind::LeafStub => e.u8(2),
     }
@@ -243,10 +239,11 @@ fn dec_node<const D: usize>(d: &mut Dec) -> Result<BNode<D>, ShortRead> {
         0 => BKind::Internal { left: dec_child(d)?, right: dec_child(d)? },
         1 => {
             let n = d.u32()? as usize;
-            let mut points = Vec::with_capacity(n);
+            let mut points = crate::soa::PointSet::with_capacity(n);
             for _ in 0..n {
                 let k = ZKey(d.u64()?);
-                points.push((k, dec_point(d)?));
+                let p = dec_point(d)?;
+                points.push(k, &p);
             }
             BKind::Leaf { points }
         }

@@ -13,6 +13,7 @@
 //! a module and as host cycles + cache touches when a pulled fragment is
 //! searched on the CPU (push-pull, §3.3).
 
+use crate::soa::{CandSink, PointSet};
 use pim_geom::{Aabb, Metric, Point};
 use pim_sim::{PimCtx, Wire};
 use pim_zorder::prefix::Prefix;
@@ -48,6 +49,15 @@ pub trait CostSink {
     fn mem(&mut self, off: u64, bytes: u64);
     /// One distance evaluation in `d` dimensions under `metric`.
     fn dist(&mut self, metric: Metric, d: usize);
+    /// `n` distance evaluations at once. All sinks charge pure counters, so
+    /// batched leaf kernels aggregate the per-point charges into one exact
+    /// integer total — byte-identical to `n` individual [`dist`](Self::dist)
+    /// calls, without `n` virtual-ish calls in the hot loop.
+    fn dist_n(&mut self, metric: Metric, d: usize, n: u64) {
+        for _ in 0..n {
+            self.dist(metric, d);
+        }
+    }
 }
 
 impl CostSink for PimCtx {
@@ -61,6 +71,10 @@ impl CostSink for PimCtx {
         // UPMEM cores: 32-cycle multiplies make ℓ2 expensive (§6).
         PimCtx::op(self, metric.pim_cycles(d));
         PimCtx::mem(self, (d * 4) as u64);
+    }
+    fn dist_n(&mut self, metric: Metric, d: usize, n: u64) {
+        PimCtx::op(self, metric.pim_cycles(d) * n);
+        PimCtx::mems(self, n, (d * 4) as u64);
     }
 }
 
@@ -83,6 +97,9 @@ impl CostSink for HostSink<'_> {
     fn dist(&mut self, _metric: Metric, d: usize) {
         // Multiplication is cheap on the host.
         self.meter.work(6 * d as u64);
+    }
+    fn dist_n(&mut self, _metric: Metric, d: usize, n: u64) {
+        self.meter.work(6 * d as u64 * n);
     }
 }
 
@@ -136,8 +153,10 @@ pub enum BKind<const D: usize> {
     },
     /// Leaf with point payload (master copies only).
     Leaf {
-        /// Points sorted by (key, coords).
-        points: Vec<Keyed<D>>,
+        /// Points sorted by (key, coords), stored as lanes (one `u64` key
+        /// lane + `D` contiguous `u32` coordinate lanes) so the distance
+        /// and containment kernels over the leaf auto-vectorize.
+        points: PointSet<D>,
     },
     /// Structure-only stand-in for a leaf in a *cached* copy: the payload
     /// lives at the master (§3.1 shares tree structure, not data).
@@ -561,7 +580,7 @@ impl<const D: usize> Fragment<D> {
                         unreachable!("merge applies to master fragments only")
                     }
                     BKind::Leaf { points } => {
-                        let old = points.clone();
+                        let old = points.to_vec();
                         sink.op(4 * total);
                         sink.mem(Self::off(idx), old.len() as u64 * (8 + Point::<D>::wire_bytes()));
                         let mut merged = Vec::with_capacity(total as usize);
@@ -582,7 +601,7 @@ impl<const D: usize> Fragment<D> {
                             let n = &mut self.nodes[idx as usize];
                             n.prefix = pre;
                             n.count = merged.len() as u64;
-                            n.kind = BKind::Leaf { points: merged };
+                            n.kind = BKind::Leaf { points: merged.into() };
                             ChildRef::Local(idx)
                         } else {
                             self.release(idx);
@@ -614,7 +633,7 @@ impl<const D: usize> Fragment<D> {
             let idx = self.alloc(BNode {
                 prefix: set_prefix(items),
                 count: items.len() as u64,
-                kind: BKind::Leaf { points: items.to_vec() },
+                kind: BKind::Leaf { points: PointSet::from_slice(items) },
             });
             sink.mem(Self::off(idx), BNODE_BYTES + items.len() as u64 * 12);
             return idx;
@@ -683,7 +702,7 @@ impl<const D: usize> Fragment<D> {
         match &self.node(idx).kind {
             BKind::LeafStub => unreachable!("delete applies to master fragments only"),
             BKind::Leaf { points } => {
-                let old = points.clone();
+                let old = points.to_vec();
                 sink.op(4 * (old.len() + items.len()) as u64);
                 let mut kept: Vec<Keyed<D>> = Vec::with_capacity(old.len());
                 let mut consumed = vec![false; items.len()];
@@ -710,7 +729,7 @@ impl<const D: usize> Fragment<D> {
                     let n = &mut self.nodes[idx as usize];
                     n.prefix = pre;
                     n.count = kept.len() as u64;
-                    n.kind = BKind::Leaf { points: kept };
+                    n.kind = BKind::Leaf { points: kept.into() };
                     Some(ChildRef::Local(idx))
                 }
             }
@@ -745,7 +764,7 @@ impl<const D: usize> Fragment<D> {
                                 let n = &mut self.nodes[idx as usize];
                                 n.prefix = pre;
                                 n.count = a.len() as u64;
-                                n.kind = BKind::Leaf { points: a };
+                                n.kind = BKind::Leaf { points: a.into() };
                                 return Some(ChildRef::Local(idx));
                             }
                         }
@@ -766,7 +785,7 @@ impl<const D: usize> Fragment<D> {
             ChildRef::Remote(_) => None,
             ChildRef::Local(i) => match &self.node(*i).kind {
                 BKind::LeafStub => None,
-                BKind::Leaf { points } => Some(points.clone()),
+                BKind::Leaf { points } => Some(points.to_vec()),
                 BKind::Internal { left, right } => {
                     let (left, right) = (*left, *right);
                     let mut a = self.try_collect_local(&left)?;
@@ -826,11 +845,14 @@ impl<const D: usize> Fragment<D> {
             }
             BKind::Leaf { points } => {
                 sink.mem(Self::off(start), points.len() as u64 * 12);
-                for (_, p) in points {
-                    sink.dist(metric, D);
-                    let dist = metric.cmp_dist(q, p);
-                    push_candidate(cands, k, (dist, *p), sink);
-                }
+                // Lane kernel: distances for the whole leaf run, charged as
+                // one aggregated total (identical counter sum).
+                sink.dist_n(metric, D, points.len() as u64);
+                points.for_dist_chunks(q, metric, |base, dists| {
+                    for (i, &dist) in dists.iter().enumerate() {
+                        push_candidate(cands, k, (dist, points.point(base + i)), sink);
+                    }
+                });
             }
             BKind::Internal { left, right } => {
                 sink.op(8 * D as u64);
@@ -858,7 +880,9 @@ impl<const D: usize> Fragment<D> {
 
     /// Collects *all* points within comparable distance `radius` of `q`
     /// below `start` (Alg. 3 step 4's sphere collection); remote children
-    /// whose boxes intersect the ball go to `frontier`.
+    /// whose boxes intersect the ball go to `frontier`. Accepted candidates
+    /// go to any [`CandSink`]: module handlers keep AoS reply vectors (wire
+    /// format unchanged), the host fine filter accumulates lane blocks.
     #[allow(clippy::too_many_arguments)]
     pub fn local_ball(
         &self,
@@ -866,7 +890,7 @@ impl<const D: usize> Fragment<D> {
         q: &Point<D>,
         radius: u64,
         metric: Metric,
-        out: &mut Vec<(u64, Point<D>)>,
+        out: &mut impl CandSink<D>,
         frontier: &mut Vec<(RemoteRef<D>, u64)>,
         sink: &mut impl CostSink,
     ) {
@@ -890,14 +914,17 @@ impl<const D: usize> Fragment<D> {
             }
             BKind::Leaf { points } => {
                 sink.mem(Self::off(start), points.len() as u64 * 12);
-                for (_, p) in points {
-                    sink.dist(metric, D);
-                    let dist = metric.cmp_dist(q, p);
-                    if dist <= radius {
-                        sink.op(4);
-                        out.push((dist, *p));
+                sink.dist_n(metric, D, points.len() as u64);
+                let mut accepted = 0u64;
+                points.for_dist_chunks(q, metric, |base, dists| {
+                    for (i, &dist) in dists.iter().enumerate() {
+                        if dist <= radius {
+                            accepted += 1;
+                            out.accept(dist, points.point(base + i));
+                        }
                     }
-                }
+                });
+                sink.op(4 * accepted);
             }
             BKind::Internal { left, right } => {
                 sink.op(8 * D as u64);
@@ -952,7 +979,7 @@ impl<const D: usize> Fragment<D> {
                 }
                 sink.mem(Self::off(start), points.len() as u64 * 12);
                 sink.op(points.len() as u64 * 8 * D as u64);
-                points.iter().filter(|(_, p)| query.contains(p)).count() as u64
+                points.count_in(query)
             }
             BKind::Internal { left, right } => {
                 if fully {
@@ -1027,14 +1054,23 @@ impl<const D: usize> Fragment<D> {
             BKind::Leaf { points } => {
                 sink.mem(Self::off(start), points.len() as u64 * 12);
                 let fully = query.contains_box(&nb);
-                for (_, p) in points {
-                    if fully || {
-                        sink.op(8 * D as u64);
-                        query.contains(p)
-                    } {
-                        sink.op(4);
-                        out.push(*p);
+                if fully {
+                    sink.op(4 * points.len() as u64);
+                    for i in 0..points.len() {
+                        out.push(points.point(i));
                     }
+                } else {
+                    sink.op(points.len() as u64 * 8 * D as u64);
+                    let mut accepted = 0u64;
+                    points.for_box_chunks(query, |base, mask| {
+                        for (i, &m) in mask.iter().enumerate() {
+                            if m {
+                                accepted += 1;
+                                out.push(points.point(base + i));
+                            }
+                        }
+                    });
+                    sink.op(4 * accepted);
                 }
             }
             BKind::Internal { left, right } => {
@@ -1152,7 +1188,7 @@ impl<const D: usize> Fragment<D> {
 
     fn collect_local(&self, idx: u32, out: &mut Vec<Keyed<D>>) {
         match &self.node(idx).kind {
-            BKind::Leaf { points } => out.extend_from_slice(points),
+            BKind::Leaf { points } => points.append_to(out),
             BKind::LeafStub => {}
             BKind::Internal { left, right } => {
                 if let ChildRef::Local(c) = left {
@@ -1476,7 +1512,7 @@ mod tests {
             BNode {
                 prefix: set_prefix(&items),
                 count: items.len() as u64,
-                kind: BKind::Leaf { points: items },
+                kind: BKind::Leaf { points: items.into() },
             },
             cap,
         )
@@ -1507,7 +1543,7 @@ mod tests {
             match f.search(key, &mut NullSink) {
                 SearchEnd::Leaf(idx) => {
                     let BKind::Leaf { points } = &f.node(idx).kind else { panic!() };
-                    assert!(points.iter().any(|(k, _)| *k == key), "{c:?} lost");
+                    assert!(points.contains_key(key), "{c:?} lost");
                 }
                 other => panic!("{c:?} → {other:?}"),
             }
@@ -1543,7 +1579,7 @@ mod tests {
                         }),
                     },
                 },
-                BNode { prefix: leaf_pre, count: 2, kind: BKind::Leaf { points: items } },
+                BNode { prefix: leaf_pre, count: 2, kind: BKind::Leaf { points: items.into() } },
             ],
             free: vec![],
             root: 0,
@@ -1617,7 +1653,7 @@ mod tests {
                         }),
                     },
                 },
-                BNode { prefix: leaf_pre, count: 1, kind: BKind::Leaf { points: items } },
+                BNode { prefix: leaf_pre, count: 1, kind: BKind::Leaf { points: items.into() } },
             ],
             free: vec![],
             root: 0,
@@ -1729,7 +1765,7 @@ mod tests {
                         }),
                     },
                 },
-                BNode { prefix: leaf_pre, count: 1, kind: BKind::Leaf { points: items } },
+                BNode { prefix: leaf_pre, count: 1, kind: BKind::Leaf { points: items.into() } },
             ],
             free: vec![],
             root: 0,
@@ -1780,7 +1816,7 @@ mod chunk_dir_tests {
             BNode {
                 prefix: set_prefix(&items[..1]),
                 count: 1,
-                kind: BKind::Leaf { points: items[..1].to_vec() },
+                kind: BKind::Leaf { points: items[..1].to_vec().into() },
             },
             4,
         );
@@ -1800,7 +1836,11 @@ mod chunk_dir_tests {
         let mut small = Fragment::singleton(
             2,
             0,
-            BNode { prefix: set_prefix(&items), count: 1, kind: BKind::Leaf { points: items } },
+            BNode {
+                prefix: set_prefix(&items),
+                count: 1,
+                kind: BKind::Leaf { points: items.into() },
+            },
             4,
         );
         small.dir_bits = 4;

@@ -126,15 +126,15 @@ impl<const D: usize> PimZdTree<D> {
             BKind::Leaf { points: pts } => {
                 assert!(!pts.is_empty(), "empty leaf must be spliced");
                 assert!(
-                    pts.len() <= frag.leaf_cap || pts.windows(2).all(|w| w[0].0 == w[1].0),
+                    pts.len() <= frag.leaf_cap || pts.keys().windows(2).all(|w| w[0] == w[1]),
                     "oversized leaf without duplicate keys"
                 );
-                for (k, p) in pts {
-                    assert_eq!(*k, pim_zorder::ZKey::<D>::encode(p), "stale key in leaf");
-                    assert!(node.prefix.covers(*k), "point outside its leaf prefix");
+                for (k, p) in pts.iter() {
+                    assert_eq!(k, pim_zorder::ZKey::<D>::encode(&p), "stale key in leaf");
+                    assert!(node.prefix.covers(k), "point outside its leaf prefix");
                 }
                 assert_eq!(node.count as usize, pts.len(), "leaf count mismatch");
-                points.extend_from_slice(pts);
+                pts.append_to(points);
                 pts.len() as u64
             }
             BKind::Internal { left, right } => {

@@ -15,6 +15,7 @@
 use crate::frag::{knn_bound, push_candidate, HostSink, MetaId, RemoteRef};
 use crate::host::PimZdTree;
 use crate::module::{handle_knn, KnnReply, KnnTask};
+use crate::soa::{fine_select, CoordBlock};
 use pim_geom::{Aabb, Metric, Point};
 use pim_zorder::prefix::Prefix;
 use rustc_hash::FxHashMap;
@@ -29,7 +30,13 @@ enum Target<const D: usize> {
 /// Per-query exploration state.
 struct QState<const D: usize> {
     q: Point<D>,
+    /// Best-k candidates (coarse distance, point) — best-k mode only.
     cands: Vec<(u64, Point<D>)>,
+    /// Sphere-collection candidates, stored lane-major so the step-5 fine
+    /// filter runs as an auto-vectorized SoA distance kernel — ball mode
+    /// only. The coarse distance is dropped on entry: the fine filter
+    /// re-evaluates the target metric anyway.
+    block: CoordBlock<D>,
     frontier: Vec<(Target<D>, u64)>,
     /// Fixed collection radius in ball mode; `None` = best-k mode.
     ball: Option<u64>,
@@ -104,6 +111,7 @@ impl<const D: usize> PimZdTree<D> {
                 QState {
                     q: queries[qid],
                     cands: Vec::new(),
+                    block: CoordBlock::new(),
                     frontier: vec![(start, 0)],
                     ball: None,
                     visited: Vec::new(),
@@ -147,6 +155,7 @@ impl<const D: usize> PimZdTree<D> {
             ball_states.push(QState {
                 q: queries[qid],
                 cands: Vec::new(),
+                block: CoordBlock::new(),
                 frontier: vec![(start, 0)],
                 ball: Some(radius),
                 visited: Vec::new(),
@@ -156,21 +165,16 @@ impl<const D: usize> PimZdTree<D> {
         // Step 4: collect everything inside the spheres.
         self.explore(&mut ball_states, usize::MAX, coarse);
 
-        // Step 5: fine filtering on the CPU (§6).
+        // Step 5: fine filtering on the CPU (§6) — the SoA distance kernel
+        // streams the collected lanes through a bounded max-heap, which is
+        // observationally the old sort/dedup/truncate (same k results, same
+        // (distance, coords) order, duplicates dropped). One aggregated
+        // charge replaces the per-candidate charges: same total.
+        let _span = pim_obs::span("fine_filter");
         let mut out = Vec::with_capacity(n);
         for st in ball_states {
-            let mut fine: Vec<(u64, Point<D>)> = st
-                .cands
-                .iter()
-                .map(|(_, p)| {
-                    self.meter.work(6 * D as u64);
-                    (metric.cmp_dist(&st.q, p), *p)
-                })
-                .collect();
-            fine.sort_unstable_by_key(|(d, p)| (*d, p.coords));
-            fine.dedup();
-            fine.truncate(k);
-            out.push(fine);
+            self.meter.work(6 * D as u64 * st.block.len() as u64);
+            out.push(fine_select(&st.block, &st.q, metric, k));
         }
         out
     }
@@ -272,7 +276,7 @@ impl<const D: usize> PimZdTree<D> {
                                     &st.q,
                                     r,
                                     metric,
-                                    &mut st.cands,
+                                    &mut st.block,
                                     &mut remote,
                                     &mut sink,
                                 ),
@@ -364,7 +368,7 @@ impl<const D: usize> PimZdTree<D> {
                                 &st.q,
                                 r,
                                 metric,
-                                &mut st.cands,
+                                &mut st.block,
                                 &mut remote,
                                 &mut sink,
                             ),
@@ -434,7 +438,7 @@ impl<const D: usize> PimZdTree<D> {
                         Some(r) => {
                             if c.0 <= r {
                                 self.meter.work(8);
-                                st.cands.push(c);
+                                st.block.push(&c.1);
                             }
                         }
                         None => {

@@ -507,7 +507,7 @@ pub fn handle_search<const D: usize>(
                     let found = match &frag.node(idx).kind {
                         crate::frag::BKind::Leaf { points } => {
                             ctx.op(points.len() as u64);
-                            points.iter().any(|(k, _)| *k == t.key)
+                            points.contains_key(t.key)
                         }
                         _ => false,
                     };
@@ -868,7 +868,7 @@ mod tests {
             BNode {
                 prefix: set_prefix(&items[..1]),
                 count: 1,
-                kind: BKind::Leaf { points: items[..1].to_vec() },
+                kind: BKind::Leaf { points: items[..1].to_vec().into() },
             },
             4,
         );
@@ -969,7 +969,7 @@ mod tests {
                         right: crate::frag::ChildRef::Remote(r2),
                     },
                 },
-                BNode { prefix: leaf_pre, count: 2, kind: BKind::Leaf { points: f1_items } },
+                BNode { prefix: leaf_pre, count: 2, kind: BKind::Leaf { points: f1_items.into() } },
             ],
             free: vec![],
             root: 0,

@@ -73,6 +73,10 @@ pub struct BatchSearch<const D: usize> {
 /// rounds; hitting it means a routing bug, so fail loudly.
 const MAX_ROUNDS: usize = 1000;
 
+/// Rayon grain for the batch Morton encode: big enough that the
+/// per-chunk spawn cost vanishes, small enough to load-balance.
+const ENCODE_CHUNK: usize = 4096;
+
 impl<const D: usize> PimZdTree<D> {
     /// Charges and computes the batch's Morton keys (fast path or the
     /// Table 3 naive path).
@@ -84,12 +88,21 @@ impl<const D: usize> PimZdTree<D> {
             4 * D as u64 * ZKey::<D>::COORD_BITS as u64
         };
         self.meter.work(pts.len() as u64 * per_key);
-        // Parallel encode: pure per-point, collected at input indices, so
-        // the key vector is identical at any thread count. The simulated
-        // cost was charged above, independent of host parallelism.
+        // Parallel encode: pure per-point, written at input indices, so the
+        // key vector is identical at any thread count. The simulated cost
+        // was charged above, independent of host parallelism.
         use rayon::prelude::*;
         if self.cfg.toggles.fast_zorder {
-            pts.par_iter().map(ZKey::<D>::encode).collect()
+            // Resolve the codec (CPUID probe + deposit masks) exactly once
+            // per batch on the calling thread; the `Copy` encoder is then
+            // shared by every worker chunk. A regression test below pins
+            // this at one resolution per batch, not one per chunk.
+            let enc = pim_zorder::ZEncoder::<D>::new();
+            let mut keys = vec![ZKey::<D>(0); pts.len()];
+            keys.par_chunks_mut(ENCODE_CHUNK)
+                .zip(pts.par_chunks(ENCODE_CHUNK))
+                .for_each(|(dst, src)| enc.encode_into(src, dst));
+            keys
         } else {
             pts.par_iter().map(ZKey::<D>::encode_naive).collect()
         }
@@ -276,7 +289,7 @@ impl<const D: usize> PimZdTree<D> {
 
 fn leaf_contains<const D: usize>(frag: &Fragment<D>, idx: u32, key: ZKey<D>) -> bool {
     match &frag.node(idx).kind {
-        BKind::Leaf { points } => points.iter().any(|(k, _)| *k == key),
+        BKind::Leaf { points } => points.contains_key(key),
         _ => false,
     }
 }
@@ -362,5 +375,31 @@ mod tests {
         let mut t = PimZdTree::<3>::new(cfg, MachineConfig::with_modules(4));
         let q = uniform::<3>(5, 4);
         assert_eq!(t.batch_contains(&q), vec![false; 5]);
+    }
+
+    /// The batch encode must resolve its codec exactly once per batch —
+    /// not once per rayon chunk — even when the batch spans many chunks.
+    /// The counter is thread-local and the encoder is constructed on the
+    /// calling thread, so the assertion is exact under the parallel test
+    /// harness.
+    #[test]
+    fn one_codec_resolution_per_encode_batch() {
+        use pim_zorder::ZEncoder;
+        let cfg = PimZdConfig::throughput_optimized(16, 4);
+        assert!(cfg.toggles.fast_zorder, "fast path must be default");
+        let mut t = PimZdTree::<3>::new(cfg, MachineConfig::with_modules(4));
+        // Far more points than the encode grain, so a per-chunk
+        // re-derivation would show up as many resolutions.
+        let pts = uniform::<3>(20_000, 7);
+        let before = ZEncoder::<3>::resolutions();
+        let keys = t.encode_batch(&pts);
+        assert_eq!(ZEncoder::<3>::resolutions() - before, 1);
+        let again = t.encode_batch(&pts);
+        assert_eq!(ZEncoder::<3>::resolutions() - before, 2);
+        assert_eq!(keys, again);
+        // And the hoisted kernel agrees with the reference encode.
+        for (p, k) in pts.iter().zip(&keys) {
+            assert_eq!(*k, pim_zorder::ZKey::encode(p));
+        }
     }
 }

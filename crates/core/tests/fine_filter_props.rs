@@ -1,0 +1,152 @@
+//! Oracle suite for the kNN fine filter.
+//!
+//! The SoA fine filter (`soa::fine_select` — lane-major distance kernel
+//! feeding a branchless bounded max-heap) must be **bit-for-bit** equal to
+//! the reference selection it replaced: evaluate the metric on every
+//! candidate, sort by `(distance, coords)`, drop exact duplicates, keep the
+//! first `k`. The brute oracle here is written independently over
+//! `std::collections::BinaryHeap` (a max-heap holding the best k seen, ties
+//! broken by coordinates) so the two implementations share no code. "Left
+//! run wins ties" is covered by the total `(distance, coords)` order: equal
+//! distances resolve by coordinates, equal coordinates are duplicates and
+//! collapse, so the selected set — and its order — is unique.
+
+use pim_geom::{Metric, Point};
+use pim_zd_tree::soa::{fine_select, CoordBlock};
+use proptest::prelude::*;
+use std::collections::BinaryHeap;
+
+const METRICS: [Metric; 3] = [Metric::L1, Metric::L2, Metric::Linf];
+
+/// Independent reference: a `BinaryHeap` of the best k `(dist, coords)`
+/// pairs (max at the top, so the worst survivor pops first), duplicates
+/// dropped by a final dedup after draining in ascending order.
+fn brute<const D: usize>(
+    cands: &[Point<D>],
+    q: &Point<D>,
+    metric: Metric,
+    k: usize,
+) -> Vec<(u64, Point<D>)> {
+    let mut heap: BinaryHeap<(u64, [u32; D])> = BinaryHeap::new();
+    for p in cands {
+        let key = (metric.cmp_dist(q, p), p.coords);
+        if heap.iter().any(|&h| h == key) {
+            continue;
+        }
+        if heap.len() < k {
+            heap.push(key);
+        } else if let Some(&top) = heap.peek() {
+            if key < top {
+                heap.pop();
+                heap.push(key);
+            }
+        }
+    }
+    let mut out: Vec<(u64, Point<D>)> =
+        heap.into_sorted_vec().into_iter().map(|(d, c)| (d, Point::new(c))).collect();
+    out.dedup();
+    out
+}
+
+fn block_of<const D: usize>(cands: &[Point<D>]) -> CoordBlock<D> {
+    let mut b = CoordBlock::new();
+    for p in cands {
+        b.push(p);
+    }
+    b
+}
+
+fn check<const D: usize>(cands: &[Point<D>], q: &Point<D>, k: usize) {
+    let block = block_of(cands);
+    for metric in METRICS {
+        let got = fine_select(&block, q, metric, k);
+        let want = brute(cands, q, metric, k);
+        assert_eq!(got, want, "metric={metric:?} k={k} |cands|={}", cands.len());
+    }
+}
+
+fn cube_point3() -> impl Strategy<Value = Point<3>> {
+    // A tie-heavy 8³ cube: many candidates collapse onto the same distance
+    // shell (and often the same point), stressing duplicate elimination and
+    // tie ordering rather than the easy distinct-distance path.
+    (0..8u32, 0..8u32, 0..8u32).prop_map(|(x, y, z)| Point::new([x, y, z]))
+}
+
+fn wide_point3() -> impl Strategy<Value = Point<3>> {
+    (0..1u32 << 21, 0..1u32 << 21, 0..1u32 << 21).prop_map(|(x, y, z)| Point::new([x, y, z]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Tie-heavy candidates under all three metrics, k spanning under-full,
+    /// exact, and overshooting selections.
+    #[test]
+    fn matches_binary_heap_oracle_tie_heavy(
+        cands in proptest::collection::vec(cube_point3(), 1..120),
+        q in cube_point3(),
+        k in 0usize..40,
+    ) {
+        check(&cands, &q, k);
+    }
+
+    /// Full-range coordinates: distances hit the saturating-add edge of
+    /// ℓ2² exactly as the scalar metric does.
+    #[test]
+    fn matches_binary_heap_oracle_full_range(
+        cands in proptest::collection::vec(wide_point3(), 1..80),
+        q in wide_point3(),
+        k in 0usize..20,
+    ) {
+        check(&cands, &q, k);
+    }
+
+    /// k larger than the candidate set returns every distinct candidate.
+    #[test]
+    fn k_exceeding_candidates_returns_all_distinct(
+        cands in proptest::collection::vec(cube_point3(), 1..40),
+        q in cube_point3(),
+    ) {
+        let k = cands.len() + 7;
+        check(&cands, &q, k);
+        let got = fine_select(&block_of(&cands), &q, Metric::L2, k);
+        let mut distinct: Vec<[u32; 3]> = cands.iter().map(|p| p.coords).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(got.len(), distinct.len());
+    }
+}
+
+#[test]
+fn k_zero_selects_nothing() {
+    let cands = [Point::new([1u32, 2, 3]), Point::new([4, 5, 6])];
+    for metric in METRICS {
+        assert!(fine_select(&block_of(&cands), &Point::new([0; 3]), metric, 0).is_empty());
+    }
+    check(&cands, &Point::new([7, 7, 7]), 0);
+}
+
+#[test]
+fn single_candidate_is_selected() {
+    let p = Point::new([9u32, 8, 7]);
+    let q = Point::new([1u32, 1, 1]);
+    for metric in METRICS {
+        let got = fine_select(&block_of(&[p]), &q, metric, 3);
+        assert_eq!(got, vec![(metric.cmp_dist(&q, &p), p)]);
+    }
+    check(&[p], &q, 1);
+}
+
+/// Exact duplicate points collapse to one selected entry, and the survivor
+/// count matches the number of distinct points — the KBest duplicate-skip
+/// is what keeps "k smallest distinct" well-defined.
+#[test]
+fn exact_duplicates_collapse() {
+    let p = Point::new([3u32, 3, 3]);
+    let r = Point::new([5u32, 0, 0]);
+    let cands = [p, p, p, r, p, r];
+    let q = Point::new([0u32; 3]);
+    check(&cands, &q, 4);
+    let got = fine_select(&block_of(&cands), &q, Metric::L1, 4);
+    assert_eq!(got.len(), 2, "two distinct points survive");
+}

@@ -24,7 +24,7 @@ fn fragment_over(pts: &[Point<3>], cap: usize, dir_bits: u32) -> Fragment<3> {
         BNode {
             prefix: Prefix::new(items[0].0, items[0].0.common_prefix_len(items[0].0)),
             count: 1,
-            kind: BKind::Leaf { points: items[..1].to_vec() },
+            kind: BKind::Leaf { points: items[..1].to_vec().into() },
         },
         cap,
     );
@@ -55,7 +55,7 @@ proptest! {
             match f.search(k, &mut NullSink) {
                 SearchEnd::Leaf(idx) => {
                     let BKind::Leaf { points } = &f.node(idx).kind else { panic!() };
-                    prop_assert!(points.iter().any(|(kk, _)| *kk == k));
+                    prop_assert!(points.contains_key(k));
                 }
                 other => prop_assert!(false, "stored point not at a leaf: {other:?}"),
             }

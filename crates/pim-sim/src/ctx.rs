@@ -52,6 +52,16 @@ impl PimCtx {
         self.local_bytes += bytes;
     }
 
+    /// Charges `n` local-memory accesses of `bytes_each` bytes — exactly
+    /// equivalent to `n` [`mem`](Self::mem) calls (one issuing-instruction
+    /// cycle *per access*), so batched leaf kernels can aggregate without
+    /// shifting the cycle accounting.
+    #[inline]
+    pub fn mems(&mut self, n: u64, bytes_each: u64) {
+        self.cycles += n;
+        self.local_bytes += n * bytes_each;
+    }
+
     /// Core time in seconds at the given frequency/bandwidth. UPMEM DPUs
     /// run 11+ hardware tasklets precisely so MRAM DMA overlaps with other
     /// tasklets' compute; with enough parallel slack (batch workloads have

@@ -157,6 +157,23 @@ impl Enc {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// Appends `keys.len()` interleaved point records — a little-endian
+    /// `u64` key followed by one little-endian `u32` per lane — gathered
+    /// straight from structure-of-arrays lanes. This fuses the AoS
+    /// re-materialization a caller would otherwise do into the buffer
+    /// write itself (one reservation, no intermediate pairs); the byte
+    /// stream is identical to encoding each record field by field.
+    pub fn keyed_points(&mut self, keys: &[u64], lanes: &[&[u32]]) {
+        debug_assert!(lanes.iter().all(|l| l.len() == keys.len()));
+        self.buf.reserve(keys.len() * (8 + 4 * lanes.len()));
+        for (i, k) in keys.iter().enumerate() {
+            self.buf.extend_from_slice(&k.to_le_bytes());
+            for lane in lanes {
+                self.buf.extend_from_slice(&lane[i].to_le_bytes());
+            }
+        }
+    }
+
     /// Appends a little-endian `i64`.
     pub fn i64(&mut self, v: i64) {
         self.buf.extend_from_slice(&v.to_le_bytes());

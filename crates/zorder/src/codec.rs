@@ -1,0 +1,272 @@
+//! Runtime-dispatched Morton codecs and the batch encode/decode API.
+//!
+//! [`ZEncoder`] resolves the fastest safe codec **once** (CPUID probe +
+//! per-dimension deposit masks) and then encodes/decodes whole slices with
+//! zero per-element dispatch. On x86-64 with BMI2 the kernel is one
+//! `pdep`/`pext` per coordinate; everywhere else it is the portable
+//! gap-interleave from [`crate::spread`]. Both lanes are observationally
+//! identical — the differential suite in `tests/codec_diff.rs` pins the
+//! accelerated path against the portable one and the naive interleave, and
+//! the portable generic loop stays the authoritative oracle.
+
+use crate::{spread, ZKey};
+use core::cell::Cell;
+use pim_geom::Point;
+
+/// Which codec implementation a [`ZEncoder`] resolved to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodecKind {
+    /// Portable magic-mask / per-bit-loop path — runs anywhere, and serves
+    /// as the oracle the accelerated lane is tested against.
+    Portable,
+    /// x86-64 BMI2 `pdep`/`pext`. Only constructible when the running CPU
+    /// reports the feature, so holding the variant is the safety proof the
+    /// `unsafe` kernels require.
+    Bmi2,
+}
+
+impl CodecKind {
+    /// Probes the running CPU and returns the fastest safe codec.
+    #[inline]
+    pub fn detect() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("bmi2") {
+                return CodecKind::Bmi2;
+            }
+        }
+        CodecKind::Portable
+    }
+
+    /// Every codec the running CPU can execute — the portable lane always,
+    /// plus the accelerated lane when available. Differential tests iterate
+    /// this so one process exercises both paths on capable hardware while
+    /// still passing (portable-only) on machines without BMI2.
+    pub fn available() -> Vec<Self> {
+        let mut v = vec![CodecKind::Portable];
+        if Self::detect() == CodecKind::Bmi2 {
+            v.push(CodecKind::Bmi2);
+        }
+        v
+    }
+}
+
+thread_local! {
+    /// Per-thread count of codec resolutions (CPUID probe + mask
+    /// derivation). Purely observability: the regression test for the
+    /// batch-encode hot path asserts exactly one resolution per batch, not
+    /// one per chunk. Thread-local so tests observe only their own
+    /// constructions under the parallel test harness.
+    static RESOLUTIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A Morton codec with dispatch and deposit masks resolved up front.
+///
+/// Construction is the *only* place feature detection and mask derivation
+/// happen; the per-element kernels are branch-free on that state. Build one
+/// per batch (it is `Copy` and thread-safe to share) instead of per chunk.
+#[derive(Clone, Copy, Debug)]
+pub struct ZEncoder<const D: usize> {
+    kind: CodecKind,
+    /// `comb_mask(D, COORD_BITS) << (D - 1 - j)` per dimension `j`: the
+    /// deposit mask placing coordinate `j` directly into its interleaved
+    /// slot (dimension 0 owns the MSB of each D-bit group).
+    masks: [u64; D],
+}
+
+impl<const D: usize> Default for ZEncoder<D> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const D: usize> ZEncoder<D> {
+    /// Resolves the fastest safe codec for the running CPU.
+    pub fn new() -> Self {
+        Self::with_kind(CodecKind::detect())
+    }
+
+    /// Resolves a specific codec lane — differential tests use this to pin
+    /// the accelerated path against the portable oracle in one process.
+    pub fn with_kind(kind: CodecKind) -> Self {
+        RESOLUTIONS.with(|c| c.set(c.get() + 1));
+        let comb = spread::comb_mask(D as u32, ZKey::<D>::COORD_BITS);
+        let masks = core::array::from_fn(|j| comb << (D - 1 - j));
+        Self { kind, masks }
+    }
+
+    /// The codec lane this encoder resolved to.
+    #[inline]
+    pub fn kind(&self) -> CodecKind {
+        self.kind
+    }
+
+    /// Resolution count on the calling thread; see the regression test in
+    /// the core crate's `search` module.
+    pub fn resolutions() -> u64 {
+        RESOLUTIONS.with(|c| c.get())
+    }
+
+    /// Encodes one point through the resolved lane.
+    #[inline]
+    pub fn encode_one(&self, p: &Point<D>) -> ZKey<D> {
+        match self.kind {
+            CodecKind::Portable => ZKey::encode(p),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: the Bmi2 variant is only constructed after runtime
+            // detection succeeded.
+            CodecKind::Bmi2 => unsafe { self.encode_one_bmi2(p) },
+            #[cfg(not(target_arch = "x86_64"))]
+            CodecKind::Bmi2 => unreachable!("BMI2 codec on non-x86_64"),
+        }
+    }
+
+    /// Decodes one key through the resolved lane.
+    #[inline]
+    pub fn decode_one(&self, k: ZKey<D>) -> Point<D> {
+        match self.kind {
+            CodecKind::Portable => k.decode(),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as in `encode_one`.
+            CodecKind::Bmi2 => unsafe { self.decode_one_bmi2(k) },
+            #[cfg(not(target_arch = "x86_64"))]
+            CodecKind::Bmi2 => unreachable!("BMI2 codec on non-x86_64"),
+        }
+    }
+
+    /// Encodes a slice, appending to `out`. The dispatch branch is hoisted
+    /// out of the loop so the whole batch runs inside one `target_feature`
+    /// region and the compiler keeps `pdep` register-resident.
+    pub fn encode_batch(&self, pts: &[Point<D>], out: &mut Vec<ZKey<D>>) {
+        out.reserve(pts.len());
+        match self.kind {
+            CodecKind::Portable => out.extend(pts.iter().map(ZKey::encode)),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as in `encode_one`.
+            CodecKind::Bmi2 => unsafe { self.encode_slice_bmi2(pts, out) },
+            #[cfg(not(target_arch = "x86_64"))]
+            CodecKind::Bmi2 => unreachable!("BMI2 codec on non-x86_64"),
+        }
+    }
+
+    /// Encodes a slice into a pre-sized output slice — the form parallel
+    /// callers want, carving one output buffer into per-chunk windows while
+    /// sharing a single resolved (`Copy`) encoder across threads.
+    ///
+    /// Panics if the lengths differ.
+    pub fn encode_into(&self, pts: &[Point<D>], out: &mut [ZKey<D>]) {
+        assert_eq!(pts.len(), out.len());
+        match self.kind {
+            CodecKind::Portable => {
+                for (o, p) in out.iter_mut().zip(pts) {
+                    *o = ZKey::encode(p);
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as in `encode_one`.
+            CodecKind::Bmi2 => unsafe { self.encode_into_bmi2(pts, out) },
+            #[cfg(not(target_arch = "x86_64"))]
+            CodecKind::Bmi2 => unreachable!("BMI2 codec on non-x86_64"),
+        }
+    }
+
+    /// Decodes a slice of keys, appending the points to `out`.
+    pub fn decode_batch(&self, keys: &[ZKey<D>], out: &mut Vec<Point<D>>) {
+        out.reserve(keys.len());
+        match self.kind {
+            CodecKind::Portable => out.extend(keys.iter().map(|k| k.decode())),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as in `encode_one`.
+            CodecKind::Bmi2 => unsafe { self.decode_slice_bmi2(keys, out) },
+            #[cfg(not(target_arch = "x86_64"))]
+            CodecKind::Bmi2 => unreachable!("BMI2 codec on non-x86_64"),
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "bmi2")]
+    unsafe fn encode_one_bmi2(&self, p: &Point<D>) -> ZKey<D> {
+        let mut key = 0u64;
+        for j in 0..D {
+            debug_assert!(
+                u64::from(p.coords[j]) < (1u64 << ZKey::<D>::COORD_BITS),
+                "coordinate {} exceeds {} bits",
+                p.coords[j],
+                ZKey::<D>::COORD_BITS
+            );
+            key |= spread::bmi2::deposit(u64::from(p.coords[j]), self.masks[j]);
+        }
+        ZKey(key)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "bmi2")]
+    unsafe fn decode_one_bmi2(&self, k: ZKey<D>) -> Point<D> {
+        let mut coords = [0u32; D];
+        for (j, c) in coords.iter_mut().enumerate() {
+            *c = spread::bmi2::extract(k.0, self.masks[j]) as u32;
+        }
+        Point::new(coords)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "bmi2")]
+    unsafe fn encode_slice_bmi2(&self, pts: &[Point<D>], out: &mut Vec<ZKey<D>>) {
+        out.extend(pts.iter().map(|p| self.encode_one_bmi2(p)));
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "bmi2")]
+    unsafe fn encode_into_bmi2(&self, pts: &[Point<D>], out: &mut [ZKey<D>]) {
+        for (o, p) in out.iter_mut().zip(pts) {
+            *o = self.encode_one_bmi2(p);
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "bmi2")]
+    unsafe fn decode_slice_bmi2(&self, keys: &[ZKey<D>], out: &mut Vec<Point<D>>) {
+        out.extend(keys.iter().map(|k| self.decode_one_bmi2(*k)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn portable_lane_matches_zkey_paths() {
+        let enc = ZEncoder::<3>::with_kind(CodecKind::Portable);
+        let p = Point::new([123_456u32, 99, 2_000_000]);
+        let k = enc.encode_one(&p);
+        assert_eq!(k, ZKey::encode(&p));
+        assert_eq!(enc.decode_one(k), p);
+    }
+
+    #[test]
+    fn batch_matches_per_element() {
+        let mask = (1u32 << ZKey::<2>::COORD_BITS) - 1;
+        let pts: Vec<Point<2>> =
+            (0..257u32).map(|i| Point::new([i.wrapping_mul(2654435761) & mask, i])).collect();
+        for kind in CodecKind::available() {
+            let enc = ZEncoder::<2>::with_kind(kind);
+            let mut keys = Vec::new();
+            enc.encode_batch(&pts, &mut keys);
+            assert_eq!(keys.len(), pts.len());
+            for (p, k) in pts.iter().zip(&keys) {
+                assert_eq!(*k, ZKey::encode(p), "kind={kind:?}");
+            }
+            let mut back = Vec::new();
+            enc.decode_batch(&keys, &mut back);
+            assert_eq!(back, pts, "kind={kind:?}");
+        }
+    }
+
+    #[test]
+    fn resolution_counter_counts_constructions() {
+        let before = ZEncoder::<3>::resolutions();
+        let _a = ZEncoder::<3>::new();
+        let _b = ZEncoder::<3>::with_kind(CodecKind::Portable);
+        assert_eq!(ZEncoder::<3>::resolutions() - before, 2);
+    }
+}

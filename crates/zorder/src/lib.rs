@@ -18,10 +18,13 @@
 
 #![deny(missing_docs)]
 
+pub mod codec;
 pub mod naive;
 pub mod prefix;
 pub mod sort;
 pub mod spread;
+
+pub use codec::{CodecKind, ZEncoder};
 
 use pim_geom::{coord_bits_for_dim, Point};
 

@@ -34,13 +34,23 @@ pub fn compact(x: u64, d: u32, b: u32) -> u64 {
     }
 }
 
+/// The low `b` bits set (`b >= 64` saturates to all-ones).
 #[inline]
-fn mask_low(b: u32) -> u64 {
+pub fn mask_low(b: u32) -> u64 {
     if b >= 64 {
         !0
     } else {
         (1u64 << b) - 1
     }
+}
+
+/// The comb mask selecting positions `0, d, 2d, …` for `b` source bits —
+/// exactly the deposit/extract mask that makes `pdep`/`pext` equivalent to
+/// [`spread`]/[`compact`]. Computed with the portable spreader so the BMI2
+/// path is *defined by* the fallback, never the other way around.
+#[inline]
+pub fn comb_mask(d: u32, b: u32) -> u64 {
+    spread_generic(mask_low(b), d, b)
 }
 
 /// 2D gap construction: supports up to 32 source bits.
@@ -93,8 +103,12 @@ fn compact3(mut x: u64) -> u64 {
 /// are dropped; `spread` is only lossless when `(b - 1) * d < 64`. The loop
 /// clamps instead of shifting past the word so high `d`/`b` combinations are
 /// well-defined rather than shift-overflow UB (a panic in debug builds).
+///
+/// Public because it is the *authoritative oracle* for the accelerated
+/// paths: the differential tests in `tests/codec_diff.rs` pin every magic
+/// mask and BMI2 kernel against this loop.
 #[inline]
-fn spread_generic(x: u64, d: u32, b: u32) -> u64 {
+pub fn spread_generic(x: u64, d: u32, b: u32) -> u64 {
     debug_assert!(d >= 1, "spread gap must be >= 1");
     let mut out = 0u64;
     for i in 0..b {
@@ -107,8 +121,9 @@ fn spread_generic(x: u64, d: u32, b: u32) -> u64 {
     out
 }
 
+/// Inverse of [`spread_generic`]; public for the same oracle role.
 #[inline]
-fn compact_generic(x: u64, d: u32, b: u32) -> u64 {
+pub fn compact_generic(x: u64, d: u32, b: u32) -> u64 {
     debug_assert!(d >= 1, "spread gap must be >= 1");
     let mut out = 0u64;
     for i in 0..b {
@@ -119,6 +134,39 @@ fn compact_generic(x: u64, d: u32, b: u32) -> u64 {
         out |= ((x >> pos) & 1) << i;
     }
     out
+}
+
+/// BMI2 deposit/extract kernels. `_pdep_u64(x, comb_mask(d, b))` places bit
+/// `i` of `x` at the `i`-th set bit of the mask — position `i * d` — which is
+/// exactly [`spread`]; `_pext_u64` is symmetric for [`compact`]. Shifted
+/// masks (`comb_mask << s`) deposit straight into the interleaved slot of
+/// dimension `s`, so a full Morton encode is one `pdep` + `or` per
+/// coordinate with no post-shift.
+///
+/// Callers must hold a runtime `bmi2` detection proof (see
+/// [`crate::codec::CodecKind::detect`]): the functions are `unsafe` because
+/// executing them on a CPU without BMI2 is undefined behaviour (`#UD`).
+#[cfg(target_arch = "x86_64")]
+pub mod bmi2 {
+    /// `spread(x, d, b) << s` for `mask = comb_mask(d, b) << s`.
+    ///
+    /// # Safety
+    /// The running CPU must support BMI2.
+    #[target_feature(enable = "bmi2")]
+    #[inline]
+    pub unsafe fn deposit(x: u64, mask: u64) -> u64 {
+        core::arch::x86_64::_pdep_u64(x, mask)
+    }
+
+    /// `compact(x >> s, d, b)` for `mask = comb_mask(d, b) << s`.
+    ///
+    /// # Safety
+    /// The running CPU must support BMI2.
+    #[target_feature(enable = "bmi2")]
+    #[inline]
+    pub unsafe fn extract(x: u64, mask: u64) -> u64 {
+        core::arch::x86_64::_pext_u64(x, mask)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,182 @@
+//! Differential codec suite: every accelerated Morton lane must be
+//! bit-identical to the portable fallback and to the naive per-bit
+//! interleave, on every dimension class the index serves.
+//!
+//! The dispatch seam (`CodecKind::available()`) is exercised *inside one
+//! process*: on BMI2 hardware each property runs the portable and the
+//! `pdep`/`pext` lane back to back; on machines without BMI2 the same
+//! tests pass over the portable lane alone, so CI stays green everywhere
+//! while the accelerated lane is pinned wherever it can execute. The
+//! portable generic loop remains the authoritative oracle — the BMI2 masks
+//! are *derived from it* (`spread::comb_mask`), never hand-written.
+
+use pim_geom::Point;
+use pim_zorder::spread::{comb_mask, compact, compact_generic, mask_low, spread, spread_generic};
+use pim_zorder::{naive, CodecKind, ZEncoder, ZKey};
+use proptest::prelude::*;
+
+/// One point through every available lane: encode must match the naive
+/// interleave, decode must invert on the same lane, and the two lanes must
+/// agree with each other.
+fn check_point<const D: usize>(p: Point<D>) -> Result<(), String> {
+    let oracle = naive::encode(&p);
+    for kind in CodecKind::available() {
+        let enc = ZEncoder::<D>::with_kind(kind);
+        let k = enc.encode_one(&p);
+        if k != oracle {
+            return Err(format!("{kind:?} encode {:?}: {k:?} != naive {oracle:?}", p.coords));
+        }
+        let back = enc.decode_one(k);
+        if back != p {
+            return Err(format!("{kind:?} decode {k:?}: {:?} != {:?}", back.coords, p.coords));
+        }
+    }
+    Ok(())
+}
+
+/// A batch through every lane: `encode_batch`/`decode_batch` must agree
+/// with the per-element oracle element-for-element.
+fn check_batch<const D: usize>(pts: &[Point<D>]) -> Result<(), String> {
+    for kind in CodecKind::available() {
+        let enc = ZEncoder::<D>::with_kind(kind);
+        let mut keys = Vec::new();
+        enc.encode_batch(pts, &mut keys);
+        if keys.len() != pts.len() {
+            return Err(format!("{kind:?}: batch length {} != {}", keys.len(), pts.len()));
+        }
+        for (p, k) in pts.iter().zip(&keys) {
+            if *k != naive::encode(p) {
+                return Err(format!("{kind:?} batch encode {:?} diverged", p.coords));
+            }
+        }
+        let mut back = Vec::new();
+        enc.decode_batch(&keys, &mut back);
+        if back != pts {
+            return Err(format!("{kind:?}: batch decode diverged"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// 2D full-range coords (31 bits/dim) across every lane.
+    #[test]
+    fn lanes_agree_2d(x in 0..1u32 << 31, y in 0..1u32 << 31) {
+        check_point(Point::new([x, y])).unwrap();
+    }
+
+    /// 3D full-range coords (21 bits/dim) across every lane.
+    #[test]
+    fn lanes_agree_3d(x in 0..1u32 << 21, y in 0..1u32 << 21, z in 0..1u32 << 21) {
+        check_point(Point::new([x, y, z])).unwrap();
+    }
+
+    /// 4D full-range coords (15 bits/dim) across every lane.
+    #[test]
+    fn lanes_agree_4d(
+        a in 0..1u32 << 15, b in 0..1u32 << 15,
+        c in 0..1u32 << 15, d in 0..1u32 << 15,
+    ) {
+        check_point(Point::new([a, b, c, d])).unwrap();
+    }
+
+    /// 6D full-range coords (10 bits/dim) across every lane.
+    #[test]
+    fn lanes_agree_6d(
+        a in 0..1u32 << 10, b in 0..1u32 << 10, c in 0..1u32 << 10,
+        d in 0..1u32 << 10, e in 0..1u32 << 10, f in 0..1u32 << 10,
+    ) {
+        check_point(Point::new([a, b, c, d, e, f])).unwrap();
+    }
+
+    /// Duplicate-heavy batches: coords drawn from a tiny palette so most
+    /// batch elements collide — the batch kernels must not be sensitive to
+    /// repeated inputs (no stateful shortcuts).
+    #[test]
+    fn duplicate_heavy_batches_3d(
+        palette in proptest::collection::vec((0..1u32 << 21, 0..1u32 << 21, 0..1u32 << 21), 1..4),
+        picks in proptest::collection::vec(0..64usize, 1..200),
+    ) {
+        let pts: Vec<Point<3>> = picks
+            .iter()
+            .map(|i| {
+                let (x, y, z) = palette[i % palette.len()];
+                Point::new([x, y, z])
+            })
+            .collect();
+        check_batch(&pts).unwrap();
+    }
+
+    /// Primitive-level differential: on every gap/width inside the 64-bit
+    /// budget (`b <= 63 / d`, the widths the key layer actually uses) the
+    /// dispatched `spread`/`compact` must match the generic loop, and the
+    /// comb mask must select exactly the spread image.
+    #[test]
+    fn spread_dispatch_matches_generic(x in 0u64..u64::MAX, d in 1u32..8, braw in 1u32..64) {
+        let b = braw.min(63 / d).max(1);
+        let x = x & mask_low(b);
+        prop_assert_eq!(spread(x, d, b), spread_generic(x, d, b));
+        let s = spread(x, d, b);
+        prop_assert_eq!(compact(s, d, b), compact_generic(s, d, b));
+        prop_assert_eq!(s & !comb_mask(d, b), 0, "spread image escapes the comb mask");
+    }
+}
+
+/// Boundary-bit sweep: every single-bit coordinate, per dimension, plus the
+/// all-ones and zero extremes — deterministic and exhaustive, the cases
+/// where a wrong mask or an off-by-one shift shows first.
+fn boundary_sweep<const D: usize>() {
+    let bits = ZKey::<D>::COORD_BITS;
+    let max = (1u64 << bits) as u32 - 1;
+    for dim in 0..D {
+        for bit in 0..bits {
+            let mut coords = [0u32; D];
+            coords[dim] = 1u32 << bit;
+            check_point(Point::new(coords)).unwrap();
+            let mut anti = [max; D];
+            anti[dim] = max ^ (1u32 << bit);
+            check_point(Point::new(anti)).unwrap();
+        }
+    }
+    check_point(Point::new([0u32; D])).unwrap();
+    check_point(Point::new([max; D])).unwrap();
+}
+
+#[test]
+fn boundary_bits_2d() {
+    boundary_sweep::<2>();
+}
+
+#[test]
+fn boundary_bits_3d() {
+    boundary_sweep::<3>();
+}
+
+#[test]
+fn boundary_bits_4d() {
+    boundary_sweep::<4>();
+}
+
+#[test]
+fn boundary_bits_6d() {
+    boundary_sweep::<6>();
+}
+
+/// The dispatch seam itself: `available()` always contains the portable
+/// lane first, and when the accelerated lane is reported the two encoders
+/// resolve to distinct kinds (so the differential tests above really did
+/// run two implementations).
+#[test]
+fn dispatch_seam_reports_portable_first() {
+    let lanes = CodecKind::available();
+    assert_eq!(lanes[0], CodecKind::Portable);
+    assert!(lanes.len() <= 2);
+    if lanes.len() == 2 {
+        assert_eq!(lanes[1], CodecKind::Bmi2);
+        assert_eq!(ZEncoder::<3>::with_kind(lanes[1]).kind(), CodecKind::Bmi2);
+    }
+    // `detect` must return something `available` lists.
+    assert!(lanes.contains(&CodecKind::detect()));
+}

@@ -232,3 +232,39 @@ fn recover_reattaches_the_wal_and_keeps_logging() {
     let _ = std::fs::remove_file(&ckpt_path);
     let _ = std::fs::remove_file(&wal_path);
 }
+
+/// Satellite pin for the SoA leaf conversion: checkpoint → restore →
+/// checkpoint must stay **byte-identical** now that leaf payloads are
+/// stored lane-major in memory. The `PZDCKPT1` wire layout is unchanged —
+/// per point a little-endian `u64` key then D little-endian `u32` coords —
+/// so a checkpoint written by the SoA tree re-serializes to the same bytes
+/// after a full AoS→SoA rebuild through `restore_bytes`. The tree is
+/// mutated first so leaves have been through the merge/remove paths, not
+/// just the bulk build.
+#[test]
+fn checkpoint_restore_checkpoint_is_byte_identical_with_soa_leaves() {
+    let all = batches();
+    let mut t = fresh_tree();
+    for b in &all {
+        apply(&mut t, b);
+    }
+
+    let first = t.checkpoint_bytes();
+    assert_eq!(&first[..8], b"PZDCKPT1", "format magic is pinned");
+
+    let restored = PimZdTree::<3>::restore_bytes(&first).expect("restore");
+    assert_eq!(restored.len(), t.len());
+    assert_eq!(restored.epoch(), t.epoch());
+    let second = restored.checkpoint_bytes();
+    assert_eq!(first, second, "re-serialization must be byte-identical");
+
+    // And the restored tree answers queries identically.
+    let probes = workloads::uniform::<3>(200, SEED + 77);
+    let mut a = t;
+    let mut b = restored;
+    assert_eq!(a.batch_contains(&probes), b.batch_contains(&probes));
+    assert_eq!(
+        a.batch_knn(&probes[..50], 5, Metric::L2),
+        b.batch_knn(&probes[..50], 5, Metric::L2)
+    );
+}

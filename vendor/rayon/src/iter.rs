@@ -79,6 +79,17 @@ pub trait ParallelIterator: Producer {
     fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
         C::from_par_iter(self)
     }
+
+    /// Runs `f` on every item. Side effects through `&mut T` items are the
+    /// point (`par_iter_mut`/`par_chunks_mut` writers); ordering of the
+    /// calls across chunks is unspecified, so `f` must be independent per
+    /// item — same contract as `map`.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Clone + Send,
+    {
+        let _: Vec<()> = self.map(f).collect();
+    }
 }
 
 impl<P: Producer> ParallelIterator for P {}
@@ -178,6 +189,54 @@ impl<'a, T: Send> Producer for SliceParIterMut<'a, T> {
     }
     fn into_seq(self) -> Self::SeqIter {
         self.slice.iter_mut()
+    }
+}
+
+/// Chunked shared-slice source (`par_chunks`): items are `size`-element
+/// subslices, the last possibly shorter. `len`/`split_at` are in units of
+/// chunks so splits always land on chunk boundaries.
+pub struct ChunksParIter<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> Producer for ChunksParIter<'a, T> {
+    type Item = &'a [T];
+    type SeqIter = std::slice::Chunks<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let at = (index * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at(at);
+        (Self { slice: l, size: self.size }, Self { slice: r, size: self.size })
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.chunks(self.size)
+    }
+}
+
+/// Chunked exclusive-slice source (`par_chunks_mut`).
+pub struct ChunksParIterMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> Producer for ChunksParIterMut<'a, T> {
+    type Item = &'a mut [T];
+    type SeqIter = std::slice::ChunksMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let at = (index * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(at);
+        (Self { slice: l, size: self.size }, Self { slice: r, size: self.size })
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.chunks_mut(self.size)
     }
 }
 
@@ -433,6 +492,10 @@ pub trait ParallelSlice<T> {
     fn par_iter(&self) -> SliceParIter<'_, T>;
     /// Parallel exclusive iteration.
     fn par_iter_mut(&mut self) -> SliceParIterMut<'_, T>;
+    /// Parallel iteration over `size`-element subslices (last may be short).
+    fn par_chunks(&self, size: usize) -> ChunksParIter<'_, T>;
+    /// Parallel exclusive iteration over `size`-element subslices.
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksParIterMut<'_, T>;
 }
 
 impl<T> ParallelSlice<T> for [T] {
@@ -443,6 +506,16 @@ impl<T> ParallelSlice<T> for [T] {
     #[inline]
     fn par_iter_mut(&mut self) -> SliceParIterMut<'_, T> {
         SliceParIterMut { slice: self }
+    }
+    #[inline]
+    fn par_chunks(&self, size: usize) -> ChunksParIter<'_, T> {
+        assert!(size > 0, "chunk size must be nonzero");
+        ChunksParIter { slice: self, size }
+    }
+    #[inline]
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksParIterMut<'_, T> {
+        assert!(size > 0, "chunk size must be nonzero");
+        ChunksParIterMut { slice: self, size }
     }
 }
 

@@ -165,14 +165,27 @@ pub mod prelude {
 }
 
 pub use iter::{
-    Enumerate, IntoParallelIterator, Map, MapInit, MinLen, ParallelIterator, ParallelSlice,
-    Producer, RangeParIter, SliceParIter, SliceParIterMut, VecParIter, Zip,
+    ChunksParIter, ChunksParIterMut, Enumerate, IntoParallelIterator, Map, MapInit, MinLen,
+    ParallelIterator, ParallelSlice, Producer, RangeParIter, SliceParIter, SliceParIterMut,
+    VecParIter, Zip,
 };
 pub use sort::ParallelSliceSort;
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+
+    #[test]
+    fn par_chunks_zip_for_each_writes_every_slot() {
+        let src: Vec<u64> = (0..10_007).collect();
+        let mut dst = vec![0u64; src.len()];
+        dst.par_chunks_mut(64).zip(src.par_chunks(64)).for_each(|(d, s)| {
+            for (a, b) in d.iter_mut().zip(s) {
+                *a = b * 3;
+            }
+        });
+        assert!(dst.iter().zip(&src).all(|(a, b)| *a == b * 3));
+    }
 
     #[test]
     fn join_returns_both_results() {
