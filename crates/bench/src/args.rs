@@ -70,7 +70,7 @@ impl BenchArgs {
     /// [`parse`](Self::parse) minus the global-pool side effect, for tests.
     pub fn parse_without_pool_init() -> Self {
         let mut out = Self::default();
-        let mut args = std::env::args().skip(1);
+        let mut args = std::env::args().skip(1).peekable();
         while let Some(a) = args.next() {
             let mut grab = |out: &mut usize| {
                 if let Some(v) = args.next().and_then(|s| s.parse().ok()) {
@@ -126,10 +126,32 @@ impl BenchArgs {
                     }
                 },
                 other if !other.starts_with("--") => out.positional = Some(other.to_string()),
-                _ => {}
+                // An unknown flag consumes its value token (if any), so a
+                // binary-specific flag like `--rate 5000` never leaks its
+                // value into `positional` (which is serialized into perf
+                // reports and compared by the diff gate).
+                _ => {
+                    if args.peek().is_some_and(|v| !v.starts_with("--")) {
+                        args.next();
+                    }
+                }
             }
         }
         out
+    }
+
+    /// The value of a binary-specific flag (`--name VALUE`) from the raw
+    /// command line, for figure binaries with knobs beyond the shared set.
+    /// Flags consumed this way are also skipped (with their value) by
+    /// [`parse`](Self::parse), so they never pollute `positional`.
+    pub fn flag_value(name: &str) -> Option<String> {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == name {
+                return args.next();
+            }
+        }
+        None
     }
 
     /// The fault-injection plan these args describe: `None` at rate 0

@@ -115,6 +115,11 @@ fn main() {
         for line in &outcome.regressions {
             println!("REGRESSED: {line}");
         }
+        // Serving latency percentiles print but never gate (they are far
+        // noisier across batching-policy tweaks than the gated quantities).
+        for line in &outcome.advisories {
+            println!("advisory:  {line}");
+        }
         if host_time {
             // Advisory: wall-clock depends on the machine the report was
             // captured on, so this prints but never gates.

@@ -49,6 +49,18 @@ pub struct PerfEntry {
     pub rounds: u64,
     /// Elements returned.
     pub elements: u64,
+    /// Median reply latency in virtual seconds (serving benches only;
+    /// `null` for throughput benches). Latency fields are **advisory** in
+    /// the diff gate: they are reported, never compared against the
+    /// threshold, because tail latency is far noisier across policy tweaks
+    /// than the gated throughput/traffic quantities.
+    pub p50_s: Option<f64>,
+    /// 99th-percentile reply latency in virtual seconds (advisory).
+    pub p99_s: Option<f64>,
+    /// 99.9th-percentile reply latency in virtual seconds (advisory).
+    pub p999_s: Option<f64>,
+    /// Offered load in requests per virtual second (serving benches only).
+    pub offered: Option<f64>,
 }
 
 impl PerfEntry {
@@ -66,7 +78,21 @@ impl PerfEntry {
             total_s: m.total_s,
             rounds: m.rounds,
             elements: m.elements,
+            p50_s: None,
+            p99_s: None,
+            p999_s: None,
+            offered: None,
         }
+    }
+
+    /// Attaches serving-latency percentiles and the offered load (seconds
+    /// of virtual time / requests per virtual second).
+    pub fn with_latency(mut self, p50_s: f64, p99_s: f64, p999_s: f64, offered: f64) -> Self {
+        self.p50_s = Some(p50_s);
+        self.p99_s = Some(p99_s);
+        self.p999_s = Some(p999_s);
+        self.offered = Some(offered);
+        self
     }
 }
 
@@ -114,6 +140,14 @@ impl PerfSink {
     pub fn push(&mut self, dataset: &str, m: &Measurement) {
         if self.args.json.is_some() {
             self.entries.push(PerfEntry::new(dataset, m));
+        }
+    }
+
+    /// Records a pre-built entry (serving benches attach latency
+    /// percentiles via [`PerfEntry::with_latency`] before pushing).
+    pub fn push_entry(&mut self, entry: PerfEntry) {
+        if self.args.json.is_some() {
+            self.entries.push(entry);
         }
     }
 
@@ -232,6 +266,9 @@ pub struct DiffOutcome {
     pub regressions: Vec<String>,
     /// Improvements beyond the threshold (informational).
     pub improvements: Vec<String>,
+    /// Advisory-only movement (serving latency percentiles): reported for
+    /// the record, never gated — see [`PerfEntry::p50_s`].
+    pub advisories: Vec<String>,
     /// Number of (dataset, index, op) cells compared.
     pub compared: usize,
 }
@@ -268,6 +305,15 @@ pub fn validate_schema(v: &Value) -> Result<(), String> {
         }
         for key in ["rounds", "elements"] {
             r.get(key).and_then(Value::as_u64).ok_or(format!("results[{i}].{key} not integral"))?;
+        }
+        // Latency fields are optional (absent in pre-serving baselines,
+        // null in throughput benches) but must be numeric when set.
+        for key in ["p50_s", "p99_s", "p999_s", "offered"] {
+            match r.get(key) {
+                None | Some(Value::Null) => {}
+                Some(v) if v.as_f64().is_some() => {}
+                Some(_) => return Err(format!("results[{i}].{key} not a number or null")),
+            }
         }
     }
     match v.get("metrics") {
@@ -351,6 +397,19 @@ pub fn diff_reports(base: &Value, new: &Value, threshold: f64) -> Result<DiffOut
                     "{key}: {metric} improved {bv:.4e} -> {nv:.4e} ({:+.1}%)",
                     rel * 100.0
                 ));
+            }
+        }
+        // Serving latency percentiles: advisory only, never gated.
+        for metric in ["p50_s", "p99_s", "p999_s"] {
+            let (bv, nv) =
+                (b.get(metric).and_then(Value::as_f64), n.get(metric).and_then(Value::as_f64));
+            if let (Some(bv), Some(nv)) = (bv, nv) {
+                if bv > 0.0 && (nv / bv - 1.0).abs() > threshold {
+                    out.advisories.push(format!(
+                        "{key}: {metric} moved {bv:.4e} -> {nv:.4e} ({:+.1}%, advisory)",
+                        (nv / bv - 1.0) * 100.0
+                    ));
+                }
             }
         }
     }

@@ -1,0 +1,173 @@
+//! Epoch-pinned snapshot reads: a consistent frozen view of the tree.
+//!
+//! The index's `epoch` counter (see [`PimZdTree::epoch`]) advances only at
+//! mutation-batch boundaries, so the state *between* two write batches is a
+//! well-defined consistent view. A [`TreeSnapshot`] materializes that view
+//! from a checkpoint image (`PZDCKPT1`, the same format durability uses —
+//! ARCHITECTURE.md §7) and serves the four read operations against it while
+//! the live tree moves on.
+//!
+//! This is what lets the serving layer (`pim-serve`) pipeline reads against
+//! an in-flight write batch: before a write batch is applied, the server
+//! captures the pre-batch image; read batches that are dispatched while the
+//! write's BSP rounds are (virtually) in flight run against the snapshot and
+//! observe **exactly** the pre-batch epoch — never a half-applied batch,
+//! never the new epoch early. ARCHITECTURE.md §8 describes the full
+//! read/write pipeline.
+//!
+//! # Determinism
+//!
+//! A snapshot is a pure function of the checkpoint bytes, and checkpoint
+//! bytes are byte-stable (`tests/durability.rs`), so snapshot query results
+//! are as deterministic as live-tree results. The snapshot owns a private
+//! simulated machine restored from the image; its rounds are *not* journaled
+//! or published to any metrics registry (the handle comes back detached,
+//! like any restore), so attaching a snapshot never perturbs the live tree's
+//! observability artifacts.
+//!
+//! # Cost
+//!
+//! Capturing an image is O(resident state) and materializing a snapshot
+//! re-builds the full host state from it. The serving layer therefore
+//! captures the image eagerly (the pre-write state is gone once the batch
+//! applies) but materializes the snapshot lazily, only when a read actually
+//! arrives mid-flight, and caches it per epoch.
+
+use crate::host::PimZdTree;
+use crate::DurabilityError;
+use pim_geom::{Aabb, Metric, Point};
+
+/// A read-only view of the tree pinned at one epoch.
+///
+/// Obtained from [`PimZdTree::snapshot`] (or [`TreeSnapshot::from_image`]
+/// when the caller already holds checkpoint bytes). Query methods take
+/// `&mut self` because the restored machine still meters simulated work,
+/// but the *logical* contents never change: every query answers against the
+/// state frozen at [`Self::epoch`].
+pub struct TreeSnapshot<const D: usize> {
+    tree: PimZdTree<D>,
+}
+
+impl<const D: usize> PimZdTree<D> {
+    /// Captures a snapshot of the current (post-last-batch) state. The
+    /// result is pinned at [`Self::epoch`] and unaffected by any later
+    /// mutation of `self`. Shorthand for
+    /// `TreeSnapshot::from_image(&self.checkpoint_bytes())`.
+    pub fn snapshot(&self) -> TreeSnapshot<D> {
+        TreeSnapshot::from_image(&self.checkpoint_bytes())
+            .expect("a checkpoint image produced by this tree always restores")
+    }
+}
+
+impl<const D: usize> TreeSnapshot<D> {
+    /// Materializes a snapshot from a checkpoint image (the bytes of
+    /// [`PimZdTree::checkpoint_bytes`]). Fails exactly when a restore of the
+    /// same image would fail.
+    pub fn from_image(bytes: &[u8]) -> Result<Self, DurabilityError> {
+        Ok(Self { tree: PimZdTree::restore_bytes(bytes)? })
+    }
+
+    /// The epoch this snapshot is pinned at: the number of mutation batches
+    /// the captured tree had applied.
+    pub fn epoch(&self) -> u64 {
+        self.tree.epoch()
+    }
+
+    /// Number of points in the frozen view.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Whether the frozen view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Point-membership probes against the frozen view.
+    pub fn batch_contains(&mut self, pts: &[Point<D>]) -> Vec<bool> {
+        self.tree.batch_contains(pts)
+    }
+
+    /// Exact kNN against the frozen view (same contract as
+    /// [`PimZdTree::batch_knn`]).
+    pub fn batch_knn(
+        &mut self,
+        queries: &[Point<D>],
+        k: usize,
+        metric: Metric,
+    ) -> Vec<Vec<(u64, Point<D>)>> {
+        self.tree.batch_knn(queries, k, metric)
+    }
+
+    /// Orthogonal range counts against the frozen view.
+    pub fn batch_box_count(&mut self, queries: &[Aabb<D>]) -> Vec<u64> {
+        self.tree.batch_box_count(queries)
+    }
+
+    /// Orthogonal range fetches against the frozen view.
+    pub fn batch_box_fetch(&mut self, queries: &[Aabb<D>]) -> Vec<Vec<Point<D>>> {
+        self.tree.batch_box_fetch(queries)
+    }
+
+    /// Statistics of the most recent batched read (simulated time, rounds,
+    /// traffic — the serving layer schedules completions from this).
+    pub fn last_op_stats(&self) -> &crate::OpStats {
+        self.tree.last_op_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_sim::MachineConfig;
+
+    fn pts(n: u32, salt: u32) -> Vec<Point<3>> {
+        (0..n)
+            .map(|i| {
+                let j = i.wrapping_mul(2654435761).wrapping_add(salt);
+                Point::new([j % 2048, (j / 7) % 2048, (j / 31) % 2048])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn snapshot_is_pinned_while_the_live_tree_moves() {
+        let data = pts(3_000, 1);
+        let cfg = crate::PimZdConfig::throughput_optimized(3_000, 16);
+        let mut t = PimZdTree::build(&data, cfg, MachineConfig::with_modules(16));
+        let epoch0 = t.epoch();
+        let mut snap = t.snapshot();
+        assert_eq!(snap.epoch(), epoch0);
+        assert_eq!(snap.len(), t.len());
+
+        // Mutate the live tree: insert fresh points well away from the data.
+        let fresh: Vec<Point<3>> = (0..64u32).map(|i| Point::new([4000 + i, 4000, 4000])).collect();
+        t.batch_insert(&fresh);
+        assert_eq!(t.epoch(), epoch0 + 1);
+
+        // The live tree sees them; the snapshot does not.
+        assert!(t.batch_contains(&fresh).iter().all(|&b| b));
+        assert!(snap.batch_contains(&fresh).iter().all(|&b| !b));
+        assert_eq!(snap.epoch(), epoch0, "snapshot epoch never moves");
+        assert_eq!(snap.len(), 3_000);
+    }
+
+    #[test]
+    fn snapshot_reads_match_the_pre_mutation_tree() {
+        let data = pts(2_000, 9);
+        let cfg = crate::PimZdConfig::skew_resistant(16);
+        let mut t = PimZdTree::build(&data, cfg, MachineConfig::with_modules(16));
+        let image = t.checkpoint_bytes();
+        let probes: Vec<Point<3>> = data.iter().step_by(37).copied().collect();
+
+        // Answers from the live tree before mutation...
+        let live_knn = t.batch_knn(&probes[..20], 5, Metric::L2);
+        let live_contains = t.batch_contains(&probes);
+
+        // ...mutate, then ask the snapshot.
+        t.batch_delete(&data[..500]);
+        let mut snap = TreeSnapshot::from_image(&image).unwrap();
+        assert_eq!(snap.batch_knn(&probes[..20], 5, Metric::L2), live_knn);
+        assert_eq!(snap.batch_contains(&probes), live_contains);
+    }
+}

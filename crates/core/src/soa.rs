@@ -187,7 +187,7 @@ impl<const D: usize> PointSet<D> {
         self.keys.contains(&key.0)
     }
 
-    /// Distance kernel over the coordinate lanes; see [`dist_chunks`].
+    /// Distance kernel over the coordinate lanes; see `dist_chunks`.
     #[inline]
     pub fn for_dist_chunks(&self, q: &Point<D>, metric: Metric, emit: impl FnMut(usize, &[u64])) {
         dist_chunks(&self.lanes, self.len(), q, metric, emit);
@@ -287,7 +287,7 @@ impl<const D: usize> CoordBlock<D> {
         Point::new(std::array::from_fn(|j| self.lanes[j][i]))
     }
 
-    /// Distance kernel over the lanes; see [`dist_chunks`].
+    /// Distance kernel over the lanes; see `dist_chunks`.
     #[inline]
     pub fn for_dist_chunks(&self, q: &Point<D>, metric: Metric, emit: impl FnMut(usize, &[u64])) {
         dist_chunks(&self.lanes, self.len(), q, metric, emit);

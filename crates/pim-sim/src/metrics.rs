@@ -114,6 +114,17 @@ impl Samples {
     pub fn max(&mut self) -> f64 {
         self.quantile(1.0)
     }
+
+    /// Arithmetic mean (0 when empty). Reported alongside quantiles by the
+    /// serving benches; note that under open-loop load the mean hides the
+    /// tail — compare p99/p999, not means (EXPERIMENTS.md §E-S).
+    pub fn mean(&self) -> f64 {
+        if self.xs.is_empty() {
+            0.0
+        } else {
+            self.xs.iter().sum::<f64>() / self.xs.len() as f64
+        }
+    }
 }
 
 /// A log₂-bucket histogram of `u64` observations.

@@ -1,0 +1,904 @@
+//! The virtual-time serving event loop: admission, batching, pipelined
+//! dispatch, and epoch snapshot reads.
+//!
+//! # Model
+//!
+//! [`PimServer`] replays a request stream in **virtual microseconds**. All
+//! timing comes from the simulator: a dispatched batch occupies its lane for
+//! `OpStats::breakdown.total_s()` of simulated time, and nothing in the loop
+//! reads a wall clock or depends on host thread count. That makes every
+//! artifact — replies, journal, latency percentiles, metrics — a pure
+//! function of `(tree, config, trace)`.
+//!
+//! # Event loop
+//!
+//! Events are processed in nondecreasing virtual time; at one timestamp the
+//! phases run in a fixed order, which *defines* the tie-breaks:
+//!
+//! 1. **Completions** (by batch sequence number): the finished batch's
+//!    service time feeds its class's [`ThroughputEstimator`], replies are
+//!    emitted, the lane frees, and closed-loop clients schedule their next
+//!    request.
+//! 2. **Arrivals** (trace order): admission control rejects when
+//!    `pending + sealed` requests already fill the bounded queue
+//!    ([`ServeConfig::queue_cap`]); admitted requests join their class
+//!    queue, which seals into a batch the moment it reaches the adaptive
+//!    size target ([`BatchPolicy::target`]).
+//! 3. **Budget seals** (class order): any class whose oldest queued request
+//!    has aged past [`BatchPolicy::budget_us`] seals, regardless of size.
+//! 4. **Dispatch**: at most one write batch and one read batch are in
+//!    flight. Writes dispatch in seal order. Reads dispatch concurrently
+//!    with an in-flight write **only** when [`ServeConfig::snapshot_reads`]
+//!    is on — the read then runs against the [`TreeSnapshot`] captured from
+//!    the pre-write state and observes exactly the pre-batch epoch; with
+//!    snapshots off, reads wait for the write lane to drain (no read ever
+//!    observes a half-applied batch either way).
+//!
+//! # Result fingerprints
+//!
+//! Replies carry an FNV-1a fingerprint of the request's result instead of
+//! the full payload: `contains` folds the boolean, `knn` folds every
+//! neighbor's id and coordinates, `box_count` folds the count, `box_fetch`
+//! folds the hit count and every returned coordinate, `insert` acks with 1,
+//! and `delete` folds the batch's removed-count (the underlying
+//! [`PimZdTree::batch_delete`] reports one aggregate count per batch).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use pim_geom::{Aabb, Metric, Point};
+use pim_sim::Metrics;
+use pim_workloads::{Arrival, ArrivalTrace, ReqOp, RequestMix, RequestSampler};
+use pim_zd_tree::{OpStats, PimZdTree, TreeSnapshot};
+
+use crate::policy::{BatchPolicy, ThroughputEstimator};
+use crate::report::{fnv_fold, Reply, SealReason, ServeReport, Totals, FNV_OFFSET};
+
+/// Batch-compatibility class of a request: requests batch together exactly
+/// when their keys are equal (kNN batches share one `k`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ClassKey {
+    /// Point inserts.
+    Insert,
+    /// Point deletes.
+    Delete,
+    /// Membership probes.
+    Contains,
+    /// kNN queries with this `k`.
+    Knn(usize),
+    /// Range counts.
+    BoxCount,
+    /// Range fetches.
+    BoxFetch,
+}
+
+impl ClassKey {
+    /// The class of a request.
+    pub fn of<const D: usize>(op: &ReqOp<D>) -> Self {
+        match op {
+            ReqOp::Insert(_) => ClassKey::Insert,
+            ReqOp::Delete(_) => ClassKey::Delete,
+            ReqOp::Contains(_) => ClassKey::Contains,
+            ReqOp::Knn(_, k) => ClassKey::Knn(*k),
+            ReqOp::BoxCount(_) => ClassKey::BoxCount,
+            ReqOp::BoxFetch(_) => ClassKey::BoxFetch,
+        }
+    }
+
+    /// Whether batches of this class mutate the index.
+    pub fn is_write(&self) -> bool {
+        matches!(self, ClassKey::Insert | ClassKey::Delete)
+    }
+
+    /// Stable label (matches [`ReqOp::label`]).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ClassKey::Insert => "insert",
+            ClassKey::Delete => "delete",
+            ClassKey::Contains => "contains",
+            ClassKey::Knn(_) => "knn",
+            ClassKey::BoxCount => "box_count",
+            ClassKey::BoxFetch => "box_fetch",
+        }
+    }
+}
+
+/// Server configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Batch formation policy.
+    pub policy: BatchPolicy,
+    /// Bounded-queue capacity: admission control rejects a new arrival when
+    /// this many requests are already pending or sealed (backpressure).
+    pub queue_cap: usize,
+    /// Serve reads from an epoch snapshot while a write batch is in flight
+    /// (off = reads wait for the write lane; the ablation baseline).
+    pub snapshot_reads: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self { policy: BatchPolicy::default(), queue_cap: 8_192, snapshot_reads: true }
+    }
+}
+
+/// A closed-loop load description: `clients` independent clients that each
+/// issue a request, wait for its reply, think for `think_us`, and repeat,
+/// `requests_per_client` times. Payloads come from a seeded
+/// [`RequestSampler`] over the data distribution.
+#[derive(Clone, Copy, Debug)]
+pub struct ClosedLoop {
+    /// Number of concurrent clients.
+    pub clients: usize,
+    /// Requests each client issues before stopping.
+    pub requests_per_client: usize,
+    /// Think time between a reply and the client's next request (µs).
+    pub think_us: u64,
+    /// Request mix to draw payloads from.
+    pub mix: RequestMix,
+    /// Payload sampler seed.
+    pub seed: u64,
+}
+
+/// One admitted, not-yet-dispatched request.
+struct Queued<const D: usize> {
+    id: u64,
+    arrival_us: u64,
+    op: ReqOp<D>,
+}
+
+/// A sealed batch waiting for (or occupying) a lane.
+struct Sealed<const D: usize> {
+    seq: u64,
+    class: ClassKey,
+    reqs: Vec<Queued<D>>,
+    sealed_us: u64,
+    reason: SealReason,
+}
+
+/// An executing batch: results are already computed (execution happens at
+/// dispatch), the reply is withheld until the simulated round completes.
+struct Flight<const D: usize> {
+    batch: Sealed<D>,
+    dispatch_us: u64,
+    complete_us: u64,
+    service_us: u64,
+    epoch: u64,
+    snapshot: bool,
+    fingerprints: Vec<u64>,
+}
+
+/// Per-run mutable state of the event loop.
+struct RunState<const D: usize> {
+    /// Future arrivals keyed by `(t_us, seq)`; the value carries the client
+    /// index for closed-loop runs (`u32::MAX` in trace replays).
+    arrivals: BTreeMap<(u64, u64), (ReqOp<D>, u32)>,
+    next_id: u64,
+    pending: BTreeMap<ClassKey, VecDeque<Queued<D>>>,
+    sealed_writes: VecDeque<Sealed<D>>,
+    sealed_reads: VecDeque<Sealed<D>>,
+    /// Requests pending or sealed (the bounded queue's occupancy).
+    queued: usize,
+    write_flight: Option<Flight<D>>,
+    read_flight: Option<Flight<D>>,
+    estimators: BTreeMap<ClassKey, ThroughputEstimator>,
+    /// Pre-write checkpoint image `(epoch, bytes)`, captured at each write
+    /// dispatch while snapshot reads are enabled.
+    snapshot_image: Option<(u64, Vec<u8>)>,
+    /// Lazily materialized snapshot of `snapshot_image`.
+    snapshot_cache: Option<TreeSnapshot<D>>,
+    batch_seq: u64,
+    replies: Vec<Reply>,
+    journal: Vec<String>,
+    totals: Totals,
+    rejected: u64,
+    batches: u64,
+    snapshot_batches: u64,
+    now: u64,
+}
+
+impl<const D: usize> RunState<D> {
+    fn new() -> Self {
+        Self {
+            arrivals: BTreeMap::new(),
+            next_id: 0,
+            pending: BTreeMap::new(),
+            sealed_writes: VecDeque::new(),
+            sealed_reads: VecDeque::new(),
+            queued: 0,
+            write_flight: None,
+            read_flight: None,
+            estimators: BTreeMap::new(),
+            snapshot_image: None,
+            snapshot_cache: None,
+            batch_seq: 0,
+            replies: Vec::new(),
+            journal: Vec::new(),
+            totals: Totals::default(),
+            rejected: 0,
+            batches: 0,
+            snapshot_batches: 0,
+            now: 0,
+        }
+    }
+}
+
+/// Closed-loop driver state threaded through the event loop.
+struct ClosedState<'a, const D: usize> {
+    sampler: RequestSampler<'a, D>,
+    think_us: u64,
+    per_client: usize,
+    issued: Vec<usize>,
+    /// `owner[id]` = client that issued request `id`.
+    owner: Vec<u32>,
+    recorded: Vec<Arrival<D>>,
+    seq: u64,
+}
+
+/// The serving front-end: owns the tree and replays request streams against
+/// it under a [`ServeConfig`]. See the module docs for the full model.
+pub struct PimServer<const D: usize> {
+    tree: PimZdTree<D>,
+    cfg: ServeConfig,
+    metrics: Metrics,
+}
+
+impl<const D: usize> PimServer<D> {
+    /// Wraps a built tree in a server.
+    pub fn new(tree: PimZdTree<D>, cfg: ServeConfig) -> Self {
+        Self { tree, cfg, metrics: Metrics::disabled() }
+    }
+
+    /// Attaches a metrics registry to the server *and* the underlying tree.
+    /// Serving metrics (`serve_*` families) are updated sequentially inside
+    /// the event loop, so snapshots are thread-count independent.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics.clone();
+        self.tree.set_metrics(metrics);
+    }
+
+    /// The underlying tree (e.g. to inspect epoch or size between runs).
+    pub fn tree(&self) -> &PimZdTree<D> {
+        &self.tree
+    }
+
+    /// Consumes the server, returning the tree with all applied writes.
+    pub fn into_tree(self) -> PimZdTree<D> {
+        self.tree
+    }
+
+    /// Replays a recorded open-loop trace to completion and returns the
+    /// run's artifacts. Deterministic: same tree + config + trace → byte
+    /// identical report, at any host thread count.
+    pub fn run_trace(&mut self, trace: &ArrivalTrace<D>) -> ServeReport {
+        let mut st = RunState::new();
+        for (i, a) in trace.arrivals.iter().enumerate() {
+            st.arrivals.insert((a.t_us, i as u64), (a.op, u32::MAX));
+        }
+        self.drive(&mut st, None);
+        finish(st)
+    }
+
+    /// Runs a closed-loop load until every client exhausts its request
+    /// budget. Returns the artifacts **and** the recorded arrival trace;
+    /// replaying that trace through [`Self::run_trace`] on an identical
+    /// server reproduces the exact same artifacts (tested), which is how
+    /// closed-loop experiments become shareable, deterministic traces.
+    pub fn run_closed_loop(
+        &mut self,
+        load: &ClosedLoop,
+        data: &[Point<D>],
+    ) -> (ServeReport, ArrivalTrace<D>) {
+        assert!(load.clients > 0, "closed loop needs at least one client");
+        let mut closed = ClosedState {
+            sampler: RequestSampler::new(data, load.mix, load.seed),
+            think_us: load.think_us,
+            per_client: load.requests_per_client,
+            issued: vec![0; load.clients],
+            owner: Vec::new(),
+            recorded: Vec::new(),
+            seq: 0,
+        };
+        let mut st = RunState::new();
+        for c in 0..load.clients {
+            if load.requests_per_client == 0 {
+                break;
+            }
+            let op = closed.sampler.next_op();
+            st.arrivals.insert((0, closed.seq), (op, c as u32));
+            closed.seq += 1;
+            closed.issued[c] = 1;
+        }
+        self.drive(&mut st, Some(&mut closed));
+        let trace = ArrivalTrace { arrivals: closed.recorded };
+        (finish(st), trace)
+    }
+
+    // -----------------------------------------------------------------
+    // Event loop
+    // -----------------------------------------------------------------
+
+    fn drive(&mut self, st: &mut RunState<D>, mut closed: Option<&mut ClosedState<'_, D>>) {
+        while let Some(t) = self.next_event(st) {
+            debug_assert!(t >= st.now, "virtual time must not run backwards");
+            st.now = t;
+            self.complete_at(st, t, closed.as_deref_mut());
+            self.ingest_at(st, t, closed.as_deref_mut());
+            self.seal_expired(st, t);
+            self.dispatch_ready(st, t);
+        }
+    }
+
+    /// The next virtual timestamp at which anything can happen.
+    fn next_event(&self, st: &RunState<D>) -> Option<u64> {
+        let mut t = None;
+        let mut consider = |c: u64| t = Some(t.map_or(c, |x: u64| x.min(c)));
+        if let Some(((at, _), _)) = st.arrivals.iter().next() {
+            consider(*at);
+        }
+        for f in [&st.write_flight, &st.read_flight].into_iter().flatten() {
+            consider(f.complete_us);
+        }
+        for q in st.pending.values() {
+            if let Some(front) = q.front() {
+                consider(front.arrival_us + self.cfg.policy.budget_us);
+            }
+        }
+        t
+    }
+
+    /// Phase 1: finish flights whose round completes at `t`.
+    fn complete_at(
+        &mut self,
+        st: &mut RunState<D>,
+        t: u64,
+        mut closed: Option<&mut ClosedState<'_, D>>,
+    ) {
+        let mut done: Vec<Flight<D>> = Vec::new();
+        if st.write_flight.as_ref().is_some_and(|f| f.complete_us == t) {
+            done.push(st.write_flight.take().unwrap());
+        }
+        if st.read_flight.as_ref().is_some_and(|f| f.complete_us == t) {
+            done.push(st.read_flight.take().unwrap());
+        }
+        done.sort_by_key(|f| f.batch.seq);
+        for f in done {
+            let label = f.batch.class.label();
+            st.estimators
+                .entry(f.batch.class)
+                .or_default()
+                .observe(f.batch.reqs.len(), f.service_us as f64);
+            st.journal.push(format!(
+                "{{\"batch\":{},\"class\":\"{}\",\"n\":{},\"sealed_us\":{},\"dispatch_us\":{},\
+                 \"complete_us\":{},\"epoch\":{},\"snapshot\":{},\"seal\":\"{}\",\"service_us\":{}}}",
+                f.batch.seq,
+                label,
+                f.batch.reqs.len(),
+                f.batch.sealed_us,
+                f.dispatch_us,
+                f.complete_us,
+                f.epoch,
+                f.snapshot,
+                f.batch.reason.as_str(),
+                f.service_us,
+            ));
+            for (i, q) in f.batch.reqs.iter().enumerate() {
+                st.replies.push(Reply {
+                    id: q.id,
+                    op: label,
+                    arrival_us: q.arrival_us,
+                    dispatch_us: f.dispatch_us,
+                    complete_us: f.complete_us,
+                    epoch: f.epoch,
+                    fingerprint: f.fingerprints[i],
+                    rejected: false,
+                });
+                self.metrics.with(|m| {
+                    m.observe("serve_latency_us", &[("op", label)], f.complete_us - q.arrival_us)
+                });
+                if let Some(c) = closed.as_mut() {
+                    schedule_next(c, st, q.id, f.complete_us);
+                }
+            }
+        }
+    }
+
+    /// Phase 2: admit (or reject) every arrival stamped `t`, sealing any
+    /// class that reaches its size target.
+    fn ingest_at(
+        &mut self,
+        st: &mut RunState<D>,
+        t: u64,
+        mut closed: Option<&mut ClosedState<'_, D>>,
+    ) {
+        while let Some((&(at, seq), _)) = st.arrivals.iter().next() {
+            if at != t {
+                break;
+            }
+            let (op, client) = st.arrivals.remove(&(at, seq)).unwrap();
+            let id = st.next_id;
+            st.next_id += 1;
+            let label = op.label();
+            if let Some(c) = closed.as_mut() {
+                debug_assert_eq!(c.owner.len() as u64, id);
+                c.owner.push(client);
+                c.recorded.push(Arrival { t_us: t, op });
+            }
+            self.metrics.with(|m| m.add("serve_requests_total", &[("op", label)], 1));
+            if st.queued >= self.cfg.queue_cap {
+                st.rejected += 1;
+                st.replies.push(Reply {
+                    id,
+                    op: label,
+                    arrival_us: t,
+                    dispatch_us: t,
+                    complete_us: t,
+                    epoch: self.tree.epoch(),
+                    fingerprint: 0,
+                    rejected: true,
+                });
+                self.metrics.with(|m| m.add("serve_rejected_total", &[("op", label)], 1));
+                if let Some(c) = closed.as_mut() {
+                    // A rejection is an immediate (failed) reply: the client
+                    // thinks, then retries-or-moves-on with its next request.
+                    schedule_next(c, st, id, t);
+                }
+                continue;
+            }
+            let class = ClassKey::of(&op);
+            st.pending.entry(class).or_default().push_back(Queued { id, arrival_us: t, op });
+            st.queued += 1;
+            let target = self
+                .cfg
+                .policy
+                .target(st.estimators.entry(class).or_default())
+                .min(self.cfg.policy.max_batch);
+            if st.pending[&class].len() >= target {
+                self.seal(st, class, t, SealReason::Size);
+            }
+        }
+    }
+
+    /// Phase 3: seal every class whose oldest request has exhausted the
+    /// latency budget (repeatedly, in case a backlog spans several
+    /// max-size batches).
+    fn seal_expired(&mut self, st: &mut RunState<D>, t: u64) {
+        let classes: Vec<ClassKey> = st.pending.keys().copied().collect();
+        for class in classes {
+            while st
+                .pending
+                .get(&class)
+                .and_then(|q| q.front())
+                .is_some_and(|front| front.arrival_us + self.cfg.policy.budget_us <= t)
+            {
+                self.seal(st, class, t, SealReason::Budget);
+            }
+        }
+    }
+
+    /// Seals up to `max_batch` requests of `class` into one batch.
+    fn seal(&mut self, st: &mut RunState<D>, class: ClassKey, t: u64, reason: SealReason) {
+        let q = st.pending.get_mut(&class).expect("seal of an empty class");
+        let n = q.len().min(self.cfg.policy.max_batch);
+        let reqs: Vec<Queued<D>> = q.drain(..n).collect();
+        if q.is_empty() {
+            st.pending.remove(&class);
+        }
+        let batch = Sealed { seq: st.batch_seq, class, reqs, sealed_us: t, reason };
+        st.batch_seq += 1;
+        st.batches += 1;
+        let label = class.label();
+        self.metrics.with(|m| {
+            m.add("serve_batches_total", &[("op", label)], 1);
+            m.observe("serve_batch_size", &[], batch.reqs.len() as u64);
+            match reason {
+                SealReason::Budget => m.add("serve_seal_budget_total", &[], 1),
+                SealReason::Size => m.add("serve_seal_size_total", &[], 1),
+            }
+        });
+        if class.is_write() {
+            st.sealed_writes.push_back(batch);
+        } else {
+            st.sealed_reads.push_back(batch);
+        }
+    }
+
+    /// Phase 4: fill free lanes from the sealed queues.
+    fn dispatch_ready(&mut self, st: &mut RunState<D>, t: u64) {
+        if st.write_flight.is_none() {
+            if let Some(batch) = st.sealed_writes.pop_front() {
+                st.queued -= batch.reqs.len();
+                let flight = self.execute_write(st, batch, t);
+                st.write_flight = Some(flight);
+            }
+        }
+        if st.read_flight.is_none() && !st.sealed_reads.is_empty() {
+            let use_snapshot = st.write_flight.is_some();
+            if !use_snapshot || self.cfg.snapshot_reads {
+                let batch = st.sealed_reads.pop_front().unwrap();
+                st.queued -= batch.reqs.len();
+                let flight = self.execute_read(st, batch, t, use_snapshot);
+                st.read_flight = Some(flight);
+            }
+        }
+    }
+
+    /// Applies a write batch at dispatch time (capturing the pre-write
+    /// snapshot image first) and schedules its completion.
+    fn execute_write(&mut self, st: &mut RunState<D>, batch: Sealed<D>, t: u64) -> Flight<D> {
+        if self.cfg.snapshot_reads {
+            let pre_epoch = self.tree.epoch();
+            if st.snapshot_image.as_ref().map(|(e, _)| *e) != Some(pre_epoch) {
+                st.snapshot_image = Some((pre_epoch, self.tree.checkpoint_bytes()));
+                st.snapshot_cache = None;
+            }
+        }
+        let pts: Vec<Point<D>> = batch.reqs.iter().map(|q| point_of(&q.op)).collect();
+        let fingerprints: Vec<u64> = match batch.class {
+            ClassKey::Insert => {
+                self.tree.batch_insert(&pts);
+                vec![1; pts.len()]
+            }
+            ClassKey::Delete => {
+                let removed = self.tree.batch_delete(&pts) as u64;
+                vec![removed; pts.len()]
+            }
+            other => unreachable!("write lane got read class {other:?}"),
+        };
+        let (service_us, stats) = service_of(self.tree.last_op_stats());
+        st.totals.add(&stats);
+        Flight {
+            dispatch_us: t,
+            complete_us: t + service_us,
+            service_us,
+            epoch: self.tree.epoch(),
+            snapshot: false,
+            fingerprints,
+            batch,
+        }
+    }
+
+    /// Runs a read batch at dispatch time — against the live tree, or
+    /// against the pinned pre-write snapshot when a write is in flight —
+    /// and schedules its completion.
+    fn execute_read(
+        &mut self,
+        st: &mut RunState<D>,
+        batch: Sealed<D>,
+        t: u64,
+        use_snapshot: bool,
+    ) -> Flight<D> {
+        if use_snapshot {
+            let (img_epoch, img) =
+                st.snapshot_image.as_ref().expect("write in flight implies a captured image");
+            if st.snapshot_cache.as_ref().map(|s| s.epoch()) != Some(*img_epoch) {
+                st.snapshot_cache = Some(
+                    TreeSnapshot::from_image(img).expect("self-produced image always restores"),
+                );
+            }
+            st.snapshot_batches += 1;
+            self.metrics.with(|m| m.add("serve_snapshot_reads_total", &[], 1));
+        }
+        let (epoch, fingerprints, stats) = {
+            let snap = st.snapshot_cache.as_mut();
+            let mut target = if use_snapshot {
+                ReadRef::Snap(snap.expect("snapshot materialized above"))
+            } else {
+                ReadRef::Live(&mut self.tree)
+            };
+            let fps = run_read(&mut target, &batch);
+            (target.epoch(), fps, target.stats().clone())
+        };
+        let (service_us, stats) = service_of(&stats);
+        st.totals.add(&stats);
+        Flight {
+            dispatch_us: t,
+            complete_us: t + service_us,
+            service_us,
+            epoch,
+            snapshot: use_snapshot,
+            fingerprints,
+            batch,
+        }
+    }
+}
+
+/// Read-lane target: the live tree or a pinned snapshot.
+enum ReadRef<'a, const D: usize> {
+    Live(&'a mut PimZdTree<D>),
+    Snap(&'a mut TreeSnapshot<D>),
+}
+
+impl<const D: usize> ReadRef<'_, D> {
+    fn epoch(&self) -> u64 {
+        match self {
+            ReadRef::Live(t) => t.epoch(),
+            ReadRef::Snap(s) => s.epoch(),
+        }
+    }
+
+    fn stats(&self) -> &OpStats {
+        match self {
+            ReadRef::Live(t) => t.last_op_stats(),
+            ReadRef::Snap(s) => s.last_op_stats(),
+        }
+    }
+
+    fn contains(&mut self, pts: &[Point<D>]) -> Vec<bool> {
+        match self {
+            ReadRef::Live(t) => t.batch_contains(pts),
+            ReadRef::Snap(s) => s.batch_contains(pts),
+        }
+    }
+
+    fn knn(&mut self, pts: &[Point<D>], k: usize) -> Vec<Vec<(u64, Point<D>)>> {
+        match self {
+            ReadRef::Live(t) => t.batch_knn(pts, k, Metric::L2),
+            ReadRef::Snap(s) => s.batch_knn(pts, k, Metric::L2),
+        }
+    }
+
+    fn box_count(&mut self, boxes: &[Aabb<D>]) -> Vec<u64> {
+        match self {
+            ReadRef::Live(t) => t.batch_box_count(boxes),
+            ReadRef::Snap(s) => s.batch_box_count(boxes),
+        }
+    }
+
+    fn box_fetch(&mut self, boxes: &[Aabb<D>]) -> Vec<Vec<Point<D>>> {
+        match self {
+            ReadRef::Live(t) => t.batch_box_fetch(boxes),
+            ReadRef::Snap(s) => s.batch_box_fetch(boxes),
+        }
+    }
+}
+
+/// Executes one read batch against `target`, returning per-request result
+/// fingerprints (see the module docs for the folding per class).
+fn run_read<const D: usize>(target: &mut ReadRef<'_, D>, batch: &Sealed<D>) -> Vec<u64> {
+    match batch.class {
+        ClassKey::Contains => {
+            let pts: Vec<Point<D>> = batch.reqs.iter().map(|q| point_of(&q.op)).collect();
+            target.contains(&pts).into_iter().map(|b| b as u64).collect()
+        }
+        ClassKey::Knn(k) => {
+            let pts: Vec<Point<D>> = batch.reqs.iter().map(|q| point_of(&q.op)).collect();
+            target
+                .knn(&pts, k)
+                .into_iter()
+                .map(|nbrs| {
+                    nbrs.iter().fold(FNV_OFFSET, |fp, (id, p)| {
+                        p.coords.iter().fold(fnv_fold(fp, *id), |fp, c| fnv_fold(fp, *c as u64))
+                    })
+                })
+                .collect()
+        }
+        ClassKey::BoxCount => {
+            let boxes: Vec<Aabb<D>> = batch.reqs.iter().map(|q| box_of(&q.op)).collect();
+            target.box_count(&boxes)
+        }
+        ClassKey::BoxFetch => {
+            let boxes: Vec<Aabb<D>> = batch.reqs.iter().map(|q| box_of(&q.op)).collect();
+            target
+                .box_fetch(&boxes)
+                .into_iter()
+                .map(|hits| {
+                    hits.iter().fold(fnv_fold(FNV_OFFSET, hits.len() as u64), |fp, p| {
+                        p.coords.iter().fold(fp, |fp, c| fnv_fold(fp, *c as u64))
+                    })
+                })
+                .collect()
+        }
+        other => unreachable!("read lane got write class {other:?}"),
+    }
+}
+
+/// The point payload of a point-carrying request.
+fn point_of<const D: usize>(op: &ReqOp<D>) -> Point<D> {
+    match op {
+        ReqOp::Insert(p) | ReqOp::Delete(p) | ReqOp::Contains(p) | ReqOp::Knn(p, _) => *p,
+        other => unreachable!("no point payload on {other:?}"),
+    }
+}
+
+/// The box payload of a range request.
+fn box_of<const D: usize>(op: &ReqOp<D>) -> Aabb<D> {
+    match op {
+        ReqOp::BoxCount(b) | ReqOp::BoxFetch(b) => *b,
+        other => unreachable!("no box payload on {other:?}"),
+    }
+}
+
+/// Converts a batch's simulated service time to whole virtual µs (≥ 1, so
+/// completions never collide with their own dispatch instant).
+fn service_of(stats: &OpStats) -> (u64, OpStats) {
+    let us = (stats.breakdown.total_s() * 1e6).round() as u64;
+    (us.max(1), stats.clone())
+}
+
+/// Schedules the owning client's next request after a reply at `t`.
+fn schedule_next<const D: usize>(
+    c: &mut ClosedState<'_, D>,
+    st: &mut RunState<D>,
+    id: u64,
+    t: u64,
+) {
+    let client = c.owner[id as usize] as usize;
+    if c.issued[client] < c.per_client {
+        let op = c.sampler.next_op();
+        st.arrivals.insert((t + c.think_us, c.seq), (op, client as u32));
+        c.seq += 1;
+        c.issued[client] += 1;
+    }
+}
+
+/// Orders replies by id and freezes the run state into a report.
+fn finish<const D: usize>(mut st: RunState<D>) -> ServeReport {
+    debug_assert!(st.pending.is_empty(), "drained loop left pending requests");
+    debug_assert!(st.write_flight.is_none() && st.read_flight.is_none());
+    st.replies.sort_by_key(|r| r.id);
+    ServeReport {
+        replies: st.replies,
+        batches: st.batches,
+        snapshot_batches: st.snapshot_batches,
+        rejected: st.rejected,
+        makespan_us: st.now,
+        journal: st.journal,
+        totals: st.totals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_sim::MachineConfig;
+    use pim_workloads::{open_loop_trace, uniform, RequestMix};
+    use pim_zd_tree::PimZdConfig;
+
+    fn server(n: usize, seed: u64, cfg: ServeConfig) -> (PimServer<3>, Vec<Point<3>>) {
+        let data = uniform::<3>(n, seed);
+        let tree = PimZdTree::build(
+            &data,
+            PimZdConfig::throughput_optimized(n as u64, 16),
+            MachineConfig::with_modules(16),
+        );
+        (PimServer::new(tree, cfg), data)
+    }
+
+    #[test]
+    fn trace_replay_is_deterministic_and_replies_every_request() {
+        let (mut s, data) = server(3_000, 1, ServeConfig::default());
+        let trace = open_loop_trace(&data, 400, 20_000.0, &RequestMix::read_heavy(), 7);
+        let rep = s.run_trace(&trace);
+        assert_eq!(rep.replies.len(), trace.len(), "one reply per request");
+        assert!(rep.replies.iter().enumerate().all(|(i, r)| r.id == i as u64));
+        assert!(rep.batches > 0);
+
+        let (mut s2, _) = server(3_000, 1, ServeConfig::default());
+        let rep2 = s2.run_trace(&trace);
+        assert_eq!(rep.results_jsonl(), rep2.results_jsonl());
+        assert_eq!(rep.journal_jsonl(), rep2.journal_jsonl());
+        assert_eq!(rep.results_digest(), rep2.results_digest());
+    }
+
+    #[test]
+    fn both_seal_reasons_occur_across_load_levels() {
+        // Trickle: budget expiries dominate. Flood: size seals appear.
+        let (mut s, data) = server(2_000, 2, ServeConfig::default());
+        let trickle = open_loop_trace(&data, 60, 300.0, &RequestMix::read_heavy(), 3);
+        let rep = s.run_trace(&trickle);
+        assert!(rep.journal_jsonl().contains("\"seal\":\"budget\""), "{}", rep.journal_jsonl());
+
+        let cfg = ServeConfig {
+            policy: BatchPolicy { min_batch: 4, max_batch: 64, ..BatchPolicy::default() },
+            ..ServeConfig::default()
+        };
+        let (mut s, data) = server(2_000, 2, cfg);
+        let flood = open_loop_trace(&data, 800, 2_000_000.0, &RequestMix::read_heavy(), 3);
+        let rep = s.run_trace(&flood);
+        assert!(rep.journal_jsonl().contains("\"seal\":\"size\""), "{}", rep.journal_jsonl());
+    }
+
+    #[test]
+    fn admission_control_rejects_past_queue_cap() {
+        let cfg = ServeConfig { queue_cap: 8, ..ServeConfig::default() };
+        let (mut s, data) = server(2_000, 3, cfg);
+        // 200 requests in one virtual µs: far beyond an 8-slot queue.
+        let flood = open_loop_trace(&data, 200, 200_000_000.0, &RequestMix::read_only(), 5);
+        let rep = s.run_trace(&flood);
+        assert!(rep.rejected > 0, "queue cap must bite");
+        assert_eq!(rep.replies.len(), flood.len(), "rejections still reply");
+        assert_eq!(rep.replies.iter().filter(|r| r.rejected).count() as u64, rep.rejected);
+        assert!(rep.completed() + rep.rejected as usize == flood.len());
+    }
+
+    #[test]
+    fn snapshot_reads_pin_the_pre_write_epoch() {
+        let (mut s, data) = server(4_000, 4, ServeConfig::default());
+        let epoch0 = s.tree().epoch();
+        // Heavy write burst with reads interleaved at high rate, so read
+        // batches dispatch while insert batches are (virtually) in flight.
+        let mix = RequestMix { insert: 60, ..RequestMix::read_heavy() };
+        let trace = open_loop_trace(&data, 600, 3_000_000.0, &mix, 11);
+        let rep = s.run_trace(&trace);
+        assert!(rep.snapshot_batches > 0, "expected mid-flight reads\n{}", rep.journal_jsonl());
+        // Every snapshot read observed a consistent committed epoch, and
+        // epochs only ever advanced.
+        let mut last_write_epoch = epoch0;
+        for r in &rep.replies {
+            if r.rejected {
+                continue;
+            }
+            if r.op == "insert" || r.op == "delete" {
+                assert!(r.epoch > epoch0);
+                last_write_epoch = last_write_epoch.max(r.epoch);
+            } else {
+                assert!(r.epoch <= last_write_epoch.max(epoch0) + 1);
+            }
+        }
+        // With snapshots disabled, the same trace serves strictly
+        // sequentially: no snapshot batches, same reply count.
+        let cfg = ServeConfig { snapshot_reads: false, ..ServeConfig::default() };
+        let (mut s2, _) = server(4_000, 4, cfg);
+        let rep2 = s2.run_trace(&trace);
+        assert_eq!(rep2.snapshot_batches, 0);
+        assert_eq!(rep2.replies.len(), rep.replies.len());
+    }
+
+    #[test]
+    fn closed_loop_records_a_replayable_trace() {
+        let (mut s, data) = server(3_000, 6, ServeConfig::default());
+        let load = ClosedLoop {
+            clients: 8,
+            requests_per_client: 30,
+            think_us: 50,
+            mix: RequestMix::read_heavy(),
+            seed: 13,
+        };
+        let (rep, trace) = s.run_closed_loop(&load, &data);
+        assert_eq!(trace.len(), 8 * 30, "every issued request is recorded");
+        assert!(trace.arrivals.windows(2).all(|w| w[0].t_us <= w[1].t_us), "trace is sorted");
+
+        // Replaying the recorded trace on an identical server reproduces
+        // the run byte for byte.
+        let (mut s2, _) = server(3_000, 6, ServeConfig::default());
+        let rep2 = s2.run_trace(&trace);
+        assert_eq!(rep.results_jsonl(), rep2.results_jsonl());
+        assert_eq!(rep.journal_jsonl(), rep2.journal_jsonl());
+        // And the JSONL round-trip of the trace is exact, so it can be
+        // committed and replayed elsewhere.
+        let back = ArrivalTrace::<3>::from_jsonl(&trace.to_jsonl()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn writes_apply_and_reads_see_them_after_completion() {
+        let (mut s, _) = server(2_000, 8, ServeConfig::default());
+        let n0 = s.tree().len();
+        // A burst of inserts at distinct far-away points, then (after the
+        // write drains) contains probes for them.
+        let fresh: Vec<Point<3>> =
+            (0..40u32).map(|i| Point::new([100_000 + i, 100_000, 100_000])).collect();
+        let mut arrivals: Vec<Arrival<3>> =
+            fresh.iter().map(|p| Arrival { t_us: 0, op: ReqOp::Insert(*p) }).collect();
+        arrivals.extend(fresh.iter().map(|p| Arrival { t_us: 1_000_000, op: ReqOp::Contains(*p) }));
+        let rep = s.run_trace(&ArrivalTrace { arrivals });
+        assert_eq!(s.tree().len(), n0 + 40);
+        let probes: Vec<&Reply> = rep.replies.iter().filter(|r| r.op == "contains").collect();
+        assert_eq!(probes.len(), 40);
+        assert!(probes.iter().all(|r| r.fingerprint == 1), "late reads see the applied write");
+    }
+
+    #[test]
+    fn metrics_families_are_populated() {
+        let (mut s, data) = server(2_000, 9, ServeConfig::default());
+        let m = Metrics::enabled_new();
+        s.set_metrics(m.clone());
+        let trace = open_loop_trace(&data, 200, 50_000.0, &RequestMix::read_heavy(), 17);
+        let rep = s.run_trace(&trace);
+        let text = m.snapshot_text().unwrap();
+        for family in ["serve_requests_total", "serve_batches_total", "serve_latency_us"] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+        assert!(rep.batches > 0);
+    }
+}

@@ -1,0 +1,460 @@
+//! Recorded arrival traces: the determinism boundary of the serving layer.
+//!
+//! The serving layer (`pim-serve`) replays traffic in **virtual time**: a
+//! trace is a sorted list of `(t_us, op)` arrivals, and everything a server
+//! run produces — results, the serving journal, latency percentiles — is a
+//! pure function of `(trace, policy, tree seed)`. Wall-clock time and host
+//! thread count never enter the model, which is how the repo's byte-identity
+//! contract (ARCHITECTURE.md §4) extends to online serving: all timing
+//! nondeterminism is quarantined *behind* the trace. Record once (from the
+//! seeded open-loop generator here, or from `pim-serve`'s closed-loop
+//! driver), then replay anywhere.
+//!
+//! Traces serialize as one JSON object per line (JSONL), the same style as
+//! the round journal, so they diff cleanly and commit well.
+
+use pim_geom::{Aabb, Point};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::io::Write;
+
+/// One serving request, with its full payload.
+///
+/// The six variants map 1:1 onto the batched operations of
+/// `pim_zd_tree::PimZdTree`; the serving layer groups compatible requests
+/// (same variant, same `k`) into batches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReqOp<const D: usize> {
+    /// Insert one point (multiset semantics).
+    Insert(Point<D>),
+    /// Delete one point (one copy, if present).
+    Delete(Point<D>),
+    /// Point-membership probe.
+    Contains(Point<D>),
+    /// k-nearest-neighbor query (`.1` is k).
+    Knn(Point<D>, usize),
+    /// Orthogonal range count.
+    BoxCount(Aabb<D>),
+    /// Orthogonal range fetch.
+    BoxFetch(Aabb<D>),
+}
+
+impl<const D: usize> ReqOp<D> {
+    /// Whether the request mutates the index.
+    pub fn is_write(&self) -> bool {
+        matches!(self, ReqOp::Insert(_) | ReqOp::Delete(_))
+    }
+
+    /// Stable label used in journals and metrics (`insert`, `knn`, …).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReqOp::Insert(_) => "insert",
+            ReqOp::Delete(_) => "delete",
+            ReqOp::Contains(_) => "contains",
+            ReqOp::Knn(..) => "knn",
+            ReqOp::BoxCount(_) => "box_count",
+            ReqOp::BoxFetch(_) => "box_fetch",
+        }
+    }
+}
+
+/// One timed arrival.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Arrival<const D: usize> {
+    /// Arrival time in virtual microseconds from the start of the run.
+    pub t_us: u64,
+    /// The request.
+    pub op: ReqOp<D>,
+}
+
+/// A recorded request stream, sorted by arrival time.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ArrivalTrace<const D: usize> {
+    /// Arrivals in non-decreasing `t_us` order.
+    pub arrivals: Vec<Arrival<D>>,
+}
+
+impl<const D: usize> ArrivalTrace<D> {
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// Time of the last arrival (0 for an empty trace).
+    pub fn duration_us(&self) -> u64 {
+        self.arrivals.last().map_or(0, |a| a.t_us)
+    }
+
+    /// Offered load in requests per (virtual) second, over the arrival span.
+    pub fn offered_rate(&self) -> f64 {
+        let d = self.duration_us();
+        if d == 0 {
+            0.0
+        } else {
+            self.arrivals.len() as f64 / (d as f64 / 1e6)
+        }
+    }
+
+    /// Serializes the trace as JSONL (one arrival per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for a in &self.arrivals {
+            write_arrival(a, &mut out);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the JSONL form to `path`.
+    pub fn write_jsonl(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_jsonl().as_bytes())
+    }
+
+    /// Parses a JSONL trace. Arrivals must be sorted by `t_us`; a malformed
+    /// line or out-of-order timestamp is an error (replaying a half-read
+    /// trace would silently change every downstream artifact).
+    pub fn from_jsonl(text: &str) -> Result<Self, String> {
+        let mut arrivals = Vec::new();
+        let mut last = 0u64;
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let a = parse_arrival::<D>(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            if a.t_us < last {
+                return Err(format!("line {}: t_us {} < previous {}", i + 1, a.t_us, last));
+            }
+            last = a.t_us;
+            arrivals.push(a);
+        }
+        Ok(Self { arrivals })
+    }
+
+    /// Reads a JSONL trace from `path`.
+    pub fn read_jsonl(path: impl AsRef<std::path::Path>) -> Result<Self, String> {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("{}: {e}", path.as_ref().display()))?;
+        Self::from_jsonl(&text)
+    }
+}
+
+fn write_coords<const D: usize>(p: &Point<D>, out: &mut String) {
+    out.push('[');
+    for (i, c) in p.coords.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&c.to_string());
+    }
+    out.push(']');
+}
+
+fn write_arrival<const D: usize>(a: &Arrival<D>, out: &mut String) {
+    out.push_str("{\"t_us\":");
+    out.push_str(&a.t_us.to_string());
+    out.push_str(",\"op\":\"");
+    out.push_str(a.op.label());
+    out.push('"');
+    match &a.op {
+        ReqOp::Insert(p) | ReqOp::Delete(p) | ReqOp::Contains(p) => {
+            out.push_str(",\"p\":");
+            write_coords(p, out);
+        }
+        ReqOp::Knn(p, k) => {
+            out.push_str(",\"k\":");
+            out.push_str(&k.to_string());
+            out.push_str(",\"p\":");
+            write_coords(p, out);
+        }
+        ReqOp::BoxCount(b) | ReqOp::BoxFetch(b) => {
+            out.push_str(",\"lo\":");
+            write_coords(&b.lo, out);
+            out.push_str(",\"hi\":");
+            write_coords(&b.hi, out);
+        }
+    }
+    out.push('}');
+}
+
+fn parse_point<const D: usize>(v: &serde_json::Value) -> Result<Point<D>, String> {
+    let arr = v.as_array().ok_or("coordinate field is not an array")?;
+    if arr.len() != D {
+        return Err(format!("expected {D} coordinates, got {}", arr.len()));
+    }
+    let mut c = [0u32; D];
+    for (i, x) in arr.iter().enumerate() {
+        let x = x.as_u64().ok_or("coordinate is not an integer")?;
+        c[i] = u32::try_from(x).map_err(|_| format!("coordinate {x} exceeds u32"))?;
+    }
+    Ok(Point::new(c))
+}
+
+fn parse_arrival<const D: usize>(line: &str) -> Result<Arrival<D>, String> {
+    let v = serde_json::from_str(line).map_err(|e| format!("bad JSON: {e:?}"))?;
+    let t_us = v.get("t_us").and_then(serde_json::Value::as_u64).ok_or("missing \"t_us\"")?;
+    let op = v.get("op").and_then(serde_json::Value::as_str).ok_or("missing \"op\"")?;
+    let p = || parse_point::<D>(v.get("p").ok_or("missing \"p\"")?);
+    let bx = || -> Result<Aabb<D>, String> {
+        let lo = parse_point::<D>(v.get("lo").ok_or("missing \"lo\"")?)?;
+        let hi = parse_point::<D>(v.get("hi").ok_or("missing \"hi\"")?)?;
+        Ok(Aabb::new(lo, hi))
+    };
+    let op = match op {
+        "insert" => ReqOp::Insert(p()?),
+        "delete" => ReqOp::Delete(p()?),
+        "contains" => ReqOp::Contains(p()?),
+        "knn" => {
+            let k = v.get("k").and_then(serde_json::Value::as_u64).ok_or("missing \"k\"")?;
+            ReqOp::Knn(p()?, k as usize)
+        }
+        "box_count" => ReqOp::BoxCount(bx()?),
+        "box_fetch" => ReqOp::BoxFetch(bx()?),
+        other => return Err(format!("unknown op {other:?}")),
+    };
+    Ok(Arrival { t_us, op })
+}
+
+// ---------------------------------------------------------------------
+// Request mixes and the open-loop generator
+// ---------------------------------------------------------------------
+
+/// Relative weights of the request classes in a generated stream.
+///
+/// Weights are integers (not probabilities) so mixes compare exactly across
+/// platforms; a weight of 0 removes the class. kNN requests share one `k`
+/// and box requests one expected coverage, matching how the serving layer
+/// batches compatible requests together.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RequestMix {
+    /// Weight of `Insert`.
+    pub insert: u32,
+    /// Weight of `Delete`.
+    pub delete: u32,
+    /// Weight of `Contains`.
+    pub contains: u32,
+    /// Weight of `Knn`.
+    pub knn: u32,
+    /// `k` used by every kNN request.
+    pub knn_k: usize,
+    /// Weight of `BoxCount`.
+    pub box_count: u32,
+    /// Weight of `BoxFetch`.
+    pub box_fetch: u32,
+    /// Expected points covered by each box query (sizes the box side).
+    pub box_expected: f64,
+}
+
+impl RequestMix {
+    /// Read-heavy serving mix: 80% reads (contains/kNN/box), 20% writes.
+    pub fn read_heavy() -> Self {
+        Self {
+            insert: 15,
+            delete: 5,
+            contains: 30,
+            knn: 35,
+            knn_k: 10,
+            box_count: 10,
+            box_fetch: 5,
+            box_expected: 10.0,
+        }
+    }
+
+    /// Update-heavy mix: 70% writes, 30% point reads (churn workloads).
+    pub fn write_heavy() -> Self {
+        Self {
+            insert: 50,
+            delete: 20,
+            contains: 20,
+            knn: 10,
+            knn_k: 10,
+            box_count: 0,
+            box_fetch: 0,
+            box_expected: 10.0,
+        }
+    }
+
+    /// Query-only mix (no writes; every batch reads the same epoch).
+    pub fn read_only() -> Self {
+        Self { insert: 0, delete: 0, ..Self::read_heavy() }
+    }
+
+    /// Sum of all weights.
+    pub fn total_weight(&self) -> u32 {
+        self.insert + self.delete + self.contains + self.knn + self.box_count + self.box_fetch
+    }
+}
+
+/// A seeded stream of request payloads drawn from a data distribution under
+/// a [`RequestMix`] — the payload half of the load generator, shared by the
+/// open-loop generator here and `pim-serve`'s closed-loop driver (which
+/// decides *when* to issue, then pulls *what* from this sampler).
+pub struct RequestSampler<'a, const D: usize> {
+    data: &'a [Point<D>],
+    mix: RequestMix,
+    side: u32,
+    rng: ChaCha8Rng,
+}
+
+impl<'a, const D: usize> RequestSampler<'a, D> {
+    /// A sampler over `data` under `mix`; pure function of `seed`.
+    pub fn new(data: &'a [Point<D>], mix: RequestMix, seed: u64) -> Self {
+        assert!(!data.is_empty(), "payloads are drawn from the data distribution");
+        assert!(mix.total_weight() > 0, "request mix must enable at least one class");
+        Self {
+            data,
+            mix,
+            side: crate::box_side_for_expected::<D>(data.len(), mix.box_expected),
+            rng: ChaCha8Rng::seed_from_u64(seed ^ 0x5E2E),
+        }
+    }
+
+    /// Draws the next request.
+    pub fn next_op(&mut self) -> ReqOp<D> {
+        sample_op(self.data, &self.mix, self.side, &mut self.rng)
+    }
+
+    /// Draws the next exponential inter-arrival gap in µs at `rate_per_s`.
+    pub fn next_gap_us(&mut self, rate_per_s: f64) -> f64 {
+        // `1.0 - r` keeps ln() finite.
+        let r: f64 = self.rng.random();
+        -(1.0 - r).ln() * 1e6 / rate_per_s
+    }
+}
+
+/// Generates `n` arrivals with exponential (Poisson-process) inter-arrival
+/// times at `rate_per_s` requests per virtual second, with request payloads
+/// drawn from the `data` distribution (queries follow the data, §7.1) under
+/// `mix`. Pure function of its arguments: the same seed always yields the
+/// same trace, byte for byte.
+pub fn open_loop_trace<const D: usize>(
+    data: &[Point<D>],
+    n: usize,
+    rate_per_s: f64,
+    mix: &RequestMix,
+    seed: u64,
+) -> ArrivalTrace<D> {
+    assert!(rate_per_s > 0.0, "offered rate must be positive");
+    let mut s = RequestSampler::new(data, *mix, seed);
+    let mut t = 0.0f64;
+    let arrivals = (0..n)
+        .map(|_| {
+            t += s.next_gap_us(rate_per_s);
+            Arrival { t_us: t as u64, op: s.next_op() }
+        })
+        .collect();
+    ArrivalTrace { arrivals }
+}
+
+/// Draws one request payload from the data distribution under `mix`.
+fn sample_op<const D: usize>(
+    data: &[Point<D>],
+    mix: &RequestMix,
+    box_side: u32,
+    rng: &mut ChaCha8Rng,
+) -> ReqOp<D> {
+    let pick = rng.random_range(0..mix.total_weight());
+    let base = data[rng.random_range(0..data.len())];
+    let mut jittered = || {
+        let m = pim_geom::max_coord_for_dim(D) as i64;
+        let mut c = base.coords;
+        for x in c.iter_mut() {
+            let d = rng.random_range(0..=8u32) as i64 - 4;
+            *x = (*x as i64 + d).clamp(0, m) as u32;
+        }
+        Point::new(c)
+    };
+    let bx = || {
+        let m = pim_geom::max_coord_for_dim(D) as i64;
+        let half = (box_side / 2) as i64;
+        let mut lo = [0u32; D];
+        let mut hi = [0u32; D];
+        for i in 0..D {
+            lo[i] = (base.coords[i] as i64 - half).clamp(0, m) as u32;
+            hi[i] = (base.coords[i] as i64 + half).clamp(0, m) as u32;
+        }
+        Aabb::new(Point::new(lo), Point::new(hi))
+    };
+    let mut hi = mix.insert;
+    if pick < hi {
+        return ReqOp::Insert(jittered());
+    }
+    hi += mix.delete;
+    if pick < hi {
+        return ReqOp::Delete(base);
+    }
+    hi += mix.contains;
+    if pick < hi {
+        return ReqOp::Contains(base);
+    }
+    hi += mix.knn;
+    if pick < hi {
+        return ReqOp::Knn(base, mix.knn_k);
+    }
+    hi += mix.box_count;
+    if pick < hi {
+        return ReqOp::BoxCount(bx());
+    }
+    ReqOp::BoxFetch(bx())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::uniform;
+
+    #[test]
+    fn open_loop_is_seed_deterministic_and_sorted() {
+        let data = uniform::<3>(2_000, 1);
+        let mix = RequestMix::read_heavy();
+        let a = open_loop_trace(&data, 500, 10_000.0, &mix, 7);
+        let b = open_loop_trace(&data, 500, 10_000.0, &mix, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, open_loop_trace(&data, 500, 10_000.0, &mix, 8));
+        assert!(a.arrivals.windows(2).all(|w| w[0].t_us <= w[1].t_us));
+        // Mean inter-arrival ≈ 100 µs at 10 k req/s.
+        let mean = a.duration_us() as f64 / a.len() as f64;
+        assert!((50.0..=200.0).contains(&mean), "mean inter-arrival {mean} µs");
+    }
+
+    #[test]
+    fn jsonl_roundtrips_exactly() {
+        let data = uniform::<3>(500, 2);
+        let mut mix = RequestMix::read_heavy();
+        mix.box_count = 20; // make sure box payloads are covered
+        let t = open_loop_trace(&data, 300, 5_000.0, &mix, 3);
+        let text = t.to_jsonl();
+        let back = ArrivalTrace::<3>::from_jsonl(&text).unwrap();
+        assert_eq!(t, back);
+        assert_eq!(back.to_jsonl(), text, "re-serialization is byte-stable");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_and_unsorted() {
+        assert!(ArrivalTrace::<3>::from_jsonl("{\"t_us\":1}").is_err());
+        assert!(ArrivalTrace::<3>::from_jsonl("not json").is_err());
+        let unsorted = "{\"t_us\":5,\"op\":\"contains\",\"p\":[1,2,3]}\n\
+                        {\"t_us\":4,\"op\":\"contains\",\"p\":[1,2,3]}\n";
+        let err = ArrivalTrace::<3>::from_jsonl(unsorted).unwrap_err();
+        assert!(err.contains("t_us"), "{err}");
+        let wrong_dim = "{\"t_us\":1,\"op\":\"contains\",\"p\":[1,2]}";
+        assert!(ArrivalTrace::<3>::from_jsonl(wrong_dim).is_err());
+    }
+
+    #[test]
+    fn mix_weights_are_respected() {
+        let data = uniform::<3>(1_000, 4);
+        let mix = RequestMix::write_heavy();
+        let t = open_loop_trace(&data, 4_000, 1_000.0, &mix, 5);
+        let writes = t.arrivals.iter().filter(|a| a.op.is_write()).count();
+        let frac = writes as f64 / t.len() as f64;
+        assert!((0.65..=0.75).contains(&frac), "write fraction {frac}");
+        let ro = open_loop_trace(&data, 500, 1_000.0, &RequestMix::read_only(), 5);
+        assert!(ro.arrivals.iter().all(|a| !a.op.is_write()));
+    }
+}

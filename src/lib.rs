@@ -7,6 +7,7 @@
 pub use pim_geom as geom;
 pub use pim_memsim as memsim;
 pub use pim_pkdtree as pkdtree;
+pub use pim_serve as serve;
 pub use pim_sim as sim;
 pub use pim_workloads as workloads;
 pub use pim_zd_tree as index;
