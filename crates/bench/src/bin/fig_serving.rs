@@ -24,13 +24,26 @@
 //! Extra flags beyond the shared set: `--requests N` (requests per sweep
 //! point), `--budget-us N` (batching latency budget), `--mix NAME`
 //! (`read_heavy` | `write_heavy` | `read_only`).
+//!
+//! Two tracing flags turn on causal request tracing for the 1.0x sweep
+//! point only (the at-capacity point, where tail structure is most
+//! interesting). Tracing is pure observation — the sweep numbers and the
+//! stdout table are byte-identical with and without these flags:
+//!
+//! * `--trace-events PATH` writes a Chrome trace-event JSON file
+//!   (Perfetto-loadable; request/lane/module tracks in virtual µs).
+//! * `--journal DIR` writes the offline-analysis journal dir consumed by
+//!   `tail_report` and `trace_summary` (see ARCHITECTURE.md §9 for the
+//!   file layout: `replies.jsonl`, `serving.jsonl`, `spans.jsonl`,
+//!   `batches.jsonl`, `rounds.jsonl`).
 
 use pim_bench::perf::PerfEntry;
 use pim_bench::{BenchArgs, PerfSink};
 use pim_serve::{BatchPolicy, PimServer, ServeConfig, ServeReport};
-use pim_sim::MachineConfig;
+use pim_sim::{JournalSink, MachineConfig};
 use pim_workloads::{open_loop_trace, uniform, ArrivalTrace, RequestMix};
 use pim_zd_tree::{PimZdConfig, PimZdTree};
+use std::path::Path;
 
 /// Offered-load fractions of the calibrated capacity swept by the figure.
 /// The flood calibration measures drain rate under maximal batching, which
@@ -57,6 +70,13 @@ fn fresh_server(image: &[u8], cfg: ServeConfig, sink: &PerfSink) -> PimServer<3>
     let mut server = PimServer::new(tree, cfg);
     server.set_metrics(sink.metrics());
     server
+}
+
+fn write_or_die(path: &Path, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("fig_serving: error: {}: {e}", path.display());
+        std::process::exit(1);
+    }
 }
 
 /// One sweep point as a perf-report entry plus a human table row.
@@ -108,6 +128,9 @@ fn main() {
         BenchArgs::flag_value("--budget-us").and_then(|v| v.parse().ok()).unwrap_or(1_000);
     let mix_name = BenchArgs::flag_value("--mix").unwrap_or_else(|| "read_heavy".to_string());
     let mix = mix_by_name(&mix_name);
+    let trace_events_path = BenchArgs::flag_value("--trace-events");
+    let journal_dir = BenchArgs::flag_value("--journal");
+    let trace_point = trace_events_path.is_some() || journal_dir.is_some();
     let mut sink = PerfSink::new("fig_serving", &args);
 
     println!(
@@ -150,11 +173,40 @@ fn main() {
         let rate = (capacity * ratio).max(1.0);
         let trace = open_loop_trace(&data, requests, rate, &mix, args.seed);
         let mut server = fresh_server(&image, cfg, &sink);
+        // Trace the at-capacity point. Tracing only reads round ids and
+        // buffers spans, so the sweep numbers (and the stdout table) are
+        // byte-identical with and without the flags.
+        let traced = trace_point && ratio == 1.0;
+        let journal = traced.then(|| {
+            let (js, journal) = JournalSink::new();
+            server.set_trace_sink(Box::new(js));
+            server.set_tracing(true);
+            journal
+        });
         let rep = server.run_trace(&trace);
         let label = format!("load-{ratio}x");
         let (entry, row) = record(&label, &rep, &trace);
         println!("{row}");
         sink.push_entry(entry);
+        if let Some(journal) = journal {
+            let st = server.take_trace().expect("tracing was enabled for this point");
+            let rounds = journal.snapshot();
+            if let Some(dir) = &journal_dir {
+                let dir = Path::new(dir);
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("fig_serving: error: {}: {e}", dir.display());
+                    std::process::exit(1);
+                }
+                write_or_die(&dir.join("replies.jsonl"), &rep.results_jsonl());
+                write_or_die(&dir.join("serving.jsonl"), &rep.journal_jsonl());
+                write_or_die(&dir.join("spans.jsonl"), &st.spans_jsonl());
+                write_or_die(&dir.join("batches.jsonl"), &st.batches_jsonl());
+                write_or_die(&dir.join("rounds.jsonl"), &journal.to_jsonl());
+            }
+            if let Some(path) = &trace_events_path {
+                write_or_die(Path::new(path), &st.trace_events(&rounds));
+            }
+        }
     }
 
     println!("\nLatency is virtual time: identical inputs give identical percentiles.");

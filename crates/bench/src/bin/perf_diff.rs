@@ -5,6 +5,7 @@
 //! perf_diff BASELINE_DIR NEW [...]         pick the baseline whose "bench"
 //!                                          field matches NEW's
 //! perf_diff --check-schema FILE...         shape-validate reports only
+//! perf_diff --check-trace-events FILE...   shape-validate Perfetto exports
 //! ```
 //!
 //! `--host-time` additionally prints the host wall-clock delta between the
@@ -20,6 +21,7 @@
 //! because they mean the comparison itself is invalid.
 
 use pim_bench::perf::{diff_reports, validate_schema, DEFAULT_THRESHOLD};
+use pim_bench::trace_events::validate_trace_events;
 use serde_json::Value;
 
 fn load(path: &str) -> Result<Value, String> {
@@ -71,6 +73,29 @@ fn main() {
         std::process::exit(if failed { 1 } else { 0 });
     }
 
+    if args.first().map(String::as_str) == Some("--check-trace-events") {
+        if args.len() < 2 {
+            eprintln!("usage: perf_diff --check-trace-events FILE...");
+            std::process::exit(2);
+        }
+        let mut failed = false;
+        for path in &args[1..] {
+            match load(path)
+                .and_then(|v| validate_trace_events(&v).map_err(|e| format!("{path}: {e}")))
+            {
+                Ok(stats) => println!(
+                    "{path}: ok ({} events, {} tracks, {} X, {} B/E spans)",
+                    stats.events, stats.tracks, stats.complete, stats.spans
+                ),
+                Err(e) => {
+                    eprintln!("{e}");
+                    failed = true;
+                }
+            }
+        }
+        std::process::exit(if failed { 1 } else { 0 });
+    }
+
     let mut threshold = DEFAULT_THRESHOLD;
     let mut host_time = false;
     let mut positional: Vec<String> = Vec::new();
@@ -94,7 +119,8 @@ fn main() {
     }
     let [base_arg, new_arg] = positional.as_slice() else {
         eprintln!(
-            "usage: perf_diff BASELINE NEW [--threshold R] [--host-time] | perf_diff --check-schema FILE..."
+            "usage: perf_diff BASELINE NEW [--threshold R] [--host-time] | \
+             perf_diff --check-schema FILE... | perf_diff --check-trace-events FILE..."
         );
         std::process::exit(2);
     };

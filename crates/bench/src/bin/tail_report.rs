@@ -1,0 +1,47 @@
+//! **E-T tail attribution** — decomposes serving latency percentiles into
+//! exact per-phase contributions from a recorded span journal.
+//!
+//! ```text
+//! tail_report DIR              read DIR/spans.jsonl (a fig_serving --journal dir)
+//! tail_report spans.jsonl      read a span file directly
+//! ```
+//!
+//! The report (see `pim_bench::tail`) prints the p50/p99/p999 requests with
+//! their queue/wait/cpu/pim/comm breakdown — spans that *sum exactly* to
+//! each reply's latency, enforced here with a hard error — plus a log₂
+//! latency-bucket table with per-phase means and the smallest exemplar
+//! trace ids per bucket. Those ids resolve into the same journal dir:
+//! `spans.jsonl` → `batches.jsonl` (the request's batch and round-id range)
+//! → `rounds.jsonl` (the batch's BSP rounds, `trace_summary`-compatible).
+//!
+//! Everything is virtual time from a deterministic run, so the output is
+//! byte-identical for byte-identical input. Exit status: 0 on success, 1 on
+//! malformed input or an exactness violation, 2 on usage errors.
+
+use pim_bench::tail::{parse_spans_jsonl, summarize};
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [arg] = args.as_slice() else {
+        eprintln!("usage: tail_report JOURNAL_DIR|spans.jsonl");
+        std::process::exit(2);
+    };
+    let path = if Path::new(arg).is_dir() {
+        Path::new(arg).join("spans.jsonl").display().to_string()
+    } else {
+        arg.clone()
+    };
+    let run = || -> Result<String, String> {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+        let rows = parse_spans_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+        Ok(summarize(&rows)?.render())
+    };
+    match run() {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("tail_report: error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

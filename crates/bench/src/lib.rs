@@ -15,6 +15,8 @@ pub mod datasets;
 pub mod harness;
 pub mod perf;
 pub mod report;
+pub mod tail;
+pub mod trace_events;
 pub mod trace_report;
 
 pub use args::BenchArgs;

@@ -288,6 +288,15 @@ impl<const D: usize> PimZdTree<D> {
         self.sys.set_trace_sink(sink);
     }
 
+    /// The id the machine's next accounted BSP round will carry (the
+    /// monotonic counter behind `RoundRecord::round`). Reading it before
+    /// and after a batched operation yields the half-open round-id range
+    /// the operation produced — the cross-layer link the serving tracer
+    /// records per batch. A pure read; never perturbs accounting.
+    pub fn next_round_id(&self) -> u64 {
+        self.sys.next_round_id()
+    }
+
     /// Attaches a metrics registry handle (see [`pim_sim::metrics`]): the
     /// simulated machine publishes per-round counters and the index adds
     /// host-side ones (cache-model counters per op, batch sizes, splice

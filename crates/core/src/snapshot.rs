@@ -114,6 +114,15 @@ impl<const D: usize> TreeSnapshot<D> {
     pub fn last_op_stats(&self) -> &crate::OpStats {
         self.tree.last_op_stats()
     }
+
+    /// The id the snapshot machine's next accounted BSP round will carry.
+    /// Checkpoint images preserve the round counter, so a snapshot's ids
+    /// continue from the capture point and may collide with later ids of
+    /// the live tree — consumers must key snapshot ranges separately (the
+    /// serving tracer's `snapshot` flag).
+    pub fn next_round_id(&self) -> u64 {
+        self.tree.next_round_id()
+    }
 }
 
 #[cfg(test)]

@@ -132,6 +132,18 @@ pub fn span(label: &'static str) -> SpanGuard {
     SpanGuard { active: true }
 }
 
+/// Appends `label` to `path` with every character the collapsed-stack
+/// format assigns meaning to mapped to `_`: `;` separates frames, space
+/// separates the path from its value, and a newline ends the record — any
+/// of them inside a label would corrupt the flamegraph output (and split
+/// table rows). Runs only when profiling is enabled, so the off path stays
+/// zero-cost.
+fn push_sanitized(path: &mut String, label: &str) {
+    for c in label.chars() {
+        path.push(if c == ';' || c.is_whitespace() { '_' } else { c });
+    }
+}
+
 /// RAII guard of one open span (see [`span`]).
 #[must_use = "the span closes when the guard drops; drop it at the end of the scope"]
 pub struct SpanGuard {
@@ -151,10 +163,10 @@ impl Drop for SpanGuard {
             let elapsed = frame.start.elapsed().as_nanos() as u64;
             let mut path = String::new();
             for f in &st.stack {
-                path.push_str(f.label);
+                push_sanitized(&mut path, f.label);
                 path.push(';');
             }
-            path.push_str(frame.label);
+            push_sanitized(&mut path, frame.label);
             if let Some(parent) = st.stack.last_mut() {
                 parent.child_ns += elapsed;
             }
@@ -332,6 +344,31 @@ mod tests {
         let line = collapsed.lines().find(|l| l.starts_with("alpha;beta ")).unwrap();
         let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
         assert!(v > 0, "collapsed lines carry self-nanoseconds");
+    }
+
+    #[test]
+    fn hostile_labels_are_sanitized_for_collapsed_stacks() {
+        let _g = isolated();
+        {
+            let _a = span("outer label"); // embedded space
+            spin_ns(10_000);
+            let _b = span("evil;label\nwith\tyet more"); // every reserved char
+            spin_ns(10_000);
+        }
+        let r = report();
+        let key = "outer_label;evil_label_with_yet_more";
+        assert!(r.paths.contains_key(key), "sanitized path recorded: {:?}", r.paths.keys());
+        let collapsed = r.render_collapsed();
+        for line in collapsed.lines() {
+            let (path, value) = line.rsplit_once(' ').expect("`path value` shape");
+            assert!(!path.contains(' ') && !path.contains('\t'), "{line:?}");
+            value.parse::<u64>().expect("value parses");
+            assert_eq!(path.split(';').count(), path.matches(';').count() + 1);
+        }
+        assert!(
+            collapsed.lines().any(|l| l.starts_with(&format!("{key} "))),
+            "hostile label survives as one collapsed frame:\n{collapsed}"
+        );
     }
 
     #[test]

@@ -127,6 +127,10 @@ impl Samples {
     }
 }
 
+/// Exemplar ids a histogram bucket retains at most (see
+/// [`Histogram::observe_with_exemplar`]).
+pub const EXEMPLARS_PER_BUCKET: usize = 4;
+
 /// A log₂-bucket histogram of `u64` observations.
 #[derive(Clone, Debug)]
 pub struct Histogram {
@@ -136,11 +140,19 @@ pub struct Histogram {
     pub count: u64,
     /// Sum of observed values.
     pub sum: u64,
+    /// Optional per-bucket exemplar ids: the [`EXEMPLARS_PER_BUCKET`]
+    /// *smallest* ids observed into each bucket, ascending — a bounded,
+    /// deterministic set (order of observation never matters). Allocated
+    /// on the first [`Histogram::observe_with_exemplar`]; plain
+    /// [`Histogram::observe`] never allocates it. Rendered in the JSON
+    /// snapshot only — the Prometheus exposition text is byte-identical
+    /// with or without exemplars, so text-based baselines never churn.
+    pub exemplars: Option<Box<[Vec<u64>; HIST_BUCKETS]>>,
 }
 
 impl Default for Histogram {
     fn default() -> Self {
-        Histogram { buckets: [0; HIST_BUCKETS], count: 0, sum: 0 }
+        Histogram { buckets: [0; HIST_BUCKETS], count: 0, sum: 0, exemplars: None }
     }
 }
 
@@ -150,6 +162,24 @@ impl Histogram {
         self.buckets[log2_bucket(v, HIST_BUCKETS)] += 1;
         self.count += 1;
         self.sum += v;
+    }
+
+    /// Records one observation and offers `id` as the bucket's exemplar.
+    /// Each bucket keeps its [`EXEMPLARS_PER_BUCKET`] smallest ids, so the
+    /// retained set is a pure function of the observed multiset.
+    pub fn observe_with_exemplar(&mut self, v: u64, id: u64) {
+        self.observe(v);
+        let ex = self.exemplars.get_or_insert_with(Box::default);
+        let bucket = &mut ex[log2_bucket(v, HIST_BUCKETS)];
+        match bucket.binary_search(&id) {
+            Ok(_) => {} // an id observed twice stays a single exemplar
+            Err(pos) => {
+                if pos < EXEMPLARS_PER_BUCKET {
+                    bucket.insert(pos, id);
+                    bucket.truncate(EXEMPLARS_PER_BUCKET);
+                }
+            }
+        }
     }
 
     /// Mean observed value (0 when empty).
@@ -173,6 +203,28 @@ impl Serialize for Histogram {
         self.count.json_write(out);
         out.push_str(",\"sum\":");
         self.sum.json_write(out);
+        // Exemplars render as a sparse object keyed by bucket index; the
+        // key is absent entirely for exemplar-free histograms, so their
+        // JSON stays byte-identical to the pre-exemplar encoding.
+        if let Some(ex) = &self.exemplars {
+            if ex.iter().any(|ids| !ids.is_empty()) {
+                out.push_str(",\"exemplars\":{");
+                let mut first = true;
+                for (i, ids) in ex.iter().enumerate() {
+                    if ids.is_empty() {
+                        continue;
+                    }
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    i.to_string().json_write(out);
+                    out.push(':');
+                    ids.json_write(out);
+                }
+                out.push('}');
+            }
+        }
         out.push('}');
     }
 }
@@ -306,6 +358,14 @@ impl MetricsRegistry {
     pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], v: u64) {
         if let MetricValue::Hist(h) = self.series_mut(name, MetricKind::Histogram, labels) {
             h.observe(v);
+        }
+    }
+
+    /// Records `v` into the histogram `name{labels}` with `id` as the
+    /// bucket-exemplar candidate (see [`Histogram::observe_with_exemplar`]).
+    pub fn observe_exemplar(&mut self, name: &str, labels: &[(&str, &str)], v: u64, id: u64) {
+        if let MetricValue::Hist(h) = self.series_mut(name, MetricKind::Histogram, labels) {
+            h.observe_with_exemplar(v, id);
         }
     }
 
@@ -563,6 +623,43 @@ mod tests {
         let hist = v.get("cycles{phase=\"knn\"}").unwrap();
         assert_eq!(hist.get("count").and_then(|x| x.as_u64()), Some(5));
         assert_eq!(hist.get("sum").and_then(|x| x.as_u64()), Some(106));
+    }
+
+    #[test]
+    fn exemplars_are_bounded_deterministic_and_json_only() {
+        let mut r = MetricsRegistry::new();
+        for (id, v) in [(9u64, 3u64), (2, 3), (5, 3), (1, 3), (7, 3), (0, 200)] {
+            r.observe_exemplar("lat", &[], v, id);
+        }
+        let h = r.histogram("lat", &[]).unwrap();
+        let ex = h.exemplars.as_ref().unwrap();
+        assert_eq!(
+            ex[log2_bucket(3, HIST_BUCKETS)],
+            vec![1, 2, 5, 7],
+            "buckets keep the smallest ids, ascending, capped at {EXEMPLARS_PER_BUCKET}"
+        );
+        assert_eq!(ex[log2_bucket(200, HIST_BUCKETS)], vec![0]);
+
+        // Feeding the same ids in any order retains the same set.
+        let mut r2 = MetricsRegistry::new();
+        for (id, v) in [(0u64, 200u64), (1, 3), (7, 3), (5, 3), (2, 3), (9, 3)] {
+            r2.observe_exemplar("lat", &[], v, id);
+        }
+        assert_eq!(r.snapshot_json(), r2.snapshot_json());
+
+        // Prometheus text is byte-identical to an exemplar-free registry
+        // fed the same values; only the JSON snapshot differs.
+        let mut plain = MetricsRegistry::new();
+        for v in [3u64, 3, 3, 3, 3, 200] {
+            plain.observe("lat", &[], v);
+        }
+        assert_eq!(r.snapshot_text(), plain.snapshot_text());
+        assert!(!plain.snapshot_json().contains("exemplars"));
+        let json = r.snapshot_json();
+        let v = serde_json::from_str(&json).unwrap();
+        let got = v.get("lat").and_then(|h| h.get("exemplars")).expect("exemplars in JSON");
+        let b2 = got.get(&log2_bucket(3, HIST_BUCKETS).to_string()).unwrap();
+        assert_eq!(b2.as_array().unwrap().len(), 4, "{json}");
     }
 
     #[test]

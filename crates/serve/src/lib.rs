@@ -18,6 +18,10 @@
 //!   reads ([`pim_zd_tree::TreeSnapshot`]) for read/write pipelining.
 //! * [`ServeReport`] — canonical run artifacts (per-request replies, batch
 //!   journal, latency samples, simulated-cost totals), all byte-comparable.
+//! * [`trace`] — opt-in causal request tracing ([`PimServer::set_tracing`]):
+//!   per-request phase spans that sum exactly to the reply latency, batch →
+//!   BSP-round links, and a Perfetto-loadable trace-event export. See
+//!   ARCHITECTURE.md §9.
 //!
 //! # Determinism
 //!
@@ -53,7 +57,9 @@
 pub mod policy;
 pub mod report;
 pub mod server;
+pub mod trace;
 
 pub use policy::{BatchPolicy, ThroughputEstimator};
 pub use report::{fnv_fold, Reply, SealReason, ServeReport, Totals, FNV_OFFSET};
 pub use server::{ClassKey, ClosedLoop, PimServer, ServeConfig};
+pub use trace::{split_service_us, BatchTrace, RequestTrace, ServeTrace, TraceId};

@@ -52,6 +52,7 @@ use pim_zd_tree::{OpStats, PimZdTree, TreeSnapshot};
 
 use crate::policy::{BatchPolicy, ThroughputEstimator};
 use crate::report::{fnv_fold, Reply, SealReason, ServeReport, Totals, FNV_OFFSET};
+use crate::trace::{split_service_us, BatchTrace, RequestTrace, ServeTrace, TraceId};
 
 /// Batch-compatibility class of a request: requests batch together exactly
 /// when their keys are equal (kNN batches share one `k`).
@@ -165,6 +166,22 @@ struct Flight<const D: usize> {
     epoch: u64,
     snapshot: bool,
     fingerprints: Vec<u64>,
+    /// Cross-layer link captured at execution time; present exactly when
+    /// tracing is on.
+    link: Option<FlightLink>,
+}
+
+/// What the tracer captures around a batch's execution: the round-id range
+/// the batch produced on its executing machine and the exact integer split
+/// of its service time (see `trace::split_service_us`).
+struct FlightLink {
+    round_lo: u64,
+    round_hi: u64,
+    cpu_us: u64,
+    pim_us: u64,
+    comm_us: u64,
+    /// Whether this dispatch materialized the snapshot from its image.
+    materialized: bool,
 }
 
 /// Per-run mutable state of the event loop.
@@ -240,12 +257,47 @@ pub struct PimServer<const D: usize> {
     tree: PimZdTree<D>,
     cfg: ServeConfig,
     metrics: Metrics,
+    /// Per-run span buffers; `Some` exactly while request tracing is on
+    /// (one branch per feeding site when off — the zero-cost-off bar the
+    /// metrics and round-trace layers meet).
+    tracer: Option<ServeTrace>,
 }
 
 impl<const D: usize> PimServer<D> {
     /// Wraps a built tree in a server.
     pub fn new(tree: PimZdTree<D>, cfg: ServeConfig) -> Self {
-        Self { tree, cfg, metrics: Metrics::disabled() }
+        Self { tree, cfg, metrics: Metrics::disabled(), tracer: None }
+    }
+
+    /// Turns causal request tracing on or off (off by default). While on,
+    /// every run records a [`RequestTrace`] per request and a
+    /// [`BatchTrace`] per executed batch — see [`crate::trace`]. Tracing
+    /// never perturbs virtual time, so a traced run's replies and journal
+    /// are byte-identical to an untraced one's.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracer = on.then(ServeTrace::default);
+    }
+
+    /// Whether request tracing is on.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Takes the span record of the last traced run (`None` when tracing
+    /// is off), leaving an empty buffer for the next run. Requests are
+    /// sorted by id, batches by sequence number.
+    pub fn take_trace(&mut self) -> Option<ServeTrace> {
+        let mut trace = self.tracer.as_mut().map(std::mem::take)?;
+        trace.requests.sort_by_key(|r| r.id);
+        trace.batches.sort_by_key(|b| b.seq);
+        Some(trace)
+    }
+
+    /// Attaches a round-trace sink to the underlying tree (see
+    /// [`pim_sim::trace`]); the round journal it collects is what the
+    /// per-batch round-id links of [`crate::trace`] resolve into.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn pim_sim::TraceSink>) {
+        self.tree.set_trace_sink(sink);
     }
 
     /// Attaches a metrics registry to the server *and* the underlying tree.
@@ -270,6 +322,9 @@ impl<const D: usize> PimServer<D> {
     /// run's artifacts. Deterministic: same tree + config + trace → byte
     /// identical report, at any host thread count.
     pub fn run_trace(&mut self, trace: &ArrivalTrace<D>) -> ServeReport {
+        if let Some(tr) = self.tracer.as_mut() {
+            *tr = ServeTrace::default();
+        }
         let mut st = RunState::new();
         for (i, a) in trace.arrivals.iter().enumerate() {
             st.arrivals.insert((a.t_us, i as u64), (a.op, u32::MAX));
@@ -289,6 +344,9 @@ impl<const D: usize> PimServer<D> {
         data: &[Point<D>],
     ) -> (ServeReport, ArrivalTrace<D>) {
         assert!(load.clients > 0, "closed loop needs at least one client");
+        if let Some(tr) = self.tracer.as_mut() {
+            *tr = ServeTrace::default();
+        }
         let mut closed = ClosedState {
             sampler: RequestSampler::new(data, load.mix, load.seed),
             think_us: load.think_us,
@@ -367,6 +425,44 @@ impl<const D: usize> PimServer<D> {
                 .entry(f.batch.class)
                 .or_default()
                 .observe(f.batch.reqs.len(), f.service_us as f64);
+            if let Some(tr) = self.tracer.as_mut() {
+                let link = f.link.as_ref().expect("tracing on implies a captured link");
+                tr.batches.push(BatchTrace {
+                    seq: f.batch.seq,
+                    class: label,
+                    n: f.batch.reqs.len() as u64,
+                    sealed_us: f.batch.sealed_us,
+                    dispatch_us: f.dispatch_us,
+                    complete_us: f.complete_us,
+                    service_us: f.service_us,
+                    cpu_us: link.cpu_us,
+                    pim_us: link.pim_us,
+                    comm_us: link.comm_us,
+                    epoch: f.epoch,
+                    snapshot: f.snapshot,
+                    materialized: link.materialized,
+                    seal: f.batch.reason.as_str(),
+                    round_lo: link.round_lo,
+                    round_hi: link.round_hi,
+                });
+                for q in &f.batch.reqs {
+                    tr.requests.push(RequestTrace {
+                        id: TraceId(q.id),
+                        op: label,
+                        batch: Some(f.batch.seq),
+                        arrival_us: q.arrival_us,
+                        sealed_us: f.batch.sealed_us,
+                        dispatch_us: f.dispatch_us,
+                        complete_us: f.complete_us,
+                        queue_us: f.batch.sealed_us - q.arrival_us,
+                        wait_us: f.dispatch_us - f.batch.sealed_us,
+                        cpu_us: link.cpu_us,
+                        pim_us: link.pim_us,
+                        comm_us: link.comm_us,
+                        rejected: false,
+                    });
+                }
+            }
             st.journal.push(format!(
                 "{{\"batch\":{},\"class\":\"{}\",\"n\":{},\"sealed_us\":{},\"dispatch_us\":{},\
                  \"complete_us\":{},\"epoch\":{},\"snapshot\":{},\"seal\":\"{}\",\"service_us\":{}}}",
@@ -393,7 +489,15 @@ impl<const D: usize> PimServer<D> {
                     rejected: false,
                 });
                 self.metrics.with(|m| {
-                    m.observe("serve_latency_us", &[("op", label)], f.complete_us - q.arrival_us)
+                    // The request id rides along as a bounded histogram
+                    // exemplar (JSON snapshot only), so a latency bucket
+                    // can name requests to look up in a span trace.
+                    m.observe_exemplar(
+                        "serve_latency_us",
+                        &[("op", label)],
+                        f.complete_us - q.arrival_us,
+                        q.id,
+                    )
                 });
                 if let Some(c) = closed.as_mut() {
                     schedule_next(c, st, q.id, f.complete_us);
@@ -437,6 +541,23 @@ impl<const D: usize> PimServer<D> {
                     rejected: true,
                 });
                 self.metrics.with(|m| m.add("serve_rejected_total", &[("op", label)], 1));
+                if let Some(tr) = self.tracer.as_mut() {
+                    tr.requests.push(RequestTrace {
+                        id: TraceId(id),
+                        op: label,
+                        batch: None,
+                        arrival_us: t,
+                        sealed_us: t,
+                        dispatch_us: t,
+                        complete_us: t,
+                        queue_us: 0,
+                        wait_us: 0,
+                        cpu_us: 0,
+                        pim_us: 0,
+                        comm_us: 0,
+                        rejected: true,
+                    });
+                }
                 if let Some(c) = closed.as_mut() {
                     // A rejection is an immediate (failed) reply: the client
                     // thinks, then retries-or-moves-on with its next request.
@@ -525,6 +646,9 @@ impl<const D: usize> PimServer<D> {
     /// Applies a write batch at dispatch time (capturing the pre-write
     /// snapshot image first) and schedules its completion.
     fn execute_write(&mut self, st: &mut RunState<D>, batch: Sealed<D>, t: u64) -> Flight<D> {
+        // Captured before the snapshot image: any rounds the capture emits
+        // belong to this dispatch's causal window.
+        let round_lo = if self.tracer.is_some() { self.tree.next_round_id() } else { 0 };
         if self.cfg.snapshot_reads {
             let pre_epoch = self.tree.epoch();
             if st.snapshot_image.as_ref().map(|(e, _)| *e) != Some(pre_epoch) {
@@ -546,6 +670,17 @@ impl<const D: usize> PimServer<D> {
         };
         let (service_us, stats) = service_of(self.tree.last_op_stats());
         st.totals.add(&stats);
+        let link = self.tracer.is_some().then(|| {
+            let (cpu_us, pim_us, comm_us) = split_service_us(service_us, &stats.breakdown);
+            FlightLink {
+                round_lo,
+                round_hi: self.tree.next_round_id(),
+                cpu_us,
+                pim_us,
+                comm_us,
+                materialized: false,
+            }
+        });
         Flight {
             dispatch_us: t,
             complete_us: t + service_us,
@@ -554,6 +689,7 @@ impl<const D: usize> PimServer<D> {
             snapshot: false,
             fingerprints,
             batch,
+            link,
         }
     }
 
@@ -567,6 +703,7 @@ impl<const D: usize> PimServer<D> {
         t: u64,
         use_snapshot: bool,
     ) -> Flight<D> {
+        let mut materialized = false;
         if use_snapshot {
             let (img_epoch, img) =
                 st.snapshot_image.as_ref().expect("write in flight implies a captured image");
@@ -574,22 +711,33 @@ impl<const D: usize> PimServer<D> {
                 st.snapshot_cache = Some(
                     TreeSnapshot::from_image(img).expect("self-produced image always restores"),
                 );
+                materialized = true;
             }
             st.snapshot_batches += 1;
             self.metrics.with(|m| m.add("serve_snapshot_reads_total", &[], 1));
         }
-        let (epoch, fingerprints, stats) = {
+        let tracing = self.tracer.is_some();
+        let (epoch, fingerprints, stats, round_lo, round_hi) = {
             let snap = st.snapshot_cache.as_mut();
             let mut target = if use_snapshot {
                 ReadRef::Snap(snap.expect("snapshot materialized above"))
             } else {
                 ReadRef::Live(&mut self.tree)
             };
+            // A snapshot's machine continues the round counter from the
+            // checkpoint capture point; its ids are private to it (the
+            // link's `snapshot` flag disambiguates).
+            let lo = if tracing { target.next_round_id() } else { 0 };
             let fps = run_read(&mut target, &batch);
-            (target.epoch(), fps, target.stats().clone())
+            let hi = if tracing { target.next_round_id() } else { 0 };
+            (target.epoch(), fps, target.stats().clone(), lo, hi)
         };
         let (service_us, stats) = service_of(&stats);
         st.totals.add(&stats);
+        let link = tracing.then(|| {
+            let (cpu_us, pim_us, comm_us) = split_service_us(service_us, &stats.breakdown);
+            FlightLink { round_lo, round_hi, cpu_us, pim_us, comm_us, materialized }
+        });
         Flight {
             dispatch_us: t,
             complete_us: t + service_us,
@@ -598,6 +746,7 @@ impl<const D: usize> PimServer<D> {
             snapshot: use_snapshot,
             fingerprints,
             batch,
+            link,
         }
     }
 }
@@ -620,6 +769,13 @@ impl<const D: usize> ReadRef<'_, D> {
         match self {
             ReadRef::Live(t) => t.last_op_stats(),
             ReadRef::Snap(s) => s.last_op_stats(),
+        }
+    }
+
+    fn next_round_id(&self) -> u64 {
+        match self {
+            ReadRef::Live(t) => t.next_round_id(),
+            ReadRef::Snap(s) => s.next_round_id(),
         }
     }
 

@@ -1,0 +1,167 @@
+//! Cross-layer linkage and determinism of causal request tracing.
+//!
+//! The serving tracer's contract (`pim-serve::trace`, ARCHITECTURE.md §9):
+//!
+//! 1. **Linkage** — every non-rejected reply resolves to exactly one batch
+//!    journal entry, and every batch to at least one simulator round; live
+//!    batches' round-id ranges resolve into the round journal.
+//! 2. **Exactness** — for 100% of completed requests the five phase spans
+//!    (queue/wait/cpu/pim/comm) sum to the reply latency, exactly.
+//! 3. **Determinism** — span stream, batch stream, round journal, and the
+//!    trace-event export are byte-identical at 1, 2, and 8 threads.
+//! 4. **Zero-cost-off** — tracing on vs off changes no reply and no
+//!    journal byte.
+//!
+//! The trace-event export is additionally run through the same shape
+//! validator CI applies to generated files (`pim_bench::trace_events`).
+
+use pim_bench::trace_events::validate_trace_events;
+use pim_zd_tree_repro::serve::{BatchPolicy, PimServer, ServeConfig, ServeReport, ServeTrace};
+use pim_zd_tree_repro::sim::{JournalSink, RoundRecord};
+use pim_zd_tree_repro::workloads::{open_loop_trace, ArrivalTrace, RequestMix};
+use pim_zd_tree_repro::{workloads, MachineConfig, PimZdConfig, PimZdTree, Point};
+
+const SEED: u64 = 2026;
+const N: usize = 5_000;
+const MODULES: usize = 16;
+
+fn fixed_trace(data: &[Point<3>]) -> ArrivalTrace<3> {
+    // Same write-tinged read-heavy shape as tests/serving_determinism.rs:
+    // exercises budget seals, size seals, pipelined snapshot reads, and
+    // (with the small queue below) admission-control rejections.
+    let mix = RequestMix { insert: 25, delete: 10, ..RequestMix::read_heavy() };
+    open_loop_trace(data, 700, 150_000.0, &mix, SEED ^ 0x7ACE)
+}
+
+/// One traced serving run: the report, the span/batch record, and the
+/// simulator round journal.
+fn traced_run(tracing: bool) -> (ServeReport, Option<ServeTrace>, Vec<RoundRecord>) {
+    let data = workloads::uniform::<3>(N, SEED);
+    let tree = PimZdTree::build(
+        &data,
+        PimZdConfig::throughput_optimized(N as u64, MODULES),
+        MachineConfig::with_modules(MODULES),
+    );
+    let cfg = ServeConfig {
+        policy: BatchPolicy { budget_us: 500, ..BatchPolicy::default() },
+        queue_cap: 96,
+        snapshot_reads: true,
+    };
+    let mut server = PimServer::new(tree, cfg);
+    let (sink, journal) = JournalSink::new();
+    server.set_trace_sink(Box::new(sink));
+    server.set_tracing(tracing);
+    let report = server.run_trace(&fixed_trace(&data));
+    (report, server.take_trace(), journal.snapshot())
+}
+
+#[test]
+fn every_completed_reply_links_to_one_batch_and_its_rounds() {
+    let (report, trace, rounds) = traced_run(true);
+    let trace = trace.expect("tracing was on");
+    assert_eq!(trace.requests.len(), report.replies.len(), "one span record per request");
+    assert!(report.rejected > 0, "the fixed trace must exercise rejections");
+    assert!(trace.batches.iter().any(|b| b.snapshot), "and pipelined snapshot reads");
+
+    for (reply, rt) in report.replies.iter().zip(&trace.requests) {
+        assert_eq!(rt.id.0, reply.id, "span records are in reply order");
+        assert_eq!(rt.op, reply.op);
+        assert_eq!(rt.rejected, reply.rejected);
+        assert_eq!(rt.arrival_us, reply.arrival_us);
+        if reply.rejected {
+            assert_eq!(rt.batch, None);
+            assert_eq!(rt.span_sum_us(), 0);
+            continue;
+        }
+        // Exactness: the five spans sum to the reply latency for 100% of
+        // completed requests — not approximately, not 99% of them.
+        assert_eq!(
+            rt.span_sum_us(),
+            reply.latency_us(),
+            "spans of request {} must sum to its latency",
+            reply.id
+        );
+        assert_eq!(rt.dispatch_us, reply.dispatch_us);
+        assert_eq!(rt.complete_us, reply.complete_us);
+
+        // Linkage: exactly one batch journal entry owns the request.
+        let seq = rt.batch.expect("completed request has a batch");
+        let batch = trace.batch(seq).expect("the batch is journaled");
+        assert_eq!(batch.epoch, reply.epoch, "reply epoch comes from the batch");
+        assert!(batch.sealed_us >= rt.arrival_us && batch.dispatch_us == rt.dispatch_us);
+        assert_eq!(trace.batches.iter().filter(|b| b.seq == seq).count(), 1);
+    }
+
+    // Every batch produced at least one simulator round, and live batches'
+    // round ranges resolve into the round journal (snapshot batches run on
+    // a private machine whose rounds are deliberately not journaled).
+    for b in &trace.batches {
+        assert!(b.round_hi > b.round_lo, "batch {} produced no rounds", b.seq);
+        assert_eq!(b.service_us, b.complete_us - b.dispatch_us);
+        assert_eq!(b.cpu_us + b.pim_us + b.comm_us, b.service_us, "batch-level exactness");
+        if b.snapshot {
+            assert!(!b.owns_round(b.round_lo), "snapshot ranges never resolve as live");
+        } else {
+            for round in b.round_lo..b.round_hi {
+                assert!(b.owns_round(round));
+                assert!(
+                    rounds.iter().any(|r| r.round == round),
+                    "live round {round} of batch {} missing from the journal",
+                    b.seq
+                );
+            }
+        }
+    }
+    // Live ranges tile without overlap: no round is owned by two batches.
+    for r in &rounds {
+        assert!(
+            trace.batches.iter().filter(|b| b.owns_round(r.round)).count() <= 1,
+            "round {} owned by more than one batch",
+            r.round
+        );
+    }
+}
+
+#[test]
+fn trace_artifacts_are_byte_identical_at_1_2_and_8_threads() {
+    let run = || {
+        let (report, trace, rounds) = traced_run(true);
+        let trace = trace.unwrap();
+        (
+            trace.spans_jsonl(),
+            trace.batches_jsonl(),
+            trace.trace_events(&rounds),
+            report.results_jsonl(),
+        )
+    };
+    let baseline = rayon::ThreadPool::new(1).install(run);
+    assert!(!baseline.0.is_empty() && !baseline.2.is_empty());
+    for threads in [2usize, 8] {
+        let got = rayon::ThreadPool::new(threads).install(run);
+        assert_eq!(got.0, baseline.0, "span stream diverged at {threads} threads");
+        assert_eq!(got.1, baseline.1, "batch stream diverged at {threads} threads");
+        assert_eq!(got.2, baseline.2, "trace-event export diverged at {threads} threads");
+        assert_eq!(got.3, baseline.3, "replies diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn tracing_is_pure_observation() {
+    let (with, _, rounds_with) = traced_run(true);
+    let (without, no_trace, rounds_without) = traced_run(false);
+    assert!(no_trace.is_none(), "take_trace yields nothing when tracing is off");
+    assert_eq!(with.results_jsonl(), without.results_jsonl());
+    assert_eq!(with.journal_jsonl(), without.journal_jsonl());
+    assert_eq!(rounds_with.len(), rounds_without.len(), "tracing adds no simulator rounds");
+}
+
+#[test]
+fn trace_event_export_passes_the_ci_shape_gate() {
+    let (_, trace, rounds) = traced_run(true);
+    let text = trace.unwrap().trace_events(&rounds);
+    let doc = serde_json::from_str(&text).expect("export is well-formed JSON");
+    let stats = validate_trace_events(&doc).expect("export passes the shape validator");
+    assert!(stats.complete > 0, "request phase spans present");
+    assert!(stats.spans > 0, "lane B/E spans present");
+    assert!(stats.tracks >= 3, "request + both lane tracks at minimum");
+}
