@@ -113,6 +113,31 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<TraceRow>, String> {
     Ok(rows)
 }
 
+/// Merges per-rank journals into one row stream with stable rank-tagged
+/// ordering: rows keep their within-rank order, ranks concatenate in index
+/// order, and every phase label gains a `rank{r}/` prefix so the summary
+/// keeps the ranks' attributions separate. A single journal passes through
+/// untagged, so single-rank reports stay byte-identical to the
+/// pre-sharding output.
+pub fn merge_rank_rows(per_rank: &[Vec<TraceRow>]) -> Vec<TraceRow> {
+    if per_rank.len() == 1 {
+        return per_rank[0].clone();
+    }
+    let mut out = Vec::with_capacity(per_rank.iter().map(Vec::len).sum());
+    for (r, rows) in per_rank.iter().enumerate() {
+        for row in rows {
+            let mut row = row.clone();
+            row.phase = if row.phase.is_empty() {
+                format!("rank{r}")
+            } else {
+                format!("rank{r}/{}", row.phase)
+            };
+            out.push(row);
+        }
+    }
+    out
+}
+
 /// Aggregate of all rounds sharing one phase label.
 #[derive(Clone, Debug, Default)]
 pub struct PhaseSummary {
@@ -386,6 +411,30 @@ mod tests {
         assert!((s[1].worst_imbalance - 4.0).abs() < 1e-12, "40/10 round dominates");
         // Cycle-weighted: (40 + 30) / (10 + 30).
         assert!((s[1].agg_imbalance - 70.0 / 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_rank_rows_tags_phases_in_rank_order() {
+        let per_rank = vec![
+            vec![row("knn", 1.0, 0.1, 0.0, 4, 2.0), row("", 0.5, 0.0, 0.0, 1, 1.0)],
+            vec![row("knn", 2.0, 0.2, 0.0, 8, 4.0)],
+        ];
+        let merged = merge_rank_rows(&per_rank);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged[0].phase, "rank0/knn");
+        assert_eq!(merged[1].phase, "rank0");
+        assert_eq!(merged[2].phase, "rank1/knn");
+        let s = summarize(&merged);
+        assert!(s.iter().any(|p| p.phase == "rank0/knn"));
+        assert!(s.iter().any(|p| p.phase == "rank1/knn"));
+    }
+
+    #[test]
+    fn merge_rank_rows_passes_single_journal_through_untouched() {
+        let per_rank = vec![vec![row("insert", 1.0, 0.1, 0.0, 4, 2.0)]];
+        let merged = merge_rank_rows(&per_rank);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].phase, "insert", "single journal stays untagged");
     }
 
     #[test]

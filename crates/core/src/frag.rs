@@ -1461,7 +1461,11 @@ pub fn set_prefix<const D: usize>(items: &[Keyed<D>]) -> Prefix<D> {
 }
 
 /// Inserts a candidate into the k-best list (sorted ascending by
-/// (dist, coords)), keeping at most k.
+/// (dist, coords)), keeping at most k *distinct* points. Duplicate stored
+/// copies are skipped on arrival: `batch_knn` answers with distinct points,
+/// so letting copies occupy slots would make the k-th candidate distance —
+/// the coarse sphere radius of step 3 — too small to cover k distinct
+/// neighbors on duplicate-heavy inputs.
 pub fn push_candidate<const D: usize>(
     cands: &mut Vec<(u64, Point<D>)>,
     k: usize,
@@ -1471,7 +1475,7 @@ pub fn push_candidate<const D: usize>(
     sink.op(12);
     let key = (cand.0, cand.1.coords);
     let pos = cands.partition_point(|(d, p)| (*d, p.coords) < key);
-    if pos >= k {
+    if pos >= k || cands.get(pos).is_some_and(|c| *c == cand) {
         return;
     }
     cands.insert(pos, cand);

@@ -51,6 +51,7 @@ pub mod knn;
 pub mod meta;
 pub mod module;
 pub mod search;
+pub mod shard;
 pub mod snapshot;
 pub mod soa;
 pub mod stats;
@@ -60,6 +61,7 @@ pub use checkpoint::DurabilityError;
 pub use config::{Layer, PimZdConfig, Toggles};
 pub use frag::{BKind, BNode, ChildRef, Fragment, MetaId, RemoteRef};
 pub use host::PimZdTree;
+pub use shard::{CellId, PlacementTable, ShardConfig, ShardOpStats, ShardedZdTree};
 pub use snapshot::TreeSnapshot;
 pub use soa::{CoordBlock, KBest, PointSet};
 pub use stats::{OpBreakdown, OpStats};

@@ -42,7 +42,7 @@ pub use ctx::PimCtx;
 pub use energy::{EnergyEstimate, EnergyModel};
 pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultLog, FaultPlan};
 pub use metrics::{log2_bucket, quantile_sorted, Histogram, Metrics, MetricsRegistry, Samples};
-pub use placement::hash_place;
+pub use placement::{hash_place, rendezvous_owner};
 pub use stats::{LoadStats, RoundBreakdown, SimStats};
 pub use system::{PimSystem, SimCounters};
 pub use trace::{Journal, JournalSink, NullSink, RoundKind, RoundRecord, TraceSink};

@@ -157,6 +157,31 @@ impl Default for Histogram {
 }
 
 impl Histogram {
+    /// Folds another histogram into this one: buckets, count, and sum add;
+    /// exemplar sets merge keeping each bucket's smallest ids. Order of
+    /// merging never matters, so shard-router metric merges stay
+    /// deterministic regardless of which rank finished first.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if let Some(oex) = &other.exemplars {
+            let ex = self.exemplars.get_or_insert_with(Box::default);
+            for (mine, theirs) in ex.iter_mut().zip(oex.iter()) {
+                for &id in theirs {
+                    if let Err(pos) = mine.binary_search(&id) {
+                        if pos < EXEMPLARS_PER_BUCKET {
+                            mine.insert(pos, id);
+                            mine.truncate(EXEMPLARS_PER_BUCKET);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Records one observation.
     pub fn observe(&mut self, v: u64) {
         self.buckets[log2_bucket(v, HIST_BUCKETS)] += 1;
@@ -305,6 +330,10 @@ fn label_key(labels: &[(&str, &str)]) -> String {
 #[derive(Clone, Debug, Default)]
 pub struct MetricsRegistry {
     families: BTreeMap<String, Family>,
+    /// Labels stamped onto every series key (update *and* read paths).
+    /// Empty by default, so snapshots of label-free registries stay
+    /// byte-identical to the pre-base-label encoding.
+    base_labels: Vec<(String, String)>,
 }
 
 impl MetricsRegistry {
@@ -313,18 +342,42 @@ impl MetricsRegistry {
         Self::default()
     }
 
+    /// Sets labels implicitly attached to every series touched from now on
+    /// (both updates and point reads). The shard router gives each rank's
+    /// registry a `("shard", "<r>")` base label so merged snapshots carry
+    /// the rank dimension without threading it through every feeding site.
+    /// Series created before the call keep their old keys; set base labels
+    /// before feeding. An empty slice restores the unlabeled behaviour —
+    /// single-rank snapshots are byte-identical to a registry that never
+    /// heard of base labels.
+    pub fn set_base_labels(&mut self, labels: &[(&str, &str)]) {
+        self.base_labels = labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+    }
+
+    /// The canonical series key for `labels` with base labels folded in.
+    fn full_key(&self, labels: &[(&str, &str)]) -> String {
+        if self.base_labels.is_empty() {
+            return label_key(labels);
+        }
+        let mut all: Vec<(&str, &str)> =
+            self.base_labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+        all.extend_from_slice(labels);
+        label_key(&all)
+    }
+
     fn series_mut(
         &mut self,
         name: &str,
         kind: MetricKind,
         labels: &[(&str, &str)],
     ) -> &mut MetricValue {
+        let key = self.full_key(labels);
         let fam = self
             .families
             .entry(name.to_string())
             .or_insert_with(|| Family { kind, series: BTreeMap::new() });
         debug_assert_eq!(fam.kind, kind, "metric {name} re-registered with a different kind");
-        fam.series.entry(label_key(labels)).or_insert_with(|| match kind {
+        fam.series.entry(key).or_insert_with(|| match kind {
             MetricKind::Counter => MetricValue::Counter(0),
             MetricKind::CounterF => MetricValue::CounterF(0.0),
             MetricKind::Gauge => MetricValue::Gauge(0.0),
@@ -371,7 +424,7 @@ impl MetricsRegistry {
 
     /// Reads a counter back (`None` when the series does not exist).
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
-        match self.families.get(name)?.series.get(&label_key(labels))? {
+        match self.families.get(name)?.series.get(&self.full_key(labels))? {
             MetricValue::Counter(c) => Some(*c),
             _ => None,
         }
@@ -379,7 +432,7 @@ impl MetricsRegistry {
 
     /// Reads an f64 counter or gauge back.
     pub fn value_f(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
-        match self.families.get(name)?.series.get(&label_key(labels))? {
+        match self.families.get(name)?.series.get(&self.full_key(labels))? {
             MetricValue::CounterF(c) => Some(*c),
             MetricValue::Gauge(g) => Some(*g),
             MetricValue::Counter(c) => Some(*c as f64),
@@ -404,9 +457,57 @@ impl MetricsRegistry {
 
     /// Reads a histogram back.
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Histogram> {
-        match self.families.get(name)?.series.get(&label_key(labels))? {
+        match self.families.get(name)?.series.get(&self.full_key(labels))? {
             MetricValue::Hist(h) => Some(h.as_ref()),
             _ => None,
+        }
+    }
+
+    /// Folds every series of `other` into this registry: counters and
+    /// histograms add, gauges take `other`'s value (last-write-wins, and
+    /// the merge *is* the later write). Series keys are taken verbatim —
+    /// `other`'s base labels are already baked into its keys — so merging
+    /// per-rank registries tagged with distinct `shard` labels lands each
+    /// rank's series side by side. Merging the same registries in rank
+    /// order is deterministic: disjoint keys make the result independent
+    /// of which rank finished its batch first, and overlapping counter
+    /// keys still commute because addition does.
+    pub fn merge_from(&mut self, other: &MetricsRegistry) {
+        for (name, ofam) in &other.families {
+            let fam = self
+                .families
+                .entry(name.clone())
+                .or_insert_with(|| Family { kind: ofam.kind, series: BTreeMap::new() });
+            debug_assert_eq!(fam.kind, ofam.kind, "metric {name} merged with a different kind");
+            for (key, oval) in &ofam.series {
+                match fam.series.entry(key.clone()).or_insert_with(|| match ofam.kind {
+                    MetricKind::Counter => MetricValue::Counter(0),
+                    MetricKind::CounterF => MetricValue::CounterF(0.0),
+                    MetricKind::Gauge => MetricValue::Gauge(0.0),
+                    MetricKind::Histogram => MetricValue::Hist(Box::default()),
+                }) {
+                    MetricValue::Counter(c) => {
+                        if let MetricValue::Counter(o) = oval {
+                            *c += o;
+                        }
+                    }
+                    MetricValue::CounterF(c) => {
+                        if let MetricValue::CounterF(o) = oval {
+                            *c += o;
+                        }
+                    }
+                    MetricValue::Gauge(g) => {
+                        if let MetricValue::Gauge(o) = oval {
+                            *g = *o;
+                        }
+                    }
+                    MetricValue::Hist(h) => {
+                        if let MetricValue::Hist(o) = oval {
+                            h.merge_from(o);
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -677,6 +778,69 @@ mod tests {
         m.with(|r| r.add("x", &[], 1));
         m2.with(|r| r.add("x", &[], 2));
         assert_eq!(m.with(|r| r.counter("x", &[])).flatten(), Some(3));
+    }
+
+    #[test]
+    fn base_labels_stamp_every_series_and_empty_is_identity() {
+        let mut plain = MetricsRegistry::new();
+        plain.add("x", &[("op", "knn")], 3);
+        plain.observe("h", &[], 7);
+
+        // Empty base labels are the identity: byte-identical snapshots.
+        let mut empty = MetricsRegistry::new();
+        empty.set_base_labels(&[]);
+        empty.add("x", &[("op", "knn")], 3);
+        empty.observe("h", &[], 7);
+        assert_eq!(plain.snapshot_text(), empty.snapshot_text());
+        assert_eq!(plain.snapshot_json(), empty.snapshot_json());
+
+        let mut r = MetricsRegistry::new();
+        r.set_base_labels(&[("shard", "2")]);
+        r.add("x", &[("op", "knn")], 3);
+        r.observe("h", &[], 7);
+        // Base labels sort with call labels into one canonical key…
+        assert!(r.snapshot_text().contains("x{op=\"knn\",shard=\"2\"} 3"));
+        assert!(r.snapshot_text().contains("h_count{shard=\"2\"} 1"));
+        // …and point reads through the same handle see them.
+        assert_eq!(r.counter("x", &[("op", "knn")]), Some(3));
+        assert_eq!(r.histogram("h", &[]).map(|h| h.count), Some(1));
+    }
+
+    #[test]
+    fn merge_from_sums_counters_and_keeps_rank_series_disjoint() {
+        let mk = |shard: &str, v: u64| {
+            let mut r = MetricsRegistry::new();
+            r.set_base_labels(&[("shard", shard)]);
+            r.add("ops", &[("op", "box")], v);
+            r.observe_exemplar("lat", &[], 3, v);
+            r.set_gauge("depth", &[], v as f64);
+            r.add_f("secs", &[], v as f64 * 0.5);
+            r
+        };
+        let (a, b) = (mk("0", 2), mk("1", 5));
+        let mut m = MetricsRegistry::new();
+        m.merge_from(&a);
+        m.merge_from(&b);
+        assert_eq!(m.counter("ops", &[("op", "box"), ("shard", "0")]), Some(2));
+        assert_eq!(m.counter("ops", &[("op", "box"), ("shard", "1")]), Some(5));
+        assert_eq!(m.counter_sum("ops"), 7);
+        assert_eq!(m.counter_sum_f("secs"), 3.5);
+
+        // Same-key merges: counters add, histograms fold, exemplar sets
+        // keep the smallest ids regardless of merge order.
+        let mut twice = MetricsRegistry::new();
+        twice.merge_from(&a);
+        twice.merge_from(&a);
+        assert_eq!(twice.counter("ops", &[("op", "box"), ("shard", "0")]), Some(4));
+        let h = twice.histogram("lat", &[("shard", "0")]).unwrap();
+        assert_eq!((h.count, h.sum), (2, 6));
+
+        // Merge order over disjoint rank keys does not change the snapshot.
+        let mut m2 = MetricsRegistry::new();
+        m2.merge_from(&b);
+        m2.merge_from(&a);
+        assert_eq!(m.snapshot_text(), m2.snapshot_text());
+        assert_eq!(m.snapshot_json(), m2.snapshot_json());
     }
 
     #[test]

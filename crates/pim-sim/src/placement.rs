@@ -26,6 +26,34 @@ pub fn hash_place(seed: u64, id: u64, p: usize) -> usize {
     ((h as u128 * p as u128) >> 64) as usize
 }
 
+/// Rendezvous (highest-random-weight) hashing: deterministically elects the
+/// owner of object `key` among `members` under `seed`.
+///
+/// Every member scores `mix64(seed ⊕ mix64(key) ⊕ mix64(member))` and the
+/// highest score wins (ties break toward the smaller member id, so the
+/// choice is a pure function of `(seed, key, members)`). Unlike
+/// [`hash_place`], removing one member only re-homes the objects that member
+/// owned — the minimal-disruption property the shard router's membership /
+/// placement table relies on (see the fraktor-rs cluster module's
+/// `RendezvousHasher` for the same construction).
+///
+/// Panics on an empty member set — ownership of nothing is a caller bug.
+#[inline]
+pub fn rendezvous_owner(seed: u64, key: u64, members: &[u32]) -> u32 {
+    assert!(!members.is_empty(), "rendezvous_owner needs at least one member");
+    let k = mix64(key);
+    let mut best = members[0];
+    let mut best_w = mix64(seed ^ k ^ mix64(members[0] as u64));
+    for &m in &members[1..] {
+        let w = mix64(seed ^ k ^ mix64(m as u64));
+        if w > best_w || (w == best_w && m < best) {
+            best = m;
+            best_w = w;
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,5 +95,45 @@ mod tests {
     #[test]
     fn mix64_has_no_fixed_point_at_zero() {
         assert_ne!(mix64(0), 0);
+    }
+
+    #[test]
+    fn rendezvous_is_deterministic_and_balanced() {
+        let members: Vec<u32> = (0..8).collect();
+        let mut counts = [0u64; 8];
+        for key in 0..32_768u64 {
+            let owner = rendezvous_owner(77, key, &members);
+            assert_eq!(owner, rendezvous_owner(77, key, &members));
+            counts[owner as usize] += 1;
+        }
+        let expect = 32_768 / 8;
+        for (m, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expect * 8 / 10 && c < expect * 12 / 10,
+                "member {m} owns {c}, expected ≈{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn rendezvous_removal_only_rehomes_the_departed_members_keys() {
+        let full: Vec<u32> = (0..8).collect();
+        let without_3: Vec<u32> = full.iter().copied().filter(|&m| m != 3).collect();
+        for key in 0..4096u64 {
+            let before = rendezvous_owner(5, key, &full);
+            let after = rendezvous_owner(5, key, &without_3);
+            if before != 3 {
+                assert_eq!(before, after, "key {key} moved although its owner survived");
+            }
+        }
+    }
+
+    #[test]
+    fn rendezvous_ignores_member_order() {
+        let a: Vec<u32> = vec![0, 1, 2, 3, 4];
+        let b: Vec<u32> = vec![4, 2, 0, 3, 1];
+        for key in 0..512u64 {
+            assert_eq!(rendezvous_owner(9, key, &a), rendezvous_owner(9, key, &b));
+        }
     }
 }

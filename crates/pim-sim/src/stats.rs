@@ -116,6 +116,34 @@ impl SimStats {
         self.sum_max_cycles += load.max_cycles;
     }
 
+    /// Aggregates the stats of ranks that executed **concurrently** (the
+    /// shard router's scatter phase): traffic, cycles, and rounds add —
+    /// they are real work done somewhere — but wall-clock-like time fields
+    /// (`pim_s`, `comm_s`, `overhead_s`) take the **max** over ranks,
+    /// because concurrent ranks overlap and the straggler sets the phase
+    /// time. `worst_imbalance` takes the max; `n_modules` adds (the fleet
+    /// is the union of every rank's modules); `sum_max_cycles` adds (each
+    /// rank's straggler path is still serial within that rank);
+    /// `imbalance_history` is dropped — per-round windows are meaningless
+    /// across interleaved rank timelines. Returns the default stats for an
+    /// empty slice.
+    pub fn aggregate_concurrent(ranks: &[SimStats]) -> SimStats {
+        let mut agg = SimStats::default();
+        for s in ranks {
+            agg.rounds += s.rounds;
+            agg.cpu_to_pim_bytes += s.cpu_to_pim_bytes;
+            agg.pim_to_cpu_bytes += s.pim_to_cpu_bytes;
+            agg.pim_s = agg.pim_s.max(s.pim_s);
+            agg.comm_s = agg.comm_s.max(s.comm_s);
+            agg.overhead_s = agg.overhead_s.max(s.overhead_s);
+            agg.worst_imbalance = agg.worst_imbalance.max(s.worst_imbalance);
+            agg.total_pim_cycles += s.total_pim_cycles;
+            agg.sum_max_cycles += s.sum_max_cycles;
+            agg.n_modules += s.n_modules;
+        }
+        agg
+    }
+
     /// Difference `self - earlier` for phase-relative measurements.
     ///
     /// `earlier` must be a snapshot of this same stats object taken at some
@@ -215,6 +243,38 @@ mod tests {
         let empty = s.since(&s.clone());
         assert_eq!(empty.worst_imbalance, 0.0);
         assert_eq!(empty.rounds, 0);
+    }
+
+    #[test]
+    fn aggregate_concurrent_sums_work_and_maxes_time() {
+        let mut a = SimStats::default();
+        a.record(
+            RoundBreakdown { pim_s: 1.0, comm_s: 0.5, overhead_s: 0.1 },
+            LoadStats { max_cycles: 10, mean_cycles: 5.0 },
+            100,
+            50,
+        );
+        a.total_pim_cycles = 40;
+        a.n_modules = 8;
+        let mut b = SimStats::default();
+        b.record(
+            RoundBreakdown { pim_s: 3.0, comm_s: 0.2, overhead_s: 0.4 },
+            LoadStats { max_cycles: 20, mean_cycles: 20.0 },
+            7,
+            3,
+        );
+        b.total_pim_cycles = 160;
+        b.n_modules = 8;
+        let g = SimStats::aggregate_concurrent(&[a, b]);
+        assert_eq!(g.rounds, 2);
+        assert_eq!(g.channel_bytes(), 160);
+        assert!((g.pim_s - 3.0).abs() < 1e-12, "straggler rank sets phase time");
+        assert!((g.comm_s - 0.5).abs() < 1e-12);
+        assert_eq!(g.total_pim_cycles, 200);
+        assert_eq!(g.sum_max_cycles, 30);
+        assert_eq!(g.n_modules, 16);
+        assert!((g.worst_imbalance - 2.0).abs() < 1e-12);
+        assert_eq!(SimStats::aggregate_concurrent(&[]).rounds, 0);
     }
 
     #[test]

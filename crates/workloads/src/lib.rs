@@ -18,6 +18,8 @@ pub mod skew;
 pub mod trace;
 
 pub use gen::{cosmos_like, osm_like, uniform, varden};
-pub use queries::{box_queries, box_side_for_expected, knn_queries, mixed_queries, point_queries};
+pub use queries::{
+    box_queries, box_side_for_expected, hot_cell_queries, knn_queries, mixed_queries, point_queries,
+};
 pub use skew::{alpha_beta_skew, gini_coefficient, gini_over_bins, zipf_sample};
 pub use trace::{open_loop_trace, Arrival, ArrivalTrace, ReqOp, RequestMix, RequestSampler};

@@ -97,6 +97,35 @@ pub fn mixed_queries<const D: usize>(
     out
 }
 
+/// A shard-stressing batch mix for the scale-out router: `n` query points of
+/// which a fraction `hot_frac` concentrates inside one randomly-placed
+/// hypercube of side `2^hot_bits` (the "hot cell" — with high probability a
+/// single placement leaf, so a single rank), and the rest follows the data
+/// distribution. `hot_frac = 0` reduces to [`point_queries`]; `hot_frac = 1`
+/// is an adversarial single-shard storm. Positions are shuffled so the skew
+/// is not trivially batched away.
+pub fn hot_cell_queries<const D: usize>(
+    data: &[Point<D>],
+    n: usize,
+    hot_frac: f64,
+    hot_bits: u32,
+    seed: u64,
+) -> Vec<Point<D>> {
+    assert!(!data.is_empty());
+    assert!((0.0..=1.0).contains(&hot_frac), "hot_frac must be in [0, 1]");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5A4D);
+    let m = max_coord_for_dim(D);
+    let side = 1u32 << hot_bits.min(max_coord_for_dim(D).trailing_ones());
+    let corner: [u32; D] = std::array::from_fn(|_| rng.random_range(0..=m.saturating_sub(side)));
+    let n_hot = ((n as f64) * hot_frac).round() as usize;
+    let mut out: Vec<Point<D>> = (0..n_hot)
+        .map(|_| Point::new(std::array::from_fn(|i| corner[i] + rng.random_range(0..side))))
+        .collect();
+    out.extend(point_queries(data, n - n_hot, 0, seed ^ 0xC0DE));
+    out.shuffle(&mut rng);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +178,38 @@ mod tests {
         assert_eq!(q.len(), 10_000);
         let n_v = q.iter().filter(|p| p.coords == [7, 7, 7]).count();
         assert!((150..=250).contains(&n_v), "got {n_v} varden queries");
+    }
+
+    #[test]
+    fn hot_cell_queries_concentrate_the_requested_fraction() {
+        let data = uniform::<3>(2000, 1);
+        let q = hot_cell_queries(&data, 4000, 0.5, 8, 9);
+        assert_eq!(q.len(), 4000);
+        // The hot half fits inside one 256-sided cube; find it by majority:
+        // any aligned 512-cube holding ≥ 40% of the batch.
+        let mut best = 0usize;
+        for probe in &q {
+            let lo = probe.coords.map(|c| c.saturating_sub(256));
+            let hit = q
+                .iter()
+                .filter(|p| (0..3).all(|i| p.coords[i] >= lo[i] && p.coords[i] <= lo[i] + 512))
+                .count();
+            best = best.max(hit);
+            if best * 10 >= q.len() * 4 {
+                break;
+            }
+        }
+        assert!(best * 10 >= q.len() * 4, "no hot cell found (best cluster {best})");
+    }
+
+    #[test]
+    fn hot_cell_queries_zero_fraction_matches_data_distribution() {
+        let data = uniform::<3>(1000, 1);
+        let q = hot_cell_queries(&data, 500, 0.0, 10, 3);
+        assert_eq!(q.len(), 500);
+        for p in &q {
+            assert!(data.contains(p), "hot_frac=0 draws only data points");
+        }
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Thread-count invariance of the scale-out shard router.
+//!
+//! A 4-rank [`ShardedZdTree`] runs a seeded end-to-end workload (build +
+//! insert + delete + contains + kNN with cross-shard widening + BoxCount +
+//! BoxFetch + a forced skew-driven rebalance) inside explicit 1-, 2-, and
+//! 8-thread pools. Ranks execute concurrently on the pool, but every
+//! reduction is index-ordered and every rank journals into its own buffer,
+//! so the per-rank trace journals, the merged metrics snapshot, per-op
+//! `ShardOpStats`, and all query results must be **byte-identical** across
+//! the three schedules (ISSUE acceptance criterion; ARCHITECTURE.md §10
+//! "determinism quarantine").
+
+use pim_zd_tree_repro::sim::Metrics;
+use pim_zd_tree_repro::{
+    workloads as wl, MachineConfig, Metric, PimZdConfig, ShardConfig, ShardedZdTree,
+};
+
+const SEED: u64 = 2026;
+const N: usize = 5_000;
+const RANKS: usize = 4;
+
+/// Everything observable from one run, in byte-comparable form.
+#[derive(Debug, PartialEq, Eq)]
+struct RunArtifacts {
+    /// Per-rank JSONL trace journals, rank order.
+    journals: Vec<String>,
+    /// Merged metrics snapshot (text exposition; sorted and typed).
+    metrics: String,
+    /// `Debug` rendering of each op's `ShardOpStats` (covers per-rank and
+    /// aggregate simulated seconds, bytes, rounds, imbalance bit-for-bit).
+    op_stats: Vec<String>,
+    /// Query results flattened to a fingerprint stream.
+    results: Vec<u64>,
+    /// (leaf moves, cell splits, migrated points) after the forced rebalance.
+    rebalance: (u64, u64, u64),
+}
+
+/// The seeded workload; must be a pure function of `SEED`.
+fn run_workload() -> RunArtifacts {
+    let data = wl::uniform::<3>(N, SEED);
+    let mut scfg = ShardConfig::new(RANKS);
+    scfg.rebalance_threshold = 1.05; // make the rebalancer part of the run
+    let zcfg = PimZdConfig::throughput_optimized(N as u64, 16);
+    let mut t = ShardedZdTree::build(&data, scfg, zcfg, MachineConfig::with_modules(16));
+    let journals = t.attach_journals();
+    let metrics = Metrics::enabled_new();
+    t.set_metrics(metrics.clone());
+
+    let mut op_stats = Vec::new();
+    let mut results = Vec::new();
+    let snap = |t: &ShardedZdTree<3>, results: &mut Vec<u64>, fp: u64| {
+        results.push(fp);
+        format!("{:?}", t.last_shard_stats())
+    };
+
+    let extra = wl::point_queries(&data, 600, 9, SEED ^ 0xA);
+    t.batch_insert(&extra);
+    op_stats.push(snap(&t, &mut results, t.len() as u64));
+
+    let removed = t.batch_delete(&extra[..250]);
+    op_stats.push(snap(&t, &mut results, removed as u64));
+
+    let probes = wl::point_queries(&data, 300, 2, SEED ^ 0xB);
+    let found = t.batch_contains(&probes);
+    op_stats.push(snap(&t, &mut results, found.iter().filter(|&&f| f).count() as u64));
+
+    // Hot-cell kNN storm: concentrates heat so the skew rebalancer fires.
+    let hot = wl::hot_cell_queries(&data, 400, 0.8, 8, SEED ^ 0xC);
+    for _ in 0..3 {
+        let rows = t.batch_knn(&hot, 10, Metric::L2);
+        let fp = rows.iter().flatten().fold(0u64, |acc, (d, p)| {
+            acc.wrapping_mul(0x100000001B3).wrapping_add(d ^ p.coords[0] as u64)
+        });
+        op_stats.push(snap(&t, &mut results, fp));
+    }
+
+    let side = wl::box_side_for_expected::<3>(N, 50.0);
+    let boxes = wl::box_queries(&data, 120, side, SEED ^ 0xD);
+    let counts = t.batch_box_count(&boxes);
+    op_stats.push(snap(&t, &mut results, counts.iter().sum()));
+    let fetched = t.batch_box_fetch(&boxes);
+    op_stats.push(snap(&t, &mut results, fetched.iter().map(|v| v.len() as u64).sum()));
+
+    let (moves, splits, migrated) = t.rebalance_counters();
+    t.merge_rank_metrics();
+    RunArtifacts {
+        journals: journals.iter().map(|j| j.to_jsonl()).collect(),
+        metrics: metrics.snapshot_text().expect("metrics enabled"),
+        op_stats,
+        results,
+        rebalance: (moves, splits, migrated),
+    }
+}
+
+#[test]
+fn four_rank_run_is_byte_identical_at_1_2_8_threads() {
+    let baseline = rayon::ThreadPool::new(1).install(run_workload);
+    assert!(
+        baseline.journals.iter().any(|j| !j.is_empty()),
+        "the workload must journal rounds on at least one rank"
+    );
+    assert!(
+        baseline.rebalance.0 + baseline.rebalance.1 > 0,
+        "the hot-cell storm must trigger the rebalancer (moves={} splits={})",
+        baseline.rebalance.0,
+        baseline.rebalance.1
+    );
+    for threads in [2usize, 8] {
+        let pool = rayon::ThreadPool::new(threads);
+        assert_eq!(pool.current_num_threads(), threads);
+        let run = pool.install(run_workload);
+        for (r, (a, b)) in baseline.journals.iter().zip(&run.journals).enumerate() {
+            assert_eq!(a, b, "rank {r} journal diverged at {threads} threads");
+        }
+        assert_eq!(run.metrics, baseline.metrics, "metrics diverged at {threads} threads");
+        assert_eq!(run.op_stats, baseline.op_stats, "op stats diverged at {threads} threads");
+        assert_eq!(run.results, baseline.results, "results diverged at {threads} threads");
+        assert_eq!(run.rebalance, baseline.rebalance, "rebalance diverged at {threads} threads");
+    }
+}
+
+/// Repeated runs inside the *same* pool are also identical (no hidden
+/// global state leaks between `ShardedZdTree` instances).
+#[test]
+fn repeated_runs_in_one_pool_are_identical() {
+    let pool = rayon::ThreadPool::new(4);
+    let a = pool.install(run_workload);
+    let b = pool.install(run_workload);
+    assert_eq!(a, b);
+}

@@ -1,0 +1,203 @@
+//! Oracle equivalence for the scale-out shard router (ARCHITECTURE.md §10).
+//!
+//! An N-shard [`ShardedZdTree`] must be observationally identical to one
+//! [`PimZdTree`] holding the same multiset: sharding is a performance
+//! topology, not a semantics change. Properties drive both against each
+//! other *and* against a brute-force scan, under the two input families
+//! where partitioned indexes classically break — duplicate-heavy tiny
+//! cubes (points collide across shard boundaries, ties must resolve by
+//! the documented `(distance, coords)` rule) and Varden skew (nearly all
+//! mass on one rank, so the kNN widen phase and the rebalancer both run
+//! hot). Also here: rebalance-under-churn and a fault plan pinned to one
+//! rank — results must stay byte-identical to the clean single-rank
+//! reference through both.
+
+use pim_zd_tree_repro::workloads as wl;
+use pim_zd_tree_repro::{
+    Aabb, FaultConfig, FaultPlan, MachineConfig, Metric, PimZdConfig, PimZdTree, Point,
+    ShardConfig, ShardedZdTree,
+};
+use proptest::prelude::*;
+
+const METRICS: [Metric; 3] = [Metric::L1, Metric::L2, Metric::Linf];
+
+fn zcfg(n: usize) -> PimZdConfig {
+    PimZdConfig::throughput_optimized(n.max(64) as u64, 8)
+}
+
+fn build_pair(ranks: usize, data: &[Point<3>]) -> (ShardedZdTree<3>, PimZdTree<3>) {
+    let machine = MachineConfig::with_modules(8);
+    let cfg = zcfg(data.len());
+    let sh = ShardedZdTree::build(data, ShardConfig::new(ranks), cfg, machine);
+    let single = PimZdTree::build(data, cfg, machine);
+    (sh, single)
+}
+
+/// Brute-force kNN, ties by (distance, coords). `batch_knn` returns
+/// *distinct* points (duplicate stored copies collapse — the single-rank
+/// step-5 sort/dedup/truncate contract), so the oracle dedups too.
+fn knn_oracle(data: &[Point<3>], q: &Point<3>, k: usize, metric: Metric) -> Vec<(u64, Point<3>)> {
+    let mut all: Vec<(u64, Point<3>)> = data.iter().map(|p| (metric.cmp_dist(q, p), *p)).collect();
+    all.sort_unstable_by_key(|(d, p)| (*d, p.coords));
+    all.dedup();
+    all.truncate(k);
+    all
+}
+
+/// Points in a 6×6×6 cube: duplicates arrive quickly, and with more than a
+/// handful of ranks almost every query's neighbourhood spans a boundary.
+fn tiny_point() -> impl Strategy<Value = Point<3>> {
+    (0u32..6, 0u32..6, 0u32..6).prop_map(|(x, y, z)| Point::new([x, y, z]))
+}
+
+fn tiny_points(max: usize) -> impl Strategy<Value = Vec<Point<3>>> {
+    proptest::collection::vec(tiny_point(), 1..max)
+}
+
+/// Box-fetch result order is unspecified (the sharded router returns
+/// coords-sorted, the single rank in traversal order): canonicalize.
+fn sorted(rows: Vec<Vec<Point<3>>>) -> Vec<Vec<Point<3>>> {
+    rows.into_iter()
+        .map(|mut v| {
+            v.sort_unstable_by_key(|p| p.coords);
+            v
+        })
+        .collect()
+}
+
+fn aabb_from(a: Point<3>, b: Point<3>) -> Aabb<3> {
+    let lo = std::array::from_fn(|i| a.coords[i].min(b.coords[i]));
+    let hi = std::array::from_fn(|i| a.coords[i].max(b.coords[i]));
+    Aabb::new(Point::new(lo), Point::new(hi))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// N-shard kNN ≡ single rank ≡ brute force, duplicate-heavy inputs,
+    /// every metric, k from 0 past the tree size.
+    #[test]
+    fn sharded_knn_matches_single_rank_and_brute_force(
+        data in tiny_points(48),
+        queries in tiny_points(5),
+        k in 0usize..64,
+        ranks in 2usize..6,
+    ) {
+        let (mut sh, mut single) = build_pair(ranks, &data);
+        for metric in METRICS {
+            let got = sh.batch_knn(&queries, k, metric);
+            let want = single.batch_knn(&queries, k, metric);
+            prop_assert_eq!(&got, &want);
+            for (q, row) in queries.iter().zip(&got) {
+                prop_assert_eq!(row, &knn_oracle(&data, q, k, metric));
+            }
+        }
+    }
+
+    /// N-shard BoxCount / BoxFetch / Contains ≡ single rank ≡ brute force.
+    #[test]
+    fn sharded_box_ops_match_single_rank_and_brute_force(
+        data in tiny_points(48),
+        corners in proptest::collection::vec((tiny_point(), tiny_point()), 1..5),
+        ranks in 2usize..6,
+    ) {
+        let (mut sh, mut single) = build_pair(ranks, &data);
+        let boxes: Vec<Aabb<3>> = corners.iter().map(|(a, b)| aabb_from(*a, *b)).collect();
+        let counts = sh.batch_box_count(&boxes);
+        prop_assert_eq!(&counts, &single.batch_box_count(&boxes));
+        let fetched = sorted(sh.batch_box_fetch(&boxes));
+        prop_assert_eq!(&fetched, &sorted(single.batch_box_fetch(&boxes)));
+        for (b, (count, fetch)) in boxes.iter().zip(counts.iter().zip(&fetched)) {
+            let brute = data.iter().filter(|p| b.contains(p)).count();
+            prop_assert_eq!(*count as usize, brute);
+            prop_assert_eq!(fetch.len(), brute);
+        }
+        let probes: Vec<Point<3>> = corners.iter().map(|(a, _)| *a).collect();
+        let got = sh.batch_contains(&probes);
+        prop_assert_eq!(&got, &single.batch_contains(&probes));
+        for (p, present) in probes.iter().zip(&got) {
+            prop_assert_eq!(*present, data.contains(p));
+        }
+    }
+
+    /// Insert + delete churn with an aggressive rebalancer: results stay
+    /// equivalent after every mutation round, and migration never changes
+    /// the stored multiset size.
+    #[test]
+    fn rebalance_under_churn_preserves_equivalence(
+        data in tiny_points(40),
+        extra in tiny_points(24),
+        ranks in 2usize..5,
+        seed in 0u64..1024,
+    ) {
+        let machine = MachineConfig::with_modules(8);
+        let cfg = zcfg(data.len() + extra.len());
+        let mut scfg = ShardConfig::new(ranks);
+        scfg.rebalance_threshold = 1.01; // rebalance on nearly every batch
+        let mut sh = ShardedZdTree::build(&data, scfg, cfg, machine);
+        let mut single = PimZdTree::build(&data, cfg, machine);
+        let queries = wl::point_queries(&data, 8, 1, seed);
+        for round in 0..3 {
+            sh.batch_insert(&extra);
+            single.batch_insert(&extra);
+            prop_assert_eq!(sh.len(), single.len(), "round {} insert", round);
+            prop_assert_eq!(
+                sh.batch_knn(&queries, 4, Metric::L2),
+                single.batch_knn(&queries, 4, Metric::L2)
+            );
+            let half = extra.len() / 2 + 1;
+            let removed = sh.batch_delete(&extra[..half]);
+            prop_assert_eq!(removed, single.batch_delete(&extra[..half]));
+            prop_assert_eq!(sh.len(), single.len(), "round {} delete", round);
+            prop_assert_eq!(sh.batch_contains(&extra), single.batch_contains(&extra));
+            // Restore for the next round.
+            let rest = sh.batch_delete(&extra);
+            prop_assert_eq!(rest, single.batch_delete(&extra));
+        }
+    }
+}
+
+/// Varden skew: nearly all points (and queries) on a filament owned by few
+/// ranks. The widen phase and rebalancer both engage; equivalence holds.
+#[test]
+fn varden_skewed_inputs_stay_equivalent() {
+    let data = wl::varden::<3>(4_000, 7);
+    let (mut sh, mut single) = build_pair(8, &data);
+    let queries = wl::point_queries(&data, 128, 3, 11);
+    for k in [1usize, 10] {
+        assert_eq!(
+            sh.batch_knn(&queries, k, Metric::L2),
+            single.batch_knn(&queries, k, Metric::L2)
+        );
+    }
+    let side = wl::box_side_for_expected::<3>(data.len(), 100.0);
+    let boxes = wl::box_queries(&data, 64, side, 13);
+    assert_eq!(sh.batch_box_count(&boxes), single.batch_box_count(&boxes));
+    assert_eq!(sorted(sh.batch_box_fetch(&boxes)), sorted(single.batch_box_fetch(&boxes)));
+    let st = sh.last_shard_stats();
+    assert!(st.fanout() >= 1.0 && st.busy_cycle_imbalance() >= 1.0);
+}
+
+/// A fault plan pinned to one rank of four: retries/salvage are confined to
+/// that rank's fault plane and results remain byte-identical to the clean
+/// single-rank reference.
+#[test]
+fn fault_plan_on_one_rank_preserves_results() {
+    let data = wl::uniform::<3>(3_000, 21);
+    let (mut sh, mut single) = build_pair(4, &data);
+    sh.set_fault_plan_on(1, Some(FaultPlan::new(FaultConfig::uniform(0.15, 0xF00D))));
+    let queries = wl::point_queries(&data, 200, 2, 23);
+    assert_eq!(sh.batch_knn(&queries, 10, Metric::L2), single.batch_knn(&queries, 10, Metric::L2));
+    let side = wl::box_side_for_expected::<3>(data.len(), 10.0);
+    let boxes = wl::box_queries(&data, 100, side, 29);
+    assert_eq!(sh.batch_box_count(&boxes), single.batch_box_count(&boxes));
+    assert_eq!(sorted(sh.batch_box_fetch(&boxes)), sorted(single.batch_box_fetch(&boxes)));
+    assert_eq!(sh.batch_contains(&data[..256]), single.batch_contains(&data[..256]));
+    // The faulty rank really did fault (retry/salvage rounds happened),
+    // and its fault plane stayed confined to rank 1.
+    assert!(
+        sh.rank(1).fault_log().total_faults() > 0,
+        "fault plan on rank 1 must actually inject faults"
+    );
+    assert_eq!(sh.rank(0).fault_log().total_faults(), 0, "faults must not leak across ranks");
+}
